@@ -1,0 +1,144 @@
+// Ablations of the design choices DESIGN.md calls out:
+//   A1. diff-tree anchor stride (the persistent-structure substitution of
+//       Theorem 2.11): storage vs label-retrieval time;
+//   A2. Monte-Carlo backend: Delaunay (the paper's Voronoi + point
+//       location) vs kd-tree;
+//   A3. expected-NN best-first pruning vs a linear scan of E[d].
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/core/nnquery/expected_nn.h"
+#include "src/core/prob/monte_carlo.h"
+#include "src/core/v0/labeled_subdivision.h"
+#include "src/core/v0/nonzero_voronoi.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+#include "src/workload/generators.h"
+
+namespace pnn {
+namespace {
+
+void AnchorStride() {
+  std::printf("\n### A1: diff-tree anchor stride (n = 100 clustered disks)\n\n");
+  Rng rng(73);
+  auto disks = ClusteredDisks(100, 3, 40, 1.5, &rng);
+  UncertainSet upts;
+  for (const auto& d : disks) {
+    upts.push_back(UncertainPoint::UniformDisk(d.center, d.radius));
+  }
+  NonzeroVoronoi v0(disks);
+  const Arrangement& arr = v0.arrangement();
+  auto truth = [&](Point2 q) { return NonzeroNNBruteForce(upts, q); };
+  std::printf("faces: %zu\n\n", v0.complexity().faces);
+  // Reference labels: stride 1 stores every face's label outright.
+  LabeledSubdivision reference(&arr, truth, 1);
+  Table table({"stride", "storage (ints)", "retrieval us/face", "matches stride-1"});
+  for (int stride : {1, 8, 32, 128, 1 << 20}) {
+    LabeledSubdivision labels(&arr, truth, stride);
+    Timer t;
+    size_t acc = 0;
+    for (size_t f = 0; f < arr.NumFaces(); ++f) {
+      acc += labels.FaceLabel(static_cast<int>(f)).size();
+    }
+    double us = t.Micros() / arr.NumFaces();
+    bool same = true;
+    for (size_t f = 0; f < arr.NumFaces() && same; ++f) {
+      same = labels.FaceLabel(static_cast<int>(f)) ==
+             reference.FaceLabel(static_cast<int>(f));
+    }
+    table.AddRow({stride >= (1 << 20) ? "inf" : Table::Int(stride),
+                  Table::Int(static_cast<long long>(labels.LabelStorageInts())),
+                  Table::Num(us, 3), same ? "yes" : "NO"});
+    (void)acc;
+  }
+  table.Print();
+  std::printf(
+      "\nTrade-off: stride 1 stores every label (max space, O(1) walk); "
+      "stride inf stores only roots (min space, deep walks).\n");
+}
+
+void McBackend() {
+  std::printf("\n### A2: Monte-Carlo backend, Delaunay vs kd-tree (s = 400)\n\n");
+  Table table({"n", "backend", "build_ms", "us/query"});
+  for (int n : {50, 200, 800}) {
+    Rng rng(79 + n);
+    auto pts =
+        ToUniformUncertain(RandomDiscreteLocations(n, 3, 4.0 * std::sqrt(double(n)),
+                                                   3.0, &rng));
+    std::vector<Point2> queries;
+    double span = 5.0 * std::sqrt(double(n));
+    for (int i = 0; i < 100; ++i) {
+      queries.push_back({rng.Uniform(-span, span), rng.Uniform(-span, span)});
+    }
+    for (auto backend : {MonteCarloPNN::Backend::kDelaunay,
+                         MonteCarloPNN::Backend::kKdTree}) {
+      MonteCarloPNN::Options opt;
+      opt.rounds_override = 400;
+      opt.backend = backend;
+      Timer tb;
+      MonteCarloPNN mc(pts, opt);
+      double build = tb.Millis();
+      Timer t;
+      size_t acc = 0;
+      for (Point2 q : queries) acc += mc.Query(q).size();
+      (void)acc;
+      table.AddRow({Table::Int(n),
+                    backend == MonteCarloPNN::Backend::kDelaunay ? "delaunay" : "kdtree",
+                    Table::Num(build, 4), Table::Num(t.Micros() / queries.size(), 4)});
+    }
+  }
+  table.Print();
+}
+
+void ExpectedPruning() {
+  std::printf("\n### A3: expected-NN best-first pruning (discrete, k = 3)\n\n");
+  Table table({"n", "index us/q", "scan us/q", "exact evals/q (of n)"});
+  for (int n : {100, 400, 1600}) {
+    Rng rng(83 + n);
+    auto pts = ToUniformUncertain(
+        RandomDiscreteLocations(n, 3, 6.0 * std::sqrt(double(n)), 2.0, &rng));
+    ExpectedNNIndex index(&pts);
+    std::vector<Point2> queries;
+    double span = 7.0 * std::sqrt(double(n));
+    for (int i = 0; i < 200; ++i) {
+      queries.push_back({rng.Uniform(-span, span), rng.Uniform(-span, span)});
+    }
+    Timer t1;
+    size_t evals = 0;
+    for (Point2 q : queries) {
+      index.Nearest(q);
+      evals += index.last_evaluations();
+    }
+    double index_us = t1.Micros() / queries.size();
+    Timer t2;
+    int acc = 0;
+    for (Point2 q : queries) {
+      double bd = 1e300;
+      for (size_t i = 0; i < pts.size(); ++i) {
+        double e = pts[i].ExpectedDistance(q);
+        if (e < bd) {
+          bd = e;
+          acc = static_cast<int>(i);
+        }
+      }
+    }
+    (void)acc;
+    double scan_us = t2.Micros() / queries.size();
+    table.AddRow({Table::Int(n), Table::Num(index_us, 4), Table::Num(scan_us, 4),
+                  Table::Num(static_cast<double>(evals) / queries.size(), 3)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace pnn
+
+int main() {
+  std::printf("# Ablations of implementation design choices\n");
+  pnn::AnchorStride();
+  pnn::McBackend();
+  pnn::ExpectedPruning();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// E7 — Theorem 3.1: near-linear-size structure answering NN!=0 queries in
+// O(log n + t)-style time for disk regions (weighted kd-tree substitution,
+// see DESIGN.md §4).
+//
+// google-benchmark microbenchmarks: index query vs linear scan across n.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "src/core/nnquery/nn_index.h"
+#include "src/uncertain/uncertain_point.h"
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+
+namespace pnn {
+namespace {
+
+struct Fixture {
+  std::vector<Circle> disks;
+  UncertainSet upts;
+  std::vector<Point2> queries;
+  std::unique_ptr<NonzeroNNIndex> index;
+
+  explicit Fixture(int n) {
+    Rng rng(19 + n);
+    double span = 4.0 * std::sqrt(static_cast<double>(n));
+    disks = RandomDisks(n, span, 0.3, 1.5, &rng);
+    for (const auto& d : disks) {
+      upts.push_back(UncertainPoint::UniformDisk(d.center, d.radius));
+    }
+    index = std::make_unique<NonzeroNNIndex>(disks);
+    for (int i = 0; i < 512; ++i) {
+      queries.push_back({rng.Uniform(-span, span), rng.Uniform(-span, span)});
+    }
+  }
+};
+
+Fixture& GetFixture(int n) {
+  static std::map<int, std::unique_ptr<Fixture>> cache;
+  auto& f = cache[n];
+  if (!f) f = std::make_unique<Fixture>(n);
+  return *f;
+}
+
+void BM_IndexQuery(benchmark::State& state) {
+  Fixture& f = GetFixture(static_cast<int>(state.range(0)));
+  size_t i = 0, out = 0;
+  for (auto _ : state) {
+    out += f.index->Query(f.queries[i++ & 511]).size();
+  }
+  benchmark::DoNotOptimize(out);
+  state.SetLabel("theorem 3.1 two-stage index");
+}
+
+void BM_LinearScan(benchmark::State& state) {
+  Fixture& f = GetFixture(static_cast<int>(state.range(0)));
+  size_t i = 0, out = 0;
+  for (auto _ : state) {
+    out += NonzeroNNBruteForce(f.upts, f.queries[i++ & 511]).size();
+  }
+  benchmark::DoNotOptimize(out);
+  state.SetLabel("lemma 2.1 linear scan");
+}
+
+void BM_IndexDeltaOnly(benchmark::State& state) {
+  Fixture& f = GetFixture(static_cast<int>(state.range(0)));
+  size_t i = 0;
+  double acc = 0;
+  for (auto _ : state) {
+    acc += f.index->Delta(f.queries[i++ & 511]);
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetLabel("stage 1 only: Delta(q)");
+}
+
+BENCHMARK(BM_IndexQuery)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_LinearScan)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_IndexDeltaOnly)->Arg(1000)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace pnn
+
+BENCHMARK_MAIN();

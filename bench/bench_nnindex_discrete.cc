@@ -1,0 +1,78 @@
+// E8 — Theorem 3.2: NN!=0 index for discrete distributions (N = nk
+// locations): O(N) space with empirically sublinear queries (best-first
+// farthest-distance search + grouped location reporting; the partition
+// trees of the paper are galactic, see DESIGN.md §4).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "src/core/nnquery/nn_index.h"
+#include "src/uncertain/uncertain_point.h"
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+
+namespace pnn {
+namespace {
+
+struct Fixture {
+  std::vector<std::vector<Point2>> locs;
+  UncertainSet upts;
+  std::vector<Point2> queries;
+  std::unique_ptr<DiscreteNonzeroNNIndex> index;
+
+  Fixture(int n, int k) {
+    Rng rng(23 + n);
+    double span = 4.0 * std::sqrt(static_cast<double>(n));
+    locs = RandomDiscreteLocations(n, k, span, 1.0, &rng);
+    upts = ToUniformUncertain(locs);
+    index = std::make_unique<DiscreteNonzeroNNIndex>(locs);
+    for (int i = 0; i < 512; ++i) {
+      queries.push_back({rng.Uniform(-span, span), rng.Uniform(-span, span)});
+    }
+  }
+};
+
+Fixture& GetFixture(int n, int k) {
+  static std::map<std::pair<int, int>, std::unique_ptr<Fixture>> cache;
+  auto& f = cache[{n, k}];
+  if (!f) f = std::make_unique<Fixture>(n, k);
+  return *f;
+}
+
+void BM_DiscreteIndexQuery(benchmark::State& state) {
+  Fixture& f = GetFixture(static_cast<int>(state.range(0)),
+                          static_cast<int>(state.range(1)));
+  size_t i = 0, out = 0;
+  for (auto _ : state) {
+    out += f.index->Query(f.queries[i++ & 511]).size();
+  }
+  benchmark::DoNotOptimize(out);
+}
+
+void BM_DiscreteLinearScan(benchmark::State& state) {
+  Fixture& f = GetFixture(static_cast<int>(state.range(0)),
+                          static_cast<int>(state.range(1)));
+  size_t i = 0, out = 0;
+  for (auto _ : state) {
+    out += NonzeroNNBruteForce(f.upts, f.queries[i++ & 511]).size();
+  }
+  benchmark::DoNotOptimize(out);
+}
+
+BENCHMARK(BM_DiscreteIndexQuery)
+    ->Args({1000, 4})
+    ->Args({10000, 4})
+    ->Args({50000, 4})
+    ->Args({10000, 16});
+BENCHMARK(BM_DiscreteLinearScan)
+    ->Args({1000, 4})
+    ->Args({10000, 4})
+    ->Args({50000, 4})
+    ->Args({10000, 16});
+
+}  // namespace
+}  // namespace pnn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// E1 — Theorem 2.5: the nonzero Voronoi diagram of n disks has O(n^3)
+// complexity and is built in O(n^2 log n + mu) expected time.
+//
+// Prints complexity counters and build times over n for three regimes
+// (sparse random, dense random, clustered). Random instances sit far
+// below the cubic worst case (near-linear here); the cubic behaviour is
+// exercised by bench_v0_lowerbound.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/core/v0/nonzero_voronoi.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+#include "src/workload/generators.h"
+
+namespace pnn {
+namespace {
+
+void RunRegime(const char* name, double span_per_sqrt_n, double rmin, double rmax,
+               int clusters) {
+  std::printf("\n### V!=0 complexity, %s regime\n\n", name);
+  Table table({"n", "vertices", "edges", "faces", "breakpoints", "crossings",
+               "build_ms", "n^3 bound"});
+  std::vector<std::pair<double, double>> growth;
+  for (int n : {10, 20, 40, 80, 120, 160}) {
+    Rng rng(42 + n);
+    double span = span_per_sqrt_n * std::sqrt(static_cast<double>(n));
+    std::vector<Circle> disks =
+        clusters > 0 ? ClusteredDisks(n, clusters, span, rmax, &rng)
+                     : RandomDisks(n, span, rmin, rmax, &rng);
+    Timer t;
+    NonzeroVoronoi v0(disks);
+    double ms = t.Millis();
+    const auto& c = v0.complexity();
+    growth.push_back({n, static_cast<double>(std::max<size_t>(c.vertices, 1))});
+    table.AddRow({Table::Int(n), Table::Int(c.vertices), Table::Int(c.edges),
+                  Table::Int(c.faces), Table::Int(c.breakpoints),
+                  Table::Int(c.crossings), Table::Num(ms, 4),
+                  Table::Int(static_cast<long long>(n) * n * n)});
+  }
+  table.Print();
+  std::printf("\nfitted growth exponent (log-log slope): %.2f (paper: <= 3)\n",
+              LogLogSlope(growth));
+}
+
+}  // namespace
+}  // namespace pnn
+
+int main() {
+  std::printf("# E1 (Theorem 2.5): complexity of V!=0(P) for disk regions\n");
+  std::printf("Claim: O(n^3) worst case; random inputs are far below the bound.\n");
+  pnn::RunRegime("sparse random", 6.0, 0.5, 2.0, 0);
+  pnn::RunRegime("dense random", 2.0, 0.5, 3.0, 0);
+  pnn::RunRegime("clustered", 5.0, 5, 0.5, 1.5);
+  return 0;
+}

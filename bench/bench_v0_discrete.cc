@@ -1,0 +1,70 @@
+// E6 — Theorem 2.14: for discrete distributions of size k, V!=0 has
+// O(k n^3) complexity (built in O(n^2 log n + mu) expected time).
+//
+// Sweeps n at fixed k and k at fixed n; the growth exponent in n on
+// random instances again sits far below the worst case, while the k-sweep
+// shows the linear factor.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/core/v0/nonzero_voronoi.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+#include "src/workload/generators.h"
+
+namespace pnn {
+namespace {
+
+void SweepN() {
+  std::printf("\n### n sweep (k = 3)\n\n");
+  Table table({"n", "k", "vertices", "edges", "faces", "k*n^3", "build_ms"});
+  std::vector<std::pair<double, double>> growth;
+  for (int n : {6, 12, 24, 48}) {
+    Rng rng(13 + n);
+    double span = 4.0 * std::sqrt(static_cast<double>(n));
+    auto locs = RandomDiscreteLocations(n, 3, span, 2.0, &rng);
+    Timer t;
+    NonzeroVoronoiDiscrete v0(locs);
+    double ms = t.Millis();
+    const auto& c = v0.complexity();
+    growth.push_back({n, static_cast<double>(std::max<size_t>(c.vertices, 1))});
+    table.AddRow({Table::Int(n), Table::Int(3), Table::Int(c.vertices),
+                  Table::Int(c.edges), Table::Int(c.faces),
+                  Table::Int(3LL * n * n * n), Table::Num(ms, 4)});
+  }
+  table.Print();
+  std::printf("\nfitted growth exponent in n: %.2f (paper bound: <= 3)\n",
+              LogLogSlope(growth));
+}
+
+void SweepK() {
+  std::printf("\n### k sweep (n = 12)\n\n");
+  Table table({"n", "k", "vertices", "edges", "faces", "build_ms"});
+  std::vector<std::pair<double, double>> growth;
+  for (int k : {2, 3, 4, 6, 8}) {
+    Rng rng(17 + k);
+    auto locs = RandomDiscreteLocations(12, k, 14, 2.0, &rng);
+    Timer t;
+    NonzeroVoronoiDiscrete v0(locs);
+    double ms = t.Millis();
+    const auto& c = v0.complexity();
+    growth.push_back({k, static_cast<double>(std::max<size_t>(c.vertices, 1))});
+    table.AddRow({Table::Int(12), Table::Int(k), Table::Int(c.vertices),
+                  Table::Int(c.edges), Table::Int(c.faces), Table::Num(ms, 4)});
+  }
+  table.Print();
+  std::printf("\nfitted growth exponent in k: %.2f (paper bound: <= 1)\n",
+              LogLogSlope(growth));
+}
+
+}  // namespace
+}  // namespace pnn
+
+int main() {
+  std::printf("# E6 (Theorem 2.14): discrete V!=0 complexity O(k n^3)\n");
+  pnn::SweepN();
+  pnn::SweepK();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// E4 — Theorem 2.10: for pairwise-disjoint disks with radius ratio at most
+// lambda, V!=0 has O(lambda n^2) complexity, and Omega(n^2) is attained.
+//
+// Part 1: lambda sweep on disjoint random instances — complexity
+// normalized by n^2 should grow at most linearly in lambda.
+// Part 2: the paper's collinear unit-disk construction — the predicted
+// vertex set (two per pair with j - i >= 2) is counted exactly.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/core/v0/nonzero_voronoi.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+#include "src/workload/generators.h"
+
+namespace pnn {
+namespace {
+
+void RunLambdaSweep() {
+  std::printf("\n### lambda sweep (n = 60 disjoint disks)\n\n");
+  Table table({"lambda", "vertices", "edges", "vertices/n^2", "build_ms"});
+  const int n = 60;
+  for (double lambda : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    Rng rng(7);
+    auto disks = DisjointDisks(n, lambda, &rng);
+    Timer t;
+    NonzeroVoronoi v0(disks);
+    double ms = t.Millis();
+    const auto& c = v0.complexity();
+    table.AddRow({Table::Num(lambda, 3), Table::Int(c.vertices), Table::Int(c.edges),
+                  Table::Num(static_cast<double>(c.vertices) / (n * n), 3),
+                  Table::Num(ms, 4)});
+  }
+  table.Print();
+}
+
+void RunGrowth() {
+  std::printf("\n### n sweep (disjoint, lambda = 2): claim O(n^2)\n\n");
+  Table table({"n", "vertices", "n^2", "build_ms"});
+  std::vector<std::pair<double, double>> growth;
+  for (int n : {20, 40, 80, 160}) {
+    Rng rng(11);
+    auto disks = DisjointDisks(n, 2.0, &rng);
+    Timer t;
+    NonzeroVoronoi v0(disks);
+    double ms = t.Millis();
+    size_t v = v0.complexity().vertices;
+    growth.push_back({n, static_cast<double>(std::max<size_t>(v, 1))});
+    table.AddRow({Table::Int(n), Table::Int(v),
+                  Table::Int(static_cast<long long>(n) * n), Table::Num(ms, 4)});
+  }
+  table.Print();
+  std::printf("\nfitted growth exponent: %.2f (claim: <= 2 up to constants)\n",
+              LogLogSlope(growth));
+}
+
+void RunLowerBound() {
+  std::printf("\n### Theorem 2.10 Omega(n^2) construction (collinear unit disks)\n\n");
+  Table table({"m", "n", "vertices", "predicted >=", "ok", "build_ms"});
+  std::vector<std::pair<double, double>> growth;
+  for (int m : {3, 5, 8, 12, 16}) {
+    int n = 2 * m;
+    auto disks = LowerBoundQuadratic(m);
+    auto predicted = LowerBoundQuadraticVertices(m);
+    // The predicted vertices reach |y| = (n-2)^2 - 1: size the box to
+    // contain them all.
+    double extent = 4.0 * n + static_cast<double>(n) * n;
+    Box2 box{-extent, -extent, extent, extent};
+    Timer t;
+    NonzeroVoronoi v0(disks, box);
+    double ms = t.Millis();
+    size_t v = v0.complexity().vertices;
+    growth.push_back({n, static_cast<double>(v)});
+    table.AddRow({Table::Int(m), Table::Int(n), Table::Int(v),
+                  Table::Int(static_cast<long long>(predicted.size())),
+                  v >= predicted.size() ? "yes" : "NO", Table::Num(ms, 4)});
+  }
+  table.Print();
+  std::printf("\nfitted growth exponent: %.2f (claim: 2)\n", LogLogSlope(growth));
+}
+
+}  // namespace
+}  // namespace pnn
+
+int main() {
+  std::printf(
+      "# E4 (Theorem 2.10): disjoint disks — O(lambda n^2) upper, Omega(n^2) "
+      "lower\n");
+  pnn::RunLambdaSweep();
+  pnn::RunGrowth();
+  pnn::RunLowerBound();
+  return 0;
+}

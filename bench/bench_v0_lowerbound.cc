@@ -1,0 +1,79 @@
+// E2 / E3 — Theorems 2.7 and 2.8: worst-case Omega(n^3) constructions.
+//
+// Builds the paper's two configurations exactly and counts the vertices of
+// V!=0 inside a window containing the construction's action. Theorem 2.7
+// predicts at least 2 * m * m * 2m = 4 m^3 vertices (two per triple
+// (i, j, k)); Theorem 2.8 predicts m^3. The fitted log-log slope against n
+// should approach 3, in contrast with the near-linear random regimes of
+// bench_v0_complexity.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/core/v0/nonzero_voronoi.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+#include "src/workload/generators.h"
+
+namespace pnn {
+namespace {
+
+void RunCubic() {
+  std::printf("\n### Theorem 2.7 construction (radii R = 8n^2 and 1)\n\n");
+  Table table({"m", "n", "vertices", "4m^3 (claim)", "ok", "build_ms"});
+  std::vector<std::pair<double, double>> growth;
+  for (int m : {2, 3, 4, 5, 6, 8}) {
+    int n = 4 * m;
+    auto disks = LowerBoundCubic(m);
+    // The construction's vertices lie near the y-axis within |y| <= 4m+2.
+    Box2 box{-40.0 * m, -40.0 * m, 40.0 * m, 40.0 * m};
+    Timer t;
+    NonzeroVoronoi v0(disks, box);
+    double ms = t.Millis();
+    size_t v = v0.complexity().vertices;
+    long long claim = 4LL * m * m * m;
+    growth.push_back({n, static_cast<double>(v)});
+    table.AddRow({Table::Int(m), Table::Int(n), Table::Int(v), Table::Int(claim),
+                  v >= static_cast<size_t>(claim) ? "yes" : "NO",
+                  Table::Num(ms, 4)});
+  }
+  table.Print();
+  std::vector<std::pair<double, double>> tail(growth.end() - 3, growth.end());
+  std::printf("\nfitted growth exponent: %.2f full range, %.2f on the tail "
+              "(claim: 3; lower-order terms dampen small m)\n",
+              LogLogSlope(growth), LogLogSlope(tail));
+}
+
+void RunEqualRadius() {
+  std::printf("\n### Theorem 2.8 construction (all radii equal)\n\n");
+  Table table({"m", "n", "vertices", "m^3 (claim)", "ok", "build_ms"});
+  std::vector<std::pair<double, double>> growth;
+  for (int m : {2, 3, 4, 6, 8}) {
+    int n = 3 * m;
+    auto disks = LowerBoundCubicEqualRadius(m);
+    Box2 box{-20, -20, 20, 20};
+    Timer t;
+    NonzeroVoronoi v0(disks, box);
+    double ms = t.Millis();
+    size_t v = v0.complexity().vertices;
+    long long claim = static_cast<long long>(m) * m * m;
+    growth.push_back({n, static_cast<double>(v)});
+    table.AddRow({Table::Int(m), Table::Int(n), Table::Int(v), Table::Int(claim),
+                  v >= static_cast<size_t>(claim) ? "yes" : "NO",
+                  Table::Num(ms, 4)});
+  }
+  table.Print();
+  std::printf("\nfitted growth exponent: %.2f (claim: 3)\n", LogLogSlope(growth));
+}
+
+}  // namespace
+}  // namespace pnn
+
+int main() {
+  std::printf("# E2/E3 (Theorems 2.7, 2.8): Omega(n^3) lower-bound constructions\n");
+  pnn::RunCubic();
+  pnn::RunEqualRadius();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// E5 — Theorem 2.11: after O(mu log mu) preprocessing, an NN!=0 query on
+// V!=0 takes O(log n + t) time.
+//
+// Measures point-location query times on V!=0 against the Lemma 2.1
+// linear scan, across n, reporting the average output size t.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/core/v0/nonzero_voronoi.h"
+#include "src/uncertain/uncertain_point.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+#include "src/workload/generators.h"
+
+namespace pnn {
+namespace {
+
+void Run() {
+  std::printf("\n### V!=0 point-location queries vs linear scan\n\n");
+  Table table({"n", "faces", "avg t", "locate us/q", "scan us/q", "speedup"});
+  for (int n : {20, 40, 80, 160, 320}) {
+    Rng rng(3 + n);
+    double span = 4.0 * std::sqrt(static_cast<double>(n));
+    auto disks = RandomDisks(n, span, 0.3, 1.5, &rng);
+    UncertainSet upts;
+    for (const auto& d : disks) {
+      upts.push_back(UncertainPoint::UniformDisk(d.center, d.radius));
+    }
+    NonzeroVoronoi v0(disks);
+    const int kQueries = 2000;
+    std::vector<Point2> queries(kQueries);
+    for (auto& q : queries) {
+      q = {rng.Uniform(-span, span), rng.Uniform(-span, span)};
+    }
+    size_t total_t = 0;
+    Timer t1;
+    for (Point2 q : queries) total_t += v0.Query(q).size();
+    double locate_us = t1.Micros() / kQueries;
+    Timer t2;
+    size_t total_t2 = 0;
+    for (Point2 q : queries) total_t2 += NonzeroNNBruteForce(upts, q).size();
+    double scan_us = t2.Micros() / kQueries;
+    table.AddRow({Table::Int(n), Table::Int(v0.complexity().faces),
+                  Table::Num(static_cast<double>(total_t) / kQueries, 3),
+                  Table::Num(locate_us, 3), Table::Num(scan_us, 3),
+                  Table::Num(scan_us / locate_us, 3)});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: locate time should stay near-flat in n while the scan "
+      "grows linearly.\n");
+}
+
+}  // namespace
+}  // namespace pnn
+
+int main() {
+  std::printf("# E5 (Theorem 2.11): NN!=0 queries by point location on V!=0\n");
+  pnn::Run();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Gallery of the paper's worst-case constructions: builds each lower-bound
+// configuration, renders a coarse ASCII picture of the nonzero Voronoi
+// diagram's cell structure along a slice, and prints the complexity
+// counters next to the theorem's prediction. A compact demonstration that
+// the Theta(n^3) / Theta(n^2) bounds are real geometric phenomena, not
+// artifacts.
+//
+//   ./examples/lowerbound_gallery
+
+#include <cstdio>
+#include <vector>
+
+#include "src/core/v0/nonzero_voronoi.h"
+#include "src/workload/generators.h"
+
+namespace {
+
+using namespace pnn;
+
+// Renders the number of nonzero-NN candidates on a w x h grid window.
+void RenderCandidateCounts(const NonzeroVoronoi& v0, Box2 window, int w, int h) {
+  for (int row = h - 1; row >= 0; --row) {
+    double y = window.ymin + (window.ymax - window.ymin) * (row + 0.5) / h;
+    std::fputs("  ", stdout);
+    for (int col = 0; col < w; ++col) {
+      double x = window.xmin + (window.xmax - window.xmin) * (col + 0.5) / w;
+      size_t t = v0.Query({x, y}).size();
+      char c = t == 0 ? '?' : (t <= 9 ? static_cast<char>('0' + t) : '+');
+      std::putchar(c);
+    }
+    std::putchar('\n');
+  }
+}
+
+void Cubic() {
+  std::printf("== Theorem 2.7: Omega(n^3), mixed radii ==\n");
+  int m = 3, n = 4 * m;
+  auto disks = LowerBoundCubic(m);
+  Box2 box{-40.0 * m, -40.0 * m, 40.0 * m, 40.0 * m};
+  NonzeroVoronoi v0(disks, box);
+  std::printf("n = %d disks (two families of radius %g, one of radius 1)\n", n,
+              disks[0].radius);
+  std::printf("vertices = %zu >= 4m^3 = %d\n", v0.complexity().vertices,
+              4 * m * m * m);
+  std::printf("|NN!=0| near the y-axis (window x,y in [-14, 14]):\n");
+  RenderCandidateCounts(v0, {-14, -14, 14, 14}, 56, 28);
+  std::printf("\n");
+}
+
+void EqualRadius() {
+  std::printf("== Theorem 2.8: Omega(n^3), equal radii ==\n");
+  int m = 4;
+  auto disks = LowerBoundCubicEqualRadius(m);
+  Box2 box{-20, -20, 20, 20};
+  NonzeroVoronoi v0(disks, box);
+  std::printf("n = %d unit disks; vertices = %zu >= m^3 = %d\n", 3 * m,
+              v0.complexity().vertices, m * m * m);
+  RenderCandidateCounts(v0, {-8, -4, 10, 8}, 54, 24);
+  std::printf("\n");
+}
+
+void Quadratic() {
+  std::printf("== Theorem 2.10: Omega(n^2), disjoint unit disks ==\n");
+  int m = 5, n = 2 * m;
+  auto disks = LowerBoundQuadratic(m);
+  double extent = 4.0 * n + static_cast<double>(n) * n;
+  NonzeroVoronoi v0(disks, Box2{-extent, -extent, extent, extent});
+  auto predicted = LowerBoundQuadraticVertices(m);
+  std::printf("n = %d collinear unit disks; vertices = %zu >= %zu predicted\n", n,
+              v0.complexity().vertices, predicted.size());
+  std::printf("cell structure near the axis:\n");
+  RenderCandidateCounts(v0, {-4.0 * m - 2, -30, 4.0 * m + 2, 30}, 60, 24);
+}
+
+}  // namespace
+
+int main() {
+  Cubic();
+  EqualRadius();
+  Quadratic();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Quickstart: build an engine over a few uncertain points and run every
+// query mode.
+//
+//   ./examples/quickstart
+
+#include <cstdio>
+
+#include "src/core/pnn.h"
+
+int main() {
+  using namespace pnn;
+
+  // Three uncertain points: a GPS ping with disk uncertainty, a sensor
+  // with Gaussian noise truncated to its range, and a discrete histogram
+  // of possible locations.
+  UncertainSet points;
+  points.push_back(UncertainPoint::UniformDisk({0.0, 0.0}, 2.0));
+  points.push_back(UncertainPoint::TruncatedGaussian({6.0, 1.0}, 3.0, 1.0));
+  points.push_back(UncertainPoint::Discrete({{2.0, 5.0}, {3.0, 6.0}, {2.5, 7.0}},
+                                            {0.5, 0.3, 0.2}));
+
+  Engine engine(std::move(points));
+  Point2 q{3.0, 2.0};
+
+  // 1. Which points can possibly be the nearest neighbor? (Lemma 2.1)
+  std::printf("NN!=0(q) = { ");
+  for (int i : engine.NonzeroNN(q)) std::printf("P%d ", i);
+  std::printf("}\n");
+
+  // 2. With what probability is each the nearest? (Section 4, additive
+  //    error 0.02 here).
+  for (const auto& [index, probability] : engine.Quantify(q, 0.02)) {
+    std::printf("pi_%d(q) ~ %.3f\n", index, probability);
+  }
+
+  // 3. Derived queries.
+  std::printf("most likely NN: P%d\n", engine.MostLikelyNN(q, 0.02));
+  std::printf("points with pi > 0.25:");
+  for (const auto& e : engine.ThresholdNN(q, 0.25, 0.02)) {
+    std::printf(" P%d", e.index);
+  }
+  std::printf("\nexpected-distance NN ([AESZ12] semantics): P%d\n",
+              engine.ExpectedDistanceNN(q));
+  return 0;
+}

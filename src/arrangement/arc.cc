@@ -1,0 +1,301 @@
+#include "src/arrangement/arc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/geometry/solvers.h"
+#include "src/util/check.h"
+
+namespace pnn {
+
+Arc Arc::Segment(Point2 a, Point2 b, int curve_id) {
+  Arc arc;
+  arc.type = Type::kSegment;
+  arc.curve_id = curve_id;
+  arc.seg_a = a;
+  arc.seg_b = b;
+  arc.t0 = 0.0;
+  arc.t1 = 1.0;
+  return arc;
+}
+
+Arc Arc::Conic(const PolarBranch& branch, double psi0, double psi1, int curve_id) {
+  PNN_CHECK(psi0 < psi1);
+  Arc arc;
+  arc.type = Type::kConic;
+  arc.curve_id = curve_id;
+  arc.branch = branch;
+  arc.t0 = psi0;
+  arc.t1 = psi1;
+  return arc;
+}
+
+Point2 Arc::Eval(double t) const {
+  if (type == Type::kSegment) return Lerp(seg_a, seg_b, t);
+  return branch.PointAt(t);
+}
+
+Vec2 Arc::Tangent(double t) const {
+  if (type == Type::kSegment) return seg_b - seg_a;
+  return branch.TangentAt(t);
+}
+
+double Arc::ParamOf(Point2 p) const {
+  if (type == Type::kSegment) {
+    Vec2 d = seg_b - seg_a;
+    double len2 = SquaredNorm(d);
+    if (len2 == 0) return 0.0;
+    return Dot(p - seg_a, d) / len2;
+  }
+  return branch.PsiOf(p);
+}
+
+Box2 Arc::Bounds() const {
+  Box2 b;
+  b.Expand(Start());
+  b.Expand(End());
+  if (type == Type::kSegment) return b;
+  // Interior x/y extrema of the polar arc: sign changes of the tangent
+  // components, located by scanning (the tangent components have O(1)
+  // oscillations over a branch).
+  for (int coord = 0; coord < 2; ++coord) {
+    auto deriv = [&](double psi) {
+      Vec2 tan = branch.TangentAt(psi);
+      return coord == 0 ? tan.x : tan.y;
+    };
+    RealRoots roots;
+    ScanRoots(deriv, t0, t1, 64, &roots);
+    for (int i = 0; i < roots.count; ++i) b.Expand(branch.PointAt(roots.root[i]));
+  }
+  return b;
+}
+
+namespace {
+
+// Conic-arc hits with an axis-parallel line, in closed form via the
+// implicit conic (quadratic in the free coordinate), filtered to the
+// branch and the parameter range.
+void ConicAxisLineHits(const Arc& arc, double value, bool vertical,
+                       std::vector<double>* ts) {
+  double c[6];
+  arc.branch.ImplicitConic(c);
+  double qa, qb, qc;
+  if (vertical) {  // x = value: quadratic in y.
+    qa = c[2];
+    qb = c[1] * value + c[4];
+    qc = c[0] * value * value + c[3] * value + c[5];
+  } else {  // y = value: quadratic in x.
+    qa = c[0];
+    qb = c[1] * value + c[3];
+    qc = c[2] * value * value + c[4] * value + c[5];
+  }
+  RealRoots roots = SolveQuadratic(qa, qb, qc);
+  double tol = 1e-9 * (1.0 + std::abs(arc.t1 - arc.t0));
+  for (int i = 0; i < roots.count; ++i) {
+    Point2 p = vertical ? Point2{value, roots.root[i]} : Point2{roots.root[i], value};
+    if (!arc.branch.OnBranchSide(p)) continue;
+    double psi = arc.branch.PsiOf(p);
+    if (psi >= arc.t0 - tol && psi <= arc.t1 + tol) {
+      ts->push_back(std::clamp(psi, arc.t0, arc.t1));
+    }
+  }
+}
+
+}  // namespace
+
+void Arc::VerticalLineHits(double x, std::vector<double>* ts) const {
+  if (type == Type::kSegment) {
+    double dx = seg_b.x - seg_a.x;
+    if (dx == 0.0) return;  // Parallel (or on) the line: no transversal hit.
+    double t = (x - seg_a.x) / dx;
+    if (t >= t0 - 1e-12 && t <= t1 + 1e-12) ts->push_back(std::clamp(t, t0, t1));
+    return;
+  }
+  ConicAxisLineHits(*this, x, /*vertical=*/true, ts);
+}
+
+void Arc::HorizontalLineHits(double y, std::vector<double>* ts) const {
+  if (type == Type::kSegment) {
+    double dy = seg_b.y - seg_a.y;
+    if (dy == 0.0) return;
+    double t = (y - seg_a.y) / dy;
+    if (t >= t0 - 1e-12 && t <= t1 + 1e-12) ts->push_back(std::clamp(t, t0, t1));
+    return;
+  }
+  ConicAxisLineHits(*this, y, /*vertical=*/false, ts);
+}
+
+Arc Arc::SubArc(double a, double b) const {
+  PNN_CHECK(a < b);
+  Arc out = *this;
+  out.t0 = a;
+  out.t1 = b;
+  return out;
+}
+
+namespace {
+
+constexpr double kParamTol = 1e-9;
+
+// Newton-polishes p onto the pair of supporting curves of a and b, using
+// their exact defining equations.
+Point2 PolishOnCurves(const Arc& a, const Arc& b, Point2 p) {
+  auto eq = [](const Arc& arc, Point2 x) -> double {
+    if (arc.type == Arc::Type::kSegment) {
+      Vec2 d = arc.seg_b - arc.seg_a;
+      double len = Norm(d);
+      return Cross(d, x - arc.seg_a) / (len > 0 ? len : 1.0);
+    }
+    return Distance(x, arc.branch.f1) - Distance(x, arc.branch.f2) - 2 * arc.branch.a;
+  };
+  auto f = [&](Point2 x) -> Vec2 { return {eq(a, x), eq(b, x)}; };
+  Point2 polished = p;
+  double scale = 1.0 + Norm(p);
+  if (Newton2D(f, &polished, 1e-13 * scale)) return polished;
+  return p;
+}
+
+// True if the point (given as parameter values) lies within both arcs'
+// parameter ranges (with tolerance scaled to the range).
+bool WithinRange(const Arc& arc, double t) {
+  double tol = kParamTol * (1.0 + std::abs(arc.t1 - arc.t0));
+  return t >= arc.t0 - tol && t <= arc.t1 + tol;
+}
+
+void AddCandidate(const Arc& a, const Arc& b, Point2 p, std::vector<Point2>* out) {
+  p = PolishOnCurves(a, b, p);
+  // Branch-side filters for conics (the implicit conic has two branches).
+  if (a.type == Arc::Type::kConic && !a.branch.OnBranchSide(p)) return;
+  if (b.type == Arc::Type::kConic && !b.branch.OnBranchSide(p)) return;
+  if (!WithinRange(a, a.ParamOf(p)) || !WithinRange(b, b.ParamOf(p))) return;
+  // Dedupe against points already found.
+  for (const Point2& q : *out) {
+    if (Distance(p, q) < 1e-9 * (1.0 + Norm(p))) return;
+  }
+  out->push_back(p);
+}
+
+void SegSeg(const Arc& a, const Arc& b, std::vector<Point2>* out) {
+  Vec2 da = a.seg_b - a.seg_a;
+  Vec2 db = b.seg_b - b.seg_a;
+  double denom = Cross(da, db);
+  if (denom == 0.0) return;  // Parallel or collinear: no transversal point.
+  Vec2 w = b.seg_a - a.seg_a;
+  double t = Cross(w, db) / denom;
+  double s = Cross(w, da) / denom;
+  if (t < a.t0 - kParamTol || t > a.t1 + kParamTol) return;
+  if (s < b.t0 - kParamTol || s > b.t1 + kParamTol) return;
+  AddCandidate(a, b, Lerp(a.seg_a, a.seg_b, t), out);
+}
+
+void SegConic(const Arc& seg, const Arc& con, std::vector<Point2>* out) {
+  double c[6];
+  con.branch.ImplicitConic(c);
+  // Substitute p(t) = a + t d into the conic: quadratic in t.
+  Point2 p0 = seg.seg_a;
+  Vec2 d = seg.seg_b - seg.seg_a;
+  double A = c[0] * d.x * d.x + c[1] * d.x * d.y + c[2] * d.y * d.y;
+  double B = 2 * c[0] * p0.x * d.x + c[1] * (p0.x * d.y + p0.y * d.x) +
+             2 * c[2] * p0.y * d.y + c[3] * d.x + c[4] * d.y;
+  double C = c[0] * p0.x * p0.x + c[1] * p0.x * p0.y + c[2] * p0.y * p0.y +
+             c[3] * p0.x + c[4] * p0.y + c[5];
+  RealRoots roots = SolveQuadratic(A, B, C);
+  for (int i = 0; i < roots.count; ++i) {
+    double t = roots.root[i];
+    if (t < seg.t0 - kParamTol || t > seg.t1 + kParamTol) continue;
+    AddCandidate(seg, con, Lerp(seg.seg_a, seg.seg_b, t), out);
+  }
+}
+
+// Conic-conic via scanning one arc's polar parameter against the other's
+// implicit form. Two passes: (1) sign-change bracketing for transversal
+// crossings; (2) same-sign local minima of |f| are refined by golden
+// search — if the refined extremum crosses zero, the pair of nearby roots
+// the sampling stepped over is recovered by bisection. Every candidate is
+// Newton-polished on the exact distance equations afterwards.
+void ConicConic(const Arc& a, const Arc& b, std::vector<Point2>* out) {
+  double c[6];
+  b.branch.ImplicitConic(c);
+  double scale = std::abs(c[0]) + std::abs(c[1]) + std::abs(c[2]) + std::abs(c[3]) +
+                 std::abs(c[4]) + std::abs(c[5]);
+  if (scale == 0) return;
+  auto f = [&](double psi) {
+    Point2 p = a.branch.PointAt(psi);
+    return (c[0] * p.x * p.x + c[1] * p.x * p.y + c[2] * p.y * p.y + c[3] * p.x +
+            c[4] * p.y + c[5]) /
+           scale;
+  };
+  // Wide arcs (capped unbounded pieces span nearly the full branch) get
+  // proportionally more samples.
+  int samples = std::clamp(
+      96 + static_cast<int>(192.0 * (a.t1 - a.t0) /
+                            std::max(1e-12, 2.0 * a.branch.half_width)),
+      96, 512);
+  std::vector<double> g(samples + 1);
+  for (int i = 0; i <= samples; ++i) {
+    g[i] = f(a.t0 + (a.t1 - a.t0) * i / samples);
+  }
+  auto psi_at = [&](int i) { return a.t0 + (a.t1 - a.t0) * i / samples; };
+  // Pass 1: sign changes.
+  for (int i = 0; i < samples; ++i) {
+    if (g[i] == 0.0) {
+      AddCandidate(a, b, a.branch.PointAt(psi_at(i)), out);
+    } else if ((g[i] < 0) != (g[i + 1] < 0)) {
+      double root = Bisect(f, psi_at(i), psi_at(i + 1));
+      AddCandidate(a, b, a.branch.PointAt(root), out);
+    }
+  }
+  if (g[samples] == 0.0) AddCandidate(a, b, a.branch.PointAt(a.t1), out);
+  // Pass 2: same-sign dips hiding a root pair.
+  for (int i = 1; i < samples; ++i) {
+    if (std::abs(g[i]) >= std::abs(g[i - 1]) || std::abs(g[i]) > std::abs(g[i + 1])) {
+      continue;
+    }
+    if ((g[i - 1] < 0) != (g[i] < 0) || (g[i] < 0) != (g[i + 1] < 0)) continue;
+    double sign = g[i] < 0 ? -1.0 : 1.0;
+    // Golden-section minimization of sign * f over the bracket.
+    double lo = psi_at(i - 1), hi = psi_at(i + 1);
+    constexpr double kInvPhi = 0.6180339887498949;
+    double x1 = hi - kInvPhi * (hi - lo), x2 = lo + kInvPhi * (hi - lo);
+    double f1 = sign * f(x1), f2 = sign * f(x2);
+    for (int it = 0; it < 80; ++it) {
+      if (f1 < f2) {
+        hi = x2;
+        x2 = x1;
+        f2 = f1;
+        x1 = hi - kInvPhi * (hi - lo);
+        f1 = sign * f(x1);
+      } else {
+        lo = x1;
+        x1 = x2;
+        f1 = f2;
+        x2 = lo + kInvPhi * (hi - lo);
+        f2 = sign * f(x2);
+      }
+    }
+    double ext = 0.5 * (lo + hi);
+    if (sign * f(ext) < 0) {
+      // The dip crosses zero: two roots on either side of the extremum.
+      double r1 = Bisect(f, psi_at(i - 1), ext);
+      double r2 = Bisect(f, ext, psi_at(i + 1));
+      AddCandidate(a, b, a.branch.PointAt(r1), out);
+      AddCandidate(a, b, a.branch.PointAt(r2), out);
+    }
+  }
+}
+
+}  // namespace
+
+void IntersectArcs(const Arc& a, const Arc& b, std::vector<Point2>* out) {
+  if (a.type == Arc::Type::kSegment && b.type == Arc::Type::kSegment) {
+    SegSeg(a, b, out);
+  } else if (a.type == Arc::Type::kSegment) {
+    SegConic(a, b, out);
+  } else if (b.type == Arc::Type::kSegment) {
+    SegConic(b, a, out);
+  } else {
+    ConicConic(a, b, out);
+  }
+}
+
+}  // namespace pnn

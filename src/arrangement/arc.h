@@ -1,0 +1,69 @@
+// The curve-arc abstraction used by the planar arrangement: straight
+// segments (discrete case, bounding box) and hyperbola-branch arcs in
+// focus-polar form (continuous case). Arcs are open curves with a strictly
+// monotone parameterization; the arrangement splits them at intersection
+// points and never needs any other geometry.
+
+#ifndef PNN_ARRANGEMENT_ARC_H_
+#define PNN_ARRANGEMENT_ARC_H_
+
+#include <vector>
+
+#include "src/core/gamma/polar_hyperbola.h"
+#include "src/geometry/box2.h"
+#include "src/geometry/point2.h"
+
+namespace pnn {
+
+/// Curve id reserved for the clipping box border.
+inline constexpr int kBoxCurveId = -2;
+
+/// One parametric arc.
+struct Arc {
+  enum class Type { kSegment, kConic };
+
+  Type type = Type::kSegment;
+  int curve_id = -1;  // The input curve (gamma_i index) this arc belongs to.
+
+  // kSegment: point = Lerp(seg_a, seg_b, t).
+  Point2 seg_a, seg_b;
+
+  // kConic: point = branch.PointAt(t) (t is the polar angle psi).
+  PolarBranch branch;
+
+  double t0 = 0.0;  // Parameter range, t0 < t1.
+  double t1 = 1.0;
+
+  static Arc Segment(Point2 a, Point2 b, int curve_id);
+  static Arc Conic(const PolarBranch& branch, double psi0, double psi1, int curve_id);
+
+  Point2 Eval(double t) const;
+  /// Derivative with respect to t (never zero on the open range).
+  Vec2 Tangent(double t) const;
+  /// Parameter of a point assumed on (or very near) the arc's curve.
+  double ParamOf(Point2 p) const;
+  /// Conservative bounding box of the arc piece.
+  Box2 Bounds() const;
+  Point2 Start() const { return Eval(t0); }
+  Point2 End() const { return Eval(t1); }
+
+  /// Parameters where the arc meets the vertical line x = c, appended.
+  void VerticalLineHits(double x, std::vector<double>* ts) const;
+  /// Parameters where the arc meets the horizontal line y = c, appended.
+  void HorizontalLineHits(double y, std::vector<double>* ts) const;
+
+  /// Restriction to [a, b] (must be within [t0, t1] up to tolerance).
+  Arc SubArc(double a, double b) const;
+};
+
+/// All intersection points of two arcs lying on distinct curves, appended
+/// to *out. Points are Newton-polished onto both supporting curves;
+/// includes endpoint touches and T-junctions (the arrangement's vertex
+/// merging unifies them). Tangential (even-multiplicity) contacts may be
+/// reported once or missed if the curves do not cross; the inputs produced
+/// by the gamma machinery are transversal in general position.
+void IntersectArcs(const Arc& a, const Arc& b, std::vector<Point2>* out);
+
+}  // namespace pnn
+
+#endif  // PNN_ARRANGEMENT_ARC_H_

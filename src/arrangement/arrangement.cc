@@ -1,0 +1,508 @@
+#include "src/arrangement/arrangement.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "src/util/check.h"
+
+namespace pnn {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Dsu {
+  std::vector<int> parent;
+  explicit Dsu(int n) : parent(n) { std::iota(parent.begin(), parent.end(), 0); }
+  int Find(int x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  }
+  void Unite(int a, int b) { parent[Find(a)] = Find(b); }
+};
+
+// An arc piece kept after clipping, with authoritative endpoint coords
+// (snapped onto the box border where applicable).
+struct Piece {
+  Arc arc;
+  Point2 p_start, p_end;
+  Box2 bounds;
+};
+
+// Split record along a piece.
+struct Cut {
+  double t;
+  Point2 p;
+};
+
+}  // namespace
+
+long long HashCell(long long cx, long long cy) { return cx * 0x9E3779B97F4A7C15LL + cy; }
+
+int Arrangement::AddVertex(Point2 p) {
+  long long cx = static_cast<long long>(std::floor(p.x / snap_eps_));
+  long long cy = static_cast<long long>(std::floor(p.y / snap_eps_));
+  for (long long dx = -1; dx <= 1; ++dx) {
+    for (long long dy = -1; dy <= 1; ++dy) {
+      auto it = vertex_hash_.find(HashCell(cx + dx, cy + dy));
+      if (it == vertex_hash_.end()) continue;
+      for (int v : it->second) {
+        Point2 q = vertices_[v].p;
+        if (std::abs(q.x - p.x) <= snap_eps_ && std::abs(q.y - p.y) <= snap_eps_) {
+          return v;
+        }
+      }
+    }
+  }
+  int id = static_cast<int>(vertices_.size());
+  vertices_.push_back({p});
+  vertex_hash_[HashCell(cx, cy)].push_back(id);
+  return id;
+}
+
+Arrangement::Arrangement(const std::vector<Arc>& arcs, const Box2& clip_box) {
+  box_ = clip_box;
+  snap_eps_ = 1e-9 * std::max(1.0, box_.Diagonal());
+  const double param_tol = 1e-11;
+
+  // ---- Step 1: clip arcs to the box; collect border split points.
+  std::vector<Piece> pieces;
+  // Splits on each border: left (x=xmin, param y), right, bottom (y=ymin,
+  // param x), top.
+  std::array<std::vector<double>, 4> border_splits;
+  auto snap_to_border = [&](Point2* p) {
+    if (std::abs(p->x - box_.xmin) <= snap_eps_) p->x = box_.xmin;
+    if (std::abs(p->x - box_.xmax) <= snap_eps_) p->x = box_.xmax;
+    if (std::abs(p->y - box_.ymin) <= snap_eps_) p->y = box_.ymin;
+    if (std::abs(p->y - box_.ymax) <= snap_eps_) p->y = box_.ymax;
+    if (p->x == box_.xmin) border_splits[0].push_back(p->y);
+    if (p->x == box_.xmax) border_splits[1].push_back(p->y);
+    if (p->y == box_.ymin) border_splits[2].push_back(p->x);
+    if (p->y == box_.ymax) border_splits[3].push_back(p->x);
+  };
+
+  for (const Arc& arc : arcs) {
+    PNN_CHECK(arc.curve_id >= 0);
+    std::vector<double> ps = {arc.t0, arc.t1};
+    arc.VerticalLineHits(box_.xmin, &ps);
+    arc.VerticalLineHits(box_.xmax, &ps);
+    arc.HorizontalLineHits(box_.ymin, &ps);
+    arc.HorizontalLineHits(box_.ymax, &ps);
+    std::sort(ps.begin(), ps.end());
+    ps.erase(std::remove_if(ps.begin(), ps.end(),
+                            [&](double t) { return t < arc.t0 || t > arc.t1; }),
+             ps.end());
+    for (size_t i = 0; i + 1 < ps.size(); ++i) {
+      if (ps[i + 1] - ps[i] < param_tol) continue;
+      Point2 mid = arc.Eval(0.5 * (ps[i] + ps[i + 1]));
+      if (!box_.Contains(mid)) continue;
+      Piece piece;
+      piece.arc = arc.SubArc(ps[i], ps[i + 1]);
+      piece.p_start = arc.Eval(ps[i]);
+      piece.p_end = arc.Eval(ps[i + 1]);
+      snap_to_border(&piece.p_start);
+      snap_to_border(&piece.p_end);
+      piece.bounds = piece.arc.Bounds().Inflated(snap_eps_);
+      pieces.push_back(std::move(piece));
+    }
+  }
+
+  // ---- Step 2: box border arcs, split at the recorded points.
+  {
+    struct Border {
+      Point2 a, b;
+      bool horizontal;
+    };
+    const Border borders[4] = {
+        {{box_.xmin, box_.ymin}, {box_.xmin, box_.ymax}, false},  // Left.
+        {{box_.xmax, box_.ymin}, {box_.xmax, box_.ymax}, false},  // Right.
+        {{box_.xmin, box_.ymin}, {box_.xmax, box_.ymin}, true},   // Bottom.
+        {{box_.xmin, box_.ymax}, {box_.xmax, box_.ymax}, true},   // Top.
+    };
+    for (int s = 0; s < 4; ++s) {
+      auto& splits = border_splits[s];
+      splits.push_back(borders[s].horizontal ? borders[s].a.x : borders[s].a.y);
+      splits.push_back(borders[s].horizontal ? borders[s].b.x : borders[s].b.y);
+      std::sort(splits.begin(), splits.end());
+      splits.erase(std::unique(splits.begin(), splits.end(),
+                               [&](double a, double b) { return b - a <= snap_eps_; }),
+                   splits.end());
+      for (size_t i = 0; i + 1 < splits.size(); ++i) {
+        Point2 a = borders[s].horizontal ? Point2{splits[i], borders[s].a.y}
+                                         : Point2{borders[s].a.x, splits[i]};
+        Point2 b = borders[s].horizontal ? Point2{splits[i + 1], borders[s].a.y}
+                                         : Point2{borders[s].a.x, splits[i + 1]};
+        Piece piece;
+        piece.arc = Arc::Segment(a, b, kBoxCurveId);
+        piece.p_start = a;
+        piece.p_end = b;
+        piece.bounds = piece.arc.Bounds().Inflated(snap_eps_);
+        pieces.push_back(std::move(piece));
+      }
+    }
+  }
+
+  // ---- Step 3: pairwise intersections (grid-accelerated).
+  size_t np = pieces.size();
+  std::vector<std::vector<Cut>> cuts(np);
+  {
+    int cells = std::clamp(static_cast<int>(std::sqrt(double(np) / 2) + 1), 4, 256);
+    double cw = std::max(box_.Width(), 1e-30) / cells;
+    double ch = std::max(box_.Height(), 1e-30) / cells;
+    std::vector<std::vector<int>> grid(static_cast<size_t>(cells) * cells);
+    auto cell_range = [&](const Box2& b, int* x0, int* x1, int* y0, int* y1) {
+      *x0 = std::clamp(static_cast<int>((b.xmin - box_.xmin) / cw), 0, cells - 1);
+      *x1 = std::clamp(static_cast<int>((b.xmax - box_.xmin) / cw), 0, cells - 1);
+      *y0 = std::clamp(static_cast<int>((b.ymin - box_.ymin) / ch), 0, cells - 1);
+      *y1 = std::clamp(static_cast<int>((b.ymax - box_.ymin) / ch), 0, cells - 1);
+    };
+    for (size_t i = 0; i < np; ++i) {
+      int x0, x1, y0, y1;
+      cell_range(pieces[i].bounds, &x0, &x1, &y0, &y1);
+      for (int x = x0; x <= x1; ++x) {
+        for (int y = y0; y <= y1; ++y) {
+          grid[static_cast<size_t>(x) * cells + y].push_back(static_cast<int>(i));
+        }
+      }
+    }
+    std::vector<std::pair<int, int>> pairs;
+    for (const auto& bucket : grid) {
+      for (size_t a = 0; a < bucket.size(); ++a) {
+        for (size_t b = a + 1; b < bucket.size(); ++b) {
+          int i = std::min(bucket[a], bucket[b]);
+          int j = std::max(bucket[a], bucket[b]);
+          const Piece& pi = pieces[i];
+          const Piece& pj = pieces[j];
+          if (pi.arc.curve_id == pj.arc.curve_id) continue;
+          if (!pi.bounds.Intersects(pj.bounds)) continue;
+          pairs.push_back({i, j});
+        }
+      }
+    }
+    std::sort(pairs.begin(), pairs.end());
+    pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+    std::vector<Point2> hits;
+    for (auto [i, j] : pairs) {
+      hits.clear();
+      IntersectArcs(pieces[i].arc, pieces[j].arc, &hits);
+      for (Point2 p : hits) {
+        double ti = std::clamp(pieces[i].arc.ParamOf(p), pieces[i].arc.t0,
+                               pieces[i].arc.t1);
+        double tj = std::clamp(pieces[j].arc.ParamOf(p), pieces[j].arc.t0,
+                               pieces[j].arc.t1);
+        cuts[i].push_back({ti, p});
+        cuts[j].push_back({tj, p});
+      }
+    }
+  }
+
+  // ---- Step 4: split pieces into edges; merge endpoints into vertices.
+  for (size_t i = 0; i < np; ++i) {
+    const Piece& piece = pieces[i];
+    auto& cs = cuts[i];
+    cs.push_back({piece.arc.t0, piece.p_start});
+    cs.push_back({piece.arc.t1, piece.p_end});
+    std::sort(cs.begin(), cs.end(), [](const Cut& a, const Cut& b) { return a.t < b.t; });
+    // Merge cuts that coincide (same parameter or same point).
+    std::vector<Cut> merged;
+    for (const Cut& c : cs) {
+      if (!merged.empty() &&
+          (c.t - merged.back().t < param_tol ||
+           (std::abs(c.p.x - merged.back().p.x) <= snap_eps_ &&
+            std::abs(c.p.y - merged.back().p.y) <= snap_eps_))) {
+        continue;
+      }
+      merged.push_back(c);
+    }
+    for (size_t k = 0; k + 1 < merged.size(); ++k) {
+      int v0 = AddVertex(merged[k].p);
+      int v1 = AddVertex(merged[k + 1].p);
+      if (v0 == v1) continue;
+      Edge e;
+      e.geom = piece.arc.SubArc(merged[k].t, merged[k + 1].t);
+      e.v0 = v0;
+      e.v1 = v1;
+      e.curve_id = piece.arc.curve_id;
+      edges_.push_back(std::move(e));
+    }
+  }
+
+  // ---- Step 5: angular order of half-edges; next pointers.
+  size_t nh = 2 * edges_.size();
+  next_.assign(nh, -1);
+  std::vector<std::vector<int>> outgoing(vertices_.size());
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    outgoing[edges_[e].v0].push_back(static_cast<int>(2 * e));
+    outgoing[edges_[e].v1].push_back(static_cast<int>(2 * e + 1));
+  }
+  auto out_dir = [&](int h) -> Vec2 {
+    const Edge& e = edges_[h >> 1];
+    Vec2 t = (h & 1) ? -e.geom.Tangent(e.geom.t1) : e.geom.Tangent(e.geom.t0);
+    return t;
+  };
+  auto chord_dir = [&](int h) -> Vec2 {
+    const Edge& e = edges_[h >> 1];
+    double span = e.geom.t1 - e.geom.t0;
+    double t = (h & 1) ? e.geom.t1 - 0.05 * span : e.geom.t0 + 0.05 * span;
+    Point2 origin = vertices_[HalfEdgeOrigin(h)].p;
+    return e.geom.Eval(t) - origin;
+  };
+  std::vector<int> rank(nh, -1);
+  for (size_t v = 0; v < vertices_.size(); ++v) {
+    auto& out = outgoing[v];
+    std::vector<std::pair<double, int>> keyed;
+    keyed.reserve(out.size());
+    for (int h : out) keyed.push_back({Angle(out_dir(h)), h});
+    std::sort(keyed.begin(), keyed.end());
+    // Tie-break near-equal tangents by chord direction.
+    for (size_t a = 0; a < keyed.size();) {
+      size_t b = a + 1;
+      while (b < keyed.size() && keyed[b].first - keyed[a].first < 1e-7) ++b;
+      if (b - a > 1) {
+        std::sort(keyed.begin() + a, keyed.begin() + b,
+                  [&](const std::pair<double, int>& x, const std::pair<double, int>& y) {
+                    return Angle(chord_dir(x.second)) < Angle(chord_dir(y.second));
+                  });
+      }
+      a = b;
+    }
+    for (size_t k = 0; k < keyed.size(); ++k) {
+      out[k] = keyed[k].second;
+      rank[out[k]] = static_cast<int>(k);
+    }
+  }
+  for (size_t h = 0; h < nh; ++h) {
+    int v = HalfEdgeTarget(static_cast<int>(h));
+    const auto& out = outgoing[v];
+    int twin = static_cast<int>(h ^ 1);
+    int r = rank[twin];
+    PNN_CHECK(r >= 0);
+    next_[h] = out[(r - 1 + static_cast<int>(out.size())) % out.size()];
+  }
+
+  BuildGrid();
+  AssembleFaces();
+  ComputeSamples();
+}
+
+void Arrangement::BuildGrid() {
+  grid_nx_ = grid_ny_ =
+      std::clamp(static_cast<int>(std::sqrt(double(edges_.size())) + 1), 4, 512);
+  cell_w_ = std::max(box_.Width(), 1e-30) / grid_nx_;
+  cell_h_ = std::max(box_.Height(), 1e-30) / grid_ny_;
+  grid_.assign(static_cast<size_t>(grid_nx_) * grid_ny_, {});
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    Box2 b = edges_[e].geom.Bounds().Inflated(snap_eps_);
+    int x0 = std::clamp(static_cast<int>((b.xmin - box_.xmin) / cell_w_), 0, grid_nx_ - 1);
+    int x1 = std::clamp(static_cast<int>((b.xmax - box_.xmin) / cell_w_), 0, grid_nx_ - 1);
+    int y0 = std::clamp(static_cast<int>((b.ymin - box_.ymin) / cell_h_), 0, grid_ny_ - 1);
+    int y1 = std::clamp(static_cast<int>((b.ymax - box_.ymin) / cell_h_), 0, grid_ny_ - 1);
+    for (int x = x0; x <= x1; ++x) {
+      for (int y = y0; y <= y1; ++y) {
+        grid_[static_cast<size_t>(x) * grid_ny_ + y].push_back(static_cast<int>(e));
+      }
+    }
+  }
+}
+
+Arrangement::RayHit Arrangement::ShootUp(Point2 q, int skip_vertex) const {
+  RayHit best;
+  best.y = kInf;
+  if (q.x < box_.xmin || q.x > box_.xmax || q.y > box_.ymax) return best;
+  int col = std::clamp(static_cast<int>((q.x - box_.xmin) / cell_w_), 0, grid_nx_ - 1);
+  int row0 = std::clamp(static_cast<int>((q.y - box_.ymin) / cell_h_), 0, grid_ny_ - 1);
+  std::vector<double> ts;
+  for (int row = row0; row < grid_ny_; ++row) {
+    double cell_bottom = box_.ymin + row * cell_h_;
+    if (best.y < cell_bottom) break;  // Nothing above can beat the best hit.
+    for (int e : grid_[static_cast<size_t>(col) * grid_ny_ + row]) {
+      const Edge& edge = edges_[e];
+      if (skip_vertex >= 0 && (edge.v0 == skip_vertex || edge.v1 == skip_vertex)) {
+        continue;
+      }
+      ts.clear();
+      edge.geom.VerticalLineHits(q.x, &ts);
+      for (double t : ts) {
+        double y = edge.geom.Eval(t).y;
+        if (y <= q.y + snap_eps_ || y >= best.y) continue;
+        best.edge = e;
+        best.param = t;
+        best.y = y;
+        double span = edge.geom.t1 - edge.geom.t0;
+        Vec2 tan = edge.geom.Tangent(t);
+        best.degenerate = (t - edge.geom.t0 < 1e-7 * span) ||
+                          (edge.geom.t1 - t < 1e-7 * span) ||
+                          std::abs(tan.x) < 1e-9 * Norm(tan);
+      }
+    }
+  }
+  return best;
+}
+
+void Arrangement::AssembleFaces() {
+  // Trace next-pointer cycles.
+  size_t nh = next_.size();
+  std::vector<int> cycle_of(nh, -1);
+  std::vector<int> cycle_head;
+  for (size_t h0 = 0; h0 < nh; ++h0) {
+    if (cycle_of[h0] >= 0) continue;
+    int c = static_cast<int>(cycle_head.size());
+    cycle_head.push_back(static_cast<int>(h0));
+    int h = static_cast<int>(h0);
+    while (cycle_of[h] < 0) {
+      cycle_of[h] = c;
+      h = next_[h];
+    }
+  }
+  int nc = static_cast<int>(cycle_head.size());
+
+  // Signed area of each cycle (Green's theorem, sampled per edge).
+  std::vector<double> area(nc, 0.0);
+  for (size_t h = 0; h < nh; ++h) {
+    const Edge& e = edges_[h >> 1];
+    const int kSteps = e.geom.type == Arc::Type::kSegment ? 1 : 16;
+    double a = 0.0;
+    Point2 prev = e.geom.Eval(e.geom.t0);
+    for (int s = 1; s <= kSteps; ++s) {
+      Point2 cur = e.geom.Eval(e.geom.t0 + (e.geom.t1 - e.geom.t0) * s / kSteps);
+      a += (prev.x + cur.x) * 0.5 * (cur.y - prev.y);
+      prev = cur;
+    }
+    if (h & 1) a = -a;
+    area[cycle_of[h]] += a;
+  }
+
+  // Union-find: attach negative (hole / outer) cycles to the cycle directly
+  // above their topmost vertex.
+  Dsu dsu(nc);
+  std::vector<int> top_vertex(nc, -1);
+  for (size_t h = 0; h < nh; ++h) {
+    int c = cycle_of[h];
+    int v = HalfEdgeOrigin(static_cast<int>(h));
+    if (top_vertex[c] < 0 || vertices_[v].p.y > vertices_[top_vertex[c]].p.y) {
+      top_vertex[c] = v;
+    }
+  }
+  for (int c = 0; c < nc; ++c) {
+    if (area[c] > 0) continue;  // Positive cycles are face outer boundaries.
+    Point2 q = vertices_[top_vertex[c]].p;
+    RayHit hit;
+    bool ok = false;
+    for (int attempt = 0; attempt < 7 && !ok; ++attempt) {
+      double nudge = attempt == 0 ? 0.0
+                                  : ((attempt % 2) ? 1.0 : -1.0) *
+                                        std::pow(4.0, (attempt - 1) / 2) * 64 * snap_eps_;
+      hit = ShootUp({q.x + nudge, q.y}, top_vertex[c]);
+      ok = hit.edge < 0 || !hit.degenerate;
+    }
+    if (hit.edge < 0) continue;  // Nothing above: belongs to the outer region.
+    Vec2 tan = edges_[hit.edge].geom.Tangent(hit.param);
+    int under_half = tan.x < 0 ? 2 * hit.edge : 2 * hit.edge + 1;
+    dsu.Unite(c, cycle_of[under_half]);
+  }
+
+  // One face per component holding exactly one positive cycle; the
+  // component(s) with none form the outer face.
+  std::vector<int> face_of_comp(nc, -1);
+  faces_.clear();
+  outer_face_ = -1;
+  for (int c = 0; c < nc; ++c) {
+    if (area[c] <= 0) continue;
+    int comp = dsu.Find(c);
+    PNN_CHECK_MSG(face_of_comp[comp] < 0, "two outer boundaries in one face");
+    int f = static_cast<int>(faces_.size());
+    faces_.push_back({});
+    face_of_comp[comp] = f;
+  }
+  {
+    int f = static_cast<int>(faces_.size());
+    faces_.push_back({});
+    faces_[f].is_outer = true;
+    outer_face_ = f;
+  }
+  std::vector<char> cycle_repr(nc, 0);
+  for (size_t h = 0; h < nh; ++h) {
+    int c = cycle_of[h];
+    int comp = dsu.Find(c);
+    int f = face_of_comp[comp] >= 0 ? face_of_comp[comp] : outer_face_;
+    Edge& e = edges_[h >> 1];
+    if (h & 1) {
+      e.face_right = f;
+    } else {
+      e.face_left = f;
+    }
+    if (!cycle_repr[c]) {
+      cycle_repr[c] = 1;
+      faces_[f].halfedges.push_back(static_cast<int>(h));
+    }
+  }
+}
+
+void Arrangement::ComputeSamples() {
+  for (size_t f = 0; f < faces_.size(); ++f) {
+    if (faces_[f].is_outer) continue;
+    bool found = false;
+    for (int h : faces_[f].halfedges) {
+      if (found) break;
+      // Walk a few edges of this cycle.
+      int cur = h;
+      for (int step = 0; step < 8 && !found; ++step) {
+        const Edge& e = edges_[cur >> 1];
+        double tm = 0.5 * (e.geom.t0 + e.geom.t1);
+        Point2 m = e.geom.Eval(tm);
+        Vec2 tan = e.geom.Tangent(tm);
+        if (cur & 1) tan = -tan;
+        Vec2 nl = Normalized(Perp(tan));  // Left normal: into the face.
+        for (double eps = 1e-3 * box_.Diagonal(); eps > 1e-12 * box_.Diagonal();
+             eps *= 0.25) {
+          Point2 p = m + eps * nl;
+          if (!box_.Contains(p)) continue;
+          if (LocateFace(p) == static_cast<int>(f)) {
+            faces_[f].sample = p;
+            found = true;
+            break;
+          }
+        }
+        cur = next_[cur];
+      }
+    }
+    PNN_CHECK_MSG(found, "failed to find an interior sample point for a face");
+  }
+}
+
+int Arrangement::LocateFace(Point2 q) const {
+  if (q.x < box_.xmin || q.x > box_.xmax || q.y < box_.ymin || q.y > box_.ymax) {
+    return outer_face_;
+  }
+  for (int attempt = 0; attempt < 9; ++attempt) {
+    double nudge = attempt == 0 ? 0.0
+                                : ((attempt % 2) ? 1.0 : -1.0) *
+                                      std::pow(4.0, (attempt - 1) / 2) * 64 * snap_eps_;
+    RayHit hit = ShootUp({q.x + nudge, q.y}, -1);
+    if (hit.edge < 0) return outer_face_;
+    if (hit.degenerate) continue;
+    const Edge& e = edges_[hit.edge];
+    Vec2 tan = e.geom.Tangent(hit.param);
+    return tan.x < 0 ? e.face_left : e.face_right;
+  }
+  PNN_CHECK_MSG(false, "LocateFace: persistent degeneracy");
+  return -1;
+}
+
+bool Arrangement::EulerCheck() const {
+  // Components over vertices via edges.
+  Dsu dsu(static_cast<int>(vertices_.size()));
+  for (const Edge& e : edges_) dsu.Unite(e.v0, e.v1);
+  int comps = 0;
+  for (size_t v = 0; v < vertices_.size(); ++v) {
+    if (dsu.Find(static_cast<int>(v)) == static_cast<int>(v)) ++comps;
+  }
+  long long euler = static_cast<long long>(vertices_.size()) -
+                    static_cast<long long>(edges_.size()) +
+                    static_cast<long long>(faces_.size());
+  return euler == 1 + comps;
+}
+
+}  // namespace pnn

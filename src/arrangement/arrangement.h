@@ -1,0 +1,124 @@
+// Planar arrangement of curve arcs, clipped to a bounding box.
+//
+// Unlike a generic curved Bentley–Ottmann sweep, this builder exploits the
+// structure of the input (all pairwise intersections are directly
+// computable) and proceeds combinatorially:
+//   1. clip every arc to the box, splitting the box border at the clip
+//      points so coordinates are shared exactly;
+//   2. compute all pairwise intersections between arcs of distinct curves
+//      (grid-accelerated, Newton-polished);
+//   3. split arcs at their intersection parameters and merge endpoints
+//      into vertices by exact/snapped coordinates;
+//   4. build the DCEL: sort half-edges angularly around vertices (tangent
+//      first, chord deviation as the tie-break), trace next-pointer
+//      cycles, classify cycles by signed area, and assemble faces by
+//      union-find with vertical ray shooting for hole containment.
+//
+// The resulting structure supports point location (ray shooting on a
+// uniform grid) and exposes faces/edges/vertices for the nonzero Voronoi
+// diagram and the probabilistic Voronoi diagram built on top of it.
+
+#ifndef PNN_ARRANGEMENT_ARRANGEMENT_H_
+#define PNN_ARRANGEMENT_ARRANGEMENT_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/arrangement/arc.h"
+#include "src/geometry/box2.h"
+#include "src/geometry/point2.h"
+
+namespace pnn {
+
+/// A planar arrangement (DCEL) of curve arcs inside a clip box.
+class Arrangement {
+ public:
+  struct Vertex {
+    Point2 p;
+  };
+
+  /// An undirected edge; the two half-edges are (2e) for v0->v1 and
+  /// (2e + 1) for v1->v0.
+  struct Edge {
+    Arc geom;     // Sub-arc; geom.Eval(geom.t0) is at vertex v0.
+    int v0 = -1;
+    int v1 = -1;
+    int curve_id = -1;
+    int face_left = -1;   // Face on the left of v0->v1.
+    int face_right = -1;  // Face on the left of v1->v0.
+  };
+
+  struct Face {
+    bool is_outer = false;       // The region outside the clip box.
+    Point2 sample;               // A point strictly inside (invalid if outer).
+    std::vector<int> halfedges;  // One representative half-edge per cycle.
+  };
+
+  /// Builds the arrangement of `arcs` clipped to `clip_box`. The box
+  /// border itself becomes arcs with curve id kBoxCurveId.
+  Arrangement(const std::vector<Arc>& arcs, const Box2& clip_box);
+
+  size_t NumVertices() const { return vertices_.size(); }
+  size_t NumEdges() const { return edges_.size(); }
+  size_t NumFaces() const { return faces_.size(); }
+
+  const std::vector<Vertex>& vertices() const { return vertices_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+  const std::vector<Face>& faces() const { return faces_; }
+  const Box2& box() const { return box_; }
+  int outer_face() const { return outer_face_; }
+
+  /// Face containing q. Points outside the box return outer_face(). Points
+  /// exactly on edges/vertices are resolved by a deterministic nudge.
+  int LocateFace(Point2 q) const;
+
+  /// Half-edge navigation.
+  int HalfEdgeOrigin(int h) const {
+    return (h & 1) ? edges_[h >> 1].v1 : edges_[h >> 1].v0;
+  }
+  int HalfEdgeTarget(int h) const {
+    return (h & 1) ? edges_[h >> 1].v0 : edges_[h >> 1].v1;
+  }
+  int HalfEdgeNext(int h) const { return next_[h]; }
+  int HalfEdgeFace(int h) const {
+    return (h & 1) ? edges_[h >> 1].face_right : edges_[h >> 1].face_left;
+  }
+
+  /// Checks V - E + F == 1 + C (Euler's formula with C connected
+  /// components); used as a structural self-test.
+  bool EulerCheck() const;
+
+ private:
+  struct RayHit {
+    int edge = -1;
+    double param = 0;
+    double y = 0;
+    bool degenerate = false;  // Hit at a vertex or vertical tangency.
+  };
+
+  int AddVertex(Point2 p);
+  RayHit ShootUp(Point2 q, int skip_vertex) const;
+  void BuildGrid();
+  void AssembleFaces();
+  void ComputeSamples();
+
+  Box2 box_;
+  std::vector<Vertex> vertices_;
+  std::vector<Edge> edges_;
+  std::vector<int> next_;        // next_[h] for each half-edge.
+  std::vector<Face> faces_;
+  int outer_face_ = -1;
+
+  // Vertex snapping.
+  double snap_eps_ = 0;
+  std::unordered_map<long long, std::vector<int>> vertex_hash_;
+
+  // Edge grid for ray shooting.
+  int grid_nx_ = 0, grid_ny_ = 0;
+  double cell_w_ = 0, cell_h_ = 0;
+  std::vector<std::vector<int>> grid_;  // Edge ids per cell.
+};
+
+}  // namespace pnn
+
+#endif  // PNN_ARRANGEMENT_ARRANGEMENT_H_

@@ -1,0 +1,154 @@
+#include "src/core/gamma/gamma_curves.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "src/geometry/solvers.h"
+#include "src/util/check.h"
+
+namespace pnn {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Newton-polishes a point to satisfy both branch equations exactly:
+// d(x, f1) - d(x, f2_k) = 2 a_k for k in {1, 2}.
+Point2 PolishBreakpoint(const PolarBranch& b1, const PolarBranch& b2, Point2 seed) {
+  auto f = [&](Point2 p) -> Vec2 {
+    return {Distance(p, b1.f1) - Distance(p, b1.f2) - 2 * b1.a,
+            Distance(p, b2.f1) - Distance(p, b2.f2) - 2 * b2.a};
+  };
+  Point2 p = seed;
+  double scale = 1.0 + Norm(seed - b1.f1);
+  if (!Newton2D(f, &p, 1e-13 * scale)) return seed;  // Keep the seed if stuck.
+  return p;
+}
+
+}  // namespace
+
+std::vector<GammaCurve> BuildGammaCurves(const std::vector<Circle>& disks) {
+  int n = static_cast<int>(disks.size());
+  std::vector<GammaCurve> out(n);
+  for (int i = 0; i < n; ++i) {
+    GammaCurve& curve = out[i];
+    curve.owner = i;
+
+    // Branches gamma_ij for all separated j.
+    std::map<int, PolarBranch> branches;
+    std::vector<int> ids;
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      auto b = PolarBranch::Make(disks[i].center, disks[j].center,
+                                 (disks[i].radius + disks[j].radius) / 2.0);
+      if (b.has_value()) {
+        branches.emplace(j, *b);
+        ids.push_back(j);
+      }
+    }
+    if (ids.empty()) {
+      curve.envelope = {{0.0, kNoCurve}};
+      continue;  // gamma_i empty: P_i is everywhere a possible NN.
+    }
+
+    CircularCurveFamily family;
+    family.eval = [&](int c, double theta) {
+      const PolarBranch& b = branches.at(c);
+      double psi = theta - b.axis;
+      while (psi > M_PI) psi -= 2 * M_PI;
+      while (psi <= -M_PI) psi += 2 * M_PI;
+      if (std::abs(psi) >= b.half_width) return kInf;
+      return b.Rho(psi);
+    };
+    family.domain = [&](int c) {
+      const PolarBranch& b = branches.at(c);
+      return std::make_pair(b.axis - b.half_width, b.axis + b.half_width);
+    };
+    family.crossings = [&](int c1, int c2, std::vector<double>* angles) {
+      CrossingsSharedFocus(branches.at(c1), branches.at(c2), angles);
+    };
+
+    curve.envelope = LowerEnvelopeCircular(ids, family);
+
+    // Convert envelope arcs into GammaArcs with polished endpoints.
+    const auto& env = curve.envelope;
+    size_t m = env.size();
+    if (m == 1 && env[0].curve == kNoCurve) continue;
+    for (size_t k = 0; k < m; ++k) {
+      if (env[k].curve == kNoCurve) continue;
+      const EnvelopeArc& arc = env[k];
+      const EnvelopeArc& next = env[(k + 1) % m];
+      const EnvelopeArc& prev = env[(k + m - 1) % m];
+      const PolarBranch& b = branches.at(arc.curve);
+
+      GammaArc ga;
+      ga.owner = i;
+      ga.constraint = arc.curve;
+      ga.branch = b;
+
+      double theta_lo = arc.start;
+      double theta_hi = next.start;
+      // Envelope arcs are circular; interpret hi > lo.
+      if (m == 1) theta_hi = theta_lo + 2 * M_PI;  // Single full-circle arc.
+
+      ga.unbounded_lo = (prev.curve == kNoCurve) || m == 1;
+      ga.unbounded_hi = (next.curve == kNoCurve) || m == 1;
+
+      // Parameters relative to the branch axis.
+      auto to_psi = [&](double theta) {
+        double psi = theta - b.axis;
+        while (psi > M_PI) psi -= 2 * M_PI;
+        while (psi <= -M_PI) psi += 2 * M_PI;
+        return psi;
+      };
+      ga.psi_lo = ga.unbounded_lo ? -b.half_width : to_psi(theta_lo);
+      ga.psi_hi = ga.unbounded_hi ? b.half_width : to_psi(theta_hi);
+
+      if (!ga.unbounded_lo) {
+        const PolarBranch& pb = branches.at(prev.curve);
+        Point2 seed = b.PointAt(ga.psi_lo);
+        ga.p_lo = PolishBreakpoint(b, pb, seed);
+        ga.psi_lo = b.PsiOf(ga.p_lo);
+        ++curve.breakpoints;
+      }
+      if (!ga.unbounded_hi) {
+        const PolarBranch& nb = branches.at(next.curve);
+        Point2 seed = b.PointAt(ga.psi_hi);
+        ga.p_hi = PolishBreakpoint(b, nb, seed);
+        ga.psi_hi = b.PsiOf(ga.p_hi);
+      }
+      PNN_CHECK_MSG(ga.psi_lo < ga.psi_hi + 1e-12, "inverted gamma arc range");
+      curve.arcs.push_back(ga);
+    }
+
+    // Adjacent arcs must share endpoint coordinates exactly: copy the
+    // polished hi endpoint of each arc onto the lo endpoint of the next
+    // bounded neighbor (they were polished from the same pair of branches,
+    // but Newton may differ in the last ulp; exact sharing keeps the
+    // arrangement's vertex merging trivial).
+    auto& arcs = curve.arcs;
+    size_t na = arcs.size();
+    for (size_t k = 0; k < na; ++k) {
+      GammaArc& cur = arcs[k];
+      GammaArc& nxt = arcs[(k + 1) % na];
+      if (!cur.unbounded_hi && !nxt.unbounded_lo) {
+        nxt.p_lo = cur.p_hi;
+        nxt.psi_lo = nxt.branch.PsiOf(nxt.p_lo);
+      }
+    }
+  }
+  return out;
+}
+
+double DeltaUpperEnvelope(const std::vector<Circle>& disks, Point2 q) {
+  double best = kInf;
+  for (const auto& d : disks) best = std::min(best, Distance(q, d.center) + d.radius);
+  return best;
+}
+
+double DeltaLower(const Circle& disk, Point2 q) {
+  return std::max(0.0, Distance(q, disk.center) - disk.radius);
+}
+
+}  // namespace pnn

@@ -1,0 +1,56 @@
+// Construction of the curves gamma_i = { x : delta_i(x) = Delta(x) } for
+// disk uncertainty regions (Lemma 2.2). Each gamma_i is the circular lower
+// envelope, around c_i, of the hyperbola branches gamma_ij; the result is
+// a cyclic sequence of hyperbolic arcs with at most 2(n-1) breakpoints,
+// computed in O(n log n) time per curve.
+
+#ifndef PNN_CORE_GAMMA_GAMMA_CURVES_H_
+#define PNN_CORE_GAMMA_GAMMA_CURVES_H_
+
+#include <vector>
+
+#include "src/core/gamma/polar_hyperbola.h"
+#include "src/envelope/circular_envelope.h"
+#include "src/geometry/circle.h"
+
+namespace pnn {
+
+/// One maximal hyperbolic arc of a gamma_i curve: the piece of gamma_ij
+/// that attains the envelope.
+struct GammaArc {
+  int owner = -1;       // i: the curve gamma_i this arc belongs to.
+  int constraint = -1;  // j: the disk whose gamma_ij realizes the envelope.
+  PolarBranch branch;   // Polar form around c_i.
+  double psi_lo = 0;    // Parameter range on the branch (psi_lo < psi_hi).
+  double psi_hi = 0;
+  bool unbounded_lo = false;  // True if the arc escapes to infinity at the
+  bool unbounded_hi = false;  // corresponding end (rho -> inf).
+  Point2 p_lo;          // Endpoint coordinates (valid when bounded); shared
+  Point2 p_hi;          // exactly with the adjacent arc of the same curve.
+};
+
+/// The full curve gamma_i.
+struct GammaCurve {
+  int owner = -1;
+  std::vector<EnvelopeArc> envelope;  // Raw envelope (absolute angles).
+  std::vector<GammaArc> arcs;
+  int breakpoints = 0;  // Transitions between two distinct finite arcs.
+
+  /// True when no disk constrains P_i anywhere: gamma_i is empty and P_i
+  /// belongs to NN!=0(q) for every q in the plane.
+  bool Empty() const { return arcs.empty(); }
+};
+
+/// Builds gamma_i for all i (total O(n^2 log n)).
+std::vector<GammaCurve> BuildGammaCurves(const std::vector<Circle>& disks);
+
+/// Delta(q) = min_i (d(q, c_i) + r_i), by linear scan (test helper; the
+/// query structures use the weighted kd-tree instead).
+double DeltaUpperEnvelope(const std::vector<Circle>& disks, Point2 q);
+
+/// delta_i(q) = max(d(q, c_i) - r_i, 0).
+double DeltaLower(const Circle& disk, Point2 q);
+
+}  // namespace pnn
+
+#endif  // PNN_CORE_GAMMA_GAMMA_CURVES_H_

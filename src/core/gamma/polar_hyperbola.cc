@@ -1,0 +1,113 @@
+#include "src/core/gamma/polar_hyperbola.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace pnn {
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+std::optional<PolarBranch> PolarBranch::Make(Point2 f1, Point2 f2, double a) {
+  PNN_CHECK(a >= 0);
+  PolarBranch b;
+  b.f1 = f1;
+  b.f2 = f2;
+  b.a = a;
+  double d = Distance(f1, f2);
+  b.c = d / 2.0;
+  if (b.c <= a) return std::nullopt;  // Disks intersect: no constraint curve.
+  b.axis = Angle(f2 - f1);
+  b.half_width = std::acos(a / b.c);
+  b.k = b.c * b.c - a * a;
+  return b;
+}
+
+double PolarBranch::Rho(double psi) const {
+  double denom = c * std::cos(psi) - a;
+  if (denom <= 0) return kInf;
+  return k / denom;
+}
+
+Point2 PolarBranch::PointAt(double psi) const {
+  double rho = Rho(psi);
+  PNN_DCHECK(std::isfinite(rho));
+  return f1 + rho * UnitVector(axis + psi);
+}
+
+Vec2 PolarBranch::TangentAt(double psi) const {
+  double denom = c * std::cos(psi) - a;
+  PNN_DCHECK(denom > 0);
+  double rho = k / denom;
+  double drho = k * c * std::sin(psi) / (denom * denom);
+  Vec2 u = UnitVector(axis + psi);
+  Vec2 uperp = Perp(u);
+  return drho * u + rho * uperp;
+}
+
+double PolarBranch::PsiOf(Point2 p) const {
+  double theta = Angle(p - f1);
+  double psi = theta - axis;
+  while (psi > M_PI) psi -= 2 * M_PI;
+  while (psi <= -M_PI) psi += 2 * M_PI;
+  return psi;
+}
+
+void PolarBranch::ImplicitConic(double coef[6]) const {
+  // Center m, unit axis e = (ex, ey). X = <p - m, e>, Y = cross(e, p - m).
+  // b2 = c^2 - a^2 = k. Conic: k X^2 - a^2 Y^2 - a^2 k = 0.
+  Point2 m = Lerp(f1, f2, 0.5);
+  Vec2 e = UnitVector(axis);
+  double ex = e.x, ey = e.y;
+  double a2 = a * a;
+  // X = ex(x - mx) + ey(y - my); Y = ex(y - my) - ey(x - mx).
+  // k X^2 - a2 Y^2: expand in x, y.
+  double cxx = k * ex * ex - a2 * ey * ey;
+  double cxy = 2.0 * (k * ex * ey + a2 * ex * ey);
+  double cyy = k * ey * ey - a2 * ex * ex;
+  // Substitute u = x - mx, v = y - my then expand back.
+  // Quadratic part unchanged; linear/constant from the shift.
+  double mx = m.x, my = m.y;
+  coef[0] = cxx;
+  coef[1] = cxy;
+  coef[2] = cyy;
+  coef[3] = -2.0 * cxx * mx - cxy * my;
+  coef[4] = -2.0 * cyy * my - cxy * mx;
+  coef[5] = cxx * mx * mx + cxy * mx * my + cyy * my * my - a2 * k;
+}
+
+bool PolarBranch::OnBranchSide(Point2 p) const {
+  Point2 m = Lerp(f1, f2, 0.5);
+  return Dot(p - m, UnitVector(axis)) > 0;
+}
+
+double PolarBranch::PsiAtRho(double cap) const {
+  PNN_CHECK(cap > 0);
+  double cosv = (a + k / cap) / c;
+  if (cosv >= 1.0) return 0.0;
+  if (cosv <= -1.0) return M_PI;
+  return std::acos(cosv);
+}
+
+void CrossingsSharedFocus(const PolarBranch& b1, const PolarBranch& b2,
+                          std::vector<double>* out) {
+  PNN_DCHECK(b1.f1 == b2.f1);
+  // k1 / (c1 cos(t - phi1) - a1) = k2 / (c2 cos(t - phi2) - a2)
+  // => A cos t + B sin t = C.
+  double A = b1.k * b2.c * std::cos(b2.axis) - b2.k * b1.c * std::cos(b1.axis);
+  double B = b1.k * b2.c * std::sin(b2.axis) - b2.k * b1.c * std::sin(b1.axis);
+  double C = b1.k * b2.a - b2.k * b1.a;
+  double r = std::hypot(A, B);
+  if (r < 1e-300) return;  // Identical coefficient rows: no isolated crossing.
+  double ratio = C / r;
+  if (ratio > 1.0 || ratio < -1.0) return;
+  double base = std::atan2(B, A);
+  double off = std::acos(std::clamp(ratio, -1.0, 1.0));
+  out->push_back(base + off);
+  if (off != 0.0) out->push_back(base - off);
+}
+
+}  // namespace pnn

@@ -1,0 +1,76 @@
+// The hyperbola-branch curves gamma_ij of Section 2.1.
+//
+// For uncertainty disks D_i = (c_i, r_i), D_j = (c_j, r_j), the curve
+//   gamma_ij = { x : delta_i(x) = Delta_j(x) }
+//            = { x : d(x, c_i) - d(x, c_j) = r_i + r_j }
+// is the branch of a hyperbola with foci c_i, c_j that bends around c_j.
+// In polar coordinates centered at the *far* focus c_i, with psi measured
+// from the direction c_i -> c_j:
+//   rho(psi) = (c^2 - a^2) / (c cos psi - a),   |psi| < acos(a / c),
+// where 2a = r_i + r_j and 2c = |c_i c_j|. The curve exists iff c > a
+// (i.e. the disks are disjoint); it degenerates to the perpendicular
+// bisector when a = 0. Every ray from c_i meets the branch at most once
+// (the polar-function property Lemma 2.2 relies on).
+
+#ifndef PNN_CORE_GAMMA_POLAR_HYPERBOLA_H_
+#define PNN_CORE_GAMMA_POLAR_HYPERBOLA_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/geometry/point2.h"
+
+namespace pnn {
+
+/// One hyperbola branch in focus-polar form (see file comment).
+struct PolarBranch {
+  Point2 f1;          // Far focus (polar origin): center of D_i.
+  Point2 f2;          // Near focus: center of D_j.
+  double a = 0;       // (r_i + r_j) / 2 >= 0.
+  double c = 0;       // |f1 f2| / 2 > a.
+  double axis = 0;    // Angle of f2 - f1.
+  double half_width = 0;  // acos(a / c): domain is |psi| < half_width.
+  double k = 0;       // c^2 - a^2 > 0.
+
+  /// Builds the branch; returns nullopt when the disks are not separated
+  /// (2c <= 2a), in which case gamma_ij is empty.
+  static std::optional<PolarBranch> Make(Point2 f1, Point2 f2, double a);
+
+  /// rho(psi); +infinity outside the open domain.
+  double Rho(double psi) const;
+
+  /// Point at parameter psi (relative to the axis).
+  Point2 PointAt(double psi) const;
+
+  /// Derivative d(point)/d(psi); nonzero everywhere in the domain.
+  Vec2 TangentAt(double psi) const;
+
+  /// Parameter of a point (assumed on or near the branch): the angle of
+  /// p - f1 minus the axis, normalized to (-pi, pi].
+  double PsiOf(Point2 p) const;
+
+  /// Implicit conic b^2 X^2 - a^2 Y^2 - a^2 b^2 = 0 expanded into
+  /// coef = {A, B, C, D, E, F} for A x^2 + B xy + C y^2 + D x + E y + F.
+  /// For a == 0 the conic degenerates to the (squared) bisector line.
+  void ImplicitConic(double coef[6]) const;
+
+  /// True if p lies on the gamma_ij side of the center line (the branch
+  /// around f2, not the mirror branch).
+  bool OnBranchSide(Point2 p) const;
+
+  /// The parameter |psi| at which rho(psi) = cap (for clipping unbounded
+  /// arcs); requires cap >= rho(0).
+  double PsiAtRho(double cap) const;
+};
+
+/// All angles theta (absolute, around the shared far focus b1.f1 == b2.f1)
+/// where the two branches are at equal radius: solutions of
+/// A cos(theta) + B sin(theta) = C; up to 2, appended to *out. Solutions
+/// with negative denominators (outside both domains) are still reported
+/// and must be filtered by the caller's domain logic.
+void CrossingsSharedFocus(const PolarBranch& b1, const PolarBranch& b2,
+                          std::vector<double>* out);
+
+}  // namespace pnn
+
+#endif  // PNN_CORE_GAMMA_POLAR_HYPERBOLA_H_

@@ -1,0 +1,76 @@
+#include "src/core/nnquery/expected_nn.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "src/util/check.h"
+
+namespace pnn {
+
+ExpectedNNIndex::ExpectedNNIndex(const UncertainSet* points)
+    : points_(points), centroid_tree_([&] {
+        PNN_CHECK_MSG(points != nullptr && !points->empty(),
+                      "ExpectedNNIndex needs points");
+        std::vector<Point2> centroids(points->size());
+        for (size_t i = 0; i < points->size(); ++i) {
+          centroids[i] = (*points)[i].Centroid();
+        }
+        return centroids;
+      }()) {
+  // Upper bounds E[d(q,P)] <= d(q,c) + E[d(c,P)] are also available via the
+  // triangle inequality; precompute E[d(c_i, P_i)] once.
+  mean_spread_.resize(points_->size());
+  for (size_t i = 0; i < points_->size(); ++i) {
+    mean_spread_[i] = (*points_)[i].ExpectedDistance((*points_)[i].Centroid());
+  }
+}
+
+double ExpectedNNIndex::ExpectedDistance(Point2 q, int i) const {
+  return (*points_)[i].ExpectedDistance(q);
+}
+
+int ExpectedNNIndex::Nearest(Point2 q) const {
+  auto top = KNearest(q, 1);
+  return top.empty() ? -1 : top[0];
+}
+
+std::vector<int> ExpectedNNIndex::KNearest(Point2 q, int k) const {
+  last_evals_ = 0;
+  k = std::min<int>(k, static_cast<int>(points_->size()));
+  // Best-first over centroids: d(q, c_i) is a lower bound on E[d(q, P_i)]
+  // (Jensen). Maintain the k best exact values found; stop once the
+  // stream's lower bound exceeds the current k-th best.
+  using Entry = std::pair<double, int>;  // (exact E[d], index), max-heap.
+  std::priority_queue<Entry> best;
+  KdTree::Incremental inc(centroid_tree_, q);
+  while (inc.HasNext()) {
+    double lb;
+    int i = inc.Next(&lb);
+    if (static_cast<int>(best.size()) == k && lb >= best.top().first) break;
+    // Second lower bound (reverse triangle): E[d(q,P)] >= E[d(c,P)] - d(q,c).
+    if (static_cast<int>(best.size()) == k &&
+        mean_spread_[i] - lb >= best.top().first) {
+      continue;
+    }
+    double exact = (*points_)[i].ExpectedDistance(q);
+    ++last_evals_;
+    if (static_cast<int>(best.size()) < k) {
+      best.push({exact, i});
+    } else if (exact < best.top().first) {
+      best.pop();
+      best.push({exact, i});
+    }
+  }
+  std::vector<Entry> sorted;
+  while (!best.empty()) {
+    sorted.push_back(best.top());
+    best.pop();
+  }
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<int> out;
+  for (const auto& [dist, i] : sorted) out.push_back(i);
+  return out;
+}
+
+}  // namespace pnn

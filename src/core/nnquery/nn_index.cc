@@ -1,0 +1,111 @@
+#include "src/core/nnquery/nn_index.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/geometry/hull.h"
+#include "src/util/check.h"
+
+namespace pnn {
+
+NonzeroNNIndex::NonzeroNNIndex(const std::vector<Circle>& disks)
+    : tree_(
+          [&] {
+            std::vector<Point2> centers(disks.size());
+            for (size_t i = 0; i < disks.size(); ++i) centers[i] = disks[i].center;
+            return centers;
+          }(),
+          [&] {
+            std::vector<double> radii(disks.size());
+            for (size_t i = 0; i < disks.size(); ++i) radii[i] = disks[i].radius;
+            return radii;
+          }()) {
+  PNN_CHECK_MSG(!disks.empty(), "NonzeroNNIndex needs at least one disk");
+}
+
+double NonzeroNNIndex::Delta(Point2 q) const { return tree_.MinAdditivelyWeighted(q); }
+
+std::vector<int> NonzeroNNIndex::Query(Point2 q) const {
+  std::vector<int> out = tree_.ReportSubtractiveLess(q, Delta(q));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+LinfNonzeroNNIndex::LinfNonzeroNNIndex(std::vector<Point2> centers,
+                                       std::vector<double> half_sides)
+    : tree_(std::move(centers), std::move(half_sides), Metric::kChebyshev) {
+  PNN_CHECK_MSG(tree_.size() > 0, "LinfNonzeroNNIndex needs at least one square");
+}
+
+double LinfNonzeroNNIndex::Delta(Point2 q) const {
+  return tree_.MinAdditivelyWeighted(q);
+}
+
+std::vector<int> LinfNonzeroNNIndex::Query(Point2 q) const {
+  std::vector<int> out = tree_.ReportSubtractiveLess(q, Delta(q));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+DiscreteNonzeroNNIndex::DiscreteNonzeroNNIndex(
+    const std::vector<std::vector<Point2>>& points)
+    : hulls_([&] {
+        std::vector<std::vector<Point2>> hulls(points.size());
+        for (size_t i = 0; i < points.size(); ++i) {
+          PNN_CHECK_MSG(!points[i].empty(), "uncertain point with no locations");
+          hulls[i] = ConvexHull(points[i]);
+        }
+        return hulls;
+      }()),
+      centroid_tree_([&] {
+        std::vector<Point2> centroids(points.size());
+        for (size_t i = 0; i < points.size(); ++i) {
+          Point2 c{0, 0};
+          for (Point2 p : points[i]) c = c + p;
+          centroids[i] = c / static_cast<double>(points[i].size());
+        }
+        return centroids;
+      }()),
+      location_tree_([&] {
+        std::vector<Point2> all;
+        for (const auto& locs : points) {
+          all.insert(all.end(), locs.begin(), locs.end());
+        }
+        return all;
+      }()) {
+  for (size_t i = 0; i < points.size(); ++i) {
+    owners_.insert(owners_.end(), points[i].size(), static_cast<int>(i));
+  }
+}
+
+double DiscreteNonzeroNNIndex::Delta(Point2 q) const {
+  // Best-first over centroids: Delta_i(q) >= d(q, centroid_i), so the
+  // incremental centroid stream gives monotone lower bounds and we can
+  // stop as soon as the bound passes the best exact value found.
+  double best = std::numeric_limits<double>::infinity();
+  KdTree::Incremental inc(centroid_tree_, q);
+  while (inc.HasNext()) {
+    double lb;
+    int i = inc.Next(&lb);
+    if (lb >= best) break;
+    double exact = 0.0;
+    for (Point2 p : hulls_[i]) exact = std::max(exact, Distance(q, p));
+    best = std::min(best, exact);
+  }
+  return best;
+}
+
+std::vector<int> DiscreteNonzeroNNIndex::Query(Point2 q) const {
+  double bound = Delta(q);
+  // Report all locations strictly within `bound` and deduplicate owners.
+  std::vector<int> hits = location_tree_.ReportWithin(q, bound);
+  std::vector<int> out;
+  for (int h : hits) {
+    if (Distance(q, location_tree_.points()[h]) < bound) out.push_back(owners_[h]);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace pnn

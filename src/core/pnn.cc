@@ -1,0 +1,83 @@
+#include "src/core/pnn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace pnn {
+
+Engine::Engine(UncertainSet points, Options options)
+    : points_(std::move(points)), options_(options) {
+  PNN_CHECK_MSG(!points_.empty(), "Engine needs at least one uncertain point");
+  for (const auto& p : points_) {
+    all_discrete_ = all_discrete_ && p.is_discrete();
+    all_continuous_ = all_continuous_ && !p.is_discrete();
+  }
+  if (all_continuous_) {
+    std::vector<Circle> disks;
+    for (const auto& p : points_) disks.push_back(p.disk().support);
+    disk_index_ = std::make_unique<NonzeroNNIndex>(disks);
+  }
+  if (all_discrete_) {
+    std::vector<std::vector<Point2>> locs;
+    for (const auto& p : points_) locs.push_back(p.discrete().locations);
+    discrete_index_ = std::make_unique<DiscreteNonzeroNNIndex>(locs);
+    spiral_ = std::make_unique<SpiralSearchPNN>(points_);
+  }
+}
+
+std::vector<int> Engine::NonzeroNN(Point2 q) const {
+  if (disk_index_) return disk_index_->Query(q);
+  if (discrete_index_) return discrete_index_->Query(q);
+  return NonzeroNNBruteForce(points_, q);  // Mixed inputs: linear scan.
+}
+
+std::vector<Quantification> Engine::Quantify(Point2 q,
+                                             std::optional<double> eps_opt) const {
+  double eps = eps_opt.value_or(options_.default_eps);
+  PNN_CHECK_MSG(eps > 0 && eps < 1, "eps must be in (0,1)");
+  if (spiral_) {
+    size_t budget = spiral_->RetrievalBound(eps);
+    size_t total = 0;
+    for (const auto& p : points_) total += p.DescriptionComplexity();
+    if (static_cast<double>(budget) <=
+        options_.spiral_budget_fraction * static_cast<double>(total)) {
+      return spiral_->Query(q, eps);
+    }
+  }
+  // Monte Carlo fallback; rebuild if a tighter eps is requested.
+  if (!monte_carlo_ || mc_eps_ > eps) {
+    MonteCarloPNN::Options mco;
+    mco.eps = eps;
+    mco.delta = options_.mc_delta;
+    mco.seed = options_.seed;
+    mco.rounds_override = options_.mc_rounds_override;
+    monte_carlo_ = std::make_unique<MonteCarloPNN>(points_, mco);
+    mc_eps_ = eps;
+  }
+  return monte_carlo_->Query(q);
+}
+
+std::vector<Quantification> Engine::QuantifyExact(Point2 q) const {
+  if (all_discrete_) return QuantifyExactDiscrete(points_, q);
+  PNN_CHECK_MSG(all_continuous_,
+                "QuantifyExact supports all-discrete or all-continuous inputs");
+  return QuantifyNumericContinuous(points_, q, 1e-8);
+}
+
+std::vector<Quantification> Engine::ThresholdNN(Point2 q, double tau,
+                                                std::optional<double> eps) const {
+  return ThresholdFilter(Quantify(q, eps), tau);
+}
+
+int Engine::MostLikelyNN(Point2 q, std::optional<double> eps) const {
+  return pnn::MostLikelyNN(Quantify(q, eps));
+}
+
+int Engine::ExpectedDistanceNN(Point2 q) const {
+  if (!expected_nn_) expected_nn_ = std::make_unique<ExpectedNNIndex>(&points_);
+  return expected_nn_->Nearest(q);
+}
+
+}  // namespace pnn

@@ -1,0 +1,91 @@
+// Public facade of the pnn library.
+//
+// pnn::Engine bundles the paper's structures behind one interface:
+//   * NonzeroNN(q)            — all points with positive NN probability
+//                               (near-linear index; Theorems 3.1 / 3.2)
+//   * Quantify(q, eps)        — quantification probabilities within
+//                               additive eps (spiral search for discrete
+//                               points with modest spread, Monte Carlo
+//                               otherwise; Section 4)
+//   * QuantifyExact(q)        — exact (discrete) or quadrature (continuous)
+//   * ThresholdNN / MostLikely — derived query modes
+//   * ExpectedDistanceNN      — the [AESZ12] expected-distance semantics,
+//                               for comparison
+//
+// For the subdivision structures themselves (V!=0, V_Pr), use
+// core/v0/nonzero_voronoi.h and core/prob/vpr_diagram.h directly.
+
+#ifndef PNN_CORE_PNN_H_
+#define PNN_CORE_PNN_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/core/nnquery/expected_nn.h"
+#include "src/core/nnquery/nn_index.h"
+#include "src/core/prob/monte_carlo.h"
+#include "src/core/prob/quantify.h"
+#include "src/core/prob/spiral.h"
+#include "src/uncertain/uncertain_point.h"
+
+namespace pnn {
+
+/// One-stop query engine over a set of uncertain points.
+class Engine {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    double default_eps = 0.05;   // Quantification error when unspecified.
+    double mc_delta = 0.01;      // Monte-Carlo failure probability.
+    size_t mc_rounds_override = 0;
+    /// Spiral search is preferred while rho * k * ln(rho/eps) stays below
+    /// this fraction of N; beyond it Monte Carlo wins.
+    double spiral_budget_fraction = 0.5;
+  };
+
+  explicit Engine(UncertainSet points) : Engine(std::move(points), Options()) {}
+  Engine(UncertainSet points, Options options);
+
+  /// NN!=0(q), sorted indices (Lemma 2.1 semantics).
+  std::vector<int> NonzeroNN(Point2 q) const;
+
+  /// Estimates of all positive pi_i(q) within additive eps.
+  std::vector<Quantification> Quantify(Point2 q,
+                                       std::optional<double> eps = std::nullopt) const;
+
+  /// Exact pi_i(q): Eq. (2) sweep for discrete inputs, Eq. (1) adaptive
+  /// quadrature for continuous ones (tolerance 1e-8).
+  std::vector<Quantification> QuantifyExact(Point2 q) const;
+
+  /// Points with pi_i(q) > tau, using estimates of error eps ([DYM+05]).
+  std::vector<Quantification> ThresholdNN(Point2 q, double tau,
+                                          std::optional<double> eps = std::nullopt) const;
+
+  /// Index with the largest estimated quantification probability.
+  int MostLikelyNN(Point2 q, std::optional<double> eps = std::nullopt) const;
+
+  /// The point minimizing the expected distance to q ([AESZ12] baseline).
+  int ExpectedDistanceNN(Point2 q) const;
+
+  const UncertainSet& points() const { return points_; }
+  bool all_discrete() const { return all_discrete_; }
+  bool all_continuous() const { return all_continuous_; }
+
+ private:
+  UncertainSet points_;
+  Options options_;
+  bool all_discrete_ = true;
+  bool all_continuous_ = true;
+
+  std::unique_ptr<NonzeroNNIndex> disk_index_;
+  std::unique_ptr<DiscreteNonzeroNNIndex> discrete_index_;
+  std::unique_ptr<SpiralSearchPNN> spiral_;
+  mutable std::unique_ptr<MonteCarloPNN> monte_carlo_;    // Built lazily.
+  mutable std::unique_ptr<ExpectedNNIndex> expected_nn_;  // Built lazily.
+  mutable double mc_eps_ = 0.0;
+};
+
+}  // namespace pnn
+
+#endif  // PNN_CORE_PNN_H_

@@ -1,0 +1,48 @@
+// Quantification probabilities pi_i(q) (Section 4): exact evaluation of
+// Eq. (2) for discrete distributions, and adaptive quadrature of Eq. (1)
+// for continuous ones. These are the reference implementations the
+// approximate structures (Monte Carlo, spiral search) are validated
+// against; the discrete sweep is also the face-labeling primitive of the
+// probabilistic Voronoi diagram.
+
+#ifndef PNN_CORE_PROB_QUANTIFY_H_
+#define PNN_CORE_PROB_QUANTIFY_H_
+
+#include <vector>
+
+#include "src/geometry/point2.h"
+#include "src/uncertain/uncertain_point.h"
+
+namespace pnn {
+
+/// One reported pair (P_i, pi_i(q)).
+struct Quantification {
+  int index = -1;
+  double probability = 0.0;
+};
+
+/// Exact pi_i(q) for all i with pi_i(q) > 0, for discrete uncertain
+/// points, by the distance-sweep evaluation of Eq. (2):
+///   pi_i(q) = sum_s w_is * prod_{j != i} (1 - G_{q,j}(d(p_is, q))).
+/// Runs in O(N log N + N) per query (N = total locations). Results are
+/// sorted by index.
+std::vector<Quantification> QuantifyExactDiscrete(const UncertainSet& points, Point2 q);
+
+/// pi_i(q) for continuous uncertain points by adaptive Simpson quadrature
+/// of Eq. (1), to absolute tolerance `tol` per point. O(n^2) cdf
+/// evaluations per quadrature node. Results sorted by index; entries with
+/// probability below `tol` are dropped.
+std::vector<Quantification> QuantifyNumericContinuous(const UncertainSet& points,
+                                                      Point2 q, double tol = 1e-8);
+
+/// Entries with probability > tau (threshold queries, [DYM+05] semantics).
+std::vector<Quantification> ThresholdFilter(const std::vector<Quantification>& all,
+                                            double tau);
+
+/// The index maximizing the quantification probability (most-likely NN);
+/// -1 on empty input.
+int MostLikelyNN(const std::vector<Quantification>& all);
+
+}  // namespace pnn
+
+#endif  // PNN_CORE_PROB_QUANTIFY_H_

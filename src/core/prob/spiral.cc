@@ -1,0 +1,108 @@
+#include "src/core/prob/spiral.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace pnn {
+
+SpiralSearchPNN::SpiralSearchPNN(const UncertainSet& points)
+    : n_(points.size()), tree_([&] {
+        std::vector<Point2> all;
+        for (const auto& p : points) {
+          PNN_CHECK_MSG(p.is_discrete(), "SpiralSearchPNN needs discrete points");
+          const auto& d = p.discrete();
+          all.insert(all.end(), d.locations.begin(), d.locations.end());
+        }
+        return all;
+      }()) {
+  double wmin = 1.0, wmax = 0.0;
+  counts_.resize(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    const auto& d = points[i].discrete();
+    max_k_ = std::max(max_k_, d.locations.size());
+    counts_[i] = static_cast<int>(d.locations.size());
+    for (size_t s = 0; s < d.locations.size(); ++s) {
+      owners_.push_back(static_cast<int>(i));
+      weights_.push_back(d.weights[s]);
+      wmin = std::min(wmin, d.weights[s]);
+      wmax = std::max(wmax, d.weights[s]);
+    }
+  }
+  rho_ = wmax / wmin;
+}
+
+size_t SpiralSearchPNN::RetrievalBound(double eps) const {
+  PNN_CHECK(eps > 0 && eps < 1);
+  double m = rho_ * static_cast<double>(max_k_) * std::log(std::max(rho_, 1.0) / eps);
+  return static_cast<size_t>(std::ceil(m)) + max_k_ - 1;
+}
+
+std::vector<Quantification> SpiralSearchPNN::Query(Point2 q, double eps) const {
+  return QueryWithBudget(q, RetrievalBound(eps));
+}
+
+std::vector<Quantification> SpiralSearchPNN::QueryWithBudget(Point2 q,
+                                                             size_t m) const {
+  m = std::min(m, owners_.size());
+  // Retrieve the m nearest locations (ascending). The incremental stream
+  // yields them already sorted, which the sweep below needs anyway.
+  struct Loc {
+    double dist;
+    int owner;
+    double weight;
+  };
+  std::vector<Loc> locs;
+  locs.reserve(m);
+  KdTree::Incremental inc(tree_, q);
+  while (locs.size() < m && inc.HasNext()) {
+    double d;
+    int idx = inc.Next(&d);
+    locs.push_back({d, owners_[idx], weights_[idx]});
+  }
+
+  // Eq. (10)/(11) restricted to the retrieved prefix: the same tie-grouped
+  // sweep as the exact quantifier, but over bar-P.
+  std::vector<double> pi(n_, 0.0), cum(n_, 0.0);
+  std::vector<int> seen(n_, 0);
+  // Survival factors with zero tracking (small n per query: direct scan).
+  std::vector<double> survival(n_, 1.0);
+  size_t idx = 0;
+  std::vector<int> touched;
+  while (idx < locs.size()) {
+    size_t end = idx;
+    while (end < locs.size() && locs[end].dist == locs[idx].dist) ++end;
+    for (size_t k = idx; k < end; ++k) {
+      int o = locs[k].owner;
+      if (cum[o] == 0.0) touched.push_back(o);
+      cum[o] += locs[k].weight;
+      // Exactly 0 once all of o's locations are retrieved (no rounding
+      // residue; see quantify.cc).
+      survival[o] = (++seen[o] == counts_[o]) ? 0.0 : std::max(0.0, 1.0 - cum[o]);
+    }
+    for (size_t k = idx; k < end; ++k) {
+      int o = locs[k].owner;
+      double prod = 1.0;
+      for (int j : touched) {
+        if (j == o) continue;
+        prod *= survival[j];
+        if (prod == 0.0) break;
+      }
+      pi[o] += locs[k].weight * prod;
+    }
+    idx = end;
+  }
+
+  std::vector<Quantification> out;
+  for (int o : touched) {
+    if (pi[o] > 0) out.push_back({o, pi[o]});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Quantification& a, const Quantification& b) {
+              return a.index < b.index;
+            });
+  return out;
+}
+
+}  // namespace pnn

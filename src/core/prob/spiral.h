@@ -1,0 +1,52 @@
+// The spiral-search quantifier of Section 4.3 (Theorem 4.7): for discrete
+// distributions with location-probability spread rho, the m(rho, eps)
+// nearest locations of q suffice to estimate every pi_i(q) within additive
+// eps (Lemma 4.6: the truncated product underestimates by at most eps).
+// The m-nearest retrieval runs on the kd-tree's best-first incremental
+// stream — the paper's own suggested practical substitute (Remark (ii))
+// for the [AC09] structure.
+
+#ifndef PNN_CORE_PROB_SPIRAL_H_
+#define PNN_CORE_PROB_SPIRAL_H_
+
+#include <vector>
+
+#include "src/core/prob/quantify.h"
+#include "src/spatial/kdtree.h"
+#include "src/uncertain/uncertain_point.h"
+
+namespace pnn {
+
+/// Spiral-search PNN structure over discrete uncertain points.
+class SpiralSearchPNN {
+ public:
+  explicit SpiralSearchPNN(const UncertainSet& points);
+
+  /// Estimates pi_i(q) within additive eps: pi_hat <= pi <= pi_hat + eps
+  /// (Lemma 4.6). Only nonzero estimates are reported, sorted by index.
+  std::vector<Quantification> Query(Point2 q, double eps) const;
+
+  /// Same, with an explicit retrieval budget m (for experiments).
+  std::vector<Quantification> QueryWithBudget(Point2 q, size_t m) const;
+
+  /// Spread of the location probabilities (Eq. (9)).
+  double rho() const { return rho_; }
+
+  /// m(rho, eps) = ceil(rho k ln(rho / eps)) + k - 1 (Theorem 4.7).
+  size_t RetrievalBound(double eps) const;
+
+  size_t max_k() const { return max_k_; }
+
+ private:
+  size_t n_ = 0;
+  size_t max_k_ = 1;
+  double rho_ = 1.0;
+  KdTree tree_;               // All locations.
+  std::vector<int> owners_;   // Owner uncertain point per location.
+  std::vector<double> weights_;
+  std::vector<int> counts_;   // Location count per uncertain point.
+};
+
+}  // namespace pnn
+
+#endif  // PNN_CORE_PROB_SPIRAL_H_

@@ -1,0 +1,68 @@
+#include "src/core/prob/vpr_diagram.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace pnn {
+
+VprDiagram::VprDiagram(const UncertainSet& points, std::optional<Box2> box)
+    : points_(points) {
+  PNN_CHECK_MSG(!points_.empty(), "VprDiagram needs at least one point");
+  std::vector<Point2> all;
+  for (const auto& p : points_) {
+    PNN_CHECK_MSG(p.is_discrete(), "VprDiagram needs discrete points");
+    const auto& d = p.discrete();
+    all.insert(all.end(), d.locations.begin(), d.locations.end());
+  }
+  Box2 data;
+  for (Point2 p : all) data.Expand(p);
+  Box2 clip = box.has_value() ? *box : data.Inflated(2.0 * std::max(1.0, data.Diagonal()));
+
+  // Bisector lines of all distinct location pairs, clipped to the box.
+  // Each becomes a maximal segment spanning the (inflated) box.
+  std::vector<Arc> arcs;
+  double span = 2.0 * clip.Diagonal() + 1.0;
+  int curve = 0;
+  for (size_t u = 0; u < all.size(); ++u) {
+    for (size_t v = u + 1; v < all.size(); ++v) {
+      Vec2 d = all[v] - all[u];
+      double len = Norm(d);
+      if (len < 1e-12) continue;  // Coincident locations: no bisector.
+      Point2 mid = Lerp(all[u], all[v], 0.5);
+      Vec2 dir = Perp(d) / len;
+      arcs.push_back(
+          Arc::Segment(mid - span * dir, mid + span * dir, curve++));
+      ++num_bisectors_;
+    }
+  }
+  arrangement_ = std::make_unique<Arrangement>(arcs, clip);
+
+  // Label every interior face with the exact probability vector at its
+  // sample point; within a face the vector is constant (all distance
+  // comparisons are fixed).
+  face_probs_.resize(arrangement_->NumFaces());
+  for (size_t f = 0; f < arrangement_->NumFaces(); ++f) {
+    if (arrangement_->faces()[f].is_outer) continue;
+    face_probs_[f] = QuantifyExactDiscrete(points_, arrangement_->faces()[f].sample);
+  }
+}
+
+std::vector<Quantification> VprDiagram::Query(Point2 q) const {
+  if (!arrangement_->box().Contains(q)) return QuantifyExactDiscrete(points_, q);
+  int f = arrangement_->LocateFace(q);
+  if (f < 0 || f == arrangement_->outer_face()) {
+    return QuantifyExactDiscrete(points_, q);
+  }
+  return face_probs_[f];
+}
+
+size_t VprDiagram::NumFaces() const {
+  size_t count = 0;
+  for (const auto& f : arrangement_->faces()) {
+    if (!f.is_outer) ++count;
+  }
+  return count;
+}
+
+}  // namespace pnn

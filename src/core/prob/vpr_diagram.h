@@ -1,0 +1,48 @@
+// The exact probabilistic Voronoi diagram V_Pr(P) of Section 4.1
+// (Lemma 4.1, Theorem 4.2): the arrangement of the O(N^2) bisector lines
+// of all location pairs refines the plane into cells on which every
+// quantification probability is constant; each face stores its probability
+// vector, and queries are point location plus a table lookup.
+//
+// The structure is Theta(N^4) in the worst case — the point of building it
+// is to demonstrate exactly that (bench_vpr_exact) and to serve as ground
+// truth; keep N modest.
+
+#ifndef PNN_CORE_PROB_VPR_DIAGRAM_H_
+#define PNN_CORE_PROB_VPR_DIAGRAM_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/arrangement/arrangement.h"
+#include "src/core/prob/quantify.h"
+#include "src/uncertain/uncertain_point.h"
+
+namespace pnn {
+
+/// Exact quantification-probability diagram for discrete uncertain points,
+/// clipped to a box.
+class VprDiagram {
+ public:
+  explicit VprDiagram(const UncertainSet& points,
+                      std::optional<Box2> box = std::nullopt);
+
+  /// Exact pi vector at q (point location + lookup). Queries outside the
+  /// box fall back to the direct Eq. (2) sweep.
+  std::vector<Quantification> Query(Point2 q) const;
+
+  size_t NumFaces() const;
+  size_t NumBisectors() const { return num_bisectors_; }
+  const Arrangement& arrangement() const { return *arrangement_; }
+
+ private:
+  UncertainSet points_;
+  size_t num_bisectors_ = 0;
+  std::unique_ptr<Arrangement> arrangement_;
+  std::vector<std::vector<Quantification>> face_probs_;
+};
+
+}  // namespace pnn
+
+#endif  // PNN_CORE_PROB_VPR_DIAGRAM_H_

@@ -1,0 +1,105 @@
+#include "src/core/v0/labeled_subdivision.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/util/check.h"
+
+namespace pnn {
+
+LabeledSubdivision::LabeledSubdivision(
+    const Arrangement* arr, std::function<std::vector<int>(Point2)> ground_truth,
+    int anchor_stride)
+    : arr_(arr),
+      anchor_stride_(std::max(1, anchor_stride)),
+      ground_truth_(std::move(ground_truth)) {
+  size_t nf = arr_->NumFaces();
+  parent_.assign(nf, -1);
+  toggle_.assign(nf, -1);
+  depth_.assign(nf, -1);
+  anchor_.resize(nf);
+  has_anchor_.assign(nf, 0);
+
+  // Face adjacency through non-box edges.
+  std::vector<std::vector<std::pair<int, int>>> adj(nf);  // (other face, curve).
+  for (const auto& e : arr_->edges()) {
+    if (e.curve_id == kBoxCurveId) continue;
+    if (e.face_left < 0 || e.face_right < 0) continue;
+    if (e.face_left == e.face_right) continue;
+    adj[e.face_left].push_back({e.face_right, e.curve_id});
+    adj[e.face_right].push_back({e.face_left, e.curve_id});
+  }
+
+  int outer = arr_->outer_face();
+  for (size_t root = 0; root < nf; ++root) {
+    if (static_cast<int>(root) == outer || depth_[root] >= 0) continue;
+    depth_[root] = 0;
+    anchor_[root] = ground_truth_(arr_->faces()[root].sample);
+    has_anchor_[root] = 1;
+    std::deque<int> queue = {static_cast<int>(root)};
+    while (!queue.empty()) {
+      int f = queue.front();
+      queue.pop_front();
+      for (auto [g, curve] : adj[f]) {
+        if (g == outer || depth_[g] >= 0) continue;
+        depth_[g] = depth_[f] + 1;
+        parent_[g] = f;
+        toggle_[g] = curve;
+        if (depth_[g] % anchor_stride_ == 0) {
+          // Memoize a full label to bound retrieval depth.
+          anchor_[g] = FaceLabel(g);
+          has_anchor_[g] = 1;
+        }
+        queue.push_back(g);
+      }
+    }
+  }
+}
+
+std::vector<int> LabeledSubdivision::FaceLabel(int face) const {
+  if (face < 0 || face == arr_->outer_face()) return {};
+  // Walk up to the nearest anchor, collecting toggles.
+  std::vector<int> toggles;
+  int f = face;
+  while (!has_anchor_[f]) {
+    PNN_CHECK(parent_[f] >= 0);
+    toggles.push_back(toggle_[f]);
+    f = parent_[f];
+  }
+  std::vector<int> label = anchor_[f];
+  // Apply toggles (each flips membership).
+  for (auto it = toggles.rbegin(); it != toggles.rend(); ++it) {
+    int c = *it;
+    auto pos = std::lower_bound(label.begin(), label.end(), c);
+    if (pos != label.end() && *pos == c) {
+      label.erase(pos);
+    } else {
+      label.insert(pos, c);
+    }
+  }
+  return label;
+}
+
+std::vector<int> LabeledSubdivision::Query(Point2 q) const {
+  return FaceLabel(arr_->LocateFace(q));
+}
+
+bool LabeledSubdivision::ValidateAllLabels() const {
+  int outer = arr_->outer_face();
+  for (size_t f = 0; f < arr_->NumFaces(); ++f) {
+    if (static_cast<int>(f) == outer) continue;
+    std::vector<int> expect = ground_truth_(arr_->faces()[f].sample);
+    if (FaceLabel(static_cast<int>(f)) != expect) return false;
+  }
+  return true;
+}
+
+size_t LabeledSubdivision::LabelStorageInts() const {
+  size_t total = 3 * parent_.size();  // parent, toggle, depth.
+  for (size_t f = 0; f < anchor_.size(); ++f) {
+    if (has_anchor_[f]) total += anchor_[f].size();
+  }
+  return total;
+}
+
+}  // namespace pnn

@@ -1,0 +1,65 @@
+// Shared face-labeling layer for the nonzero Voronoi diagrams.
+//
+// Every face phi of the arrangement A(Gamma) carries the set
+// P_phi = NN!=0(q) for q in phi (Lemma 2.3). Crossing an arc of gamma_i
+// toggles membership of i, so labels are stored as a diff tree over the
+// face-adjacency BFS: each face stores its BFS parent and the toggled
+// index. This plays the role of the paper's persistent data structure
+// [DSST89] in Theorem 2.11: O(mu) storage overall, label retrieval
+// O(depth + |P_phi|), with full labels memoized on anchor faces every
+// kAnchorStride levels to bound the depth walked.
+
+#ifndef PNN_CORE_V0_LABELED_SUBDIVISION_H_
+#define PNN_CORE_V0_LABELED_SUBDIVISION_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/arrangement/arrangement.h"
+
+namespace pnn {
+
+/// Labels the faces of an arrangement whose arcs are the curves gamma_i
+/// (curve_id == i toggles membership of point i).
+class LabeledSubdivision {
+ public:
+  /// `ground_truth(q)` returns the sorted NN!=0 set at a point (brute
+  /// force); it is evaluated once per connected component of the interior
+  /// face graph to seed the BFS roots. `anchor_stride` controls the
+  /// space/retrieval-time trade-off of the diff tree: full labels are
+  /// memoized every `anchor_stride` BFS levels (see bench_ablations).
+  LabeledSubdivision(const Arrangement* arr,
+                     std::function<std::vector<int>(Point2)> ground_truth,
+                     int anchor_stride = kDefaultAnchorStride);
+
+  static constexpr int kDefaultAnchorStride = 32;
+
+  /// The label (sorted indices) of a face. The outer face returns empty.
+  std::vector<int> FaceLabel(int face) const;
+
+  /// NN!=0(q) by point location + label retrieval.
+  std::vector<int> Query(Point2 q) const;
+
+  /// Re-derives every face label from ground truth at the face sample and
+  /// compares with the stored diff tree. Test/benchmark hook.
+  bool ValidateAllLabels() const;
+
+  /// Total ints stored across diffs and anchors (storage accounting).
+  size_t LabelStorageInts() const;
+
+  const Arrangement& arrangement() const { return *arr_; }
+
+ private:
+  const Arrangement* arr_;
+  int anchor_stride_ = kDefaultAnchorStride;
+  std::function<std::vector<int>(Point2)> ground_truth_;
+  std::vector<int> parent_;        // BFS parent face (-1 for roots/outer).
+  std::vector<int> toggle_;        // Curve toggled when stepping from parent.
+  std::vector<int> depth_;
+  std::vector<std::vector<int>> anchor_;  // Full label at anchor faces.
+  std::vector<char> has_anchor_;
+};
+
+}  // namespace pnn
+
+#endif  // PNN_CORE_V0_LABELED_SUBDIVISION_H_

@@ -1,0 +1,328 @@
+#include "src/core/v0/nonzero_voronoi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/geometry/hull.h"
+#include "src/util/check.h"
+
+namespace pnn {
+namespace {
+
+Box2 AutoBox(const Box2& data) {
+  double m = std::max(1.0, data.Diagonal());
+  return data.Inflated(2.0 * m);
+}
+
+// Sorted NN!=0 set at q for disks, by the Lemma 2.1 scan.
+std::vector<int> BruteForceDisks(const std::vector<Circle>& disks, Point2 q) {
+  double min_max = std::numeric_limits<double>::infinity();
+  for (const auto& d : disks) {
+    min_max = std::min(min_max, Distance(q, d.center) + d.radius);
+  }
+  std::vector<int> out;
+  for (size_t i = 0; i < disks.size(); ++i) {
+    double lo = std::max(0.0, Distance(q, disks[i].center) - disks[i].radius);
+    if (lo < min_max) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<int> BruteForceDiscrete(const std::vector<std::vector<Point2>>& pts,
+                                    Point2 q) {
+  double min_max = std::numeric_limits<double>::infinity();
+  for (const auto& locs : pts) {
+    double mx = 0;
+    for (Point2 p : locs) mx = std::max(mx, Distance(q, p));
+    min_max = std::min(min_max, mx);
+  }
+  std::vector<int> out;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    double mn = std::numeric_limits<double>::infinity();
+    for (Point2 p : pts[i]) mn = std::min(mn, Distance(q, p));
+    if (mn < min_max) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+// Margin-tolerant label validation shared by both diagram flavors:
+// min_dist(i, q) / max_dist(i, q) are the delta_i / Delta_i callbacks.
+template <typename MinD, typename MaxD>
+bool ValidateTolerant(const Arrangement& arr, const LabeledSubdivision& labels,
+                      size_t n, MinD min_dist, MaxD max_dist) {
+  for (size_t f = 0; f < arr.NumFaces(); ++f) {
+    if (static_cast<int>(f) == arr.outer_face()) continue;
+    Point2 s = arr.faces()[f].sample;
+    double min_max = std::numeric_limits<double>::infinity();
+    for (size_t j = 0; j < n; ++j) min_max = std::min(min_max, max_dist(j, s));
+    std::vector<int> expect;
+    for (size_t i = 0; i < n; ++i) {
+      if (min_dist(i, s) < min_max) expect.push_back(static_cast<int>(i));
+    }
+    std::vector<int> got = labels.FaceLabel(static_cast<int>(f));
+    if (got == expect) continue;
+    std::vector<int> sym;
+    std::set_symmetric_difference(got.begin(), got.end(), expect.begin(), expect.end(),
+                                  std::back_inserter(sym));
+    for (int i : sym) {
+      if (std::abs(min_dist(i, s) - min_max) > 1e-7 * (1.0 + min_max)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+V0Complexity CountComplexity(const Arrangement& arr, size_t breakpoints) {
+  V0Complexity c;
+  c.breakpoints = breakpoints;
+  size_t nv = arr.NumVertices();
+  // Vertices touching a box edge are clip artifacts.
+  std::vector<char> on_box(nv, 0);
+  std::vector<std::set<int>> curves_at(nv);
+  for (const auto& e : arr.edges()) {
+    if (e.curve_id == kBoxCurveId) {
+      on_box[e.v0] = on_box[e.v1] = 1;
+    } else {
+      ++c.edges;
+      curves_at[e.v0].insert(e.curve_id);
+      curves_at[e.v1].insert(e.curve_id);
+    }
+  }
+  for (size_t v = 0; v < nv; ++v) {
+    if (on_box[v]) continue;
+    ++c.vertices;
+    if (curves_at[v].size() >= 2) ++c.crossings;
+  }
+  for (size_t f = 0; f < arr.NumFaces(); ++f) {
+    if (!arr.faces()[f].is_outer) ++c.faces;
+  }
+  return c;
+}
+
+NonzeroVoronoi::NonzeroVoronoi(const std::vector<Circle>& disks,
+                               std::optional<Box2> box)
+    : disks_(disks) {
+  PNN_CHECK_MSG(!disks_.empty(), "NonzeroVoronoi needs at least one disk");
+  Box2 data;
+  for (const auto& d : disks_) {
+    data.Expand(Point2{d.center.x - d.radius, d.center.y - d.radius});
+    data.Expand(Point2{d.center.x + d.radius, d.center.y + d.radius});
+  }
+  Box2 clip = box.has_value() ? *box : AutoBox(data);
+
+  // Coincident disks share identical gamma curves (a 1-dimensional curve
+  // overlap that violates general position). Build the diagram on unique
+  // disks; duplicates rejoin the answer at query time — a duplicate is in
+  // NN!=0 iff its representative is.
+  rep_of_.assign(disks_.size(), -1);
+  for (size_t i = 0; i < disks_.size(); ++i) {
+    for (size_t u = 0; u < unique_disks_.size(); ++u) {
+      if (unique_disks_[u].center == disks_[i].center &&
+          unique_disks_[u].radius == disks_[i].radius) {
+        rep_of_[i] = static_cast<int>(u);
+        break;
+      }
+    }
+    if (rep_of_[i] < 0) {
+      rep_of_[i] = static_cast<int>(unique_disks_.size());
+      unique_disks_.push_back(disks_[i]);
+      group_of_.push_back({});
+    }
+    group_of_[rep_of_[i]].push_back(static_cast<int>(i));
+  }
+
+  gamma_ = BuildGammaCurves(unique_disks_);
+  size_t breakpoints = 0;
+  std::vector<Arc> arcs;
+  for (const auto& curve : gamma_) {
+    breakpoints += curve.breakpoints;
+    for (const auto& ga : curve.arcs) {
+      // Cap unbounded ends outside the box so no dangling endpoints appear
+      // inside it.
+      double far1 = std::sqrt(clip.MaxSquaredDistanceTo(ga.branch.f1));
+      double cap = 2.0 * far1 + 1.0;
+      double lo = ga.unbounded_lo ? -ga.branch.PsiAtRho(cap) : ga.psi_lo;
+      double hi = ga.unbounded_hi ? ga.branch.PsiAtRho(cap) : ga.psi_hi;
+      if (lo >= hi) continue;
+      arcs.push_back(Arc::Conic(ga.branch, lo, hi, curve.owner));
+    }
+  }
+  arrangement_ = std::make_unique<Arrangement>(arcs, clip);
+  labels_ = std::make_unique<LabeledSubdivision>(
+      arrangement_.get(),
+      [this](Point2 q) { return BruteForceDisks(unique_disks_, q); });
+  complexity_ = CountComplexity(*arrangement_, breakpoints);
+}
+
+std::vector<int> NonzeroVoronoi::ExpandDuplicates(std::vector<int> label) const {
+  if (group_of_.size() == disks_.size()) return label;  // No duplicates.
+  std::vector<int> out;
+  for (int u : label) {
+    out.insert(out.end(), group_of_[u].begin(), group_of_[u].end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int> NonzeroVoronoi::Query(Point2 q) const {
+  // Points outside — or within snapping distance of — the clip border use
+  // the exact scan (the border itself belongs to no interior face).
+  const Box2& b = arrangement_->box();
+  double margin = 1e-9 * std::max(1.0, b.Diagonal());
+  if (!b.Inflated(-margin).Contains(q)) return BruteForceDisks(disks_, q);
+  return ExpandDuplicates(labels_->Query(q));
+}
+
+bool NonzeroVoronoi::Validate() const {
+  return ValidateTolerant(
+      *arrangement_, *labels_, unique_disks_.size(),
+      [&](size_t i, Point2 q) {
+        return std::max(0.0, Distance(q, unique_disks_[i].center) -
+                                 unique_disks_[i].radius);
+      },
+      [&](size_t j, Point2 q) {
+        return Distance(q, unique_disks_[j].center) + unique_disks_[j].radius;
+      });
+}
+
+NonzeroVoronoiDiscrete::NonzeroVoronoiDiscrete(
+    const std::vector<std::vector<Point2>>& points, std::optional<Box2> box)
+    : points_(points) {
+  PNN_CHECK_MSG(!points_.empty(), "needs at least one uncertain point");
+  for (const auto& locs : points_) {
+    PNN_CHECK_MSG(!locs.empty(), "uncertain point with no locations");
+  }
+  Box2 data;
+  for (const auto& locs : points_) {
+    for (Point2 p : locs) data.Expand(p);
+  }
+  Box2 clip = box.has_value() ? *box : AutoBox(data);
+  std::vector<Point2> clip_poly = {{clip.xmin, clip.ymin},
+                                   {clip.xmax, clip.ymin},
+                                   {clip.xmax, clip.ymax},
+                                   {clip.xmin, clip.ymax}};
+
+  int n = static_cast<int>(points_.size());
+  // Dominance polygons K_iu = { x : delta_i(x) >= Delta_u(x) }, clipped to
+  // the box: intersection of the halfplanes f(x, p_ij) >= f(x, p_ul) over
+  // all location pairs, where f(x, p) = |p|^2 - 2 <x, p> (Lemma 2.12).
+  std::vector<std::vector<std::vector<Point2>>> dominance(n);
+  for (int i = 0; i < n; ++i) {
+    dominance[i].resize(n);
+    for (int u = 0; u < n; ++u) {
+      if (u == i) continue;
+      std::vector<Point2> poly = clip_poly;
+      for (const Point2& pij : points_[i]) {
+        for (const Point2& pul : points_[u]) {
+          // f(x,pij) - f(x,pul) >= 0  <=>  a x + b y + c >= 0.
+          double a = -2.0 * (pij.x - pul.x);
+          double b = -2.0 * (pij.y - pul.y);
+          double c = SquaredNorm(pij) - SquaredNorm(pul);
+          poly = ClipByHalfplane(poly, a, b, c);
+          if (poly.empty()) break;
+        }
+        if (poly.empty()) break;
+      }
+      dominance[i][u] = std::move(poly);
+    }
+  }
+
+  // gamma_i arcs: edges of each K_iu on the boundary of union_u K_iu.
+  // Clip each polygon edge against the other polygons (1-d interval
+  // subtraction along the edge).
+  std::vector<Arc> arcs;
+  double edge_tol = 1e-12 * std::max(1.0, clip.Diagonal());
+  auto on_box_border = [&](Point2 a, Point2 b) {
+    auto on = [&](double va, double vb, double w) {
+      return std::abs(va - w) <= edge_tol && std::abs(vb - w) <= edge_tol;
+    };
+    return on(a.x, b.x, clip.xmin) || on(a.x, b.x, clip.xmax) ||
+           on(a.y, b.y, clip.ymin) || on(a.y, b.y, clip.ymax);
+  };
+  for (int i = 0; i < n; ++i) {
+    for (int u = 0; u < n; ++u) {
+      if (u == i || dominance[i][u].size() < 3) continue;
+      const auto& poly = dominance[i][u];
+      size_t m = poly.size();
+      for (size_t e = 0; e < m; ++e) {
+        Point2 a = poly[e], b = poly[(e + 1) % m];
+        if (Distance(a, b) <= edge_tol) continue;
+        if (on_box_border(a, b)) continue;  // Clip artifact, not gamma.
+        // Subtract the coverage by other dominance polygons K_iu'.
+        std::vector<std::pair<double, double>> covered;
+        for (int u2 = 0; u2 < n; ++u2) {
+          if (u2 == i || u2 == u || dominance[i][u2].size() < 3) continue;
+          // Interval of [a, b] inside the convex polygon K_iu2.
+          double lo = 0.0, hi = 1.0;
+          const auto& p2 = dominance[i][u2];
+          bool empty = false;
+          size_t m2 = p2.size();
+          for (size_t e2 = 0; e2 < m2 && !empty; ++e2) {
+            Point2 c0 = p2[e2], c1 = p2[(e2 + 1) % m2];
+            // Halfplane left of (c0, c1).
+            Vec2 nrm = Perp(c1 - c0);
+            double fa = Dot(nrm, a - c0);
+            double fb = Dot(nrm, b - c0);
+            if (fa < 0 && fb < 0) {
+              empty = true;
+            } else if (fa >= 0 && fb >= 0) {
+              // Fully inside this halfplane: no constraint.
+            } else {
+              double t = fa / (fa - fb);
+              if (fa < 0) {
+                lo = std::max(lo, t);
+              } else {
+                hi = std::min(hi, t);
+              }
+            }
+          }
+          if (!empty && lo < hi) covered.push_back({lo, hi});
+        }
+        // Emit uncovered sub-segments.
+        std::sort(covered.begin(), covered.end());
+        double cur = 0.0;
+        double rel_tol = 1e-9;
+        for (auto [lo, hi] : covered) {
+          if (lo > cur + rel_tol) {
+            arcs.push_back(Arc::Segment(Lerp(a, b, cur), Lerp(a, b, lo), i));
+          }
+          cur = std::max(cur, hi);
+        }
+        if (cur < 1.0 - rel_tol) {
+          arcs.push_back(Arc::Segment(Lerp(a, b, cur), Lerp(a, b, 1.0), i));
+        }
+      }
+    }
+  }
+
+  arrangement_ = std::make_unique<Arrangement>(arcs, clip);
+  labels_ = std::make_unique<LabeledSubdivision>(
+      arrangement_.get(), [this](Point2 q) { return BruteForceDiscrete(points_, q); });
+  complexity_ = CountComplexity(*arrangement_, /*breakpoints=*/0);
+}
+
+std::vector<int> NonzeroVoronoiDiscrete::Query(Point2 q) const {
+  const Box2& b = arrangement_->box();
+  double margin = 1e-9 * std::max(1.0, b.Diagonal());
+  if (!b.Inflated(-margin).Contains(q)) return BruteForceDiscrete(points_, q);
+  return labels_->Query(q);
+}
+
+bool NonzeroVoronoiDiscrete::Validate() const {
+  return ValidateTolerant(
+      *arrangement_, *labels_, points_.size(),
+      [&](size_t i, Point2 q) {
+        double mn = std::numeric_limits<double>::infinity();
+        for (Point2 p : points_[i]) mn = std::min(mn, Distance(q, p));
+        return mn;
+      },
+      [&](size_t j, Point2 q) {
+        double mx = 0;
+        for (Point2 p : points_[j]) mx = std::max(mx, Distance(q, p));
+        return mx;
+      });
+}
+
+}  // namespace pnn

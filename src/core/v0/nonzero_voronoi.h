@@ -1,0 +1,104 @@
+// The nonzero Voronoi diagram V!=0(P) for disk uncertainty regions
+// (Section 2.1, Theorems 2.5 and 2.11).
+//
+// V!=0(P) is the arrangement A(Gamma) of the curves gamma_i, each built as
+// a polar lower envelope (Lemma 2.2). The diagram is computed inside a
+// clipping box (configurable; defaults to a generous window around the
+// data); all complexity counters exclude box artifacts so they measure the
+// diagram itself. Faces carry NN!=0 labels in diff-tree storage and
+// queries are answered by point location (Theorem 2.11).
+
+#ifndef PNN_CORE_V0_NONZERO_VORONOI_H_
+#define PNN_CORE_V0_NONZERO_VORONOI_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/arrangement/arrangement.h"
+#include "src/core/gamma/gamma_curves.h"
+#include "src/core/v0/labeled_subdivision.h"
+#include "src/geometry/circle.h"
+
+namespace pnn {
+
+/// Complexity counters for a nonzero Voronoi diagram (box artifacts
+/// excluded; this is what Theorems 2.5-2.14 bound).
+struct V0Complexity {
+  size_t vertices = 0;     // Diagram vertices strictly inside the box.
+  size_t edges = 0;        // Non-box edges.
+  size_t faces = 0;        // Interior faces.
+  size_t breakpoints = 0;  // Envelope breakpoints over all gamma_i.
+  size_t crossings = 0;    // Vertices where two distinct curves meet.
+};
+
+/// Nonzero Voronoi diagram of disk-shaped uncertainty regions.
+class NonzeroVoronoi {
+ public:
+  /// Builds V!=0 for the given disks, clipped to `box` (or an automatic
+  /// window ~2 diagonals around the data when omitted).
+  explicit NonzeroVoronoi(const std::vector<Circle>& disks,
+                          std::optional<Box2> box = std::nullopt);
+
+  /// NN!=0(q) as sorted indices. Queries outside the box fall back to the
+  /// Lemma 2.1 linear scan (correct, just not sublinear).
+  std::vector<int> Query(Point2 q) const;
+
+  const V0Complexity& complexity() const { return complexity_; }
+  const Arrangement& arrangement() const { return *arrangement_; }
+  const LabeledSubdivision& labels() const { return *labels_; }
+  const std::vector<GammaCurve>& gamma() const { return gamma_; }
+  const Box2& box() const { return arrangement_->box(); }
+
+  /// Validates every face label against the Lemma 2.1 brute force.
+  /// Mismatched elements whose delta_i sits within relative 1e-7 of
+  /// Delta at the face sample are tolerated (the sample lies on a curve
+  /// up to numerical precision).
+  bool Validate() const;
+
+ private:
+  std::vector<int> ExpandDuplicates(std::vector<int> label) const;
+
+  std::vector<Circle> disks_;        // Original input.
+  std::vector<Circle> unique_disks_; // Deduplicated (coincident disks share
+                                     // identical gamma curves, which would
+                                     // violate general position).
+  std::vector<int> rep_of_;          // Input index -> unique index.
+  std::vector<std::vector<int>> group_of_;  // Unique index -> input indices.
+  std::vector<GammaCurve> gamma_;
+  std::unique_ptr<Arrangement> arrangement_;
+  std::unique_ptr<LabeledSubdivision> labels_;
+  V0Complexity complexity_;
+};
+
+/// Nonzero Voronoi diagram for discrete distributions (Theorem 2.14).
+/// gamma_i is polygonal: the boundary of the union of the convex dominance
+/// polygons K_iu = { x : delta_i(x) >= Delta_u(x) } (via the
+/// linearization of Lemma 2.12/2.13).
+class NonzeroVoronoiDiscrete {
+ public:
+  /// `points[i]` is the location multiset of uncertain point P_i.
+  explicit NonzeroVoronoiDiscrete(const std::vector<std::vector<Point2>>& points,
+                                  std::optional<Box2> box = std::nullopt);
+
+  std::vector<int> Query(Point2 q) const;
+
+  const V0Complexity& complexity() const { return complexity_; }
+  const Arrangement& arrangement() const { return *arrangement_; }
+  /// Same tolerance semantics as NonzeroVoronoi::Validate().
+  bool Validate() const;
+
+ private:
+  std::vector<std::vector<Point2>> points_;
+  std::unique_ptr<Arrangement> arrangement_;
+  std::unique_ptr<LabeledSubdivision> labels_;
+  V0Complexity complexity_;
+};
+
+/// Counts vertices/edges/faces of an arrangement excluding box artifacts
+/// and classifies vertices into breakpoints vs curve crossings.
+V0Complexity CountComplexity(const Arrangement& arr, size_t breakpoints);
+
+}  // namespace pnn
+
+#endif  // PNN_CORE_V0_NONZERO_VORONOI_H_

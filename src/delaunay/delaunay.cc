@@ -1,0 +1,272 @@
+#include "src/delaunay/delaunay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+
+#include "src/geometry/box2.h"
+#include "src/geometry/predicates.h"
+#include "src/util/check.h"
+
+namespace pnn {
+
+Delaunay::Delaunay(const std::vector<Point2>& points, uint64_t seed) {
+  num_input_ = points.size();
+  pts_ = points;
+  duplicate_of_.resize(num_input_);
+  std::iota(duplicate_of_.begin(), duplicate_of_.end(), 0);
+
+  // Map exact duplicates onto their first occurrence.
+  {
+    std::unordered_map<long long, std::vector<int>> buckets;
+    auto key = [](Point2 p) {
+      long long hx, hy;
+      static_assert(sizeof(double) == sizeof(long long));
+      std::memcpy(&hx, &p.x, 8);
+      std::memcpy(&hy, &p.y, 8);
+      return hx * 1000003LL ^ hy;
+    };
+    for (size_t i = 0; i < num_input_; ++i) {
+      auto& bucket = buckets[key(points[i])];
+      for (int j : bucket) {
+        if (points[j] == points[i]) {
+          duplicate_of_[i] = j;
+          break;
+        }
+      }
+      if (duplicate_of_[i] == static_cast<int>(i)) bucket.push_back(static_cast<int>(i));
+    }
+  }
+
+  // Helper super-triangle far outside the data. Exact predicates keep the
+  // construction consistent regardless of the magnitude.
+  Box2 box;
+  for (const auto& p : points) box.Expand(p);
+  if (box.Empty()) box = {0, 0, 1, 1};
+  double span = std::max({box.Width(), box.Height(), 1.0});
+  Point2 c = box.Center();
+  double m = 1e7 * span;
+  int s0 = static_cast<int>(pts_.size());
+  pts_.push_back({c.x - 3 * m, c.y - m});
+  pts_.push_back({c.x + 3 * m, c.y - m});
+  pts_.push_back({c.x, c.y + 3 * m});
+  PNN_CHECK(Orient2D(pts_[s0], pts_[s0 + 1], pts_[s0 + 2]) > 0);
+
+  tris_.push_back({{s0, s0 + 1, s0 + 2}, {-1, -1, -1}, true});
+  vert_tri_.assign(pts_.size(), 0);
+
+  // Randomized insertion order.
+  std::vector<int> order;
+  for (size_t i = 0; i < num_input_; ++i) {
+    if (duplicate_of_[i] == static_cast<int>(i)) order.push_back(static_cast<int>(i));
+  }
+  Rng rng(seed);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  for (int v : order) Insert(v);
+
+  BuildAdjacency();
+}
+
+int Delaunay::Locate(Point2 p, int hint) const {
+  // Remembering visibility walk with exact orientation tests.
+  int cur = hint;
+  if (cur < 0 || !tris_[cur].alive) {
+    for (size_t i = 0; i < tris_.size(); ++i) {
+      if (tris_[i].alive) {
+        cur = static_cast<int>(i);
+        break;
+      }
+    }
+  }
+  int prev = -1;
+  for (size_t guard = 0; guard < 4 * tris_.size() + 16; ++guard) {
+    const Tri& t = tris_[cur];
+    int next = -1;
+    for (int e = 0; e < 3; ++e) {
+      int nb = t.nb[e];
+      if (nb < 0 || nb == prev) continue;
+      // Edge opposite vertex e: (v[e+1], v[e+2]).
+      Point2 a = pts_[t.v[(e + 1) % 3]];
+      Point2 b = pts_[t.v[(e + 2) % 3]];
+      if (Orient2D(a, b, p) < 0) {
+        next = nb;
+        break;
+      }
+    }
+    if (next < 0) return cur;
+    prev = cur;
+    cur = next;
+  }
+  PNN_CHECK_MSG(false, "point location walk failed to terminate");
+  return cur;
+}
+
+void Delaunay::Insert(int vid) {
+  Point2 p = pts_[vid];
+  int t0 = Locate(p, last_tri_);
+
+  // Grow the cavity: all alive triangles whose circumcircle strictly
+  // contains p (BFS across edges).
+  std::vector<int> cavity;
+  std::vector<int> stack = {t0};
+  std::vector<char> in_cavity(tris_.size(), 0);
+  in_cavity[t0] = 1;
+  while (!stack.empty()) {
+    int ti = stack.back();
+    stack.pop_back();
+    cavity.push_back(ti);
+    const Tri& t = tris_[ti];
+    for (int e = 0; e < 3; ++e) {
+      int nb = t.nb[e];
+      if (nb < 0 || in_cavity[nb]) continue;
+      const Tri& u = tris_[nb];
+      if (InCircle(pts_[u.v[0]], pts_[u.v[1]], pts_[u.v[2]], p) > 0) {
+        in_cavity[nb] = 1;
+        stack.push_back(nb);
+      }
+    }
+  }
+
+  // Collect the boundary edges of the cavity, oriented CCW around it:
+  // (a, b) with the outside triangle across.
+  struct BoundaryEdge {
+    int a, b, outside;
+  };
+  std::vector<BoundaryEdge> boundary;
+  for (int ti : cavity) {
+    const Tri& t = tris_[ti];
+    for (int e = 0; e < 3; ++e) {
+      int nb = t.nb[e];
+      if (nb >= 0 && in_cavity[nb]) continue;
+      boundary.push_back({t.v[(e + 1) % 3], t.v[(e + 2) % 3], nb});
+    }
+  }
+  for (int ti : cavity) tris_[ti].alive = false;
+
+  // Retriangulate the cavity as a fan around vid.
+  std::unordered_map<long long, int> edge_to_tri;  // Directed edge (a,b) -> new tri.
+  auto ekey = [](int a, int b) { return (static_cast<long long>(a) << 32) | b; };
+  std::vector<int> new_tris;
+  for (const auto& be : boundary) {
+    Tri nt;
+    nt.v[0] = vid;
+    nt.v[1] = be.a;
+    nt.v[2] = be.b;
+    nt.nb[0] = be.outside;  // Opposite vid: the outside triangle.
+    nt.nb[1] = -1;
+    nt.nb[2] = -1;
+    int id = static_cast<int>(tris_.size());
+    tris_.push_back(nt);
+    new_tris.push_back(id);
+    // Fix the outside triangle's neighbor pointer.
+    if (be.outside >= 0) {
+      Tri& out = tris_[be.outside];
+      for (int e = 0; e < 3; ++e) {
+        int oa = out.v[(e + 1) % 3], ob = out.v[(e + 2) % 3];
+        if ((oa == be.b && ob == be.a)) out.nb[e] = id;
+      }
+    }
+    edge_to_tri[ekey(be.a, be.b)] = id;
+  }
+  // Link the fan triangles to each other. For the triangle over boundary
+  // edge (a, b): nb[1] (opposite v[1]=a) is across edge (b, vid), shared
+  // with the fan triangle whose boundary edge starts at b; nb[2] (opposite
+  // v[2]=b) is across edge (vid, a), shared with the one ending at a. The
+  // boundary edges form closed cycles, so both lookups always succeed.
+  std::unordered_map<int, int> tri_starting_at;  // a -> tri over (a, b).
+  std::unordered_map<int, int> tri_ending_at;    // b -> tri over (a, b).
+  for (int id : new_tris) {
+    tri_starting_at[tris_[id].v[1]] = id;
+    tri_ending_at[tris_[id].v[2]] = id;
+  }
+  for (int id : new_tris) {
+    Tri& t = tris_[id];
+    t.nb[1] = tri_starting_at.at(t.v[2]);
+    t.nb[2] = tri_ending_at.at(t.v[1]);
+  }
+
+  for (int id : new_tris) {
+    vert_tri_[tris_[id].v[0]] = id;
+    vert_tri_[tris_[id].v[1]] = id;
+    vert_tri_[tris_[id].v[2]] = id;
+  }
+  if (!new_tris.empty()) last_tri_ = new_tris.back();
+}
+
+void Delaunay::BuildAdjacency() {
+  adjacency_.assign(num_input_, {});
+  std::vector<std::pair<int, int>> edges;
+  for (const auto& t : tris_) {
+    if (!t.alive) continue;
+    for (int e = 0; e < 3; ++e) {
+      int a = t.v[e], b = t.v[(e + 1) % 3];
+      if (IsHelper(a) || IsHelper(b)) continue;
+      edges.push_back({std::min(a, b), std::max(a, b)});
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  for (auto [a, b] : edges) {
+    adjacency_[a].push_back(b);
+    adjacency_[b].push_back(a);
+  }
+  // Duplicates share their canonical vertex's neighborhood.
+  for (size_t i = 0; i < num_input_; ++i) {
+    if (duplicate_of_[i] != static_cast<int>(i)) {
+      adjacency_[i] = adjacency_[duplicate_of_[i]];
+    }
+  }
+}
+
+int Delaunay::Nearest(Point2 q) const {
+  PNN_CHECK_MSG(num_input_ > 0, "Nearest on empty triangulation");
+  // Start from a corner of the triangle containing q, then walk greedily.
+  int t0 = Locate(q, last_tri_);
+  last_tri_ = t0;
+  int cur = -1;
+  double best = std::numeric_limits<double>::infinity();
+  for (int e = 0; e < 3; ++e) {
+    int v = tris_[t0].v[e];
+    if (IsHelper(v)) continue;
+    double d = SquaredDistance(q, pts_[v]);
+    if (d < best) {
+      best = d;
+      cur = v;
+    }
+  }
+  if (cur < 0) {
+    // Query far outside the hull: fall back to any input vertex.
+    cur = 0;
+    best = SquaredDistance(q, pts_[0]);
+  }
+  cur = duplicate_of_[cur];
+  // Greedy descent: on a Delaunay triangulation this terminates at the
+  // exact nearest neighbor.
+  for (;;) {
+    int next = cur;
+    for (int nb : adjacency_[cur]) {
+      double d = SquaredDistance(q, pts_[nb]);
+      if (d < best) {
+        best = d;
+        next = nb;
+      }
+    }
+    if (next == cur) return cur;
+    cur = next;
+  }
+}
+
+std::vector<std::array<int, 3>> Delaunay::Triangles() const {
+  std::vector<std::array<int, 3>> out;
+  for (const auto& t : tris_) {
+    if (!t.alive) continue;
+    if (IsHelper(t.v[0]) || IsHelper(t.v[1]) || IsHelper(t.v[2])) continue;
+    out.push_back({t.v[0], t.v[1], t.v[2]});
+  }
+  return out;
+}
+
+}  // namespace pnn

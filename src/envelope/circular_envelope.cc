@@ -1,0 +1,149 @@
+#include "src/envelope/circular_envelope.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace pnn {
+namespace {
+
+constexpr double kTwoPi = 2.0 * M_PI;
+constexpr double kAngleTol = 1e-13;
+
+double Normalize(double theta) {
+  theta = std::fmod(theta, kTwoPi);
+  if (theta < 0) theta += kTwoPi;
+  return theta;
+}
+
+// Canonicalizes: sorted by start, consecutive arcs with equal curve merged,
+// and the wrap-around pair merged too.
+std::vector<EnvelopeArc> Canonicalize(std::vector<EnvelopeArc> arcs) {
+  if (arcs.empty()) return {{0.0, kNoCurve}};
+  std::sort(arcs.begin(), arcs.end(),
+            [](const EnvelopeArc& a, const EnvelopeArc& b) { return a.start < b.start; });
+  std::vector<EnvelopeArc> out;
+  for (const auto& a : arcs) {
+    if (!out.empty() && out.back().curve == a.curve) continue;
+    if (!out.empty() && a.start - out.back().start < kAngleTol) {
+      // Zero-length arc: the later one wins (overwrites).
+      out.back().curve = a.curve;
+      if (out.size() >= 2 && out[out.size() - 2].curve == a.curve) out.pop_back();
+      continue;
+    }
+    out.push_back(a);
+  }
+  // Merge across the wrap: the back arc covers through 2pi into the front
+  // arc's range, so the front arc is the redundant one.
+  while (out.size() > 1 && out.front().curve == out.back().curve) {
+    out.erase(out.begin());
+  }
+  return out;
+}
+
+// The curve of envelope `env` covering angle theta.
+int CurveAt(const std::vector<EnvelopeArc>& env, double theta) {
+  // Last arc with start <= theta; if theta precedes all starts, the last
+  // arc wraps around to cover it.
+  auto it = std::upper_bound(
+      env.begin(), env.end(), theta,
+      [](double t, const EnvelopeArc& a) { return t < a.start; });
+  if (it == env.begin()) return env.back().curve;
+  return std::prev(it)->curve;
+}
+
+// Merges two canonical envelopes.
+std::vector<EnvelopeArc> Merge(const std::vector<EnvelopeArc>& e1,
+                               const std::vector<EnvelopeArc>& e2,
+                               const CircularCurveFamily& family) {
+  // Combined breakpoints.
+  std::vector<double> brk;
+  for (const auto& a : e1) brk.push_back(a.start);
+  for (const auto& a : e2) brk.push_back(a.start);
+  std::sort(brk.begin(), brk.end());
+  brk.erase(std::unique(brk.begin(), brk.end(),
+                        [](double a, double b) { return b - a < kAngleTol; }),
+            brk.end());
+  PNN_CHECK(!brk.empty());
+
+  std::vector<EnvelopeArc> out;
+  std::vector<double> crossings;
+  for (size_t i = 0; i < brk.size(); ++i) {
+    double lo = brk[i];
+    double hi = (i + 1 < brk.size()) ? brk[i + 1] : brk[0] + kTwoPi;
+    if (hi - lo < kAngleTol) continue;
+    double probe = Normalize(lo + std::min(0.5 * (hi - lo), 1e-9));
+    int c1 = CurveAt(e1, probe);
+    int c2 = CurveAt(e2, probe);
+    if (c1 == kNoCurve && c2 == kNoCurve) {
+      out.push_back({lo, kNoCurve});
+      continue;
+    }
+    if (c1 == kNoCurve || c2 == kNoCurve) {
+      out.push_back({lo, c1 == kNoCurve ? c2 : c1});
+      continue;
+    }
+    if (c1 == c2) {
+      out.push_back({lo, c1});
+      continue;
+    }
+    // Both defined and distinct: split at their crossings inside (lo, hi).
+    crossings.clear();
+    family.crossings(c1, c2, &crossings);
+    std::vector<double> cuts;
+    for (double t : crossings) {
+      double tn = Normalize(t);
+      // Lift into [lo, lo + 2pi) to compare circularly.
+      if (tn < lo - kAngleTol) tn += kTwoPi;
+      if (tn > lo + kAngleTol && tn < hi - kAngleTol) cuts.push_back(tn);
+    }
+    cuts.push_back(hi);
+    std::sort(cuts.begin(), cuts.end());
+    double seg_lo = lo;
+    for (double cut : cuts) {
+      if (cut - seg_lo < kAngleTol) continue;
+      double mid = Normalize(0.5 * (seg_lo + cut));
+      double v1 = family.eval(c1, mid);
+      double v2 = family.eval(c2, mid);
+      out.push_back({seg_lo >= kTwoPi ? seg_lo - kTwoPi : seg_lo, v1 <= v2 ? c1 : c2});
+      seg_lo = cut;
+    }
+  }
+  return Canonicalize(std::move(out));
+}
+
+std::vector<EnvelopeArc> Recurse(const std::vector<int>& curves, size_t lo, size_t hi,
+                                 const CircularCurveFamily& family) {
+  if (hi - lo == 1) {
+    int c = curves[lo];
+    auto [start, end] = family.domain(c);
+    start = Normalize(start);
+    double width = end - family.domain(c).first;
+    PNN_CHECK_MSG(width > 0 && width <= kTwoPi + kAngleTol, "invalid curve domain");
+    std::vector<EnvelopeArc> env;
+    env.push_back({start, c});
+    if (width < kTwoPi - kAngleTol) env.push_back({Normalize(start + width), kNoCurve});
+    return Canonicalize(std::move(env));
+  }
+  size_t mid = (lo + hi) / 2;
+  auto left = Recurse(curves, lo, mid, family);
+  auto right = Recurse(curves, mid, hi, family);
+  return Merge(left, right, family);
+}
+
+}  // namespace
+
+std::vector<EnvelopeArc> LowerEnvelopeCircular(const std::vector<int>& curves,
+                                               const CircularCurveFamily& family) {
+  if (curves.empty()) return {{0.0, kNoCurve}};
+  return Recurse(curves, 0, curves.size(), family);
+}
+
+int EnvelopeCurveAt(const std::vector<EnvelopeArc>& env, double theta) {
+  PNN_CHECK(!env.empty());
+  return CurveAt(env, Normalize(theta));
+}
+
+}  // namespace pnn

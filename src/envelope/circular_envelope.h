@@ -1,0 +1,55 @@
+// Lower envelopes of partial functions over the circular domain [0, 2pi).
+//
+// This is the engine behind Lemma 2.2: each curve gamma_i is the lower
+// envelope, in polar coordinates around the disk center c_i, of the n-1
+// partial functions gamma_ij. The envelope is computed by divide & conquer
+// merging; the caller supplies evaluation, domain, and pairwise-crossing
+// oracles, so the same code serves any family of curves that pairwise
+// cross O(1) times (Davenport–Schinzel).
+
+#ifndef PNN_ENVELOPE_CIRCULAR_ENVELOPE_H_
+#define PNN_ENVELOPE_CIRCULAR_ENVELOPE_H_
+
+#include <functional>
+#include <vector>
+
+namespace pnn {
+
+/// One arc of an envelope: `curve` attains the minimum on
+/// [start, next arc's start) (circularly). curve == kNoCurve means no
+/// function is defined there (envelope is +infinity).
+struct EnvelopeArc {
+  double start = 0.0;  // Angle in [0, 2pi).
+  int curve = -1;
+};
+
+inline constexpr int kNoCurve = -1;
+
+/// Oracles describing the curve family.
+struct CircularCurveFamily {
+  /// Value of curve c at angle theta; +infinity outside its domain.
+  std::function<double(int c, double theta)> eval;
+
+  /// Domain of curve c as (start, end) with end in (start, start + 2pi];
+  /// the domain is the circular interval from start to end. Curves with
+  /// empty domains must not be passed to the envelope.
+  std::function<std::pair<double, double>(int c)> domain;
+
+  /// All angles where curves c1 and c2 take equal (finite) values,
+  /// appended to *out. May report angles outside the common domain; the
+  /// envelope filters them.
+  std::function<void(int c1, int c2, std::vector<double>* out)> crossings;
+};
+
+/// Computes the circular lower envelope of the given curves. The result is
+/// a non-empty list of arcs sorted by start angle, covering the full
+/// circle, with no two consecutive arcs sharing the same curve id.
+std::vector<EnvelopeArc> LowerEnvelopeCircular(const std::vector<int>& curves,
+                                               const CircularCurveFamily& family);
+
+/// Looks up the arc covering angle theta (binary search).
+int EnvelopeCurveAt(const std::vector<EnvelopeArc>& env, double theta);
+
+}  // namespace pnn
+
+#endif  // PNN_ENVELOPE_CIRCULAR_ENVELOPE_H_

@@ -1,0 +1,76 @@
+// Axis-aligned bounding boxes.
+
+#ifndef PNN_GEOMETRY_BOX2_H_
+#define PNN_GEOMETRY_BOX2_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/geometry/point2.h"
+
+namespace pnn {
+
+/// Axis-aligned box. Default-constructed empty (inverted bounds).
+struct Box2 {
+  double xmin = std::numeric_limits<double>::infinity();
+  double ymin = std::numeric_limits<double>::infinity();
+  double xmax = -std::numeric_limits<double>::infinity();
+  double ymax = -std::numeric_limits<double>::infinity();
+
+  bool Empty() const { return xmin > xmax || ymin > ymax; }
+  double Width() const { return xmax - xmin; }
+  double Height() const { return ymax - ymin; }
+  Point2 Center() const { return {(xmin + xmax) / 2, (ymin + ymax) / 2}; }
+  double Diagonal() const { return std::hypot(Width(), Height()); }
+
+  void Expand(Point2 p) {
+    xmin = std::min(xmin, p.x);
+    ymin = std::min(ymin, p.y);
+    xmax = std::max(xmax, p.x);
+    ymax = std::max(ymax, p.y);
+  }
+
+  void Expand(const Box2& b) {
+    xmin = std::min(xmin, b.xmin);
+    ymin = std::min(ymin, b.ymin);
+    xmax = std::max(xmax, b.xmax);
+    ymax = std::max(ymax, b.ymax);
+  }
+
+  /// Grows the box by m on every side.
+  Box2 Inflated(double m) const { return {xmin - m, ymin - m, xmax + m, ymax + m}; }
+
+  bool Contains(Point2 p) const {
+    return p.x >= xmin && p.x <= xmax && p.y >= ymin && p.y <= ymax;
+  }
+
+  bool Intersects(const Box2& b) const {
+    return xmin <= b.xmax && b.xmin <= xmax && ymin <= b.ymax && b.ymin <= ymax;
+  }
+
+  /// Smallest squared distance from p to the box (0 if inside).
+  double SquaredDistanceTo(Point2 p) const {
+    double dx = std::max({xmin - p.x, 0.0, p.x - xmax});
+    double dy = std::max({ymin - p.y, 0.0, p.y - ymax});
+    return dx * dx + dy * dy;
+  }
+
+  /// Smallest Chebyshev (L-infinity) distance from p to the box.
+  double ChebyshevDistanceTo(Point2 p) const {
+    double dx = std::max({xmin - p.x, 0.0, p.x - xmax});
+    double dy = std::max({ymin - p.y, 0.0, p.y - ymax});
+    return std::max(dx, dy);
+  }
+
+  /// Largest squared distance from p to any point of the box.
+  double MaxSquaredDistanceTo(Point2 p) const {
+    double dx = std::max(std::abs(p.x - xmin), std::abs(p.x - xmax));
+    double dy = std::max(std::abs(p.y - ymin), std::abs(p.y - ymax));
+    return dx * dx + dy * dy;
+  }
+};
+
+}  // namespace pnn
+
+#endif  // PNN_GEOMETRY_BOX2_H_

@@ -1,0 +1,55 @@
+#include "src/geometry/circle.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pnn {
+
+int IntersectCircles(const Circle& c1, const Circle& c2, Point2 out[2]) {
+  Vec2 d = c2.center - c1.center;
+  double dist2 = SquaredNorm(d);
+  double dist = std::sqrt(dist2);
+  if (dist == 0.0) return 0;  // Concentric: none or infinitely many.
+  double r1 = c1.radius, r2 = c2.radius;
+  if (dist > r1 + r2 || dist < std::abs(r1 - r2)) return 0;
+  // Distance from c1 along d to the radical line.
+  double a = (dist2 + r1 * r1 - r2 * r2) / (2.0 * dist);
+  double h2 = r1 * r1 - a * a;
+  Vec2 u = d / dist;
+  Point2 mid = c1.center + a * u;
+  if (h2 <= 0.0) {
+    out[0] = mid;
+    return 1;
+  }
+  double h = std::sqrt(h2);
+  Vec2 n = Perp(u);
+  out[0] = mid + h * n;
+  out[1] = mid - h * n;
+  return 2;
+}
+
+double CircularCapArea(double r, double d) {
+  if (d >= r) return 0.0;
+  if (d <= -r) return M_PI * r * r;
+  // Cap on the far side of a chord at signed distance d from center.
+  double theta = std::acos(std::clamp(d / r, -1.0, 1.0));
+  return r * r * theta - d * std::sqrt(std::max(0.0, r * r - d * d));
+}
+
+double DiskIntersectionArea(const Circle& c1, const Circle& c2) {
+  double r1 = c1.radius, r2 = c2.radius;
+  double d = Distance(c1.center, c2.center);
+  if (d >= r1 + r2) return 0.0;
+  double rmin = std::min(r1, r2);
+  if (d <= std::abs(r1 - r2)) return M_PI * rmin * rmin;
+  // Signed distances from each center to the radical line.
+  double d1 = (d * d + r1 * r1 - r2 * r2) / (2.0 * d);
+  double d2 = d - d1;
+  return CircularCapArea(r1, d1) + CircularCapArea(r2, d2);
+}
+
+bool DiskContains(const Circle& c, Point2 p) {
+  return SquaredDistance(c.center, p) <= c.radius * c.radius;
+}
+
+}  // namespace pnn

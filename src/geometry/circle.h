@@ -1,0 +1,34 @@
+// Circles and disks: intersection points, lens (overlap) areas, and the
+// circular-cap area. The lens area is the basis of the closed-form distance
+// cdf G_{q,i} for uniform-disk uncertain points (Section 1.1 of the paper).
+
+#ifndef PNN_GEOMETRY_CIRCLE_H_
+#define PNN_GEOMETRY_CIRCLE_H_
+
+#include "src/geometry/point2.h"
+
+namespace pnn {
+
+/// A circle (or the closed disk it bounds, by context).
+struct Circle {
+  Point2 center;
+  double radius = 0.0;
+};
+
+/// Intersection points of two circles. Returns the number of intersection
+/// points (0, 1, or 2); fills out[0..count-1]. Coincident circles return 0.
+int IntersectCircles(const Circle& c1, const Circle& c2, Point2 out[2]);
+
+/// Area of a circular segment ("cap") of a circle with radius r cut by a
+/// chord at distance d from the center (0 <= d <= r): the smaller piece.
+double CircularCapArea(double r, double d);
+
+/// Area of the intersection of two closed disks.
+double DiskIntersectionArea(const Circle& c1, const Circle& c2);
+
+/// True if p lies in the closed disk c.
+bool DiskContains(const Circle& c, Point2 p);
+
+}  // namespace pnn
+
+#endif  // PNN_GEOMETRY_CIRCLE_H_

@@ -1,0 +1,168 @@
+// Exact floating-point expansion arithmetic (Shewchuk 1997).
+//
+// An expansion represents a real number exactly as a sum of doubles with
+// non-overlapping significands, ordered by increasing magnitude. Sums,
+// differences and products of doubles are error-free; expansions compose
+// those primitives to evaluate polynomial predicates with no rounding at
+// all. Used as the exact fallback of the filtered orient2d / incircle
+// predicates; sizes stay tiny so a small inline vector suffices.
+
+#ifndef PNN_GEOMETRY_EXPANSION_H_
+#define PNN_GEOMETRY_EXPANSION_H_
+
+#include <cmath>
+#include <vector>
+
+namespace pnn {
+
+namespace exact {
+
+/// Error-free sum: a + b == x + y exactly, x = fl(a + b).
+inline void TwoSum(double a, double b, double* x, double* y) {
+  *x = a + b;
+  double bv = *x - a;
+  double av = *x - bv;
+  *y = (a - av) + (b - bv);
+}
+
+/// Error-free difference: a - b == x + y exactly.
+inline void TwoDiff(double a, double b, double* x, double* y) {
+  *x = a - b;
+  double bv = a - *x;
+  double av = *x + bv;
+  *y = (a - av) + (bv - b);
+}
+
+/// Splits a into high and low halves with non-overlapping significands.
+inline void Split(double a, double* hi, double* lo) {
+  constexpr double kSplitter = 134217729.0;  // 2^27 + 1
+  double c = kSplitter * a;
+  *hi = c - (c - a);
+  *lo = a - *hi;
+}
+
+/// Error-free product: a * b == x + y exactly.
+inline void TwoProduct(double a, double b, double* x, double* y) {
+  *x = a * b;
+  double ahi, alo, bhi, blo;
+  Split(a, &ahi, &alo);
+  Split(b, &bhi, &blo);
+  *y = alo * blo - (((*x - ahi * bhi) - alo * bhi) - ahi * blo);
+}
+
+}  // namespace exact
+
+/// An exact multi-component floating-point number.
+class Expansion {
+ public:
+  Expansion() = default;
+
+  /// The expansion holding exactly the double v.
+  explicit Expansion(double v) {
+    if (v != 0.0) comp_.push_back(v);
+  }
+
+  /// Exact value of a - b.
+  static Expansion Diff(double a, double b) {
+    double x, y;
+    exact::TwoDiff(a, b, &x, &y);
+    Expansion e;
+    if (y != 0.0) e.comp_.push_back(y);
+    if (x != 0.0) e.comp_.push_back(x);
+    return e;
+  }
+
+  /// Exact value of a * b.
+  static Expansion Product(double a, double b) {
+    double x, y;
+    exact::TwoProduct(a, b, &x, &y);
+    Expansion e;
+    if (y != 0.0) e.comp_.push_back(y);
+    if (x != 0.0) e.comp_.push_back(x);
+    return e;
+  }
+
+  bool IsZero() const { return comp_.empty(); }
+
+  /// Sign of the exact value: -1, 0, or +1. The largest-magnitude component
+  /// (last) determines the sign of a non-overlapping expansion.
+  int Sign() const {
+    if (comp_.empty()) return 0;
+    return comp_.back() > 0 ? 1 : -1;
+  }
+
+  /// Closest double approximation (sum of components, smallest first).
+  double Estimate() const {
+    double s = 0.0;
+    for (double c : comp_) s += c;
+    return s;
+  }
+
+  /// Exact sum of two expansions.
+  Expansion operator+(const Expansion& o) const {
+    Expansion r = *this;
+    for (double c : o.comp_) r.GrowBy(c);
+    return r;
+  }
+
+  Expansion operator-(const Expansion& o) const { return *this + o.Negated(); }
+
+  Expansion Negated() const {
+    Expansion r = *this;
+    for (double& c : r.comp_) c = -c;
+    return r;
+  }
+
+  /// Exact product with a single double.
+  Expansion ScaledBy(double b) const {
+    // scale_expansion_zeroelim (Shewchuk, Fig. 13).
+    Expansion r;
+    if (comp_.empty() || b == 0.0) return r;
+    double q, hh;
+    exact::TwoProduct(comp_[0], b, &q, &hh);
+    if (hh != 0.0) r.comp_.push_back(hh);
+    for (size_t i = 1; i < comp_.size(); ++i) {
+      double p1, p0;
+      exact::TwoProduct(comp_[i], b, &p1, &p0);
+      double sum, err;
+      exact::TwoSum(q, p0, &sum, &err);
+      if (err != 0.0) r.comp_.push_back(err);
+      exact::TwoSum(p1, sum, &q, &err);
+      if (err != 0.0) r.comp_.push_back(err);
+    }
+    if (q != 0.0) r.comp_.push_back(q);
+    return r;
+  }
+
+  /// Exact product of two expansions (distributes ScaledBy over components).
+  Expansion operator*(const Expansion& o) const {
+    Expansion r;
+    for (double c : o.comp_) r = r + ScaledBy(c);
+    return r;
+  }
+
+  size_t size() const { return comp_.size(); }
+
+ private:
+  /// grow_expansion_zeroelim: adds a single double exactly.
+  void GrowBy(double b) {
+    std::vector<double> h;
+    h.reserve(comp_.size() + 1);
+    double q = b;
+    for (double c : comp_) {
+      double sum, err;
+      exact::TwoSum(q, c, &sum, &err);
+      if (err != 0.0) h.push_back(err);
+      q = sum;
+    }
+    if (q != 0.0) h.push_back(q);
+    comp_ = std::move(h);
+  }
+
+  // Components with non-overlapping significands, increasing magnitude.
+  std::vector<double> comp_;
+};
+
+}  // namespace pnn
+
+#endif  // PNN_GEOMETRY_EXPANSION_H_

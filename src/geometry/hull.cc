@@ -1,0 +1,71 @@
+#include "src/geometry/hull.h"
+
+#include <algorithm>
+
+#include "src/geometry/predicates.h"
+
+namespace pnn {
+
+std::vector<Point2> ConvexHull(std::vector<Point2> pts) {
+  std::sort(pts.begin(), pts.end(), [](Point2 a, Point2 b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  size_t n = pts.size();
+  if (n <= 2) return pts;
+  std::vector<Point2> hull(2 * n);
+  size_t k = 0;
+  // Lower hull.
+  for (size_t i = 0; i < n; ++i) {
+    while (k >= 2 && Orient2D(hull[k - 2], hull[k - 1], pts[i]) <= 0) --k;
+    hull[k++] = pts[i];
+  }
+  // Upper hull.
+  for (size_t i = n - 1, t = k + 1; i-- > 0;) {
+    while (k >= t && Orient2D(hull[k - 2], hull[k - 1], pts[i]) <= 0) --k;
+    hull[k++] = pts[i];
+  }
+  hull.resize(k - 1);
+  return hull;
+}
+
+double PolygonSignedArea(const std::vector<Point2>& poly) {
+  double area = 0.0;
+  size_t n = poly.size();
+  for (size_t i = 0; i < n; ++i) {
+    Point2 a = poly[i], b = poly[(i + 1) % n];
+    area += Cross(a, b);
+  }
+  return area / 2.0;
+}
+
+bool ConvexPolygonContains(const std::vector<Point2>& poly, Point2 p) {
+  size_t n = poly.size();
+  if (n == 0) return false;
+  if (n == 1) return poly[0] == p;
+  for (size_t i = 0; i < n; ++i) {
+    if (Orient2D(poly[i], poly[(i + 1) % n], p) < 0) return false;
+  }
+  return true;
+}
+
+std::vector<Point2> ClipByHalfplane(const std::vector<Point2>& poly, double a,
+                                    double b, double c) {
+  std::vector<Point2> out;
+  size_t n = poly.size();
+  if (n == 0) return out;
+  auto side = [&](Point2 p) { return a * p.x + b * p.y + c; };
+  for (size_t i = 0; i < n; ++i) {
+    Point2 cur = poly[i];
+    Point2 nxt = poly[(i + 1) % n];
+    double sc = side(cur), sn = side(nxt);
+    if (sc >= 0) out.push_back(cur);
+    if ((sc > 0 && sn < 0) || (sc < 0 && sn > 0)) {
+      double t = sc / (sc - sn);
+      out.push_back(Lerp(cur, nxt, t));
+    }
+  }
+  return out;
+}
+
+}  // namespace pnn

@@ -1,0 +1,31 @@
+// Convex hulls and convex polygon helpers.
+
+#ifndef PNN_GEOMETRY_HULL_H_
+#define PNN_GEOMETRY_HULL_H_
+
+#include <vector>
+
+#include "src/geometry/point2.h"
+
+namespace pnn {
+
+/// Convex hull of a point set (Andrew's monotone chain, exact orientation
+/// predicate). Returns vertices in counterclockwise order without
+/// repetition; collinear points on hull edges are dropped. Degenerate
+/// inputs (all collinear / single point) return the extreme points.
+std::vector<Point2> ConvexHull(std::vector<Point2> points);
+
+/// Signed area of a simple polygon (positive if counterclockwise).
+double PolygonSignedArea(const std::vector<Point2>& poly);
+
+/// True if p is inside or on the boundary of the convex CCW polygon.
+bool ConvexPolygonContains(const std::vector<Point2>& poly, Point2 p);
+
+/// Clips a convex CCW polygon by the halfplane a*x + b*y + c >= 0
+/// (Sutherland–Hodgman step). Returns the clipped polygon (possibly empty).
+std::vector<Point2> ClipByHalfplane(const std::vector<Point2>& poly, double a,
+                                    double b, double c);
+
+}  // namespace pnn
+
+#endif  // PNN_GEOMETRY_HULL_H_

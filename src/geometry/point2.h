@@ -1,0 +1,60 @@
+// Basic planar points and vectors.
+
+#ifndef PNN_GEOMETRY_POINT2_H_
+#define PNN_GEOMETRY_POINT2_H_
+
+#include <cmath>
+
+namespace pnn {
+
+/// A point (or vector) in the plane. Plain aggregate; all operations are
+/// free functions or operators so the type stays a trivially copyable value.
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+using Vec2 = Point2;
+
+inline Point2 operator+(Point2 a, Point2 b) { return {a.x + b.x, a.y + b.y}; }
+inline Point2 operator-(Point2 a, Point2 b) { return {a.x - b.x, a.y - b.y}; }
+inline Point2 operator*(double s, Point2 a) { return {s * a.x, s * a.y}; }
+inline Point2 operator*(Point2 a, double s) { return {s * a.x, s * a.y}; }
+inline Point2 operator/(Point2 a, double s) { return {a.x / s, a.y / s}; }
+inline Point2 operator-(Point2 a) { return {-a.x, -a.y}; }
+inline bool operator==(Point2 a, Point2 b) { return a.x == b.x && a.y == b.y; }
+inline bool operator!=(Point2 a, Point2 b) { return !(a == b); }
+
+inline double Dot(Vec2 a, Vec2 b) { return a.x * b.x + a.y * b.y; }
+
+/// z-component of the cross product; positive iff b is counterclockwise of a.
+inline double Cross(Vec2 a, Vec2 b) { return a.x * b.y - a.y * b.x; }
+
+inline double SquaredNorm(Vec2 a) { return a.x * a.x + a.y * a.y; }
+inline double Norm(Vec2 a) { return std::hypot(a.x, a.y); }
+
+inline double SquaredDistance(Point2 a, Point2 b) { return SquaredNorm(a - b); }
+inline double Distance(Point2 a, Point2 b) { return Norm(a - b); }
+
+/// Unit vector in the direction of a. Undefined for the zero vector.
+inline Vec2 Normalized(Vec2 a) {
+  double n = Norm(a);
+  return {a.x / n, a.y / n};
+}
+
+/// Rotates a by +90 degrees (counterclockwise).
+inline Vec2 Perp(Vec2 a) { return {-a.y, a.x}; }
+
+/// Unit vector at angle theta from the +x axis.
+inline Vec2 UnitVector(double theta) { return {std::cos(theta), std::sin(theta)}; }
+
+/// Angle of vector a in (-pi, pi].
+inline double Angle(Vec2 a) { return std::atan2(a.y, a.x); }
+
+inline Point2 Lerp(Point2 a, Point2 b, double t) {
+  return {a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)};
+}
+
+}  // namespace pnn
+
+#endif  // PNN_GEOMETRY_POINT2_H_

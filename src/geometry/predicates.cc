@@ -1,0 +1,96 @@
+#include "src/geometry/predicates.h"
+
+#include <cmath>
+
+#include "src/geometry/expansion.h"
+
+namespace pnn {
+namespace {
+
+constexpr double kEps = 1.1102230246251565e-16;  // 2^-53
+// Static filter constants from Shewchuk, "Adaptive Precision Floating-Point
+// Arithmetic and Fast Robust Geometric Predicates", 1997.
+constexpr double kCcwErrBound = (3.0 + 16.0 * kEps) * kEps;
+constexpr double kIccErrBound = (10.0 + 96.0 * kEps) * kEps;
+
+int SignOf(double v) { return v > 0 ? 1 : (v < 0 ? -1 : 0); }
+
+int Orient2DExact(Point2 a, Point2 b, Point2 c) {
+  // det = ax*by - ax*cy - cx*by - ay*bx + ay*cx + cy*bx, evaluated exactly.
+  Expansion det = Expansion::Product(a.x, b.y) - Expansion::Product(a.x, c.y) -
+                  Expansion::Product(c.x, b.y) - Expansion::Product(a.y, b.x) +
+                  Expansion::Product(a.y, c.x) + Expansion::Product(c.y, b.x);
+  return det.Sign();
+}
+
+int InCircleExact(Point2 a, Point2 b, Point2 c, Point2 d) {
+  // 3x3 determinant of rows (pdx, pdy, pdx^2 + pdy^2) for p in {a,b,c},
+  // with pd* computed as exact two-term expansions of p - d.
+  Expansion adx = Expansion::Diff(a.x, d.x), ady = Expansion::Diff(a.y, d.y);
+  Expansion bdx = Expansion::Diff(b.x, d.x), bdy = Expansion::Diff(b.y, d.y);
+  Expansion cdx = Expansion::Diff(c.x, d.x), cdy = Expansion::Diff(c.y, d.y);
+
+  Expansion alift = adx * adx + ady * ady;
+  Expansion blift = bdx * bdx + bdy * bdy;
+  Expansion clift = cdx * cdx + cdy * cdy;
+
+  Expansion det = alift * (bdx * cdy - cdx * bdy) + blift * (cdx * ady - adx * cdy) +
+                  clift * (adx * bdy - bdx * ady);
+  return det.Sign();
+}
+
+}  // namespace
+
+int Orient2D(Point2 a, Point2 b, Point2 c) {
+  double detleft = (a.x - c.x) * (b.y - c.y);
+  double detright = (a.y - c.y) * (b.x - c.x);
+  double det = detleft - detright;
+
+  double detsum;
+  if (detleft > 0) {
+    if (detright <= 0) return SignOf(det);
+    detsum = detleft + detright;
+  } else if (detleft < 0) {
+    if (detright >= 0) return SignOf(det);
+    detsum = -detleft - detright;
+  } else {
+    return SignOf(det);
+  }
+  if (std::abs(det) > kCcwErrBound * detsum) return SignOf(det);
+  return Orient2DExact(a, b, c);
+}
+
+int InCircle(Point2 a, Point2 b, Point2 c, Point2 d) {
+  double adx = a.x - d.x, ady = a.y - d.y;
+  double bdx = b.x - d.x, bdy = b.y - d.y;
+  double cdx = c.x - d.x, cdy = c.y - d.y;
+
+  double bdxcdy = bdx * cdy, cdxbdy = cdx * bdy;
+  double cdxady = cdx * ady, adxcdy = adx * cdy;
+  double adxbdy = adx * bdy, bdxady = bdx * ady;
+  double alift = adx * adx + ady * ady;
+  double blift = bdx * bdx + bdy * bdy;
+  double clift = cdx * cdx + cdy * cdy;
+
+  double det = alift * (bdxcdy - cdxbdy) + blift * (cdxady - adxcdy) +
+               clift * (adxbdy - bdxady);
+  double permanent = (std::abs(bdxcdy) + std::abs(cdxbdy)) * alift +
+                     (std::abs(cdxady) + std::abs(adxcdy)) * blift +
+                     (std::abs(adxbdy) + std::abs(bdxady)) * clift;
+  if (std::abs(det) > kIccErrBound * permanent) return SignOf(det);
+  return InCircleExact(a, b, c, d);
+}
+
+int CompareDistance(Point2 p, Point2 a, Point2 b) {
+  double d1 = SquaredDistance(p, a);
+  double d2 = SquaredDistance(p, b);
+  // Filter: |fl(x) - x| <= 4 eps max for each squared distance.
+  double scale = d1 + d2;
+  if (std::abs(d1 - d2) > 8 * kEps * scale) return SignOf(d1 - d2);
+  Expansion ax = Expansion::Diff(a.x, p.x), ay = Expansion::Diff(a.y, p.y);
+  Expansion bx = Expansion::Diff(b.x, p.x), by = Expansion::Diff(b.y, p.y);
+  Expansion diff = (ax * ax + ay * ay) - (bx * bx + by * by);
+  return diff.Sign();
+}
+
+}  // namespace pnn

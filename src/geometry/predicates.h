@@ -1,0 +1,27 @@
+// Robust geometric predicates: floating-point filtered fast paths with
+// exact expansion-arithmetic fallbacks (never wrong, fast in the common
+// case). These are the correctness foundation of the Delaunay substrate and
+// of all orientation tests in the arrangement code.
+
+#ifndef PNN_GEOMETRY_PREDICATES_H_
+#define PNN_GEOMETRY_PREDICATES_H_
+
+#include "src/geometry/point2.h"
+
+namespace pnn {
+
+/// Sign of the signed area of triangle (a, b, c):
+///   +1 if counterclockwise, -1 if clockwise, 0 if collinear. Exact.
+int Orient2D(Point2 a, Point2 b, Point2 c);
+
+/// Position of d relative to the circumcircle of the CCW triangle (a, b, c):
+///   +1 inside, -1 outside, 0 on the circle. Exact. The caller must pass
+/// (a, b, c) in counterclockwise order (flip the sign otherwise).
+int InCircle(Point2 a, Point2 b, Point2 c, Point2 d);
+
+/// Comparison of squared distances |a-p|^2 vs |b-p|^2: -1, 0, +1. Exact.
+int CompareDistance(Point2 p, Point2 a, Point2 b);
+
+}  // namespace pnn
+
+#endif  // PNN_GEOMETRY_PREDICATES_H_

@@ -1,0 +1,212 @@
+#include "src/geometry/solvers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pnn {
+namespace {
+
+// One polishing pass: Newton on the original polynomial (Horner form for
+// value and derivative).
+double PolishPolyRoot(const double* coeffs, int degree, double x) {
+  for (int it = 0; it < 20; ++it) {
+    double v = coeffs[0], dv = 0.0;
+    for (int i = 1; i <= degree; ++i) {
+      dv = dv * x + v;
+      v = v * x + coeffs[i];
+    }
+    if (dv == 0.0) break;
+    double step = v / dv;
+    if (!std::isfinite(step)) break;
+    x -= step;
+    if (std::abs(step) < 1e-15 * (1.0 + std::abs(x))) break;
+  }
+  return x;
+}
+
+}  // namespace
+
+void RealRoots::SortAndDedupe(double tol) {
+  std::sort(root.begin(), root.begin() + count);
+  int w = 0;
+  for (int i = 0; i < count; ++i) {
+    if (w == 0 || std::abs(root[i] - root[w - 1]) > tol) root[w++] = root[i];
+  }
+  count = w;
+}
+
+RealRoots SolveQuadratic(double a, double b, double c) {
+  RealRoots r;
+  if (a == 0.0) {
+    if (b != 0.0) r.Add(-c / b);
+    return r;
+  }
+  double disc = b * b - 4 * a * c;
+  if (disc < 0) return r;
+  double sq = std::sqrt(disc);
+  // Stable formulation avoiding cancellation.
+  double q = -0.5 * (b + (b >= 0 ? sq : -sq));
+  double x1 = q / a;
+  if (q != 0.0) {
+    double x2 = c / q;
+    r.Add(std::min(x1, x2));
+    if (disc > 0) r.Add(std::max(x1, x2));
+  } else {
+    r.Add(0.0);
+    if (disc > 0) r.Add(x1);  // x1 = -b/a, other root is 0.
+  }
+  return r;
+}
+
+RealRoots SolveCubic(double a, double b, double c, double d) {
+  RealRoots r;
+  if (a == 0.0) return SolveQuadratic(b, c, d);
+  // Normalize and depress: x = t - B/3.
+  double B = b / a, C = c / a, D = d / a;
+  double p = C - B * B / 3.0;
+  double q = 2.0 * B * B * B / 27.0 - B * C / 3.0 + D;
+  double shift = -B / 3.0;
+  double disc = q * q / 4.0 + p * p * p / 27.0;
+  const double coeffs[4] = {a, b, c, d};
+  if (disc > 0) {
+    double sq = std::sqrt(disc);
+    double u = std::cbrt(-q / 2.0 + sq);
+    double v = std::cbrt(-q / 2.0 - sq);
+    r.Add(PolishPolyRoot(coeffs, 3, u + v + shift));
+  } else if (disc == 0.0) {
+    if (q == 0.0) {
+      r.Add(shift);
+    } else {
+      double u = std::cbrt(-q / 2.0);
+      r.Add(PolishPolyRoot(coeffs, 3, 2 * u + shift));
+      r.Add(PolishPolyRoot(coeffs, 3, -u + shift));
+    }
+  } else {
+    // Three real roots: trigonometric form.
+    double rho = std::sqrt(-p * p * p / 27.0);
+    double theta = std::acos(std::clamp(-q / (2.0 * rho), -1.0, 1.0));
+    double m = 2.0 * std::sqrt(-p / 3.0);
+    for (int k = 0; k < 3; ++k) {
+      double t = m * std::cos((theta + 2.0 * M_PI * k) / 3.0);
+      r.Add(PolishPolyRoot(coeffs, 3, t + shift));
+    }
+  }
+  double scale = 1.0 + std::abs(shift);
+  r.SortAndDedupe(1e-12 * scale);
+  return r;
+}
+
+RealRoots SolveQuartic(double a, double b, double c, double d, double e) {
+  RealRoots r;
+  if (a == 0.0) return SolveCubic(b, c, d, e);
+  double B = b / a, C = c / a, D = d / a, E = e / a;
+  // Depress: x = t - B/4 gives t^4 + p t^2 + q t + s.
+  double p = C - 3.0 * B * B / 8.0;
+  double q = D - B * C / 2.0 + B * B * B / 8.0;
+  double s = E - B * D / 4.0 + B * B * C / 16.0 - 3.0 * B * B * B * B / 256.0;
+  double shift = -B / 4.0;
+  const double coeffs[5] = {a, b, c, d, e};
+
+  if (std::abs(q) < 1e-14 * (1.0 + std::abs(p) + std::abs(s))) {
+    // Biquadratic.
+    RealRoots z = SolveQuadratic(1.0, p, s);
+    for (int i = 0; i < z.count; ++i) {
+      if (z.root[i] < 0) continue;
+      double t = std::sqrt(z.root[i]);
+      r.Add(PolishPolyRoot(coeffs, 4, t + shift));
+      r.Add(PolishPolyRoot(coeffs, 4, -t + shift));
+    }
+  } else {
+    // Ferrari: resolvent cubic 2y^3 - p y^2 - 2 s y + (s p - q^2/4) = 0.
+    RealRoots res = SolveCubic(2.0, -p, -2.0 * s, s * p - q * q / 4.0);
+    if (res.count == 0) return r;
+    // Pick a resolvent root with 2y - p > 0 if possible.
+    double y = res.root[res.count - 1];
+    for (int i = 0; i < res.count; ++i) {
+      if (2.0 * res.root[i] - p > 0) y = std::max(y, res.root[i]);
+    }
+    double w2 = 2.0 * y - p;
+    if (w2 <= 0) {
+      // Fall back to a dense scan (rare, ill-conditioned cases).
+      ScanRoots(
+          [&](double x) {
+            return (((x + B) * x + C) * x + D) * x + E;
+          },
+          -1e3 * (1 + std::abs(shift)), 1e3 * (1 + std::abs(shift)), 4096, &r);
+      return r;
+    }
+    double w = std::sqrt(w2);
+    double u = y + q / (2.0 * w);
+    double v = y - q / (2.0 * w);
+    // t^4 + p t^2 + q t + s = (t^2 - w t + u)(t^2 + w t + v).
+    RealRoots q1 = SolveQuadratic(1.0, -w, u);
+    RealRoots q2 = SolveQuadratic(1.0, w, v);
+    for (int i = 0; i < q1.count; ++i) r.Add(PolishPolyRoot(coeffs, 4, q1.root[i] + shift));
+    for (int i = 0; i < q2.count; ++i) r.Add(PolishPolyRoot(coeffs, 4, q2.root[i] + shift));
+  }
+  double scale = 1.0 + std::abs(shift);
+  r.SortAndDedupe(1e-11 * scale);
+  return r;
+}
+
+double Bisect(const std::function<double(double)>& f, double lo, double hi) {
+  double flo = f(lo);
+  for (int it = 0; it < 200; ++it) {
+    double mid = 0.5 * (lo + hi);
+    if (mid == lo || mid == hi) return mid;
+    double fm = f(mid);
+    if (fm == 0.0) return mid;
+    if ((flo < 0) == (fm < 0)) {
+      lo = mid;
+      flo = fm;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-15 * (1.0 + std::abs(lo) + std::abs(hi))) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+void ScanRoots(const std::function<double(double)>& f, double lo, double hi,
+               int samples, RealRoots* out) {
+  double prev_x = lo, prev_f = f(lo);
+  for (int i = 1; i <= samples; ++i) {
+    double x = lo + (hi - lo) * i / samples;
+    double fx = f(x);
+    if (prev_f == 0.0) {
+      out->Add(prev_x);
+    } else if ((prev_f < 0) != (fx < 0)) {
+      out->Add(Bisect(f, prev_x, x));
+    }
+    prev_x = x;
+    prev_f = fx;
+  }
+  if (prev_f == 0.0) out->Add(prev_x);
+  out->SortAndDedupe(1e-12 * (1.0 + std::abs(lo) + std::abs(hi)));
+}
+
+bool Newton2D(const std::function<Vec2(Point2)>& f, Point2* p, double tol,
+              int max_iter) {
+  for (int it = 0; it < max_iter; ++it) {
+    Vec2 v = f(*p);
+    double err = std::abs(v.x) + std::abs(v.y);
+    if (err < tol) return true;
+    double h = 1e-7 * (1.0 + std::abs(p->x) + std::abs(p->y));
+    Vec2 fx = f({p->x + h, p->y});
+    Vec2 fy = f({p->x, p->y + h});
+    double j11 = (fx.x - v.x) / h, j12 = (fy.x - v.x) / h;
+    double j21 = (fx.y - v.y) / h, j22 = (fy.y - v.y) / h;
+    double det = j11 * j22 - j12 * j21;
+    if (std::abs(det) < 1e-300) return false;
+    double dx = (v.x * j22 - v.y * j12) / det;
+    double dy = (v.y * j11 - v.x * j21) / det;
+    p->x -= dx;
+    p->y -= dy;
+    if (!std::isfinite(p->x) || !std::isfinite(p->y)) return false;
+  }
+  Vec2 v = f(*p);
+  return std::abs(v.x) + std::abs(v.y) < tol;
+}
+
+}  // namespace pnn

@@ -1,0 +1,54 @@
+// Numeric root finding for low-degree polynomials and small nonlinear
+// systems. Quadratics are solved in closed form with the numerically stable
+// formulation; cubics/quartics via Cardano/Ferrari with Newton polishing.
+// All solvers return only real roots, in ascending order.
+
+#ifndef PNN_GEOMETRY_SOLVERS_H_
+#define PNN_GEOMETRY_SOLVERS_H_
+
+#include <array>
+#include <functional>
+
+#include "src/geometry/point2.h"
+
+namespace pnn {
+
+/// Real roots container: up to `kMax` ascending values.
+struct RealRoots {
+  static constexpr int kMax = 4;
+  std::array<double, kMax> root = {};
+  int count = 0;
+
+  void Add(double r) {
+    if (count < kMax) root[count++] = r;
+  }
+  void SortAndDedupe(double tol);
+};
+
+/// Roots of a x^2 + b x + c = 0. Degenerates gracefully to linear/constant.
+RealRoots SolveQuadratic(double a, double b, double c);
+
+/// Roots of a x^3 + b x^2 + c x + d = 0.
+RealRoots SolveCubic(double a, double b, double c, double d);
+
+/// Roots of a x^4 + b x^3 + c x^2 + d x + e = 0 (Ferrari + polish).
+RealRoots SolveQuartic(double a, double b, double c, double d, double e);
+
+/// Bisection on [lo, hi]; requires f(lo) and f(hi) of opposite signs.
+/// Refines with Newton-free bisection to ~1e-14 relative tolerance.
+double Bisect(const std::function<double(double)>& f, double lo, double hi);
+
+/// Finds all sign-change roots of f on [lo, hi] by scanning `samples`
+/// subintervals and bisecting each bracket. Misses roots of even
+/// multiplicity that do not change sign between samples.
+void ScanRoots(const std::function<double(double)>& f, double lo, double hi,
+               int samples, RealRoots* out);
+
+/// Newton iteration for a 2x2 system F(p) = 0 with numeric Jacobian.
+/// Returns true on convergence (|F| below tol); p is updated in place.
+bool Newton2D(const std::function<Vec2(Point2)>& f, Point2* p, double tol,
+              int max_iter = 30);
+
+}  // namespace pnn
+
+#endif  // PNN_GEOMETRY_SOLVERS_H_

@@ -1,0 +1,225 @@
+#include "src/spatial/kdtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "src/util/check.h"
+
+namespace pnn {
+
+namespace {
+constexpr int kLeafSize = 8;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+double KdTree::PointDist(Point2 a, Point2 b) const {
+  if (metric_ == Metric::kChebyshev) {
+    return std::max(std::abs(a.x - b.x), std::abs(a.y - b.y));
+  }
+  return Distance(a, b);
+}
+
+double KdTree::BoxDist(const Box2& box, Point2 p) const {
+  if (metric_ == Metric::kChebyshev) return box.ChebyshevDistanceTo(p);
+  return std::sqrt(box.SquaredDistanceTo(p));
+}
+
+KdTree::KdTree(std::vector<Point2> points, std::vector<double> weights, Metric metric)
+    : metric_(metric), points_(std::move(points)), weights_(std::move(weights)) {
+  if (weights_.empty()) weights_.assign(points_.size(), 0.0);
+  PNN_CHECK(weights_.size() == points_.size());
+  order_.resize(points_.size());
+  std::iota(order_.begin(), order_.end(), 0);
+  if (!points_.empty()) root_ = Build(0, static_cast<int>(points_.size()));
+}
+
+int KdTree::Build(int begin, int end) {
+  Node node;
+  node.begin = begin;
+  node.end = end;
+  for (int i = begin; i < end; ++i) {
+    node.box.Expand(points_[order_[i]]);
+  }
+  node.min_w = kInf;
+  node.max_w = -kInf;
+  for (int i = begin; i < end; ++i) {
+    node.min_w = std::min(node.min_w, weights_[order_[i]]);
+    node.max_w = std::max(node.max_w, weights_[order_[i]]);
+  }
+  int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);
+  if (end - begin > kLeafSize) {
+    bool split_x = node.box.Width() >= node.box.Height();
+    int mid = (begin + end) / 2;
+    std::nth_element(order_.begin() + begin, order_.begin() + mid, order_.begin() + end,
+                     [&](int a, int b) {
+                       return split_x ? points_[a].x < points_[b].x
+                                      : points_[a].y < points_[b].y;
+                     });
+    int l = Build(begin, mid);
+    int r = Build(mid, end);
+    nodes_[id].left = l;
+    nodes_[id].right = r;
+  }
+  return id;
+}
+
+int KdTree::Nearest(Point2 q, double* out_dist) const {
+  PNN_CHECK_MSG(!points_.empty(), "Nearest on empty tree");
+  double best = kInf;
+  int best_idx = -1;
+  // Iterative DFS with pruning; visits the closer child first.
+  std::vector<int> stack = {root_};
+  while (!stack.empty()) {
+    int id = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[id];
+    if (BoxDist(n.box, q) >= best) continue;
+    if (n.left < 0) {
+      for (int i = n.begin; i < n.end; ++i) {
+        double d = PointDist(q, points_[order_[i]]);
+        if (d < best) {
+          best = d;
+          best_idx = order_[i];
+        }
+      }
+      continue;
+    }
+    double dl = BoxDist(nodes_[n.left].box, q);
+    double dr = BoxDist(nodes_[n.right].box, q);
+    if (dl < dr) {
+      stack.push_back(n.right);
+      stack.push_back(n.left);
+    } else {
+      stack.push_back(n.left);
+      stack.push_back(n.right);
+    }
+  }
+  if (out_dist != nullptr) *out_dist = best;
+  return best_idx;
+}
+
+std::vector<int> KdTree::KNearest(Point2 q, int k) const {
+  std::vector<int> out;
+  Incremental inc(*this, q);
+  while (static_cast<int>(out.size()) < k && inc.HasNext()) out.push_back(inc.Next());
+  return out;
+}
+
+std::vector<int> KdTree::ReportWithin(Point2 q, double r) const {
+  std::vector<int> out;
+  if (root_ < 0) return out;
+  std::vector<int> stack = {root_};
+  while (!stack.empty()) {
+    int id = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[id];
+    if (BoxDist(n.box, q) > r) continue;
+    if (n.left < 0) {
+      for (int i = n.begin; i < n.end; ++i) {
+        if (PointDist(q, points_[order_[i]]) <= r) out.push_back(order_[i]);
+      }
+      continue;
+    }
+    stack.push_back(n.left);
+    stack.push_back(n.right);
+  }
+  return out;
+}
+
+double KdTree::MinAdditivelyWeighted(Point2 q, int* arg) const {
+  PNN_CHECK_MSG(!points_.empty(), "MinAdditivelyWeighted on empty tree");
+  double best = kInf;
+  int best_idx = -1;
+  std::vector<int> stack = {root_};
+  while (!stack.empty()) {
+    int id = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[id];
+    // Lower bound on d(q, p) + w within the subtree.
+    double lb = BoxDist(n.box, q) + n.min_w;
+    if (lb >= best) continue;
+    if (n.left < 0) {
+      for (int i = n.begin; i < n.end; ++i) {
+        int idx = order_[i];
+        double v = PointDist(q, points_[idx]) + weights_[idx];
+        if (v < best) {
+          best = v;
+          best_idx = idx;
+        }
+      }
+      continue;
+    }
+    double ll = BoxDist(nodes_[n.left].box, q) + nodes_[n.left].min_w;
+    double lr = BoxDist(nodes_[n.right].box, q) + nodes_[n.right].min_w;
+    if (ll < lr) {
+      stack.push_back(n.right);
+      stack.push_back(n.left);
+    } else {
+      stack.push_back(n.left);
+      stack.push_back(n.right);
+    }
+  }
+  if (arg != nullptr) *arg = best_idx;
+  return best;
+}
+
+std::vector<int> KdTree::ReportSubtractiveLess(Point2 q, double bound) const {
+  std::vector<int> out;
+  if (root_ < 0) return out;
+  std::vector<int> stack = {root_};
+  while (!stack.empty()) {
+    int id = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[id];
+    // Lower bound on d(q, p) - w within the subtree.
+    double lb = BoxDist(n.box, q) - n.max_w;
+    if (lb >= bound) continue;
+    if (n.left < 0) {
+      for (int i = n.begin; i < n.end; ++i) {
+        int idx = order_[i];
+        if (PointDist(q, points_[idx]) - weights_[idx] < bound) out.push_back(idx);
+      }
+      continue;
+    }
+    stack.push_back(n.left);
+    stack.push_back(n.right);
+  }
+  return out;
+}
+
+KdTree::Incremental::Incremental(const KdTree& tree, Point2 q) : tree_(tree), q_(q) {
+  if (tree_.root_ >= 0) PushNode(tree_.root_);
+}
+
+void KdTree::Incremental::PushNode(int node) {
+  const Node& n = tree_.nodes_[node];
+  heap_.push({tree_.BoxDist(n.box, q_), node, -1});
+}
+
+int KdTree::Incremental::Next(double* dist) {
+  while (!heap_.empty()) {
+    Entry top = heap_.top();
+    heap_.pop();
+    if (top.node < 0) {
+      if (dist != nullptr) *dist = top.key;
+      return top.point;
+    }
+    const Node& n = tree_.nodes_[top.node];
+    if (n.left < 0) {
+      for (int i = n.begin; i < n.end; ++i) {
+        int idx = tree_.order_[i];
+        heap_.push({tree_.PointDist(q_, tree_.points_[idx]), -1, idx});
+      }
+    } else {
+      PushNode(n.left);
+      PushNode(n.right);
+    }
+  }
+  PNN_CHECK_MSG(false, "Next() called with no remaining points");
+  return -1;
+}
+
+}  // namespace pnn

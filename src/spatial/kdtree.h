@@ -1,0 +1,112 @@
+// Static planar kd-tree with the query modes the paper's structures reduce
+// to in our implementation:
+//   * exact nearest neighbor and best-first incremental k-NN
+//     ("spiral search", the practical [AC09] substitution of Section 4.3),
+//   * disk range reporting,
+//   * additively-weighted minimization  min_i d(q, p_i) + w_i
+//     (computes Delta(q) over disk uncertainty regions, Theorem 3.1 stage 1),
+//   * subtractive reporting  { i : d(q, p_i) - w_i < bound }
+//     (reports NN!=0 candidates, Theorem 3.1 stage 2).
+//
+// The weighted modes prune with per-subtree min/max weights, which is what
+// makes the two-stage query output-sensitive in practice.
+
+#ifndef PNN_SPATIAL_KDTREE_H_
+#define PNN_SPATIAL_KDTREE_H_
+
+#include <queue>
+#include <vector>
+
+#include "src/geometry/box2.h"
+#include "src/geometry/point2.h"
+
+namespace pnn {
+
+/// Metric used by a KdTree. Chebyshev (L-infinity) supports the paper's
+/// Section 3 remark (ii): NN!=0 queries for square uncertainty regions.
+enum class Metric {
+  kEuclidean,
+  kChebyshev,
+};
+
+/// Static kd-tree over a fixed point set, with optional per-point weights.
+class KdTree {
+ public:
+  /// Builds the tree. If `weights` is empty all weights are 0.
+  explicit KdTree(std::vector<Point2> points, std::vector<double> weights = {},
+                  Metric metric = Metric::kEuclidean);
+
+  size_t size() const { return points_.size(); }
+  const std::vector<Point2>& points() const { return points_; }
+
+  /// Index of the nearest point to q (ties broken arbitrarily); n must be
+  /// >= 1. If out_dist is non-null it receives the distance.
+  int Nearest(Point2 q, double* out_dist = nullptr) const;
+
+  /// The k nearest points, ascending by distance. Returns fewer if k > n.
+  std::vector<int> KNearest(Point2 q, int k) const;
+
+  /// All indices with d(q, p_i) <= r (closed disk).
+  std::vector<int> ReportWithin(Point2 q, double r) const;
+
+  /// min_i d(q, p_i) + w_i; sets *arg to the minimizing index.
+  double MinAdditivelyWeighted(Point2 q, int* arg = nullptr) const;
+
+  /// All indices with d(q, p_i) - w_i < bound (strict).
+  std::vector<int> ReportSubtractiveLess(Point2 q, double bound) const;
+
+  /// Best-first enumeration of points in ascending distance from a query;
+  /// each Next() costs O(log n) amortized. Used by the spiral-search
+  /// quantifier to consume exactly as many neighbors as the error bound
+  /// requires.
+  class Incremental {
+   public:
+    Incremental(const KdTree& tree, Point2 q);
+
+    /// True if another point is available.
+    bool HasNext() const { return !heap_.empty(); }
+
+    /// Returns the next nearest point index; fills *dist if non-null.
+    int Next(double* dist = nullptr);
+
+   private:
+    struct Entry {
+      double key;     // Lower bound on distance (exact for points).
+      int node;       // Internal node id, or -1 when `point` is valid.
+      int point;      // Original point index if node == -1.
+      bool operator<(const Entry& o) const { return key > o.key; }  // Min-heap.
+    };
+    const KdTree& tree_;
+    Point2 q_;
+    std::priority_queue<Entry> heap_;
+    void PushNode(int node);
+  };
+
+ private:
+  struct Node {
+    Box2 box;
+    int left = -1;    // Internal children, or -1 for leaves.
+    int right = -1;
+    int begin = 0;    // Range in order_ covered by this node.
+    int end = 0;
+    double min_w = 0; // Subtree weight bounds for the weighted queries.
+    double max_w = 0;
+  };
+
+  int Build(int begin, int end);
+  double PointDist(Point2 a, Point2 b) const;
+  double BoxDist(const Box2& box, Point2 p) const;
+
+  Metric metric_ = Metric::kEuclidean;
+  std::vector<Point2> points_;
+  std::vector<double> weights_;
+  std::vector<int> order_;   // Permutation of point indices, leaf-contiguous.
+  std::vector<Node> nodes_;
+  int root_ = -1;
+
+  friend class Incremental;
+};
+
+}  // namespace pnn
+
+#endif  // PNN_SPATIAL_KDTREE_H_

@@ -1,0 +1,45 @@
+// Assertion macros used throughout the library.
+//
+// PNN_CHECK is always on (including release builds) and is used to enforce
+// public API contracts and internal invariants whose violation would make
+// results silently wrong. PNN_DCHECK compiles out in NDEBUG builds and is
+// used on hot paths.
+
+#ifndef PNN_UTIL_CHECK_H_
+#define PNN_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pnn {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const char* msg) {
+  std::fprintf(stderr, "PNN_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace pnn
+
+#define PNN_CHECK(cond)                                             \
+  do {                                                              \
+    if (!(cond)) ::pnn::internal::CheckFailed(__FILE__, __LINE__, #cond, ""); \
+  } while (0)
+
+#define PNN_CHECK_MSG(cond, msg)                                     \
+  do {                                                               \
+    if (!(cond)) ::pnn::internal::CheckFailed(__FILE__, __LINE__, #cond, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define PNN_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define PNN_DCHECK(cond) PNN_CHECK(cond)
+#endif
+
+#endif  // PNN_UTIL_CHECK_H_

@@ -1,0 +1,46 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pnn {
+
+void Summary::Add(double v) {
+  if (n_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++n_;
+  sum_ += v;
+  sumsq_ += v * v;
+}
+
+double Summary::variance() const {
+  if (n_ < 2) return 0.0;
+  double m = mean();
+  return std::max(0.0, sumsq_ / n_ - m * m);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double LogLogSlope(const std::vector<std::pair<double, double>>& pts) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int n = 0;
+  for (const auto& [x, y] : pts) {
+    if (x <= 0 || y <= 0) continue;
+    double lx = std::log(x), ly = std::log(y);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  return (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace pnn

@@ -1,0 +1,40 @@
+// Small statistics helpers for the benchmark harness: summary accumulators
+// and log-log slope fitting (used to estimate empirical growth exponents
+// against the paper's asymptotic bounds).
+
+#ifndef PNN_UTIL_STATS_H_
+#define PNN_UTIL_STATS_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace pnn {
+
+/// Streaming min/max/mean/variance accumulator.
+class Summary {
+ public:
+  void Add(double v);
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? sum_ / n_ : 0.0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double variance() const;
+  double stddev() const;
+
+ private:
+  size_t n_ = 0;
+  double sum_ = 0.0;
+  double sumsq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Least-squares slope of log(y) against log(x). Points with non-positive
+/// coordinates are skipped. Returns 0 when fewer than two usable points.
+/// This is the empirical growth exponent: slope ~ 3 for a Theta(n^3) curve.
+double LogLogSlope(const std::vector<std::pair<double, double>>& pts);
+
+}  // namespace pnn
+
+#endif  // PNN_UTIL_STATS_H_

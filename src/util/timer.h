@@ -1,0 +1,32 @@
+// Wall-clock timing helper for the benchmark harness.
+
+#ifndef PNN_UTIL_TIMER_H_
+#define PNN_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace pnn {
+
+/// Monotonic stopwatch. Starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pnn
+
+#endif  // PNN_UTIL_TIMER_H_

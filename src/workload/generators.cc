@@ -1,0 +1,179 @@
+#include "src/workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace pnn {
+
+std::vector<Circle> RandomDisks(int n, double span, double rmin, double rmax,
+                                Rng* rng) {
+  std::vector<Circle> out(n);
+  for (auto& d : out) {
+    d.center = {rng->Uniform(-span, span), rng->Uniform(-span, span)};
+    d.radius = rng->Uniform(rmin, rmax);
+  }
+  return out;
+}
+
+std::vector<Circle> DisjointDisks(int n, double lambda, Rng* rng) {
+  PNN_CHECK(lambda >= 1.0);
+  // Grid cells of side 2*lambda + 1 guarantee disjointness with radius
+  // <= lambda and up to 0.5 of center jitter.
+  int side = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n))));
+  double cell = 2.0 * lambda + 1.0;
+  std::vector<Circle> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    int gx = i % side, gy = i / side;
+    Point2 c{(gx + 0.5) * cell + rng->Uniform(-0.25, 0.25),
+             (gy + 0.5) * cell + rng->Uniform(-0.25, 0.25)};
+    out.push_back({c, rng->Uniform(1.0, lambda)});
+  }
+  return out;
+}
+
+std::vector<Circle> ClusteredDisks(int n, int clusters, double span, double radius,
+                                   Rng* rng) {
+  std::vector<Circle> out;
+  out.reserve(n);
+  std::vector<Point2> centers(clusters);
+  for (auto& c : centers) c = {rng->Uniform(-span, span), rng->Uniform(-span, span)};
+  for (int i = 0; i < n; ++i) {
+    Point2 base = centers[i % clusters];
+    out.push_back({base + Point2{rng->Uniform(-radius, radius),
+                                 rng->Uniform(-radius, radius)},
+                   rng->Uniform(0.5 * radius, radius)});
+  }
+  return out;
+}
+
+std::vector<Circle> LowerBoundCubic(int m) {
+  PNN_CHECK(m >= 1);
+  int n = 4 * m;
+  double big_r = 8.0 * n * n;
+  double omega = 1.0 / (n * n);
+  std::vector<Circle> out;
+  out.reserve(n);
+  for (int i = 1; i <= m; ++i) {
+    out.push_back({{-big_r - 1.5 - (i - 1) * omega, 0.0}, big_r});  // D-.
+  }
+  for (int j = 1; j <= m; ++j) {
+    out.push_back({{big_r + 1.5 + (j - 1) * omega, 0.0}, big_r});   // D+.
+  }
+  for (int k = 1; k <= 2 * m; ++k) {
+    out.push_back({{0.0, 4.0 * (k - m) - 2.0}, 1.0});               // D0.
+  }
+  return out;
+}
+
+std::vector<Circle> LowerBoundCubicEqualRadius(int m, double omega) {
+  PNN_CHECK(m >= 1);
+  double theta = M_PI / (2.0 * (m + 1));
+  std::vector<Circle> out;
+  out.reserve(3 * m);
+  for (int i = 1; i <= m; ++i) {
+    out.push_back({{-2.0 - (i - 1) * omega, 0.0}, 1.0});  // D-.
+  }
+  for (int j = 1; j <= m; ++j) {
+    out.push_back({{2.0 + (j - 1) * omega, 0.0}, 1.0});   // D+.
+  }
+  for (int k = 1; k <= m; ++k) {
+    out.push_back({{2.0 - 2.0 * std::cos(k * theta), 2.0 * std::sin(k * theta)}, 1.0});
+  }
+  return out;
+}
+
+std::vector<Circle> LowerBoundQuadratic(int m) {
+  PNN_CHECK(m >= 1);
+  std::vector<Circle> out;
+  out.reserve(2 * m);
+  for (int i = 1; i <= 2 * m; ++i) {
+    out.push_back({{4.0 * (i - m) - 2.0, 0.0}, 1.0});
+  }
+  return out;
+}
+
+std::vector<Point2> LowerBoundQuadraticVertices(int m) {
+  std::vector<Point2> out;
+  int n = 2 * m;
+  for (int i = 1; i <= n; ++i) {
+    for (int j = i + 2; j <= n; ++j) {
+      double x = 2.0 * (i + j - 2 * m - 1);
+      if ((i + j) % 2 == 0) {
+        double y = static_cast<double>(j - i) * (j - i) - 1.0;
+        out.push_back({x, y});
+        out.push_back({x, -y});
+      } else {
+        double d = static_cast<double>(j - i);
+        double y = d * std::sqrt(d * d - 4.0);
+        out.push_back({x, y});
+        out.push_back({x, -y});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<Point2>> RandomDiscreteLocations(int n, int k, double span,
+                                                         double cluster, Rng* rng) {
+  std::vector<std::vector<Point2>> out(n);
+  for (auto& locs : out) {
+    Point2 c{rng->Uniform(-span, span), rng->Uniform(-span, span)};
+    locs.resize(k);
+    for (auto& p : locs) {
+      p = c + Point2{rng->Uniform(-cluster, cluster), rng->Uniform(-cluster, cluster)};
+    }
+  }
+  return out;
+}
+
+UncertainSet ToUniformUncertain(const std::vector<std::vector<Point2>>& locations) {
+  UncertainSet out;
+  out.reserve(locations.size());
+  for (const auto& locs : locations) {
+    std::vector<double> w(locs.size(), 1.0 / locs.size());
+    out.push_back(UncertainPoint::Discrete(locs, w));
+  }
+  return out;
+}
+
+UncertainSet DiscreteWithSpread(int n, int k, double rho, double span, double cluster,
+                                Rng* rng) {
+  PNN_CHECK(rho >= 1.0 && k >= 2);
+  UncertainSet out;
+  for (int i = 0; i < n; ++i) {
+    Point2 c{rng->Uniform(-span, span), rng->Uniform(-span, span)};
+    std::vector<Point2> locs(k);
+    for (auto& p : locs) {
+      p = c + Point2{rng->Uniform(-cluster, cluster), rng->Uniform(-cluster, cluster)};
+    }
+    // One heavy location with weight rho * w, the rest with w:
+    // rho * w + (k - 1) w = 1.
+    double w = 1.0 / (rho + k - 1);
+    std::vector<double> weights(k, w);
+    weights[0] = rho * w;
+    out.push_back(UncertainPoint::Discrete(locs, weights));
+  }
+  return out;
+}
+
+UncertainSet Lemma41Instance(int n, Rng* rng) {
+  UncertainSet out;
+  Point2 far{100.0, 0.0};
+  for (int i = 0; i < n; ++i) {
+    // Location inside the unit disk; generic position makes all bisectors
+    // distinct and mutually crossing near the disk.
+    double r = std::sqrt(rng->Uniform(0.01, 1.0));
+    double t = rng->Uniform(0, 2 * M_PI);
+    Point2 p = r * UnitVector(t);
+    // The paper puts the far location of every point at the same spot; we
+    // jitter it infinitesimally to stay in general position.
+    Point2 f = far + Point2{rng->Uniform(-1e-3, 1e-3), rng->Uniform(-1e-3, 1e-3)};
+    out.push_back(UncertainPoint::Discrete({p, f}, {0.5, 0.5}));
+  }
+  return out;
+}
+
+}  // namespace pnn

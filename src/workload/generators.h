@@ -1,0 +1,73 @@
+// Workload generators: random instances in several regimes plus the
+// paper's worst-case constructions, built exactly as in the proofs so the
+// benchmarks can confirm the claimed lower bounds.
+
+#ifndef PNN_WORKLOAD_GENERATORS_H_
+#define PNN_WORKLOAD_GENERATORS_H_
+
+#include <vector>
+
+#include "src/geometry/circle.h"
+#include "src/uncertain/uncertain_point.h"
+#include "src/util/rng.h"
+
+namespace pnn {
+
+// ----- Random continuous (disk) workloads -----
+
+/// n disks with centers uniform in [-span, span]^2 and radii in
+/// [rmin, rmax].
+std::vector<Circle> RandomDisks(int n, double span, double rmin, double rmax, Rng* rng);
+
+/// Pairwise-disjoint disks with radii in [1, lambda] (Theorem 2.10's
+/// regime), placed on a jittered grid so disjointness holds by
+/// construction.
+std::vector<Circle> DisjointDisks(int n, double lambda, Rng* rng);
+
+/// Clustered disks: `clusters` groups of heavily-overlapping disks.
+std::vector<Circle> ClusteredDisks(int n, int clusters, double span, double radius,
+                                   Rng* rng);
+
+// ----- The paper's lower-bound constructions -----
+
+/// Theorem 2.7: n = 4m disks (radius R = 8n^2 for D-, D+; unit for D0)
+/// whose nonzero Voronoi diagram has >= 4m^3 = Omega(n^3) vertices.
+std::vector<Circle> LowerBoundCubic(int m);
+
+/// Theorem 2.8: n = 3m equal-radius (unit) disks with Omega(n^3) vertices;
+/// omega is the perturbation parameter (must be small; the proof only
+/// needs "sufficiently small").
+std::vector<Circle> LowerBoundCubicEqualRadius(int m, double omega = 1e-4);
+
+/// Theorem 2.10 (lower bound): n = 2m unit disks centered at
+/// (4(i - m) - 2, 0); every pair (i, j) with j - i >= 2 contributes two
+/// vertices, giving Omega(n^2).
+std::vector<Circle> LowerBoundQuadratic(int m);
+
+/// The vertex positions predicted by the Theorem 2.10 proof (for
+/// validating the construction): 2 per admissible pair.
+std::vector<Point2> LowerBoundQuadraticVertices(int m);
+
+// ----- Discrete workloads -----
+
+/// n uncertain points with k locations each, clustered with the given
+/// radius, equal weights.
+std::vector<std::vector<Point2>> RandomDiscreteLocations(int n, int k, double span,
+                                                         double cluster, Rng* rng);
+
+/// Wraps location sets into equal-weight uncertain points.
+UncertainSet ToUniformUncertain(const std::vector<std::vector<Point2>>& locations);
+
+/// Discrete uncertain points whose location-probability spread is exactly
+/// rho (one heavy location per point), for the Theorem 4.7 sweeps.
+UncertainSet DiscreteWithSpread(int n, int k, double rho, double span, double cluster,
+                                Rng* rng);
+
+/// Lemma 4.1: n uncertain points with k = 2 (one location inside the unit
+/// disk, the other at a common far point), whose probabilistic Voronoi
+/// diagram has Omega(n^4) complexity.
+UncertainSet Lemma41Instance(int n, Rng* rng);
+
+}  // namespace pnn
+
+#endif  // PNN_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,248 @@
+// Arrangement tests: known small configurations with exact face/edge/vertex
+// counts, Euler-formula validation, point location against geometric ground
+// truth, and curved-arc arrangements from real gamma curves.
+
+#include "src/arrangement/arrangement.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/gamma/gamma_curves.h"
+#include "src/util/rng.h"
+
+namespace pnn {
+namespace {
+
+TEST(ArcBasics, SegmentEvalTangentParam) {
+  Arc s = Arc::Segment({0, 0}, {4, 2}, 0);
+  Point2 m = s.Eval(0.5);
+  EXPECT_DOUBLE_EQ(m.x, 2.0);
+  EXPECT_DOUBLE_EQ(m.y, 1.0);
+  EXPECT_NEAR(s.ParamOf({1, 0.5}), 0.25, 1e-12);
+  Box2 b = s.Bounds();
+  EXPECT_DOUBLE_EQ(b.xmax, 4.0);
+}
+
+TEST(ArcBasics, ConicBoundsContainSamples) {
+  auto branch = PolarBranch::Make({0, 0}, {10, 0}, 2.0);
+  ASSERT_TRUE(branch.has_value());
+  double w = branch->half_width;
+  Arc arc = Arc::Conic(*branch, -0.8 * w, 0.8 * w, 0);
+  Box2 b = arc.Bounds();
+  for (int i = 0; i <= 100; ++i) {
+    double t = arc.t0 + (arc.t1 - arc.t0) * i / 100;
+    EXPECT_TRUE(b.Inflated(1e-9).Contains(arc.Eval(t)));
+  }
+}
+
+TEST(ArcBasics, VerticalHitsOnConic) {
+  auto branch = PolarBranch::Make({0, 0}, {10, 0}, 2.0);
+  ASSERT_TRUE(branch.has_value());
+  Arc arc = Arc::Conic(*branch, -0.9 * branch->half_width, 0.9 * branch->half_width, 0);
+  // The branch crosses x = 7 (vertex at x = c + a = 7) exactly once at y=0
+  // ... the vertex point: rho(0) = c + a = 7. A vertical line slightly
+  // right of 7 hits twice; slightly left, zero times.
+  std::vector<double> ts;
+  arc.VerticalLineHits(7.5, &ts);
+  EXPECT_EQ(ts.size(), 2u);
+  ts.clear();
+  arc.VerticalLineHits(6.5, &ts);
+  EXPECT_EQ(ts.size(), 0u);
+  for (double t : ts) EXPECT_NEAR(arc.Eval(t).x, 7.5, 1e-9);
+}
+
+TEST(ArcIntersect, SegSegBasic) {
+  Arc a = Arc::Segment({0, 0}, {10, 10}, 0);
+  Arc b = Arc::Segment({0, 10}, {10, 0}, 1);
+  std::vector<Point2> pts;
+  IntersectArcs(a, b, &pts);
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_NEAR(pts[0].x, 5.0, 1e-12);
+  EXPECT_NEAR(pts[0].y, 5.0, 1e-12);
+}
+
+TEST(ArcIntersect, SegConicTwoHits) {
+  auto branch = PolarBranch::Make({0, 0}, {10, 0}, 2.0);
+  ASSERT_TRUE(branch.has_value());
+  Arc con = Arc::Conic(*branch, -0.9 * branch->half_width, 0.9 * branch->half_width, 0);
+  Arc seg = Arc::Segment({8, -20}, {8, 20}, 1);
+  std::vector<Point2> pts;
+  IntersectArcs(seg, con, &pts);
+  ASSERT_EQ(pts.size(), 2u);
+  for (Point2 p : pts) {
+    EXPECT_NEAR(p.x, 8.0, 1e-9);
+    EXPECT_NEAR(Distance(p, {0, 0}) - Distance(p, {10, 0}), 4.0, 1e-9);
+  }
+}
+
+TEST(ArcIntersect, ConicConicFromGammaCrossing) {
+  // Two hyperbola branches from a 3-disk configuration known to cross.
+  auto b1 = PolarBranch::Make({0, 0}, {10, 0}, 1.5);
+  auto b2 = PolarBranch::Make({5, 8}, {10, 0}, 1.5);
+  ASSERT_TRUE(b1 && b2);
+  Arc a1 = Arc::Conic(*b1, -0.95 * b1->half_width, 0.95 * b1->half_width, 0);
+  Arc a2 = Arc::Conic(*b2, -0.95 * b2->half_width, 0.95 * b2->half_width, 1);
+  std::vector<Point2> pts;
+  IntersectArcs(a1, a2, &pts);
+  EXPECT_GE(pts.size(), 1u);
+  for (Point2 p : pts) {
+    EXPECT_NEAR(Distance(p, b1->f1) - Distance(p, b1->f2), 3.0, 1e-8);
+    EXPECT_NEAR(Distance(p, b2->f1) - Distance(p, b2->f2), 3.0, 1e-8);
+  }
+}
+
+TEST(Arrangement, EmptyInputJustBox) {
+  Arrangement arr({}, {0, 0, 10, 10});
+  EXPECT_EQ(arr.NumVertices(), 4u);
+  EXPECT_EQ(arr.NumEdges(), 4u);
+  EXPECT_EQ(arr.NumFaces(), 2u);  // Inside + outside.
+  EXPECT_TRUE(arr.EulerCheck());
+  int inside = arr.LocateFace({5, 5});
+  EXPECT_NE(inside, arr.outer_face());
+  EXPECT_EQ(arr.LocateFace({50, 5}), arr.outer_face());
+}
+
+TEST(Arrangement, SingleSegmentSplitsBox) {
+  // A vertical chord across the box: 2 faces inside.
+  std::vector<Arc> arcs = {Arc::Segment({5, -1}, {5, 11}, 0)};
+  Arrangement arr(arcs, {0, 0, 10, 10});
+  EXPECT_EQ(arr.NumFaces(), 3u);  // Left, right, outside.
+  EXPECT_TRUE(arr.EulerCheck());
+  int left = arr.LocateFace({2, 5});
+  int right = arr.LocateFace({8, 5});
+  EXPECT_NE(left, right);
+  EXPECT_NE(left, arr.outer_face());
+  // Vertices: 4 corners + 2 chord endpoints on the border.
+  EXPECT_EQ(arr.NumVertices(), 6u);
+  EXPECT_EQ(arr.NumEdges(), 7u);  // 6 border pieces + 1 chord.
+}
+
+TEST(Arrangement, CrossInsideBox) {
+  // Two crossing diagonals: 4 faces inside + outer.
+  std::vector<Arc> arcs = {Arc::Segment({-1, -1}, {11, 11}, 0),
+                           Arc::Segment({-1, 11}, {11, -1}, 1)};
+  Arrangement arr(arcs, {0, 0, 10, 10});
+  EXPECT_TRUE(arr.EulerCheck());
+  EXPECT_EQ(arr.NumFaces(), 5u);
+  // The diagonals pass exactly through the box corners (a deliberate
+  // degeneracy): 4 corner vertices + the center crossing.
+  EXPECT_EQ(arr.NumVertices(), 5u);
+  EXPECT_EQ(arr.NumEdges(), 8u);  // 4 borders + 4 half-diagonals.
+  std::set<int> faces;
+  faces.insert(arr.LocateFace({5, 2}));
+  faces.insert(arr.LocateFace({5, 8}));
+  faces.insert(arr.LocateFace({2, 5}));
+  faces.insert(arr.LocateFace({8, 5}));
+  EXPECT_EQ(faces.size(), 4u);
+}
+
+TEST(Arrangement, FloatingTriangleHole) {
+  // A triangle floating inside the box: its inside is a face, and the
+  // region between triangle and box is one face with a hole.
+  std::vector<Arc> arcs = {Arc::Segment({3, 3}, {7, 3}, 0),
+                           Arc::Segment({7, 3}, {5, 7}, 0),
+                           Arc::Segment({5, 7}, {3, 3}, 0)};
+  Arrangement arr(arcs, {0, 0, 10, 10});
+  EXPECT_TRUE(arr.EulerCheck());
+  EXPECT_EQ(arr.NumFaces(), 3u);  // Triangle interior, annulus, outside.
+  int tri = arr.LocateFace({5, 4});
+  int annulus = arr.LocateFace({1, 1});
+  EXPECT_NE(tri, annulus);
+  EXPECT_EQ(arr.LocateFace({9, 9}), annulus);
+  EXPECT_EQ(arr.LocateFace({5, 6.5}), tri);
+}
+
+TEST(Arrangement, TwoNestedTriangles) {
+  auto tri = [](Point2 c, double s, int id) {
+    return std::vector<Arc>{
+        Arc::Segment({c.x - s, c.y - s}, {c.x + s, c.y - s}, id),
+        Arc::Segment({c.x + s, c.y - s}, {c.x, c.y + s}, id),
+        Arc::Segment({c.x, c.y + s}, {c.x - s, c.y - s}, id)};
+  };
+  std::vector<Arc> arcs = tri({5, 5}, 4, 0);
+  auto inner = tri({5, 4.5}, 1.5, 1);
+  arcs.insert(arcs.end(), inner.begin(), inner.end());
+  Arrangement arr(arcs, {0, 0, 10, 10});
+  EXPECT_TRUE(arr.EulerCheck());
+  EXPECT_EQ(arr.NumFaces(), 4u);  // Inner, ring, box annulus, outside.
+  int f_inner = arr.LocateFace({5, 4.5});
+  int f_ring = arr.LocateFace({5, 8});     // Inside outer tri, outside inner.
+  int f_annulus = arr.LocateFace({0.5, 0.5});
+  EXPECT_NE(f_inner, f_ring);
+  EXPECT_NE(f_ring, f_annulus);
+  EXPECT_NE(f_inner, f_annulus);
+}
+
+TEST(Arrangement, FaceSamplesLocateBack) {
+  Rng rng(301);
+  std::vector<Arc> arcs;
+  for (int i = 0; i < 12; ++i) {
+    Point2 a{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    Point2 b{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    arcs.push_back(Arc::Segment(a, b, i));
+  }
+  Arrangement arr(arcs, {0, 0, 10, 10});
+  EXPECT_TRUE(arr.EulerCheck());
+  for (size_t f = 0; f < arr.NumFaces(); ++f) {
+    if (arr.faces()[f].is_outer) continue;
+    EXPECT_EQ(arr.LocateFace(arr.faces()[f].sample), static_cast<int>(f));
+  }
+}
+
+TEST(Arrangement, GammaCurveArrangementTwoDisks) {
+  // Two separated disks: gamma_0 and gamma_1 are single unbounded arcs
+  // crossing the box; three faces inside the box.
+  std::vector<Circle> disks = {{{-6, 0}, 1}, {{6, 0}, 1}};
+  auto curves = BuildGammaCurves(disks);
+  Box2 box{-20, -20, 20, 20};
+  double cap = 3 * box.Diagonal();
+  std::vector<Arc> arcs;
+  for (const auto& curve : curves) {
+    for (const auto& ga : curve.arcs) {
+      double lo = ga.unbounded_lo ? -ga.branch.PsiAtRho(cap) : ga.psi_lo;
+      double hi = ga.unbounded_hi ? ga.branch.PsiAtRho(cap) : ga.psi_hi;
+      arcs.push_back(Arc::Conic(ga.branch, lo, hi, curve.owner));
+    }
+  }
+  Arrangement arr(arcs, box);
+  EXPECT_TRUE(arr.EulerCheck());
+  // gamma_0 (boundary of where P_0 stops being a candidate NN) bends
+  // around disk 1 and vice versa; the two curves partition the box into 3
+  // regions: near disk 0, middle, near disk 1.
+  EXPECT_EQ(arr.NumFaces(), 4u);  // 3 + outer.
+  std::set<int> faces;
+  faces.insert(arr.LocateFace({-10, 0}));
+  faces.insert(arr.LocateFace({0, 0}));
+  faces.insert(arr.LocateFace({10, 0}));
+  EXPECT_EQ(faces.size(), 3u);
+}
+
+TEST(Arrangement, EulerOnRandomGammaArrangements) {
+  Rng rng(307);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<Circle> disks;
+    int n = 8;
+    for (int i = 0; i < n; ++i) {
+      disks.push_back({{rng.Uniform(-20, 20), rng.Uniform(-20, 20)},
+                       rng.Uniform(0.5, 2.0)});
+    }
+    Box2 box{-60, -60, 60, 60};
+    double cap = 3 * box.Diagonal();
+    std::vector<Arc> arcs;
+    for (const auto& curve : BuildGammaCurves(disks)) {
+      for (const auto& ga : curve.arcs) {
+        double lo = ga.unbounded_lo ? -ga.branch.PsiAtRho(cap) : ga.psi_lo;
+        double hi = ga.unbounded_hi ? ga.branch.PsiAtRho(cap) : ga.psi_hi;
+        if (lo >= hi) continue;
+        arcs.push_back(Arc::Conic(ga.branch, lo, hi, curve.owner));
+      }
+    }
+    Arrangement arr(arcs, box);
+    EXPECT_TRUE(arr.EulerCheck()) << "trial " << trial;
+    EXPECT_GE(arr.NumFaces(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace pnn

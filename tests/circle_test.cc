@@ -1,0 +1,90 @@
+// Tests for circle intersections and lens areas.
+
+#include "src/geometry/circle.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace pnn {
+namespace {
+
+TEST(IntersectCircles, TwoPoints) {
+  Point2 out[2];
+  int n = IntersectCircles({{0, 0}, 5}, {{6, 0}, 5}, out);
+  ASSERT_EQ(n, 2);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_NEAR(Norm(out[i]), 5.0, 1e-12);
+    EXPECT_NEAR(Distance(out[i], {6, 0}), 5.0, 1e-12);
+  }
+  EXPECT_NEAR(out[0].x, 3.0, 1e-12);
+  EXPECT_NEAR(out[1].x, 3.0, 1e-12);
+  EXPECT_NEAR(std::abs(out[0].y), 4.0, 1e-12);
+}
+
+TEST(IntersectCircles, TangentAndDisjoint) {
+  Point2 out[2];
+  EXPECT_EQ(IntersectCircles({{0, 0}, 1}, {{3, 0}, 1}, out), 0);
+  int n = IntersectCircles({{0, 0}, 1}, {{2, 0}, 1}, out);
+  ASSERT_EQ(n, 1);
+  EXPECT_NEAR(out[0].x, 1.0, 1e-12);
+  EXPECT_NEAR(out[0].y, 0.0, 1e-12);
+  // Nested circles.
+  EXPECT_EQ(IntersectCircles({{0, 0}, 5}, {{1, 0}, 1}, out), 0);
+}
+
+TEST(DiskIntersectionArea, ContainmentAndDisjoint) {
+  EXPECT_DOUBLE_EQ(DiskIntersectionArea({{0, 0}, 5}, {{1, 0}, 1}), M_PI);
+  EXPECT_DOUBLE_EQ(DiskIntersectionArea({{0, 0}, 1}, {{5, 0}, 1}), 0.0);
+}
+
+TEST(DiskIntersectionArea, HalfOverlapSymmetric) {
+  // Two unit circles at distance 0: full overlap.
+  EXPECT_NEAR(DiskIntersectionArea({{0, 0}, 1}, {{0, 1e-15}, 1}), M_PI, 1e-9);
+}
+
+TEST(DiskIntersectionArea, KnownValue) {
+  // Classic: two unit disks with centers at distance 1.
+  // Area = 2 cos^-1(1/2) - (1/2) sqrt(3) ... standard lens formula:
+  double expected = 2 * std::acos(0.5) - 0.5 * std::sqrt(3.0);
+  EXPECT_NEAR(DiskIntersectionArea({{0, 0}, 1}, {{1, 0}, 1}), expected, 1e-12);
+}
+
+TEST(DiskIntersectionArea, MonteCarloAgreement) {
+  Rng rng(23);
+  Circle c1{{0, 0}, 2.0};
+  Circle c2{{1.5, 0.7}, 1.3};
+  int inside = 0;
+  const int kSamples = 400000;
+  for (int i = 0; i < kSamples; ++i) {
+    // Sample uniformly in c1's bounding box, count hits in both disks.
+    Point2 p{rng.Uniform(-2, 2), rng.Uniform(-2, 2)};
+    if (DiskContains(c1, p) && DiskContains(c2, p)) ++inside;
+  }
+  double mc = 16.0 * inside / kSamples;
+  EXPECT_NEAR(DiskIntersectionArea(c1, c2), mc, 0.03);
+}
+
+TEST(DiskIntersectionArea, SymmetryRandom) {
+  Rng rng(29);
+  for (int i = 0; i < 200; ++i) {
+    Circle a{{rng.Uniform(-3, 3), rng.Uniform(-3, 3)}, rng.Uniform(0.1, 2)};
+    Circle b{{rng.Uniform(-3, 3), rng.Uniform(-3, 3)}, rng.Uniform(0.1, 2)};
+    EXPECT_NEAR(DiskIntersectionArea(a, b), DiskIntersectionArea(b, a), 1e-12);
+    double area = DiskIntersectionArea(a, b);
+    EXPECT_GE(area, 0.0);
+    double min_area = M_PI * std::pow(std::min(a.radius, b.radius), 2);
+    EXPECT_LE(area, min_area + 1e-12);
+  }
+}
+
+TEST(CircularCapArea, Extremes) {
+  EXPECT_DOUBLE_EQ(CircularCapArea(2.0, 2.0), 0.0);
+  EXPECT_NEAR(CircularCapArea(2.0, 0.0), M_PI * 2.0, 1e-12);  // Half disk.
+  EXPECT_NEAR(CircularCapArea(2.0, -2.0), 4 * M_PI, 1e-12);   // Full disk.
+}
+
+}  // namespace
+}  // namespace pnn

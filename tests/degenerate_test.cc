@@ -1,0 +1,170 @@
+// Failure injection and degenerate-input coverage: the configurations a
+// naive implementation breaks on — concentric and nested disks, duplicate
+// locations, extreme coordinates, near-zero weights, queries placed
+// exactly on curves and vertices.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/nnquery/nn_index.h"
+#include "src/geometry/solvers.h"
+#include "src/core/prob/quantify.h"
+#include "src/core/v0/nonzero_voronoi.h"
+#include "src/uncertain/uncertain_point.h"
+#include "src/util/rng.h"
+
+namespace pnn {
+namespace {
+
+TEST(Degenerate, ConcentricDisks) {
+  // Same center, different radii: the smaller disk's point dominates
+  // nothing; both are candidates everywhere near them (delta_small <
+  // Delta_big always; delta_big < Delta_small iff close enough).
+  std::vector<Circle> disks = {{{0, 0}, 1.0}, {{0, 0}, 3.0}, {{20, 0}, 1.0}};
+  NonzeroVoronoi v0(disks);
+  EXPECT_TRUE(v0.arrangement().EulerCheck());
+  EXPECT_TRUE(v0.Validate());
+  auto at_center = v0.Query({0.1, 0.1});
+  EXPECT_TRUE(std::find(at_center.begin(), at_center.end(), 0) != at_center.end());
+  EXPECT_TRUE(std::find(at_center.begin(), at_center.end(), 1) != at_center.end());
+}
+
+TEST(Degenerate, NestedDisks) {
+  // D_0 strictly inside D_1: gamma_{01} and gamma_{10} are both empty.
+  std::vector<Circle> disks = {{{0.2, 0}, 0.5}, {{0, 0}, 5.0}, {{30, 0}, 1.0}};
+  NonzeroVoronoi v0(disks);
+  EXPECT_TRUE(v0.Validate());
+  UncertainSet upts;
+  for (const auto& d : disks) {
+    upts.push_back(UncertainPoint::UniformDisk(d.center, d.radius));
+  }
+  Rng rng(1701);
+  for (int t = 0; t < 100; ++t) {
+    Point2 q{rng.Uniform(-35, 35), rng.Uniform(-20, 20)};
+    EXPECT_EQ(v0.Query(q), NonzeroNNBruteForce(upts, q));
+  }
+}
+
+TEST(Degenerate, IdenticalDisks) {
+  // Exactly coincident uncertainty regions: mutually unconstrained, both
+  // always candidates together.
+  std::vector<Circle> disks = {{{0, 0}, 2.0}, {{0, 0}, 2.0}, {{15, 0}, 1.0}};
+  NonzeroVoronoi v0(disks);
+  EXPECT_TRUE(v0.Validate());
+  auto got = v0.Query({1, 0});
+  EXPECT_EQ(got, (std::vector<int>{0, 1}));
+}
+
+TEST(Degenerate, DuplicateLocationsWithinDiscretePoint) {
+  // One uncertain point listing the same coordinate twice (weights add).
+  auto p = UncertainPoint::Discrete({{1, 0}, {1, 0}, {4, 0}}, {0.25, 0.25, 0.5});
+  EXPECT_DOUBLE_EQ(p.DistanceCdf({0, 0}, 1.0), 0.5);
+  UncertainSet pts = {p, UncertainPoint::Discrete({{2, 0}}, {1.0})};
+  auto out = QuantifyExactDiscrete(pts, {0, 0});
+  double total = 0;
+  for (const auto& e : out) total += e.probability;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // P_0 is nearest iff it realizes (1,0): probability 0.5.
+  EXPECT_EQ(out[0].index, 0);
+  EXPECT_DOUBLE_EQ(out[0].probability, 0.5);
+}
+
+TEST(Degenerate, ExtremeCoordinates) {
+  // Far-from-origin data: translation-sensitive code (the linearization
+  // f(x,p) = |p|^2 - 2<x,p>) must stay accurate.
+  double off = 1e6;
+  std::vector<std::vector<Point2>> locs = {
+      {{off + 0, off + 0}, {off + 1, off + 0}},
+      {{off + 10, off + 0}, {off + 11, off + 1}},
+      {{off + 5, off + 8}, {off + 6, off + 9}},
+  };
+  NonzeroVoronoiDiscrete v0(locs);
+  EXPECT_TRUE(v0.arrangement().EulerCheck());
+  EXPECT_TRUE(v0.Validate());
+  auto upts = [&] {
+    UncertainSet u;
+    for (const auto& l : locs) u.push_back(UncertainPoint::Discrete(l, {0.5, 0.5}));
+    return u;
+  }();
+  Rng rng(1703);
+  for (int t = 0; t < 50; ++t) {
+    Point2 q{off + rng.Uniform(-5, 15), off + rng.Uniform(-5, 15)};
+    EXPECT_EQ(v0.Query(q), NonzeroNNBruteForce(upts, q));
+  }
+}
+
+TEST(Degenerate, NearZeroWeights) {
+  // A location with weight 1e-12 must neither crash nor distort sums.
+  UncertainSet pts;
+  pts.push_back(UncertainPoint::Discrete({{0, 0}, {100, 0}}, {1.0 - 1e-12, 1e-12}));
+  pts.push_back(UncertainPoint::Discrete({{5, 0}}, {1.0}));
+  auto out = QuantifyExactDiscrete(pts, {1, 0});
+  double total = 0;
+  for (const auto& e : out) total += e.probability;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_NEAR(out[0].probability, 1.0, 1e-9);
+}
+
+TEST(Degenerate, QueryExactlyOnCurveAndVertex) {
+  // Queries placed exactly on gamma curves / diagram vertices must return
+  // *a* adjacent face's label (never crash, never return garbage).
+  std::vector<Circle> disks = {{{-8, 0}, 1}, {{8, 0}, 1}};
+  NonzeroVoronoi v0(disks);
+  UncertainSet upts;
+  for (const auto& d : disks) {
+    upts.push_back(UncertainPoint::UniformDisk(d.center, d.radius));
+  }
+  // gamma_0 crosses the x-axis where d(x,c0) - 1 = d(x,c1) + 1.
+  double x = Bisect(
+      [&](double t) {
+        return (std::abs(t + 8) - 1) - (std::abs(8 - t) + 1);
+      },
+      -8, 8);
+  auto on_curve = v0.Query({x, 0.0});
+  EXPECT_GE(on_curve.size(), 1u);
+  for (int i : on_curve) EXPECT_TRUE(i == 0 || i == 1);
+  // Corners of the clip box.
+  const Box2& box = v0.box();
+  for (Point2 corner : {Point2{box.xmin, box.ymin}, Point2{box.xmax, box.ymax}}) {
+    auto res = v0.Query(corner);
+    EXPECT_EQ(res, NonzeroNNBruteForce(upts, corner));
+  }
+}
+
+TEST(Degenerate, SingleUncertainPoint) {
+  NonzeroVoronoi v0({{{3, 4}, 2.0}});
+  EXPECT_EQ(v0.complexity().faces, 1u);
+  EXPECT_EQ(v0.Query({100, 100}), (std::vector<int>{0}));
+  NonzeroVoronoiDiscrete vd({{{1, 1}, {2, 2}}});
+  EXPECT_EQ(vd.Query({0, 0}), (std::vector<int>{0}));
+}
+
+TEST(Degenerate, CollinearCentersEqualRadii) {
+  // Collinear equal disks: bisector curves are parallel-ish; vertices at
+  // infinity. Everything stays consistent inside the box.
+  std::vector<Circle> disks;
+  for (int i = 0; i < 6; ++i) disks.push_back({{4.0 * i, 0.0}, 1.0});
+  NonzeroVoronoi v0(disks);
+  EXPECT_TRUE(v0.arrangement().EulerCheck());
+  EXPECT_TRUE(v0.Validate());
+}
+
+TEST(Degenerate, IndexesOnDegenerateInputs) {
+  // Indexes must agree with scans on the same degenerate configurations.
+  std::vector<Circle> disks = {{{0, 0}, 1}, {{0, 0}, 3}, {{0.2, 0}, 0.5},
+                               {{9, 0}, 1}, {{9, 0}, 1}};
+  NonzeroNNIndex index(disks);
+  UncertainSet upts;
+  for (const auto& d : disks) {
+    upts.push_back(UncertainPoint::UniformDisk(d.center, d.radius));
+  }
+  Rng rng(1705);
+  for (int t = 0; t < 200; ++t) {
+    Point2 q{rng.Uniform(-12, 20), rng.Uniform(-10, 10)};
+    EXPECT_EQ(index.Query(q), NonzeroNNBruteForce(upts, q));
+  }
+}
+
+}  // namespace
+}  // namespace pnn

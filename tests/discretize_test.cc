@@ -1,0 +1,104 @@
+// Tests for the Section 4.2 continuous-to-discrete conversion and its
+// Lemma 4.4 guarantee: quantification over the discretized set bar-P
+// approximates the continuous quantification within alpha * n.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/prob/quantify.h"
+#include "src/core/prob/spiral.h"
+#include "src/uncertain/uncertain_point.h"
+#include "src/util/rng.h"
+
+namespace pnn {
+namespace {
+
+TEST(Discretize, SampleCountFormula) {
+  // k(alpha) = ln(2/delta') / (2 alpha^2), DKW.
+  EXPECT_EQ(DiscretizationSamples(0.1, 0.1),
+            static_cast<size_t>(std::ceil(std::log(20.0) / 0.02)));
+  EXPECT_GT(DiscretizationSamples(0.05, 0.1), DiscretizationSamples(0.1, 0.1));
+  EXPECT_GT(DiscretizationSamples(0.1, 0.01), DiscretizationSamples(0.1, 0.1));
+}
+
+TEST(Discretize, PassesThroughDiscretePoints) {
+  Rng rng(1601);
+  UncertainSet pts;
+  pts.push_back(UncertainPoint::Discrete({{0, 0}, {1, 1}}, {0.5, 0.5}));
+  pts.push_back(UncertainPoint::UniformDisk({5, 5}, 1.0));
+  auto bar = DiscretizeContinuous(pts, 64, &rng);
+  ASSERT_EQ(bar.size(), 2u);
+  EXPECT_EQ(bar[0].discrete().locations.size(), 2u);   // Unchanged.
+  EXPECT_EQ(bar[1].discrete().locations.size(), 64u);  // Sampled.
+  // Samples land in the original support.
+  for (Point2 p : bar[1].discrete().locations) {
+    EXPECT_LE(Distance(p, {5, 5}), 1.0 + 1e-12);
+  }
+}
+
+TEST(Discretize, CdfConvergesToContinuous) {
+  Rng rng(1603);
+  auto p = UncertainPoint::UniformDisk({0, 0}, 3.0);
+  Point2 q{4, 1};
+  // Eq. (7): |G_bar - G| <= alpha w.h.p. with k(alpha) samples.
+  double alpha = 0.05;
+  auto bar = DiscretizeContinuous({p}, DiscretizationSamples(alpha, 0.01), &rng);
+  for (double r = 1.0; r <= 8.0; r += 0.5) {
+    EXPECT_NEAR(bar[0].DistanceCdf(q, r), p.DistanceCdf(q, r), alpha);
+  }
+}
+
+TEST(Discretize, Lemma44QuantificationError) {
+  Rng rng(1605);
+  UncertainSet pts;
+  pts.push_back(UncertainPoint::UniformDisk({0, 0}, 2.0));
+  pts.push_back(UncertainPoint::UniformDisk({4, 1}, 1.5));
+  pts.push_back(UncertainPoint::TruncatedGaussian({-1, 3}, 2.0, 0.8));
+  pts.push_back(UncertainPoint::UniformDisk({2, -3}, 1.0));
+  size_t n = pts.size();
+  // Target |pi_bar - pi| <= eps = alpha * n.
+  double eps = 0.1;
+  double alpha = eps / (2.0 * n);
+  auto bar = DiscretizeContinuous(pts, DiscretizationSamples(alpha, 0.01), &rng);
+  for (int t = 0; t < 6; ++t) {
+    Point2 q{rng.Uniform(-5, 6), rng.Uniform(-5, 5)};
+    auto cont = QuantifyNumericContinuous(pts, q, 1e-9);
+    auto disc = QuantifyExactDiscrete(bar, q);
+    std::vector<double> c(n, 0.0), d(n, 0.0);
+    for (const auto& x : cont) c[x.index] = x.probability;
+    for (const auto& x : disc) d[x.index] = x.probability;
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(d[i], c[i], eps) << "i=" << i << " t=" << t;
+    }
+  }
+}
+
+TEST(Discretize, EnablesSpiralSearchOnContinuousInput) {
+  // The conversion makes the discrete-only machinery usable on disks:
+  // conclusions open problem (iii) addressed pragmatically.
+  Rng rng(1607);
+  UncertainSet pts;
+  for (int i = 0; i < 12; ++i) {
+    pts.push_back(UncertainPoint::UniformDisk(
+        {rng.Uniform(-20, 20), rng.Uniform(-20, 20)}, rng.Uniform(0.5, 2.0)));
+  }
+  auto bar = DiscretizeContinuous(pts, 64, &rng);
+  SpiralSearchPNN spiral(bar);
+  EXPECT_DOUBLE_EQ(spiral.rho(), 1.0);  // Uniform weights.
+  for (int t = 0; t < 10; ++t) {
+    Point2 q{rng.Uniform(-22, 22), rng.Uniform(-22, 22)};
+    auto est = spiral.Query(q, 0.02);
+    auto cont = QuantifyNumericContinuous(pts, q, 1e-9);
+    std::vector<double> c(pts.size(), 0.0), g(pts.size(), 0.0);
+    for (const auto& x : cont) c[x.index] = x.probability;
+    for (const auto& x : est) g[x.index] = x.probability;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      // Discretization (64 samples: alpha ~ 0.1) + spiral eps.
+      EXPECT_NEAR(g[i], c[i], 0.1 * 2 + 0.02) << "i=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pnn

@@ -1,0 +1,149 @@
+// Tests for the generic circular lower envelope, using a synthetic family
+// of sinusoid-like curves with closed-form crossings, validated against
+// dense brute-force sampling.
+
+#include "src/envelope/circular_envelope.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace pnn {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Family: curve c has value h[c] + cos(theta - phi[c]) on the full circle,
+// or restricted to a window. Crossings solve in closed form.
+struct SinFamily {
+  std::vector<double> h, phi;
+  std::vector<std::pair<double, double>> dom;  // start, end (end<=start+2pi).
+
+  CircularCurveFamily Make() const {
+    CircularCurveFamily f;
+    f.eval = [this](int c, double theta) {
+      double start = dom[c].first, end = dom[c].second;
+      double t = theta;
+      while (t < start) t += 2 * M_PI;
+      if (t > end) return kInf;
+      return h[c] + std::cos(theta - phi[c]);
+    };
+    f.domain = [this](int c) { return dom[c]; };
+    f.crossings = [this](int c1, int c2, std::vector<double>* out) {
+      // h1 + cos(t - p1) = h2 + cos(t - p2):
+      // A cos t + B sin t = C with
+      double A = std::cos(phi[c1]) - std::cos(phi[c2]);
+      double B = std::sin(phi[c1]) - std::sin(phi[c2]);
+      double C = h[c2] - h[c1];
+      double r = std::hypot(A, B);
+      if (r < 1e-300) return;
+      if (std::abs(C) > r) return;
+      double base = std::atan2(B, A);
+      double off = std::acos(std::clamp(C / r, -1.0, 1.0));
+      out->push_back(base + off);
+      out->push_back(base - off);
+    };
+    return f;
+  }
+};
+
+void ValidateEnvelope(const std::vector<int>& ids, const SinFamily& fam,
+                      const std::vector<EnvelopeArc>& env, int samples = 5000) {
+  auto f = fam.Make();
+  for (int s = 0; s < samples; ++s) {
+    double theta = 2 * M_PI * (s + 0.37) / samples;
+    int c = EnvelopeCurveAt(env, theta);
+    double best = kInf;
+    for (int id : ids) best = std::min(best, f.eval(id, theta));
+    if (best == kInf) {
+      EXPECT_EQ(c, kNoCurve) << "theta=" << theta;
+    } else {
+      ASSERT_NE(c, kNoCurve) << "theta=" << theta;
+      // The reported winner must be within tolerance of the true minimum
+      // (exactly equal away from crossings).
+      EXPECT_NEAR(f.eval(c, theta), best, 1e-9) << "theta=" << theta;
+    }
+  }
+}
+
+TEST(CircularEnvelope, SingleFullCircleCurve) {
+  SinFamily fam{{0.0}, {0.0}, {{0.0, 2 * M_PI}}};
+  auto env = LowerEnvelopeCircular({0}, fam.Make());
+  ASSERT_EQ(env.size(), 1u);
+  EXPECT_EQ(env[0].curve, 0);
+}
+
+TEST(CircularEnvelope, SinglePartialCurve) {
+  SinFamily fam{{0.0}, {0.0}, {{1.0, 2.5}}};
+  auto env = LowerEnvelopeCircular({0}, fam.Make());
+  ASSERT_EQ(env.size(), 2u);
+  ValidateEnvelope({0}, fam, env);
+}
+
+TEST(CircularEnvelope, TwoFullCurvesCrossTwice) {
+  SinFamily fam{{0.0, 0.0}, {0.0, 1.5}, {{0.0, 2 * M_PI}, {0.0, 2 * M_PI}}};
+  auto env = LowerEnvelopeCircular({0, 1}, fam.Make());
+  EXPECT_EQ(env.size(), 2u);  // Two alternating arcs.
+  ValidateEnvelope({0, 1}, fam, env);
+}
+
+TEST(CircularEnvelope, DominatedCurveVanishes) {
+  SinFamily fam{{0.0, 5.0}, {0.0, 1.0}, {{0.0, 2 * M_PI}, {0.0, 2 * M_PI}}};
+  auto env = LowerEnvelopeCircular({0, 1}, fam.Make());
+  ASSERT_EQ(env.size(), 1u);
+  EXPECT_EQ(env[0].curve, 0);
+}
+
+TEST(CircularEnvelope, PartialCurvesWithGaps) {
+  SinFamily fam{{0.0, 0.0}, {0.0, 0.0}, {{0.5, 1.5}, {3.0, 4.5}}};
+  auto env = LowerEnvelopeCircular({0, 1}, fam.Make());
+  ValidateEnvelope({0, 1}, fam, env);
+  // Expect four arcs: c0, gap, c1, gap.
+  EXPECT_EQ(env.size(), 4u);
+}
+
+TEST(CircularEnvelope, RandomFamiliesMatchBruteForce) {
+  Rng rng(97);
+  for (int trial = 0; trial < 40; ++trial) {
+    int n = static_cast<int>(rng.UniformInt(2, 14));
+    SinFamily fam;
+    std::vector<int> ids;
+    for (int c = 0; c < n; ++c) {
+      fam.h.push_back(rng.Uniform(-0.5, 1.5));
+      fam.phi.push_back(rng.Uniform(0, 2 * M_PI));
+      if (rng.Bernoulli(0.5)) {
+        double start = rng.Uniform(0, 2 * M_PI);
+        fam.dom.push_back({start, start + rng.Uniform(0.3, 2 * M_PI)});
+      } else {
+        fam.dom.push_back({0.0, 2 * M_PI});
+      }
+      ids.push_back(c);
+    }
+    auto env = LowerEnvelopeCircular(ids, fam.Make());
+    ValidateEnvelope(ids, fam, env, 2000);
+    // Canonical form invariants: sorted starts, no adjacent duplicates.
+    for (size_t i = 0; i < env.size(); ++i) {
+      if (env.size() > 1) {
+        EXPECT_NE(env[i].curve, env[(i + 1) % env.size()].curve);
+      }
+      if (i + 1 < env.size()) {
+        EXPECT_LT(env[i].start, env[i + 1].start);
+      }
+    }
+  }
+}
+
+TEST(CircularEnvelope, WindowedCurveBeatsFullCurveLocally) {
+  // Curve 1 is much lower but only on a window.
+  SinFamily fam{{1.0, -3.0}, {0.0, 0.0}, {{0.0, 2 * M_PI}, {2.0, 3.0}}};
+  auto env = LowerEnvelopeCircular({0, 1}, fam.Make());
+  ValidateEnvelope({0, 1}, fam, env);
+  EXPECT_EQ(EnvelopeCurveAt(env, 2.5), 1);
+  EXPECT_EQ(EnvelopeCurveAt(env, 0.5), 0);
+}
+
+}  // namespace
+}  // namespace pnn

@@ -1,0 +1,156 @@
+// Tests for the expected-distance NN index ([AESZ12] semantics) and the
+// L-infinity NN!=0 index (Section 3 remark (ii)), both validated against
+// linear scans.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/nnquery/expected_nn.h"
+#include "src/core/nnquery/nn_index.h"
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+
+namespace pnn {
+namespace {
+
+TEST(ExpectedNNIndex, NearestMatchesScanDiscrete) {
+  Rng rng(1301);
+  auto pts = ToUniformUncertain(RandomDiscreteLocations(60, 3, 40, 6, &rng));
+  ExpectedNNIndex index(&pts);
+  for (int t = 0; t < 100; ++t) {
+    Point2 q{rng.Uniform(-50, 50), rng.Uniform(-50, 50)};
+    // Scan.
+    int scan_best = 0;
+    double bd = 1e300;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      double e = pts[i].ExpectedDistance(q);
+      if (e < bd) {
+        bd = e;
+        scan_best = static_cast<int>(i);
+      }
+    }
+    int got = index.Nearest(q);
+    EXPECT_NEAR(pts[got].ExpectedDistance(q), bd, 1e-9);
+    EXPECT_EQ(got, scan_best);
+  }
+}
+
+TEST(ExpectedNNIndex, KNearestSortedAndComplete) {
+  Rng rng(1303);
+  auto pts = ToUniformUncertain(RandomDiscreteLocations(40, 4, 30, 8, &rng));
+  ExpectedNNIndex index(&pts);
+  for (int t = 0; t < 30; ++t) {
+    Point2 q{rng.Uniform(-35, 35), rng.Uniform(-35, 35)};
+    int k = static_cast<int>(rng.UniformInt(1, 10));
+    auto got = index.KNearest(q, k);
+    ASSERT_EQ(static_cast<int>(got.size()), k);
+    std::vector<double> all;
+    for (const auto& p : pts) all.push_back(p.ExpectedDistance(q));
+    std::vector<double> sorted_all = all;
+    std::sort(sorted_all.begin(), sorted_all.end());
+    for (int i = 0; i < k; ++i) {
+      EXPECT_NEAR(all[got[i]], sorted_all[i], 1e-9) << "rank " << i;
+    }
+  }
+}
+
+TEST(ExpectedNNIndex, PruningActuallyPrunes) {
+  // On spread-out points, the best-first search must evaluate far fewer
+  // exact expected distances than n.
+  Rng rng(1305);
+  auto pts = ToUniformUncertain(RandomDiscreteLocations(500, 3, 200, 2, &rng));
+  ExpectedNNIndex index(&pts);
+  size_t total = 0;
+  for (int t = 0; t < 50; ++t) {
+    Point2 q{rng.Uniform(-200, 200), rng.Uniform(-200, 200)};
+    index.Nearest(q);
+    total += index.last_evaluations();
+  }
+  EXPECT_LT(total / 50.0, 50.0) << "expected <10% of n exact evaluations";
+}
+
+TEST(ExpectedNNIndex, ContinuousPoints) {
+  Rng rng(1307);
+  UncertainSet pts;
+  for (int i = 0; i < 15; ++i) {
+    pts.push_back(UncertainPoint::UniformDisk(
+        {rng.Uniform(-20, 20), rng.Uniform(-20, 20)}, rng.Uniform(0.5, 3)));
+  }
+  ExpectedNNIndex index(&pts);
+  for (int t = 0; t < 20; ++t) {
+    Point2 q{rng.Uniform(-25, 25), rng.Uniform(-25, 25)};
+    int scan_best = 0;
+    double bd = 1e300;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      double e = pts[i].ExpectedDistance(q);
+      if (e < bd) {
+        bd = e;
+        scan_best = static_cast<int>(i);
+      }
+    }
+    EXPECT_EQ(index.Nearest(q), scan_best);
+  }
+}
+
+// ---------------- L-infinity index ----------------
+
+double Linf(Point2 a, Point2 b) {
+  return std::max(std::abs(a.x - b.x), std::abs(a.y - b.y));
+}
+
+TEST(LinfNonzeroNNIndex, MatchesBruteForce) {
+  Rng rng(1309);
+  for (int trial = 0; trial < 5; ++trial) {
+    int n = 60;
+    std::vector<Point2> centers(n);
+    std::vector<double> half(n);
+    for (int i = 0; i < n; ++i) {
+      centers[i] = {rng.Uniform(-40, 40), rng.Uniform(-40, 40)};
+      half[i] = rng.Uniform(0.3, 4.0);
+    }
+    LinfNonzeroNNIndex index(centers, half);
+    for (int t = 0; t < 200; ++t) {
+      Point2 q{rng.Uniform(-50, 50), rng.Uniform(-50, 50)};
+      // Brute force under Chebyshev distance: delta_i = Linf - h (>= 0
+      // clamp unneeded for the strict comparison), Delta_i = Linf + h.
+      double min_max = 1e300;
+      for (int i = 0; i < n; ++i) {
+        min_max = std::min(min_max, Linf(q, centers[i]) + half[i]);
+      }
+      std::vector<int> expect;
+      for (int i = 0; i < n; ++i) {
+        if (Linf(q, centers[i]) - half[i] < min_max) expect.push_back(i);
+      }
+      EXPECT_EQ(index.Query(q), expect);
+      EXPECT_NEAR(index.Delta(q), min_max, 1e-9);
+    }
+  }
+}
+
+TEST(LinfNonzeroNNIndex, SquareSemantics) {
+  // Two squares: q inside square 0, far from square 1.
+  LinfNonzeroNNIndex index({{0, 0}, {100, 0}}, {2.0, 2.0});
+  EXPECT_EQ(index.Query({1, 1}), (std::vector<int>{0}));
+  EXPECT_EQ(index.Query({50, 0}), (std::vector<int>{0, 1}));
+  EXPECT_EQ(index.Query({99, 1}), (std::vector<int>{1}));
+}
+
+TEST(KdTreeChebyshev, NearestMatchesScan) {
+  Rng rng(1311);
+  std::vector<Point2> pts(300);
+  for (auto& p : pts) p = {rng.Uniform(-50, 50), rng.Uniform(-50, 50)};
+  KdTree tree(pts, {}, Metric::kChebyshev);
+  for (int t = 0; t < 200; ++t) {
+    Point2 q{rng.Uniform(-60, 60), rng.Uniform(-60, 60)};
+    double best = 1e300;
+    for (const auto& p : pts) best = std::min(best, Linf(q, p));
+    double d;
+    tree.Nearest(q, &d);
+    EXPECT_NEAR(d, best, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace pnn

@@ -1,0 +1,193 @@
+// Tests for the polar hyperbola branches and the gamma_i curves of
+// Lemma 2.2: points on gamma_ij satisfy the distance-difference equation,
+// points on gamma_i satisfy delta_i = Delta, and the breakpoint count obeys
+// the 2n bound.
+
+#include "src/core/gamma/gamma_curves.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/gamma/polar_hyperbola.h"
+#include "src/util/rng.h"
+
+namespace pnn {
+namespace {
+
+std::vector<Circle> RandomDisks(int n, Rng* rng, double span = 50, double rmin = 0.5,
+                                double rmax = 4.0) {
+  std::vector<Circle> out(n);
+  for (auto& d : out) {
+    d.center = {rng->Uniform(-span, span), rng->Uniform(-span, span)};
+    d.radius = rng->Uniform(rmin, rmax);
+  }
+  return out;
+}
+
+TEST(PolarBranch, PointsSatisfyDistanceEquation) {
+  Rng rng(201);
+  for (int t = 0; t < 200; ++t) {
+    Point2 f1{rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+    Point2 f2{rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+    double a = rng.Uniform(0.0, 0.4 * Distance(f1, f2));
+    auto b = PolarBranch::Make(f1, f2, a);
+    if (!b) continue;
+    for (int s = 0; s < 20; ++s) {
+      double psi = rng.Uniform(-0.95, 0.95) * b->half_width;
+      Point2 p = b->PointAt(psi);
+      EXPECT_NEAR(Distance(p, f1) - Distance(p, f2), 2 * a, 1e-8 * (1 + Norm(p)));
+      EXPECT_TRUE(b->OnBranchSide(p));
+      // PsiOf inverts PointAt.
+      EXPECT_NEAR(b->PsiOf(p), psi, 1e-9);
+      // Implicit conic vanishes on the branch.
+      double c[6];
+      b->ImplicitConic(c);
+      double v = c[0] * p.x * p.x + c[1] * p.x * p.y + c[2] * p.y * p.y + c[3] * p.x +
+                 c[4] * p.y + c[5];
+      double scale = std::abs(c[0]) + std::abs(c[2]) + std::abs(c[5]) + 1;
+      EXPECT_NEAR(v / (scale * (1 + SquaredNorm(p))), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(PolarBranch, RejectsOverlappingDisks) {
+  EXPECT_FALSE(PolarBranch::Make({0, 0}, {1, 0}, 0.6).has_value());  // 2a > 2c.
+  EXPECT_FALSE(PolarBranch::Make({0, 0}, {1, 0}, 0.5).has_value());  // Touching.
+  EXPECT_TRUE(PolarBranch::Make({0, 0}, {1, 0}, 0.49).has_value());
+}
+
+TEST(PolarBranch, DegenerateBisector) {
+  // a = 0: the branch is the perpendicular bisector.
+  auto b = PolarBranch::Make({0, 0}, {4, 0}, 0.0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NEAR(b->half_width, M_PI / 2, 1e-12);
+  Point2 p = b->PointAt(0.7);
+  EXPECT_NEAR(p.x, 2.0, 1e-9);  // On the bisector x = 2.
+}
+
+TEST(PolarBranch, TangentMatchesFiniteDifference) {
+  auto b = PolarBranch::Make({-1, 2}, {5, -1}, 1.2);
+  ASSERT_TRUE(b.has_value());
+  for (double psi : {-0.8, -0.2, 0.0, 0.4, 0.9}) {
+    if (std::abs(psi) >= b->half_width) continue;
+    double h = 1e-6;
+    Vec2 fd = (b->PointAt(psi + h) - b->PointAt(psi - h)) / (2 * h);
+    Vec2 an = b->TangentAt(psi);
+    EXPECT_NEAR(fd.x, an.x, 1e-5 * (1 + std::abs(an.x)));
+    EXPECT_NEAR(fd.y, an.y, 1e-5 * (1 + std::abs(an.y)));
+  }
+}
+
+TEST(PolarBranch, PsiAtRhoInverts) {
+  auto b = PolarBranch::Make({0, 0}, {10, 0}, 2.0);
+  ASSERT_TRUE(b.has_value());
+  for (double cap : {10.0, 50.0, 1000.0}) {
+    double psi = b->PsiAtRho(cap);
+    EXPECT_NEAR(b->Rho(psi), cap, 1e-6 * cap);
+  }
+}
+
+TEST(CrossingsSharedFocus, FoundAndOnBothBranches) {
+  Rng rng(203);
+  int found = 0;
+  for (int t = 0; t < 300; ++t) {
+    Point2 f1{0, 0};
+    Point2 f2{rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+    Point2 f3{rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+    auto b1 = PolarBranch::Make(f1, f2, rng.Uniform(0, 0.4 * Norm(f2)));
+    auto b2 = PolarBranch::Make(f1, f3, rng.Uniform(0, 0.4 * Norm(f3)));
+    if (!b1 || !b2) continue;
+    std::vector<double> angles;
+    CrossingsSharedFocus(*b1, *b2, &angles);
+    for (double theta : angles) {
+      double psi1 = theta - b1->axis, psi2 = theta - b2->axis;
+      while (psi1 > M_PI) psi1 -= 2 * M_PI;
+      while (psi1 <= -M_PI) psi1 += 2 * M_PI;
+      while (psi2 > M_PI) psi2 -= 2 * M_PI;
+      while (psi2 <= -M_PI) psi2 += 2 * M_PI;
+      if (std::abs(psi1) >= b1->half_width || std::abs(psi2) >= b2->half_width) continue;
+      // Both in-domain: radii must agree.
+      EXPECT_NEAR(b1->Rho(psi1), b2->Rho(psi2), 1e-6 * (1 + b1->Rho(psi1)));
+      ++found;
+    }
+  }
+  EXPECT_GT(found, 50);  // Sanity: the test exercised real crossings.
+}
+
+TEST(GammaCurves, PointsOnGammaSatisfyDeltaEqualsBigDelta) {
+  Rng rng(207);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto disks = RandomDisks(12, &rng);
+    auto curves = BuildGammaCurves(disks);
+    ASSERT_EQ(curves.size(), disks.size());
+    for (const auto& curve : curves) {
+      for (const auto& arc : curve.arcs) {
+        for (double f : {0.15, 0.5, 0.85}) {
+          double psi = arc.psi_lo + f * (arc.psi_hi - arc.psi_lo);
+          if (std::abs(psi) >= arc.branch.half_width) continue;
+          Point2 p = arc.branch.PointAt(psi);
+          double delta_i = DeltaLower(disks[curve.owner], p);
+          double big_delta = DeltaUpperEnvelope(disks, p);
+          EXPECT_NEAR(delta_i, big_delta, 1e-7 * (1 + big_delta))
+              << "curve " << curve.owner << " constraint " << arc.constraint;
+        }
+      }
+    }
+  }
+}
+
+TEST(GammaCurves, BreakpointBoundLemma22) {
+  Rng rng(211);
+  for (int trial = 0; trial < 5; ++trial) {
+    int n = 30;
+    auto disks = RandomDisks(n, &rng, 30);
+    auto curves = BuildGammaCurves(disks);
+    for (const auto& curve : curves) {
+      EXPECT_LE(curve.breakpoints, 2 * n);  // Lemma 2.2.
+    }
+  }
+}
+
+TEST(GammaCurves, ArcEndpointsSharedExactly) {
+  Rng rng(213);
+  auto disks = RandomDisks(15, &rng);
+  auto curves = BuildGammaCurves(disks);
+  for (const auto& curve : curves) {
+    size_t na = curve.arcs.size();
+    for (size_t k = 0; k < na; ++k) {
+      const auto& cur = curve.arcs[k];
+      const auto& nxt = curve.arcs[(k + 1) % na];
+      if (!cur.unbounded_hi && !nxt.unbounded_lo && na > 1) {
+        EXPECT_EQ(cur.p_hi.x, nxt.p_lo.x);
+        EXPECT_EQ(cur.p_hi.y, nxt.p_lo.y);
+      }
+    }
+  }
+}
+
+TEST(GammaCurves, OverlappingDisksYieldEmptyCurves) {
+  // All disks overlap pairwise: every point is always a possible NN and
+  // every gamma_i is empty.
+  std::vector<Circle> disks = {{{0, 0}, 3}, {{1, 0}, 3}, {{0, 1}, 3}};
+  auto curves = BuildGammaCurves(disks);
+  for (const auto& c : curves) EXPECT_TRUE(c.Empty());
+}
+
+TEST(GammaCurves, TwoDistantDisksSingleArcEach) {
+  std::vector<Circle> disks = {{{-10, 0}, 1}, {{10, 0}, 1}};
+  auto curves = BuildGammaCurves(disks);
+  ASSERT_EQ(curves[0].arcs.size(), 1u);
+  ASSERT_EQ(curves[1].arcs.size(), 1u);
+  EXPECT_EQ(curves[0].breakpoints, 0);
+  // gamma_0 separates the plane near the bisector shifted toward disk 1.
+  const auto& arc = curves[0].arcs[0];
+  Point2 p = arc.branch.PointAt(0.0);
+  EXPECT_NEAR(Distance(p, disks[0].center) - 1.0,
+              Distance(p, disks[1].center) + 1.0, 1e-9);
+  EXPECT_TRUE(arc.unbounded_lo);
+  EXPECT_TRUE(arc.unbounded_hi);
+}
+
+}  // namespace
+}  // namespace pnn

@@ -1,0 +1,99 @@
+// Tests for convex hulls and halfplane clipping (the substrate of the
+// discrete dominance polygons K_iu).
+
+#include "src/geometry/hull.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/geometry/predicates.h"
+#include "src/util/rng.h"
+
+namespace pnn {
+namespace {
+
+TEST(ConvexHull, Square) {
+  auto hull = ConvexHull({{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}});
+  ASSERT_EQ(hull.size(), 4u);
+  EXPECT_GT(PolygonSignedArea(hull), 0);  // CCW.
+}
+
+TEST(ConvexHull, CollinearPointsDropped) {
+  auto hull = ConvexHull({{0, 0}, {1, 0}, {2, 0}, {3, 0}, {1.5, 2}});
+  EXPECT_EQ(hull.size(), 3u);  // Interior collinear points removed.
+}
+
+TEST(ConvexHull, AllCollinear) {
+  auto hull = ConvexHull({{0, 0}, {1, 1}, {2, 2}, {3, 3}});
+  EXPECT_EQ(hull.size(), 2u);  // The two extremes.
+}
+
+TEST(ConvexHull, Duplicates) {
+  auto hull = ConvexHull({{0, 0}, {0, 0}, {1, 0}, {1, 0}, {0, 1}});
+  EXPECT_EQ(hull.size(), 3u);
+}
+
+TEST(ConvexHull, RandomHullContainsAllPoints) {
+  Rng rng(1401);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Point2> pts;
+    int n = static_cast<int>(rng.UniformInt(3, 60));
+    for (int i = 0; i < n; ++i) {
+      pts.push_back({rng.Uniform(-10, 10), rng.Uniform(-10, 10)});
+    }
+    auto hull = ConvexHull(pts);
+    ASSERT_GE(hull.size(), 3u);
+    // Convexity: CCW turns everywhere.
+    for (size_t i = 0; i < hull.size(); ++i) {
+      EXPECT_GT(Orient2D(hull[i], hull[(i + 1) % hull.size()],
+                         hull[(i + 2) % hull.size()]),
+                0);
+    }
+    // Containment.
+    for (const auto& p : pts) {
+      EXPECT_TRUE(ConvexPolygonContains(hull, p));
+    }
+  }
+}
+
+TEST(ClipByHalfplane, SquareHalved) {
+  std::vector<Point2> sq = {{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+  // Keep x <= 1: halfplane -x + 1 >= 0.
+  auto clipped = ClipByHalfplane(sq, -1, 0, 1);
+  ASSERT_EQ(clipped.size(), 4u);
+  EXPECT_NEAR(PolygonSignedArea(clipped), 2.0, 1e-12);
+  for (const auto& p : clipped) EXPECT_LE(p.x, 1.0 + 1e-12);
+}
+
+TEST(ClipByHalfplane, FullyInsideAndOutside) {
+  std::vector<Point2> sq = {{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  EXPECT_EQ(ClipByHalfplane(sq, 1, 0, 5).size(), 4u);   // x >= -5: all kept.
+  EXPECT_TRUE(ClipByHalfplane(sq, 1, 0, -5).empty());   // x >= 5: all gone.
+}
+
+TEST(ClipByHalfplane, IteratedClipsShrinkMonotonically) {
+  Rng rng(1403);
+  std::vector<Point2> poly = {{-10, -10}, {10, -10}, {10, 10}, {-10, 10}};
+  double prev_area = PolygonSignedArea(poly);
+  for (int i = 0; i < 20 && poly.size() >= 3; ++i) {
+    double theta = rng.Uniform(0, 2 * M_PI);
+    double c = rng.Uniform(0, 8);
+    poly = ClipByHalfplane(poly, std::cos(theta), std::sin(theta), c);
+    if (poly.size() < 3) break;
+    double area = PolygonSignedArea(poly);
+    EXPECT_LE(area, prev_area + 1e-9);
+    EXPECT_GE(area, -1e-12);
+    prev_area = area;
+  }
+}
+
+TEST(PolygonSignedArea, Orientation) {
+  std::vector<Point2> ccw = {{0, 0}, {1, 0}, {0, 1}};
+  std::vector<Point2> cw = {{0, 0}, {0, 1}, {1, 0}};
+  EXPECT_NEAR(PolygonSignedArea(ccw), 0.5, 1e-12);
+  EXPECT_NEAR(PolygonSignedArea(cw), -0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace pnn

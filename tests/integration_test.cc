@@ -1,0 +1,171 @@
+// Cross-structure integration tests: every structure that answers the same
+// question must give the same answer on shared workloads.
+//
+//  * NN!=0: V!=0 point location == Theorem 3.1/3.2 index == Lemma 2.1 scan.
+//  * pi_i(q): exact sweep == V_Pr lookup; MC and spiral within their
+//    respective error guarantees of the sweep; continuous quadrature vs MC.
+//  * Engine facade routes consistently with the underlying structures.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/nnquery/nn_index.h"
+#include "src/core/pnn.h"
+#include "src/core/prob/monte_carlo.h"
+#include "src/core/prob/spiral.h"
+#include "src/core/prob/vpr_diagram.h"
+#include "src/core/v0/nonzero_voronoi.h"
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+
+namespace pnn {
+namespace {
+
+bool BoundaryOnly(const UncertainSet& pts, Point2 q, const std::vector<int>& a,
+                  const std::vector<int>& b) {
+  std::vector<int> sym;
+  std::set_symmetric_difference(a.begin(), a.end(), b.begin(), b.end(),
+                                std::back_inserter(sym));
+  if (sym.empty()) return true;
+  double min_max = 1e300;
+  for (const auto& p : pts) min_max = std::min(min_max, p.MaxDistance(q));
+  for (int i : sym) {
+    if (std::abs(pts[i].MinDistance(q) - min_max) > 1e-6 * (1 + min_max)) return false;
+  }
+  return true;
+}
+
+TEST(Integration, ContinuousNonzeroNNThreeWays) {
+  Rng rng(1101);
+  auto disks = RandomDisks(25, 20, 0.5, 3.0, &rng);
+  UncertainSet upts;
+  for (const auto& d : disks) {
+    upts.push_back(UncertainPoint::UniformDisk(d.center, d.radius));
+  }
+  NonzeroVoronoi v0(disks);
+  NonzeroNNIndex index(disks);
+  ASSERT_TRUE(v0.Validate());
+  for (int t = 0; t < 300; ++t) {
+    Point2 q{rng.Uniform(-25, 25), rng.Uniform(-25, 25)};
+    auto scan = NonzeroNNBruteForce(upts, q);
+    EXPECT_EQ(index.Query(q), scan);
+    EXPECT_TRUE(BoundaryOnly(upts, q, v0.Query(q), scan)) << "t=" << t;
+  }
+}
+
+TEST(Integration, DiscreteNonzeroNNThreeWays) {
+  Rng rng(1103);
+  auto locs = RandomDiscreteLocations(15, 3, 15, 3, &rng);
+  auto upts = ToUniformUncertain(locs);
+  NonzeroVoronoiDiscrete v0(locs);
+  DiscreteNonzeroNNIndex index(locs);
+  ASSERT_TRUE(v0.Validate());
+  for (int t = 0; t < 300; ++t) {
+    Point2 q{rng.Uniform(-20, 20), rng.Uniform(-20, 20)};
+    auto scan = NonzeroNNBruteForce(upts, q);
+    EXPECT_EQ(index.Query(q), scan);
+    EXPECT_TRUE(BoundaryOnly(upts, q, v0.Query(q), scan)) << "t=" << t;
+  }
+}
+
+TEST(Integration, QuantifiersAgreeWithinGuarantees) {
+  Rng rng(1105);
+  auto pts = ToUniformUncertain(RandomDiscreteLocations(6, 2, 8, 5, &rng));
+  VprDiagram vpr(pts);
+  SpiralSearchPNN spiral(pts);
+  MonteCarloPNN::Options mco;
+  mco.rounds_override = 40000;
+  mco.seed = 5;
+  MonteCarloPNN mc(pts, mco);
+  const double mc_band = 0.02;  // ~6 sigma at s = 40000.
+
+  for (int t = 0; t < 40; ++t) {
+    Point2 q{rng.Uniform(-12, 12), rng.Uniform(-12, 12)};
+    auto exact = QuantifyExactDiscrete(pts, q);
+    std::vector<double> e(pts.size(), 0.0);
+    for (const auto& x : exact) e[x.index] = x.probability;
+
+    // V_Pr is exact.
+    std::vector<double> v(pts.size(), 0.0);
+    for (const auto& x : vpr.Query(q)) v[x.index] = x.probability;
+    for (size_t i = 0; i < pts.size(); ++i) EXPECT_NEAR(v[i], e[i], 1e-9);
+
+    // Spiral: one-sided eps.
+    std::vector<double> s(pts.size(), 0.0);
+    for (const auto& x : spiral.Query(q, 0.01)) s[x.index] = x.probability;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      EXPECT_LE(s[i], e[i] + 1e-9);
+      EXPECT_GE(s[i], e[i] - 0.01 - 1e-9);
+    }
+
+    // Monte Carlo: within the statistical band.
+    std::vector<double> m(pts.size(), 0.0);
+    for (const auto& x : mc.Query(q)) m[x.index] = x.probability;
+    for (size_t i = 0; i < pts.size(); ++i) EXPECT_NEAR(m[i], e[i], mc_band);
+  }
+}
+
+TEST(Integration, ContinuousQuadratureVsMonteCarlo) {
+  Rng rng(1107);
+  UncertainSet pts;
+  for (int i = 0; i < 5; ++i) {
+    Point2 c{rng.Uniform(-6, 6), rng.Uniform(-6, 6)};
+    if (i % 2 == 0) {
+      pts.push_back(UncertainPoint::UniformDisk(c, rng.Uniform(1.0, 2.0)));
+    } else {
+      pts.push_back(UncertainPoint::TruncatedGaussian(c, 1.5, 0.7));
+    }
+  }
+  MonteCarloPNN::Options mco;
+  mco.rounds_override = 40000;
+  MonteCarloPNN mc(pts, mco);
+  for (int t = 0; t < 6; ++t) {
+    Point2 q{rng.Uniform(-8, 8), rng.Uniform(-8, 8)};
+    auto exact = QuantifyNumericContinuous(pts, q, 1e-9);
+    std::vector<double> e(pts.size(), 0.0), m(pts.size(), 0.0);
+    for (const auto& x : exact) e[x.index] = x.probability;
+    for (const auto& x : mc.Query(q)) m[x.index] = x.probability;
+    for (size_t i = 0; i < pts.size(); ++i) EXPECT_NEAR(m[i], e[i], 0.02);
+  }
+}
+
+TEST(Integration, EngineRoutesMatchUnderlyingStructures) {
+  Rng rng(1109);
+  auto pts = ToUniformUncertain(RandomDiscreteLocations(20, 3, 15, 3, &rng));
+  Engine engine(pts);
+  SpiralSearchPNN spiral(pts);
+  for (int t = 0; t < 50; ++t) {
+    Point2 q{rng.Uniform(-20, 20), rng.Uniform(-20, 20)};
+    // The facade uses spiral search here (rho = 1, cheap budget).
+    auto a = engine.Quantify(q, 0.05);
+    auto b = spiral.Query(q, 0.05);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].index, b[i].index);
+      EXPECT_DOUBLE_EQ(a[i].probability, b[i].probability);
+    }
+    EXPECT_EQ(engine.QuantifyExact(q).size(), QuantifyExactDiscrete(pts, q).size());
+  }
+}
+
+TEST(Integration, MixedInputFallsBackGracefully) {
+  UncertainSet pts;
+  pts.push_back(UncertainPoint::UniformDisk({0, 0}, 1.0));
+  pts.push_back(UncertainPoint::Discrete({{5, 0}, {6, 0}}, {0.5, 0.5}));
+  Engine::Options opt;
+  opt.mc_rounds_override = 5000;
+  Engine engine(pts, opt);
+  EXPECT_FALSE(engine.all_discrete());
+  EXPECT_FALSE(engine.all_continuous());
+  Point2 q{2.0, 0.0};
+  EXPECT_EQ(engine.NonzeroNN(q), NonzeroNNBruteForce(pts, q));
+  // Quantification must fall back to Monte Carlo and still sum to 1.
+  double total = 0;
+  for (const auto& e : engine.Quantify(q, 0.05)) total += e.probability;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace pnn

@@ -1,0 +1,124 @@
+// Tests for the Theorem 3.1 / 3.2 query indexes: agreement with the
+// Lemma 2.1 brute force and with the V!=0 point-location structure.
+
+#include "src/core/nnquery/nn_index.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/v0/nonzero_voronoi.h"
+#include "src/uncertain/uncertain_point.h"
+#include "src/util/rng.h"
+
+namespace pnn {
+namespace {
+
+TEST(NonzeroNNIndex, MatchesBruteForceRandom) {
+  Rng rng(501);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<Circle> disks;
+    UncertainSet upts;
+    int n = 60;
+    for (int i = 0; i < n; ++i) {
+      Circle d{{rng.Uniform(-50, 50), rng.Uniform(-50, 50)}, rng.Uniform(0.3, 4.0)};
+      disks.push_back(d);
+      upts.push_back(UncertainPoint::UniformDisk(d.center, d.radius));
+    }
+    NonzeroNNIndex index(disks);
+    for (int t = 0; t < 200; ++t) {
+      Point2 q{rng.Uniform(-60, 60), rng.Uniform(-60, 60)};
+      EXPECT_EQ(index.Query(q), NonzeroNNBruteForce(upts, q));
+      // Delta matches the linear scan.
+      double expect = 1e300;
+      for (const auto& d : disks) {
+        expect = std::min(expect, Distance(q, d.center) + d.radius);
+      }
+      EXPECT_NEAR(index.Delta(q), expect, 1e-9);
+    }
+  }
+}
+
+TEST(NonzeroNNIndex, AgreesWithV0PointLocation) {
+  Rng rng(503);
+  std::vector<Circle> disks;
+  for (int i = 0; i < 12; ++i) {
+    disks.push_back({{rng.Uniform(-30, 30), rng.Uniform(-30, 30)}, rng.Uniform(0.5, 3)});
+  }
+  NonzeroNNIndex index(disks);
+  NonzeroVoronoi v0(disks);
+  ASSERT_TRUE(v0.Validate());
+  for (int t = 0; t < 200; ++t) {
+    Point2 q{rng.Uniform(-35, 35), rng.Uniform(-35, 35)};
+    auto a = index.Query(q);
+    auto b = v0.Query(q);
+    if (a != b) {
+      // Only boundary discrepancies allowed (see nonzero_voronoi_test).
+      std::vector<int> sym;
+      std::set_symmetric_difference(a.begin(), a.end(), b.begin(), b.end(),
+                                    std::back_inserter(sym));
+      double min_max = 1e300;
+      for (const auto& d : disks) {
+        min_max = std::min(min_max, Distance(q, d.center) + d.radius);
+      }
+      for (int i : sym) {
+        double lo = std::max(0.0, Distance(q, disks[i].center) - disks[i].radius);
+        EXPECT_NEAR(lo, min_max, 1e-7 * (1 + min_max));
+      }
+    }
+  }
+}
+
+TEST(NonzeroNNIndex, SingleDisk) {
+  NonzeroNNIndex index({{{3, 4}, 2}});
+  EXPECT_EQ(index.Query({100, 100}), (std::vector<int>{0}));
+  EXPECT_NEAR(index.Delta({3, 4}), 2.0, 1e-12);
+}
+
+TEST(DiscreteNonzeroNNIndex, MatchesBruteForceRandom) {
+  Rng rng(507);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<std::vector<Point2>> pts;
+    UncertainSet upts;
+    int n = 40, k = 4;
+    for (int i = 0; i < n; ++i) {
+      Point2 c{rng.Uniform(-50, 50), rng.Uniform(-50, 50)};
+      std::vector<Point2> locs;
+      std::vector<double> w;
+      for (int j = 0; j < k; ++j) {
+        locs.push_back(c + Point2{rng.Uniform(-3, 3), rng.Uniform(-3, 3)});
+        w.push_back(1.0 / k);
+      }
+      pts.push_back(locs);
+      upts.push_back(UncertainPoint::Discrete(locs, w));
+    }
+    DiscreteNonzeroNNIndex index(pts);
+    for (int t = 0; t < 200; ++t) {
+      Point2 q{rng.Uniform(-60, 60), rng.Uniform(-60, 60)};
+      EXPECT_EQ(index.Query(q), NonzeroNNBruteForce(upts, q));
+      double expect = 1e300;
+      for (const auto& p : upts) expect = std::min(expect, p.MaxDistance(q));
+      EXPECT_NEAR(index.Delta(q), expect, 1e-9);
+    }
+  }
+}
+
+TEST(DiscreteNonzeroNNIndex, CollinearLocations) {
+  // Collinear location sets exercise degenerate hulls.
+  std::vector<std::vector<Point2>> pts = {
+      {{0, 0}, {1, 0}, {2, 0}},
+      {{10, 0}, {11, 0}},
+      {{5, 5}},
+  };
+  DiscreteNonzeroNNIndex index(pts);
+  UncertainSet upts;
+  upts.push_back(UncertainPoint::Discrete(pts[0], {0.3, 0.3, 0.4}));
+  upts.push_back(UncertainPoint::Discrete(pts[1], {0.5, 0.5}));
+  upts.push_back(UncertainPoint::Discrete(pts[2], {1.0}));
+  Rng rng(509);
+  for (int t = 0; t < 100; ++t) {
+    Point2 q{rng.Uniform(-5, 15), rng.Uniform(-5, 10)};
+    EXPECT_EQ(index.Query(q), NonzeroNNBruteForce(upts, q));
+  }
+}
+
+}  // namespace
+}  // namespace pnn

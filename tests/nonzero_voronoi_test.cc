@@ -1,0 +1,231 @@
+// Tests for the nonzero Voronoi diagram, continuous and discrete.
+//
+// Key validations:
+//  * every face label equals the Lemma 2.1 brute force at the face sample;
+//  * random point queries match the brute force;
+//  * k = 1 discrete distributions degenerate to the standard Voronoi
+//    diagram (faces = n, query = exact NN);
+//  * complexity counters respect the paper's bounds on small instances.
+
+#include "src/core/v0/nonzero_voronoi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/delaunay/delaunay.h"
+#include "src/uncertain/uncertain_point.h"
+#include "src/util/rng.h"
+
+namespace pnn {
+namespace {
+
+std::vector<Circle> RandomDisks(int n, Rng* rng, double span = 40, double rmin = 0.5,
+                                double rmax = 3.0) {
+  std::vector<Circle> out(n);
+  for (auto& d : out) {
+    d.center = {rng->Uniform(-span, span), rng->Uniform(-span, span)};
+    d.radius = rng->Uniform(rmin, rmax);
+  }
+  return out;
+}
+
+std::vector<int> BruteDisks(const std::vector<Circle>& disks, Point2 q) {
+  UncertainSet pts;
+  for (const auto& d : disks) {
+    pts.push_back(UncertainPoint::UniformDisk(d.center, d.radius));
+  }
+  return NonzeroNNBruteForce(pts, q);
+}
+
+TEST(NonzeroVoronoi, TwoDistantDisksThreeCells) {
+  std::vector<Circle> disks = {{{-8, 0}, 1}, {{8, 0}, 1}};
+  NonzeroVoronoi v0(disks);
+  EXPECT_TRUE(v0.arrangement().EulerCheck());
+  EXPECT_TRUE(v0.Validate());
+  EXPECT_EQ(v0.complexity().faces, 3u);
+  EXPECT_EQ(v0.Query({-8, 0}), (std::vector<int>{0}));
+  EXPECT_EQ(v0.Query({8, 0}), (std::vector<int>{1}));
+  EXPECT_EQ(v0.Query({0, 0}), (std::vector<int>{0, 1}));
+}
+
+TEST(NonzeroVoronoi, OverlappingDisksSingleCell) {
+  std::vector<Circle> disks = {{{0, 0}, 2}, {{1, 0}, 2}, {{0, 1}, 2}};
+  NonzeroVoronoi v0(disks);
+  EXPECT_EQ(v0.complexity().faces, 1u);
+  EXPECT_EQ(v0.Query({3, 3}), (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(v0.Validate());
+}
+
+TEST(NonzeroVoronoi, AllFaceLabelsMatchBruteForce) {
+  Rng rng(401);
+  for (int trial = 0; trial < 6; ++trial) {
+    auto disks = RandomDisks(10, &rng);
+    NonzeroVoronoi v0(disks);
+    EXPECT_TRUE(v0.arrangement().EulerCheck()) << "trial " << trial;
+    EXPECT_TRUE(v0.Validate()) << "trial " << trial;
+  }
+}
+
+TEST(NonzeroVoronoi, RandomQueriesMatchBruteForce) {
+  Rng rng(403);
+  auto disks = RandomDisks(15, &rng);
+  NonzeroVoronoi v0(disks);
+  ASSERT_TRUE(v0.Validate());
+  int checked = 0;
+  for (int t = 0; t < 400; ++t) {
+    Point2 q{rng.Uniform(-50, 50), rng.Uniform(-50, 50)};
+    auto expect = BruteDisks(disks, q);
+    auto got = v0.Query(q);
+    if (got != expect) {
+      // Tolerate only queries within numerical distance of a curve: the
+      // label sets must then differ by boundary elements only.
+      double min_max = 1e300;
+      for (const auto& d : disks) {
+        min_max = std::min(min_max, Distance(q, d.center) + d.radius);
+      }
+      bool boundary = false;
+      std::vector<int> sym;
+      std::set_symmetric_difference(got.begin(), got.end(), expect.begin(),
+                                    expect.end(), std::back_inserter(sym));
+      for (int i : sym) {
+        double lo = std::max(0.0, Distance(q, disks[i].center) - disks[i].radius);
+        if (std::abs(lo - min_max) < 1e-7 * (1 + min_max)) boundary = true;
+      }
+      EXPECT_TRUE(boundary) << "query off by a non-boundary element";
+    }
+    ++checked;
+  }
+  EXPECT_EQ(checked, 400);
+}
+
+TEST(NonzeroVoronoi, ComplexityCountersConsistent) {
+  Rng rng(405);
+  auto disks = RandomDisks(12, &rng);
+  NonzeroVoronoi v0(disks);
+  const auto& c = v0.complexity();
+  // Breakpoints: at most 2n per curve (Lemma 2.2).
+  EXPECT_LE(c.breakpoints, 2u * 12u * 12u);
+  EXPECT_GT(c.faces, 0u);
+  // Crossing vertices + breakpoints >= interior vertices (every interior
+  // vertex is one or the other; box-clipped breakpoints may be outside).
+  EXPECT_GE(c.breakpoints + c.crossings + 4, c.vertices);
+}
+
+TEST(NonzeroVoronoi, QueryOutsideBoxFallsBack) {
+  std::vector<Circle> disks = {{{0, 0}, 1}, {{5, 0}, 1}};
+  NonzeroVoronoi v0(disks);
+  Point2 far{1e6, 1e6};
+  EXPECT_EQ(v0.Query(far), BruteDisks(disks, far));
+}
+
+TEST(NonzeroVoronoiDiscrete, NearCertainPointsApproachStandardVoronoi) {
+  // Nearly-certain points (two locations eps apart) approximate certain
+  // points; away from cell boundaries NN!=0 is the single true nearest
+  // neighbor and V!=0 approaches the standard Voronoi diagram. (Exactly
+  // certain points, k = 1, make gamma_i and gamma_u overlap along shared
+  // Voronoi edges — a violation of the general-position assumption the
+  // paper makes; use the Delaunay substrate for certain inputs.)
+  Rng rng(407);
+  const double kEps = 1e-3;
+  std::vector<Point2> sites;
+  std::vector<std::vector<Point2>> pts;
+  for (int i = 0; i < 12; ++i) {
+    Point2 p{rng.Uniform(-20, 20), rng.Uniform(-20, 20)};
+    sites.push_back(p);
+    pts.push_back({p, p + Point2{kEps, kEps}});
+  }
+  NonzeroVoronoiDiscrete v0(pts);
+  EXPECT_TRUE(v0.arrangement().EulerCheck());
+  EXPECT_TRUE(v0.Validate());
+  Delaunay dt(sites);
+  int decisive = 0;
+  for (int t = 0; t < 300; ++t) {
+    Point2 q{rng.Uniform(-25, 25), rng.Uniform(-25, 25)};
+    // Skip queries whose NN margin is within the jitter corridor.
+    std::vector<double> d;
+    for (Point2 s : sites) d.push_back(Distance(q, s));
+    std::sort(d.begin(), d.end());
+    if (d[1] - d[0] < 100 * kEps) continue;
+    auto got = v0.Query(q);
+    ASSERT_EQ(got.size(), 1u) << "away from boundaries NN!=0 is unique";
+    EXPECT_NEAR(Distance(q, sites[got[0]]), Distance(q, sites[dt.Nearest(q)]), 1e-9);
+    ++decisive;
+  }
+  EXPECT_GT(decisive, 200);
+}
+
+TEST(NonzeroVoronoiDiscrete, LabelsMatchBruteForce) {
+  Rng rng(409);
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<std::vector<Point2>> pts;
+    int n = 6, k = 3;
+    for (int i = 0; i < n; ++i) {
+      Point2 c{rng.Uniform(-15, 15), rng.Uniform(-15, 15)};
+      std::vector<Point2> locs;
+      for (int j = 0; j < k; ++j) {
+        locs.push_back(c + Point2{rng.Uniform(-2, 2), rng.Uniform(-2, 2)});
+      }
+      pts.push_back(locs);
+    }
+    NonzeroVoronoiDiscrete v0(pts);
+    EXPECT_TRUE(v0.arrangement().EulerCheck()) << "trial " << trial;
+    EXPECT_TRUE(v0.Validate()) << "trial " << trial;
+  }
+}
+
+TEST(NonzeroVoronoiDiscrete, QueriesMatchBruteForce) {
+  Rng rng(411);
+  std::vector<std::vector<Point2>> pts;
+  UncertainSet upts;
+  int n = 8, k = 2;
+  for (int i = 0; i < n; ++i) {
+    Point2 c{rng.Uniform(-15, 15), rng.Uniform(-15, 15)};
+    std::vector<Point2> locs;
+    std::vector<double> w;
+    for (int j = 0; j < k; ++j) {
+      locs.push_back(c + Point2{rng.Uniform(-4, 4), rng.Uniform(-4, 4)});
+      w.push_back(1.0 / k);
+    }
+    pts.push_back(locs);
+    upts.push_back(UncertainPoint::Discrete(locs, w));
+  }
+  NonzeroVoronoiDiscrete v0(pts);
+  ASSERT_TRUE(v0.Validate());
+  for (int t = 0; t < 300; ++t) {
+    Point2 q{rng.Uniform(-20, 20), rng.Uniform(-20, 20)};
+    auto expect = NonzeroNNBruteForce(upts, q);
+    auto got = v0.Query(q);
+    if (got != expect) {
+      // Accept only boundary discrepancies (query on a curve).
+      std::vector<int> sym;
+      std::set_symmetric_difference(got.begin(), got.end(), expect.begin(),
+                                    expect.end(), std::back_inserter(sym));
+      double min_max = 1e300;
+      for (const auto& p : upts) min_max = std::min(min_max, p.MaxDistance(q));
+      bool boundary = false;
+      for (int i : sym) {
+        if (std::abs(upts[i].MinDistance(q) - min_max) < 1e-7 * (1 + min_max)) {
+          boundary = true;
+        }
+      }
+      EXPECT_TRUE(boundary);
+    }
+  }
+}
+
+TEST(NonzeroVoronoiDiscrete, TwoClustersSeparate) {
+  std::vector<std::vector<Point2>> pts = {
+      {{0, 0}, {1, 0}},
+      {{100, 0}, {101, 0}},
+  };
+  NonzeroVoronoiDiscrete v0(pts);
+  EXPECT_TRUE(v0.Validate());
+  EXPECT_EQ(v0.Query({0, 0}), (std::vector<int>{0}));
+  EXPECT_EQ(v0.Query({100.5, 0}), (std::vector<int>{1}));
+  EXPECT_EQ(v0.Query({50, 0}), (std::vector<int>{0, 1}));
+}
+
+}  // namespace
+}  // namespace pnn

@@ -1,0 +1,143 @@
+// Tests for exact geometric predicates: agreement with naive evaluation on
+// well-conditioned inputs, and exactness on adversarially degenerate ones.
+
+#include "src/geometry/predicates.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/geometry/expansion.h"
+#include "src/util/rng.h"
+
+namespace pnn {
+namespace {
+
+TEST(Expansion, ExactDiffAndProduct) {
+  // 1 - 2^-60 is not representable; the expansion keeps both parts exactly.
+  Expansion a = Expansion::Diff(1.0, std::ldexp(1.0, -60));
+  EXPECT_EQ(a.Sign(), 1);
+  EXPECT_EQ((a - Expansion(1.0)).Sign(), -1);
+  // a - 1 + 2^-60 == 0 exactly.
+  EXPECT_EQ((a - Expansion(1.0) + Expansion(std::ldexp(1.0, -60))).Sign(), 0);
+
+  Expansion p = Expansion::Product(1.0 + std::ldexp(1.0, -30), 1.0 - std::ldexp(1.0, -30));
+  // (1+e)(1-e) = 1 - e^2 exactly.
+  Expansion expected = Expansion(1.0) + Expansion(-std::ldexp(1.0, -60));
+  EXPECT_EQ((p - expected).Sign(), 0);
+}
+
+TEST(Expansion, SignOfTinyDifference) {
+  Expansion x = Expansion::Product(3.0, std::ldexp(1.0, -520));
+  Expansion y = Expansion::Product(2.0, std::ldexp(1.0, -520));
+  EXPECT_EQ((x - y).Sign(), 1);
+  EXPECT_EQ((y - x).Sign(), -1);
+  EXPECT_EQ((x - x).Sign(), 0);
+}
+
+TEST(Expansion, MulMatchesDoubleOnSmallInts) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    double a = static_cast<double>(rng.UniformInt(-1000, 1000));
+    double b = static_cast<double>(rng.UniformInt(-1000, 1000));
+    double c = static_cast<double>(rng.UniformInt(-1000, 1000));
+    Expansion e = Expansion(a) * Expansion(b) + Expansion(c);
+    EXPECT_DOUBLE_EQ(e.Estimate(), a * b + c);
+  }
+}
+
+TEST(Orient2D, BasicOrientations) {
+  EXPECT_EQ(Orient2D({0, 0}, {1, 0}, {0, 1}), 1);
+  EXPECT_EQ(Orient2D({0, 0}, {0, 1}, {1, 0}), -1);
+  EXPECT_EQ(Orient2D({0, 0}, {1, 1}, {2, 2}), 0);
+}
+
+TEST(Orient2D, ExactOnNearlyCollinear) {
+  // Points on the line y = x with a one-ulp vertical displacement: the
+  // naive determinant underflows into rounding noise, the predicate must
+  // still answer correctly.
+  Point2 a{0.5, 0.5};
+  Point2 b{12.0, 12.0};
+  double ulp = std::nextafter(24.0, 25.0) - 24.0;
+  Point2 c_on{24.0, 24.0};
+  Point2 c_above{24.0, 24.0 + ulp};
+  Point2 c_below{24.0, 24.0 - ulp};
+  EXPECT_EQ(Orient2D(a, b, c_on), 0);
+  EXPECT_EQ(Orient2D(a, b, c_above), 1);
+  EXPECT_EQ(Orient2D(a, b, c_below), -1);
+}
+
+TEST(Orient2D, AntisymmetryRandom) {
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    Point2 a{rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+    Point2 b{rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+    Point2 c{rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+    int s = Orient2D(a, b, c);
+    EXPECT_EQ(Orient2D(b, a, c), -s);
+    EXPECT_EQ(Orient2D(b, c, a), s);  // Cyclic permutation preserves sign.
+    EXPECT_EQ(Orient2D(c, a, b), s);
+  }
+}
+
+TEST(InCircle, BasicMembership) {
+  // CCW unit circle through these three points.
+  Point2 a{1, 0}, b{0, 1}, c{-1, 0};
+  EXPECT_EQ(Orient2D(a, b, c), 1);
+  EXPECT_EQ(InCircle(a, b, c, {0, 0}), 1);       // Center is inside.
+  EXPECT_EQ(InCircle(a, b, c, {2, 0}), -1);      // Far outside.
+  EXPECT_EQ(InCircle(a, b, c, {0, -1}), 0);      // On the circle.
+}
+
+TEST(InCircle, ExactOnCocircularPerturbations) {
+  Point2 a{1, 0}, b{0, 1}, c{-1, 0};
+  double ulp = std::nextafter(1.0, 2.0) - 1.0;
+  EXPECT_EQ(InCircle(a, b, c, {0, -1 + ulp}), 1);
+  EXPECT_EQ(InCircle(a, b, c, {0, -1 - ulp}), -1);
+}
+
+TEST(InCircle, MatchesNaiveOnRandomWellSeparated) {
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    Point2 a{rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+    Point2 b{rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+    Point2 c{rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+    if (Orient2D(a, b, c) <= 0) std::swap(b, c);
+    if (Orient2D(a, b, c) <= 0) continue;  // Degenerate, skip.
+    Point2 d{rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+    // Naive circumcircle containment check.
+    double adx = a.x - d.x, ady = a.y - d.y;
+    double bdx = b.x - d.x, bdy = b.y - d.y;
+    double cdx = c.x - d.x, cdy = c.y - d.y;
+    double det = (adx * adx + ady * ady) * (bdx * cdy - cdx * bdy) +
+                 (bdx * bdx + bdy * bdy) * (cdx * ady - adx * cdy) +
+                 (cdx * cdx + cdy * cdy) * (adx * bdy - bdx * ady);
+    if (std::abs(det) < 1e-6) continue;  // Skip near-degenerate for naive.
+    EXPECT_EQ(InCircle(a, b, c, d), det > 0 ? 1 : -1);
+  }
+}
+
+TEST(CompareDistance, ExactTies) {
+  Point2 p{0, 0};
+  EXPECT_EQ(CompareDistance(p, {3, 4}, {5, 0}), 0);
+  EXPECT_EQ(CompareDistance(p, {3, 4}, {5.000001, 0}), -1);
+  EXPECT_EQ(CompareDistance(p, {3.000001, 4}, {5, 0}), 1);
+}
+
+TEST(CompareDistance, RandomAgainstLongDouble) {
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    Point2 p{rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+    Point2 a{rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+    Point2 b{rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+    long double d1 = (long double)(a.x - p.x) * (a.x - p.x) +
+                     (long double)(a.y - p.y) * (a.y - p.y);
+    long double d2 = (long double)(b.x - p.x) * (b.x - p.x) +
+                     (long double)(b.y - p.y) * (b.y - p.y);
+    if (d1 == d2) continue;
+    EXPECT_EQ(CompareDistance(p, a, b), d1 < d2 ? -1 : 1);
+  }
+}
+
+}  // namespace
+}  // namespace pnn

@@ -1,0 +1,132 @@
+// Tests for the polynomial and system solvers.
+
+#include "src/geometry/solvers.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace pnn {
+namespace {
+
+void ExpectRootsNear(const RealRoots& r, std::vector<double> expected, double tol) {
+  ASSERT_EQ(r.count, static_cast<int>(expected.size()));
+  std::sort(expected.begin(), expected.end());
+  for (int i = 0; i < r.count; ++i) {
+    EXPECT_NEAR(r.root[i], expected[i], tol) << "root index " << i;
+  }
+}
+
+TEST(Quadratic, TwoRoots) {
+  ExpectRootsNear(SolveQuadratic(1, -3, 2), {1, 2}, 1e-12);
+}
+
+TEST(Quadratic, CancellationStability) {
+  // x^2 - 1e8 x + 1 = 0: roots ~1e8 and ~1e-8; the naive formula loses the
+  // small root to cancellation.
+  RealRoots r = SolveQuadratic(1, -1e8, 1);
+  ASSERT_EQ(r.count, 2);
+  EXPECT_NEAR(r.root[0], 1e-8, 1e-20);
+  EXPECT_NEAR(r.root[1], 1e8, 1e-4);
+}
+
+TEST(Quadratic, NoRealRoots) { EXPECT_EQ(SolveQuadratic(1, 0, 1).count, 0); }
+
+TEST(Quadratic, LinearDegenerate) {
+  ExpectRootsNear(SolveQuadratic(0, 2, -4), {2}, 1e-15);
+  EXPECT_EQ(SolveQuadratic(0, 0, 3).count, 0);
+}
+
+TEST(Cubic, ThreeRealRoots) {
+  // (x-1)(x-2)(x-3) = x^3 - 6x^2 + 11x - 6.
+  ExpectRootsNear(SolveCubic(1, -6, 11, -6), {1, 2, 3}, 1e-10);
+}
+
+TEST(Cubic, OneRealRoot) {
+  // (x-2)(x^2+1) = x^3 - 2x^2 + x - 2.
+  ExpectRootsNear(SolveCubic(1, -2, 1, -2), {2}, 1e-10);
+}
+
+TEST(Cubic, RandomReconstruction) {
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    double r1 = rng.Uniform(-10, 10), r2 = rng.Uniform(-10, 10), r3 = rng.Uniform(-10, 10);
+    // Require separated roots so counting is unambiguous.
+    if (std::abs(r1 - r2) < 0.05 || std::abs(r1 - r3) < 0.05 || std::abs(r2 - r3) < 0.05)
+      continue;
+    double b = -(r1 + r2 + r3), c = r1 * r2 + r1 * r3 + r2 * r3, d = -r1 * r2 * r3;
+    ExpectRootsNear(SolveCubic(1, b, c, d), {r1, r2, r3}, 1e-7);
+  }
+}
+
+TEST(Quartic, FourRealRoots) {
+  // (x^2-1)(x^2-4) = x^4 - 5x^2 + 4.
+  ExpectRootsNear(SolveQuartic(1, 0, -5, 0, 4), {-2, -1, 1, 2}, 1e-9);
+}
+
+TEST(Quartic, NoRealRoots) { EXPECT_EQ(SolveQuartic(1, 0, 0, 0, 1).count, 0); }
+
+TEST(Quartic, TwoRealRoots) {
+  // (x-1)(x-3)(x^2+1) = x^4 -4x^3 +4x^2 -4x +3.
+  ExpectRootsNear(SolveQuartic(1, -4, 4, -4, 3), {1, 3}, 1e-9);
+}
+
+TEST(Quartic, RandomReconstruction) {
+  Rng rng(5);
+  int tested = 0;
+  for (int i = 0; i < 500 && tested < 200; ++i) {
+    double roots[4];
+    bool ok = true;
+    for (int j = 0; j < 4; ++j) roots[j] = rng.Uniform(-5, 5);
+    for (int j = 0; j < 4 && ok; ++j)
+      for (int l = j + 1; l < 4; ++l)
+        if (std::abs(roots[j] - roots[l]) < 0.1) ok = false;
+    if (!ok) continue;
+    ++tested;
+    // Expand (x - r0)(x - r1)(x - r2)(x - r3): coefficients descending.
+    double poly[5] = {1, 0, 0, 0, 0};
+    for (int j = 0; j < 4; ++j) {
+      for (int l = j + 1; l >= 1; --l) poly[l] = poly[l] - roots[j] * poly[l - 1];
+    }
+    RealRoots r = SolveQuartic(poly[0], poly[1], poly[2], poly[3], poly[4]);
+    std::vector<double> exp(roots, roots + 4);
+    ExpectRootsNear(r, exp, 1e-6);
+  }
+  EXPECT_GE(tested, 100);
+}
+
+TEST(ScanRoots, FindsAllSignChanges) {
+  RealRoots r;
+  ScanRoots([](double x) { return std::sin(x); }, 0.5, 10.0, 256, &r);
+  ASSERT_EQ(r.count, 3);
+  EXPECT_NEAR(r.root[0], M_PI, 1e-10);
+  EXPECT_NEAR(r.root[1], 2 * M_PI, 1e-10);
+  EXPECT_NEAR(r.root[2], 3 * M_PI, 1e-10);
+}
+
+TEST(Bisect, SimpleRoot) {
+  double root = Bisect([](double x) { return x * x - 2; }, 0, 2);
+  EXPECT_NEAR(root, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Newton2D, CircleLineIntersection) {
+  // Solve x^2 + y^2 = 25, x + y = 7 -> (3,4) or (4,3).
+  auto f = [](Point2 p) -> Vec2 {
+    return {p.x * p.x + p.y * p.y - 25, p.x + p.y - 7};
+  };
+  Point2 p{2.5, 4.5};
+  ASSERT_TRUE(Newton2D(f, &p, 1e-12));
+  EXPECT_NEAR(p.x, 3.0, 1e-9);
+  EXPECT_NEAR(p.y, 4.0, 1e-9);
+}
+
+TEST(Newton2D, DivergesGracefully) {
+  auto f = [](Point2 p) -> Vec2 { return {p.x * p.x + 1, p.y}; };  // No root.
+  Point2 p{1, 1};
+  EXPECT_FALSE(Newton2D(f, &p, 1e-12, 10));
+}
+
+}  // namespace
+}  // namespace pnn

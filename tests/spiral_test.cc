@@ -1,0 +1,152 @@
+// Tests for the spiral-search quantifier (Theorem 4.7): the one-sided
+// Lemma 4.6 guarantee pi_hat <= pi <= pi_hat + eps, the retrieval bound
+// m(rho, eps), and the Remark (i) adversarial instance showing why
+// small-weight locations cannot simply be ignored.
+
+#include "src/core/prob/spiral.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/prob/quantify.h"
+#include "src/util/rng.h"
+
+namespace pnn {
+namespace {
+
+UncertainSet RandomDiscrete(int n, int k, Rng* rng, double wspread = 1.0,
+                            double span = 20) {
+  UncertainSet out;
+  for (int i = 0; i < n; ++i) {
+    Point2 c{rng->Uniform(-span, span), rng->Uniform(-span, span)};
+    std::vector<Point2> locs;
+    std::vector<double> w;
+    double total = 0;
+    for (int j = 0; j < k; ++j) {
+      locs.push_back(c + Point2{rng->Uniform(-4, 4), rng->Uniform(-4, 4)});
+      double wi = rng->Uniform(1.0, 1.0 + wspread);
+      w.push_back(wi);
+      total += wi;
+    }
+    for (auto& wi : w) wi /= total;
+    out.push_back(UncertainPoint::Discrete(locs, w));
+  }
+  return out;
+}
+
+TEST(SpiralSearchPNN, OneSidedErrorBound) {
+  Rng rng(801);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto pts = RandomDiscrete(20, 3, &rng, 1.5);
+    SpiralSearchPNN spiral(pts);
+    for (double eps : {0.2, 0.05, 0.01}) {
+      for (int t = 0; t < 30; ++t) {
+        Point2 q{rng.Uniform(-25, 25), rng.Uniform(-25, 25)};
+        auto est = spiral.Query(q, eps);
+        auto exact = QuantifyExactDiscrete(pts, q);
+        std::vector<double> e(pts.size(), 0.0), g(pts.size(), 0.0);
+        for (const auto& x : exact) e[x.index] = x.probability;
+        for (const auto& x : est) g[x.index] = x.probability;
+        for (size_t i = 0; i < pts.size(); ++i) {
+          // Lemma 4.6: underestimate by at most eps, never overestimate.
+          EXPECT_LE(g[i], e[i] + 1e-9) << "overestimate at i=" << i;
+          EXPECT_GE(g[i], e[i] - eps - 1e-9) << "error > eps at i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SpiralSearchPNN, RhoComputedFromWeights) {
+  UncertainSet pts;
+  pts.push_back(UncertainPoint::Discrete({{0, 0}, {1, 0}}, {0.8, 0.2}));
+  pts.push_back(UncertainPoint::Discrete({{5, 0}, {6, 0}}, {0.5, 0.5}));
+  SpiralSearchPNN spiral(pts);
+  EXPECT_DOUBLE_EQ(spiral.rho(), 4.0);  // 0.8 / 0.2.
+  EXPECT_EQ(spiral.max_k(), 2u);
+  // m grows as eps shrinks.
+  EXPECT_LT(spiral.RetrievalBound(0.1), spiral.RetrievalBound(0.001));
+}
+
+TEST(SpiralSearchPNN, FullBudgetIsExact) {
+  Rng rng(803);
+  auto pts = RandomDiscrete(10, 3, &rng, 2.0);
+  SpiralSearchPNN spiral(pts);
+  for (int t = 0; t < 30; ++t) {
+    Point2 q{rng.Uniform(-25, 25), rng.Uniform(-25, 25)};
+    auto est = spiral.QueryWithBudget(q, 30);  // All locations retrieved.
+    auto exact = QuantifyExactDiscrete(pts, q);
+    ASSERT_EQ(est.size(), exact.size());
+    for (size_t i = 0; i < est.size(); ++i) {
+      EXPECT_EQ(est[i].index, exact[i].index);
+      EXPECT_NEAR(est[i].probability, exact[i].probability, 1e-10);
+    }
+  }
+}
+
+TEST(SpiralSearchPNN, UniformWeightsNeedFewPoints) {
+  // rho = 1: m(1, eps) = k ln(1/eps) + k - 1, far below N.
+  Rng rng(805);
+  auto pts = RandomDiscrete(200, 4, &rng, 0.0);
+  SpiralSearchPNN spiral(pts);
+  EXPECT_DOUBLE_EQ(spiral.rho(), 1.0);
+  EXPECT_LE(spiral.RetrievalBound(0.01), 4 * std::log(100.0) + 4);
+  // And the estimates still meet the bound.
+  for (int t = 0; t < 20; ++t) {
+    Point2 q{rng.Uniform(-25, 25), rng.Uniform(-25, 25)};
+    auto est = spiral.Query(q, 0.01);
+    auto exact = QuantifyExactDiscrete(pts, q);
+    std::vector<double> e(pts.size(), 0.0), g(pts.size(), 0.0);
+    for (const auto& x : exact) e[x.index] = x.probability;
+    for (const auto& x : est) g[x.index] = x.probability;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      EXPECT_LE(g[i], e[i] + 1e-9);
+      EXPECT_GE(g[i], e[i] - 0.01 - 1e-9);
+    }
+  }
+}
+
+TEST(SpiralSearchPNN, Remark4iAdversarialInstance) {
+  // The paper's Remark (i) example: ignoring small-weight locations
+  // distorts other probabilities. Our truncated-product estimator keeps
+  // them, so pi_1 > pi_2 must be preserved. Construct: p1 closest with
+  // w=3eps; then n/2 points each w=2/n; then p2 with w=5eps.
+  const double eps = 0.01;
+  const int half = 50;
+  UncertainSet pts;
+  // P_1: location at distance 1 with weight 3eps, rest far away.
+  pts.push_back(UncertainPoint::Discrete({{1, 0}, {1000, 0}}, {3 * eps, 1 - 3 * eps}));
+  // P_3 .. P_{half+2}: one location each at distance ~2, weight 2/n each
+  // (realized as two locations to keep k = 2).
+  for (int i = 0; i < half; ++i) {
+    double angle = 0.1 + 2.5 * i / half;
+    Point2 p = 2.0 * UnitVector(angle);
+    pts.push_back(UncertainPoint::Discrete({p, {2000.0 + i, 0}},
+                                           {2.0 / (2 * half), 1 - 2.0 / (2 * half)}));
+  }
+  // P_2: location at distance 3 with weight 5eps.
+  pts.push_back(UncertainPoint::Discrete({{3, 0}, {3000, 0}}, {5 * eps, 1 - 5 * eps}));
+
+  auto exact = QuantifyExactDiscrete(pts, {0, 0});
+  std::vector<double> e(pts.size(), 0.0);
+  for (const auto& x : exact) e[x.index] = x.probability;
+  ASSERT_GT(e[0], e[pts.size() - 1]) << "paper's premise: pi_1 > pi_2";
+
+  SpiralSearchPNN spiral(pts);
+  // Note rho is huge here (weights from 2/(2*half) vs 1-3eps), so the
+  // theorem's m is large; with the full bound the ordering is preserved.
+  auto est = spiral.Query({0, 0}, eps);
+  std::vector<double> g(pts.size(), 0.0);
+  for (const auto& x : est) g[x.index] = x.probability;
+  EXPECT_GT(g[0] + eps, g[pts.size() - 1])
+      << "estimator must not invert the ranking beyond eps";
+  // Each estimate individually within eps.
+  for (size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_LE(g[i], e[i] + 1e-9);
+    EXPECT_GE(g[i], e[i] - eps - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace pnn

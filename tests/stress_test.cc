@@ -1,0 +1,65 @@
+// Regression / stress tests at scales the unit suites do not reach.
+//
+// The clustered n >= 85 configurations below originally exposed a missed
+// close-pair conic-conic intersection (two crossings between adjacent scan
+// samples, no sign change) that corrupted the arrangement topology; the
+// local-minimum refinement in ConicConic now recovers such pairs. Keep
+// these exact seeds as regressions.
+
+#include <gtest/gtest.h>
+
+#include "src/core/v0/nonzero_voronoi.h"
+#include "src/uncertain/uncertain_point.h"
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+
+namespace pnn {
+namespace {
+
+class ClusteredStress : public ::testing::TestWithParam<std::pair<uint64_t, int>> {};
+
+TEST_P(ClusteredStress, EulerAndLabelsHold) {
+  auto [seed, n] = GetParam();
+  Rng rng(seed);
+  auto disks = ClusteredDisks(n, 3, 40, 1.5, &rng);
+  NonzeroVoronoi v0(disks);
+  EXPECT_TRUE(v0.arrangement().EulerCheck());
+  EXPECT_TRUE(v0.Validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusteredStress,
+                         ::testing::Values(std::make_pair(73ull, 85),   // Regression.
+                                           std::make_pair(73ull, 100),  // Regression.
+                                           std::make_pair(74ull, 90),
+                                           std::make_pair(75ull, 90),
+                                           std::make_pair(99ull, 120)));
+
+TEST(DenseRandomStress, LargerInstanceStaysConsistent) {
+  Rng rng(1501);
+  auto disks = RandomDisks(120, 22, 0.5, 3.0, &rng);
+  NonzeroVoronoi v0(disks);
+  EXPECT_TRUE(v0.arrangement().EulerCheck());
+  EXPECT_TRUE(v0.Validate());
+  // Spot queries against the scan.
+  UncertainSet upts;
+  for (const auto& d : disks) {
+    upts.push_back(UncertainPoint::UniformDisk(d.center, d.radius));
+  }
+  int agree = 0;
+  for (int t = 0; t < 200; ++t) {
+    Point2 q{rng.Uniform(-25, 25), rng.Uniform(-25, 25)};
+    if (v0.Query(q) == NonzeroNNBruteForce(upts, q)) ++agree;
+  }
+  EXPECT_GE(agree, 196);  // Allow a few boundary-grazing queries.
+}
+
+TEST(DiscreteStress, ManyPointsManyLocations) {
+  Rng rng(1503);
+  auto locs = RandomDiscreteLocations(40, 4, 25, 5, &rng);
+  NonzeroVoronoiDiscrete v0(locs);
+  EXPECT_TRUE(v0.arrangement().EulerCheck());
+  EXPECT_TRUE(v0.Validate());
+}
+
+}  // namespace
+}  // namespace pnn

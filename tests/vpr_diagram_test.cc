@@ -1,0 +1,85 @@
+// Tests for the exact probabilistic Voronoi diagram (Theorem 4.2): queries
+// equal the direct Eq. (2) sweep everywhere, probability vectors are
+// locally constant, and adjacent faces differ (the diagram is not
+// over-refined into a trivial structure... it is a refinement, so equality
+// across bisectors of unrelated pairs is allowed; we check query
+// correctness, not minimality).
+
+#include "src/core/prob/vpr_diagram.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace pnn {
+namespace {
+
+UncertainSet SmallInstance(Rng* rng, int n, int k) {
+  UncertainSet out;
+  for (int i = 0; i < n; ++i) {
+    Point2 c{rng->Uniform(-10, 10), rng->Uniform(-10, 10)};
+    std::vector<Point2> locs;
+    std::vector<double> w(k, 1.0 / k);
+    for (int j = 0; j < k; ++j) {
+      locs.push_back(c + Point2{rng->Uniform(-5, 5), rng->Uniform(-5, 5)});
+    }
+    out.push_back(UncertainPoint::Discrete(locs, w));
+  }
+  return out;
+}
+
+TEST(VprDiagram, QueriesMatchDirectSweep) {
+  Rng rng(901);
+  auto pts = SmallInstance(&rng, 4, 2);
+  VprDiagram vpr(pts);
+  EXPECT_TRUE(vpr.arrangement().EulerCheck());
+  for (int t = 0; t < 300; ++t) {
+    Point2 q{rng.Uniform(-20, 20), rng.Uniform(-20, 20)};
+    auto got = vpr.Query(q);
+    auto expect = QuantifyExactDiscrete(pts, q);
+    ASSERT_EQ(got.size(), expect.size()) << "t=" << t;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].index, expect[i].index);
+      // The stored vector was computed at the face sample; within the
+      // face the exact vector is constant, so this must match closely.
+      EXPECT_NEAR(got[i].probability, expect[i].probability, 1e-9);
+    }
+  }
+}
+
+TEST(VprDiagram, BisectorCountFormula) {
+  Rng rng(903);
+  auto pts = SmallInstance(&rng, 3, 2);  // N = 6 locations.
+  VprDiagram vpr(pts);
+  EXPECT_EQ(vpr.NumBisectors(), 15u);  // C(6,2).
+}
+
+TEST(VprDiagram, FaceCountGrowsPolynomially) {
+  // The number of faces must be Omega(N^2)-ish for points in general
+  // position (every pair of bisectors meets) and O(N^4).
+  Rng rng(905);
+  auto pts4 = SmallInstance(&rng, 2, 2);
+  auto pts8 = SmallInstance(&rng, 4, 2);
+  VprDiagram v4(pts4), v8(pts8);
+  double n4 = 4, n8 = 8;
+  EXPECT_GT(v4.NumFaces(), (n4 * n4) / 4);
+  EXPECT_GT(v8.NumFaces(), (n8 * n8) / 4);
+  EXPECT_LT(v8.NumFaces(), std::pow(n8, 4.0));
+  EXPECT_GT(v8.NumFaces(), v4.NumFaces());
+}
+
+TEST(VprDiagram, OutsideBoxFallsBack) {
+  Rng rng(907);
+  auto pts = SmallInstance(&rng, 3, 2);
+  VprDiagram vpr(pts);
+  Point2 far{1e5, -1e5};
+  auto got = vpr.Query(far);
+  auto expect = QuantifyExactDiscrete(pts, far);
+  ASSERT_EQ(got.size(), expect.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].probability, expect[i].probability, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace pnn
