@@ -36,7 +36,7 @@ int ExpectedNNIndex::Nearest(Point2 q) const {
 }
 
 std::vector<int> ExpectedNNIndex::KNearest(Point2 q, int k) const {
-  last_evals_ = 0;
+  size_t evals = 0;
   k = std::min<int>(k, static_cast<int>(points_->size()));
   // Best-first over centroids: d(q, c_i) is a lower bound on E[d(q, P_i)]
   // (Jensen). Maintain the k best exact values found; stop once the
@@ -54,7 +54,7 @@ std::vector<int> ExpectedNNIndex::KNearest(Point2 q, int k) const {
       continue;
     }
     double exact = (*points_)[i].ExpectedDistance(q);
-    ++last_evals_;
+    ++evals;
     if (static_cast<int>(best.size()) < k) {
       best.push({exact, i});
     } else if (exact < best.top().first) {
@@ -68,6 +68,7 @@ std::vector<int> ExpectedNNIndex::KNearest(Point2 q, int k) const {
     best.pop();
   }
   std::sort(sorted.begin(), sorted.end());
+  last_evals_.store(evals, std::memory_order_relaxed);
   std::vector<int> out;
   for (const auto& [dist, i] : sorted) out.push_back(i);
   return out;

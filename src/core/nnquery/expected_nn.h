@@ -12,6 +12,7 @@
 #ifndef PNN_CORE_NNQUERY_EXPECTED_NN_H_
 #define PNN_CORE_NNQUERY_EXPECTED_NN_H_
 
+#include <atomic>
 #include <vector>
 
 #include "src/spatial/kdtree.h"
@@ -35,14 +36,15 @@ class ExpectedNNIndex {
   double ExpectedDistance(Point2 q, int i) const;
 
   /// Number of exact E[d] evaluations during the last query (the pruning
-  /// effectiveness metric reported by the ablation bench).
-  size_t last_evaluations() const { return last_evals_; }
+  /// effectiveness metric reported by the ablation bench). Under concurrent
+  /// queries this reports whichever query stored last.
+  size_t last_evaluations() const { return last_evals_.load(std::memory_order_relaxed); }
 
  private:
   const UncertainSet* points_;
   KdTree centroid_tree_;
   std::vector<double> mean_spread_;  // E[d(c_i, P_i)]: tightens the bound.
-  mutable size_t last_evals_ = 0;
+  mutable std::atomic<size_t> last_evals_{0};
 };
 
 }  // namespace pnn

@@ -13,6 +13,7 @@ Engine::Engine(UncertainSet points, Options options)
   for (const auto& p : points_) {
     all_discrete_ = all_discrete_ && p.is_discrete();
     all_continuous_ = all_continuous_ && !p.is_discrete();
+    total_complexity_ += p.DescriptionComplexity();
   }
   if (all_continuous_) {
     std::vector<Circle> disks;
@@ -27,36 +28,78 @@ Engine::Engine(UncertainSet points, Options options)
   }
 }
 
+double Engine::ResolveEps(std::optional<double> eps_opt) const {
+  double eps = eps_opt.value_or(options_.default_eps);
+  PNN_CHECK_MSG(eps > 0 && eps < 1, "eps must be in (0,1)");
+  return eps;
+}
+
 std::vector<int> Engine::NonzeroNN(Point2 q) const {
   if (disk_index_) return disk_index_->Query(q);
   if (discrete_index_) return discrete_index_->Query(q);
   return NonzeroNNBruteForce(points_, q);  // Mixed inputs: linear scan.
 }
 
-std::vector<Quantification> Engine::Quantify(Point2 q,
-                                             std::optional<double> eps_opt) const {
-  double eps = eps_opt.value_or(options_.default_eps);
-  PNN_CHECK_MSG(eps > 0 && eps < 1, "eps must be in (0,1)");
+QuantifyPlan Engine::PlanForQuantify(std::optional<double> eps_opt) const {
+  double eps = ResolveEps(eps_opt);
   if (spiral_) {
     size_t budget = spiral_->RetrievalBound(eps);
-    size_t total = 0;
-    for (const auto& p : points_) total += p.DescriptionComplexity();
     if (static_cast<double>(budget) <=
-        options_.spiral_budget_fraction * static_cast<double>(total)) {
-      return spiral_->Query(q, eps);
+        options_.spiral_budget_fraction * static_cast<double>(total_complexity_)) {
+      return QuantifyPlan::kSpiral;
     }
   }
-  // Monte Carlo fallback; rebuild if a tighter eps is requested.
-  if (!monte_carlo_ || mc_eps_ > eps) {
+  return QuantifyPlan::kMonteCarlo;
+}
+
+std::shared_ptr<const MonteCarloPNN> Engine::EnsureMonteCarlo(double eps) const {
+  // Lock-free fast path: the prewarmed structure already covers this eps.
+  auto cur = std::atomic_load_explicit(&monte_carlo_, std::memory_order_acquire);
+  if (cur && cur->target_eps() <= eps) return cur;
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  cur = std::atomic_load_explicit(&monte_carlo_, std::memory_order_acquire);
+  // Rebuild if absent or if a tighter eps is requested; queries holding a
+  // snapshot of the old structure keep it alive through their shared_ptr.
+  if (!cur || cur->target_eps() > eps) {
     MonteCarloPNN::Options mco;
     mco.eps = eps;
     mco.delta = options_.mc_delta;
     mco.seed = options_.seed;
     mco.rounds_override = options_.mc_rounds_override;
-    monte_carlo_ = std::make_unique<MonteCarloPNN>(points_, mco);
-    mc_eps_ = eps;
+    cur = std::make_shared<const MonteCarloPNN>(points_, mco);
+    std::atomic_store_explicit(&monte_carlo_, cur, std::memory_order_release);
   }
-  return monte_carlo_->Query(q);
+  return cur;
+}
+
+std::shared_ptr<const ExpectedNNIndex> Engine::EnsureExpectedNN() const {
+  // Same pattern as EnsureMonteCarlo: lock-free once built, lock to build.
+  auto cur = std::atomic_load_explicit(&expected_nn_, std::memory_order_acquire);
+  if (cur) return cur;
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  cur = std::atomic_load_explicit(&expected_nn_, std::memory_order_acquire);
+  if (!cur) {
+    cur = std::make_shared<const ExpectedNNIndex>(&points_);
+    std::atomic_store_explicit(&expected_nn_, cur, std::memory_order_release);
+  }
+  return cur;
+}
+
+void Engine::Prewarm(std::optional<double> eps_opt) const {
+  double eps = ResolveEps(eps_opt);
+  if (PlanForQuantify(eps) == QuantifyPlan::kMonteCarlo) EnsureMonteCarlo(eps);
+}
+
+size_t Engine::MonteCarloRounds() const {
+  auto cur = std::atomic_load_explicit(&monte_carlo_, std::memory_order_acquire);
+  return cur ? cur->rounds() : 0;
+}
+
+std::vector<Quantification> Engine::Quantify(Point2 q,
+                                             std::optional<double> eps_opt) const {
+  double eps = ResolveEps(eps_opt);
+  if (PlanForQuantify(eps) == QuantifyPlan::kSpiral) return spiral_->Query(q, eps);
+  return EnsureMonteCarlo(eps)->Query(q);
 }
 
 std::vector<Quantification> Engine::QuantifyExact(Point2 q) const {
@@ -76,8 +119,7 @@ int Engine::MostLikelyNN(Point2 q, std::optional<double> eps) const {
 }
 
 int Engine::ExpectedDistanceNN(Point2 q) const {
-  if (!expected_nn_) expected_nn_ = std::make_unique<ExpectedNNIndex>(&points_);
-  return expected_nn_->Nearest(q);
+  return EnsureExpectedNN()->Nearest(q);
 }
 
 }  // namespace pnn

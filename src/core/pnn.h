@@ -19,6 +19,7 @@
 #define PNN_CORE_PNN_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -31,7 +32,20 @@
 
 namespace pnn {
 
+/// Which structure Quantify() routes a query through (Section 4's two
+/// regimes). Exposed so callers — notably exec::BatchEngine — can count and
+/// report plan decisions without re-deriving the routing rule.
+enum class QuantifyPlan {
+  kSpiral,      // Spiral search (Theorem 4.7): discrete, modest spread.
+  kMonteCarlo,  // Monte-Carlo structure (Theorem 4.3): everything else.
+};
+
 /// One-stop query engine over a set of uncertain points.
+///
+/// Thread safety: all query methods are const and safe to call from many
+/// threads concurrently; the lazily-built structures (Monte Carlo,
+/// expected-NN) are constructed under an internal mutex. Batch callers
+/// should Prewarm() first so worker threads never contend on construction.
 class Engine {
  public:
   struct Options {
@@ -68,22 +82,48 @@ class Engine {
   /// The point minimizing the expected distance to q ([AESZ12] baseline).
   int ExpectedDistanceNN(Point2 q) const;
 
+  /// The plan Quantify() will pick at this eps (query-independent: the
+  /// spiral-vs-Monte-Carlo decision depends only on the retrieval budget).
+  QuantifyPlan PlanForQuantify(std::optional<double> eps = std::nullopt) const;
+
+  /// Eagerly builds every structure Quantify(·, eps) may need, so
+  /// subsequent const queries are lock- and contention-free. Called by the
+  /// batch executor before fanning out.
+  void Prewarm(std::optional<double> eps = std::nullopt) const;
+
+  /// Rounds of the current Monte-Carlo structure (0 if not built yet).
+  size_t MonteCarloRounds() const;
+
   const UncertainSet& points() const { return points_; }
+  const Options& options() const { return options_; }
   bool all_discrete() const { return all_discrete_; }
   bool all_continuous() const { return all_continuous_; }
 
  private:
+  double ResolveEps(std::optional<double> eps) const;
+  /// Snapshot of the Monte-Carlo structure for eps, building (or
+  /// rebuilding at a tighter eps) under lazy_mu_. Returns a shared_ptr so
+  /// in-flight queries keep the old structure alive across a concurrent
+  /// rebuild; the fast path is a lock-free atomic load.
+  std::shared_ptr<const MonteCarloPNN> EnsureMonteCarlo(double eps) const;
+  std::shared_ptr<const ExpectedNNIndex> EnsureExpectedNN() const;
+
   UncertainSet points_;
   Options options_;
   bool all_discrete_ = true;
   bool all_continuous_ = true;
+  size_t total_complexity_ = 0;  // Sum of description complexities.
 
   std::unique_ptr<NonzeroNNIndex> disk_index_;
   std::unique_ptr<DiscreteNonzeroNNIndex> discrete_index_;
   std::unique_ptr<SpiralSearchPNN> spiral_;
-  mutable std::unique_ptr<MonteCarloPNN> monte_carlo_;    // Built lazily.
-  mutable std::unique_ptr<ExpectedNNIndex> expected_nn_;  // Built lazily.
-  mutable double mc_eps_ = 0.0;
+
+  mutable std::mutex lazy_mu_;  // Serializes builds of the members below.
+  // Accessed with std::atomic_load/atomic_store: readers snapshot it
+  // lock-free, and a rebuild at a tighter eps swaps the pointer without
+  // invalidating snapshots held by concurrent queries.
+  mutable std::shared_ptr<const MonteCarloPNN> monte_carlo_;
+  mutable std::shared_ptr<const ExpectedNNIndex> expected_nn_;
 };
 
 }  // namespace pnn

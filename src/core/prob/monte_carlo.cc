@@ -18,7 +18,7 @@ size_t MonteCarloPNN::TheoreticalRounds(size_t n, size_t max_k, double eps,
 }
 
 MonteCarloPNN::MonteCarloPNN(const UncertainSet& points, const Options& options)
-    : n_(points.size()), backend_(options.backend) {
+    : n_(points.size()), target_eps_(options.eps), backend_(options.backend) {
   PNN_CHECK_MSG(!points.empty(), "MonteCarloPNN needs at least one point");
   PNN_CHECK_MSG(options.eps > 0 && options.eps < 1, "eps must be in (0,1)");
   PNN_CHECK_MSG(options.delta > 0 && options.delta < 1, "delta must be in (0,1)");
@@ -30,9 +30,14 @@ MonteCarloPNN::MonteCarloPNN(const UncertainSet& points, const Options& options)
                 ? options.rounds_override
                 : TheoreticalRounds(n_, max_k, options.eps, options.delta);
 
-  Rng rng(options.seed);
+  // Round r draws from stream SplitSeed(seed, r) rather than one shared
+  // sequential stream: each instantiation depends only on (seed, r), so
+  // structures are bit-identical no matter which thread builds them or in
+  // what order — the property the parallel batch executor relies on for
+  // reproducible Monte-Carlo results.
   std::vector<Point2> instance(n_);
   for (size_t r = 0; r < rounds_; ++r) {
+    Rng rng = MakeStreamRng(options.seed, r);
     for (size_t i = 0; i < n_; ++i) instance[i] = points[i].Sample(&rng);
     if (backend_ == Backend::kDelaunay) {
       delaunay_.push_back(std::make_unique<Delaunay>(instance, rng.engine()()));

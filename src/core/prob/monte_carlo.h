@@ -41,6 +41,9 @@ class MonteCarloPNN {
 
   size_t rounds() const { return rounds_; }
 
+  /// The eps this structure was built for (Options::eps).
+  double target_eps() const { return target_eps_; }
+
   /// The theoretical round count s(eps, delta) from Theorem 4.3 for the
   /// given instance size (used by default unless overridden).
   static size_t TheoreticalRounds(size_t n, size_t max_k, double eps, double delta);
@@ -48,6 +51,7 @@ class MonteCarloPNN {
  private:
   size_t n_ = 0;
   size_t rounds_ = 0;
+  double target_eps_ = 0.0;
   Backend backend_;
   std::vector<std::unique_ptr<Delaunay>> delaunay_;
   std::vector<std::unique_ptr<KdTree>> kd_;

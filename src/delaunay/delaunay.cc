@@ -106,7 +106,7 @@ int Delaunay::Locate(Point2 p, int hint) const {
 
 void Delaunay::Insert(int vid) {
   Point2 p = pts_[vid];
-  int t0 = Locate(p, last_tri_);
+  int t0 = Locate(p, last_tri_.load(std::memory_order_relaxed));
 
   // Grow the cavity: all alive triangles whose circumcircle strictly
   // contains p (BFS across edges).
@@ -193,7 +193,7 @@ void Delaunay::Insert(int vid) {
     vert_tri_[tris_[id].v[1]] = id;
     vert_tri_[tris_[id].v[2]] = id;
   }
-  if (!new_tris.empty()) last_tri_ = new_tris.back();
+  if (!new_tris.empty()) last_tri_.store(new_tris.back(), std::memory_order_relaxed);
 }
 
 void Delaunay::BuildAdjacency() {
@@ -224,8 +224,8 @@ void Delaunay::BuildAdjacency() {
 int Delaunay::Nearest(Point2 q) const {
   PNN_CHECK_MSG(num_input_ > 0, "Nearest on empty triangulation");
   // Start from a corner of the triangle containing q, then walk greedily.
-  int t0 = Locate(q, last_tri_);
-  last_tri_ = t0;
+  int t0 = Locate(q, last_tri_.load(std::memory_order_relaxed));
+  last_tri_.store(t0, std::memory_order_relaxed);
   int cur = -1;
   double best = std::numeric_limits<double>::infinity();
   for (int e = 0; e < 3; ++e) {

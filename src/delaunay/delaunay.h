@@ -13,6 +13,7 @@
 #define PNN_DELAUNAY_DELAUNAY_H_
 
 #include <array>
+#include <atomic>
 #include <vector>
 
 #include "src/geometry/point2.h"
@@ -28,10 +29,14 @@ class Delaunay {
   /// order (the classical expected-O(n log n) argument).
   explicit Delaunay(const std::vector<Point2>& points, uint64_t seed = 1);
 
-  /// Index of the exact nearest input point to q. Ties broken arbitrarily.
-  /// Expected O(sqrt(n)) walk without a location hint; repeated queries
-  /// with spatial locality are much faster (the walk restarts at the
-  /// previous answer).
+  /// Index of the exact nearest input point to q. Ties broken arbitrarily
+  /// (by walk position, which depends on the hint — so on exactly
+  /// equidistant inputs the winning index is not deterministic across
+  /// query orders). Expected O(sqrt(n)) walk without a location hint;
+  /// repeated queries with spatial locality are much faster (the walk
+  /// restarts at the previous answer). Thread-safe: the walk hint is a
+  /// relaxed atomic, so concurrent queries race only on which (equally
+  /// valid) hint they see.
   int Nearest(Point2 q) const;
 
   /// Triangles as index triples (CCW), excluding helper vertices.
@@ -60,7 +65,7 @@ class Delaunay {
   std::vector<int> vert_tri_;           // Some alive triangle per vertex.
   std::vector<std::vector<int>> adjacency_;
   std::vector<int> duplicate_of_;       // Canonical index for duplicates.
-  mutable int last_tri_ = 0;            // Walk hint.
+  mutable std::atomic<int> last_tri_{0};  // Walk hint; relaxed, any value works.
 };
 
 }  // namespace pnn

@@ -1,0 +1,88 @@
+#include "src/exec/batch_engine.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "src/util/check.h"
+#include "src/util/stats.h"
+#include "src/util/timer.h"
+
+namespace pnn {
+namespace exec {
+
+BatchEngine::BatchEngine(const Engine* engine, BatchOptions options)
+    : engine_(engine), options_(options) {
+  PNN_CHECK_MSG(engine != nullptr, "BatchEngine needs an engine");
+  size_t threads = options_.num_threads > 0
+                       ? options_.num_threads
+                       : std::max<size_t>(1, std::thread::hardware_concurrency());
+  // The calling thread always participates, so a pool is only needed for
+  // the extra threads beyond it.
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads - 1);
+}
+
+template <typename T, typename Fn>
+BatchResult<T> BatchEngine::Run(size_t n, const Fn& answer_one) const {
+  BatchResult<T> out;
+  out.values.resize(n);
+  std::vector<double> latencies(n, 0.0);
+  Timer wall;
+  auto one = [&](size_t i) {
+    Timer t;
+    out.values[i] = answer_one(i);
+    latencies[i] = t.Micros();
+  };
+  bool parallel = pool_ && n >= options_.min_parallel_batch;
+  if (parallel) {
+    pool_->ParallelFor(n, one);
+  } else {
+    for (size_t i = 0; i < n; ++i) one(i);
+  }
+  out.stats.num_queries = n;
+  out.stats.threads = parallel ? num_threads() : 1;
+  out.stats.wall_seconds = wall.Seconds();
+  out.stats.queries_per_sec =
+      out.stats.wall_seconds > 0 ? static_cast<double>(n) / out.stats.wall_seconds : 0.0;
+  out.stats.p50_micros = Percentile(latencies, 50.0);
+  out.stats.p99_micros = Percentile(std::move(latencies), 99.0);
+  return out;
+}
+
+void BatchEngine::FillPlanStats(std::optional<double> eps, size_t n,
+                                BatchStats* stats) const {
+  // The plan rule is query-independent (it depends on eps and the point
+  // set only), so the whole batch shares one plan.
+  if (engine_->PlanForQuantify(eps) == QuantifyPlan::kSpiral) {
+    stats->spiral_plans = n;
+  } else {
+    stats->monte_carlo_plans = n;
+  }
+}
+
+BatchResult<std::vector<int>> BatchEngine::NonzeroNNBatch(
+    const std::vector<Point2>& queries) const {
+  return Run<std::vector<int>>(
+      queries.size(), [&](size_t i) { return engine_->NonzeroNN(queries[i]); });
+}
+
+BatchResult<std::vector<Quantification>> BatchEngine::QuantifyBatch(
+    const std::vector<Point2>& queries, std::optional<double> eps) const {
+  engine_->Prewarm(eps);  // Build the Monte-Carlo structure outside the fan-out.
+  auto out = Run<std::vector<Quantification>>(
+      queries.size(), [&](size_t i) { return engine_->Quantify(queries[i], eps); });
+  FillPlanStats(eps, queries.size(), &out.stats);
+  return out;
+}
+
+BatchResult<std::vector<Quantification>> BatchEngine::ThresholdNNBatch(
+    const std::vector<Point2>& queries, double tau, std::optional<double> eps) const {
+  engine_->Prewarm(eps);
+  auto out = Run<std::vector<Quantification>>(queries.size(), [&](size_t i) {
+    return engine_->ThresholdNN(queries[i], tau, eps);
+  });
+  FillPlanStats(eps, queries.size(), &out.stats);
+  return out;
+}
+
+}  // namespace exec
+}  // namespace pnn

@@ -1,0 +1,101 @@
+// Parallel batch query executor over pnn::Engine — the in-process
+// equivalent of a pod-style request fan-out: one shared read-only set of
+// structures (kd-trees, spiral quantifier, Monte-Carlo instantiations),
+// many queries answered concurrently on a work-stealing pool.
+//
+// Determinism contract: every batch method returns results bit-identical
+// to answering the queries one by one on a single thread, at any thread
+// count. This holds because (a) all structures are prewarmed before the
+// fan-out and queried through const, side-effect-free paths, and (b) the
+// Monte-Carlo structure derives round r from the seed stream
+// SplitSeed(seed, r) (see util/rng.h), so it is the same structure no
+// matter which thread triggers its construction.
+//
+// One degenerate caveat: on inputs where a query is EXACTLY equidistant
+// (to the last double bit) from two sampled locations, the underlying
+// Delaunay walk may break the tie by walk position, which depends on a
+// scheduling-sensitive locality hint. Such ties have measure zero for the
+// randomly sampled instantiations the Monte-Carlo path queries.
+
+#ifndef PNN_EXEC_BATCH_ENGINE_H_
+#define PNN_EXEC_BATCH_ENGINE_H_
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/core/pnn.h"
+#include "src/exec/thread_pool.h"
+
+namespace pnn {
+namespace exec {
+
+struct BatchOptions {
+  /// Total concurrency, counting the calling thread (which participates in
+  /// every batch). 1 = fully sequential; 0 = hardware concurrency.
+  size_t num_threads = 0;
+  /// Batches smaller than this run inline on the calling thread, skipping
+  /// fan-out overhead.
+  size_t min_parallel_batch = 32;
+};
+
+/// Per-batch execution statistics.
+struct BatchStats {
+  size_t num_queries = 0;
+  size_t threads = 0;          // Threads actually used (1 when run inline).
+  double wall_seconds = 0.0;
+  double queries_per_sec = 0.0;
+  /// Plan mix for quantification batches (0/0 for NonzeroNN batches).
+  size_t spiral_plans = 0;
+  size_t monte_carlo_plans = 0;
+  /// Per-query latency percentiles, microseconds.
+  double p50_micros = 0.0;
+  double p99_micros = 0.0;
+};
+
+/// A batch answer: `values[i]` answers `queries[i]`, plus the stats.
+template <typename T>
+struct BatchResult {
+  std::vector<T> values;
+  BatchStats stats;
+};
+
+/// Answers vectors of queries in parallel against a shared Engine. The
+/// engine must outlive the BatchEngine; the BatchEngine itself is
+/// thread-compatible (use one per batching thread, or serialize calls).
+class BatchEngine {
+ public:
+  explicit BatchEngine(const Engine* engine, BatchOptions options = {});
+
+  /// NN!=0(q) for every query (Lemma 2.1 semantics).
+  BatchResult<std::vector<int>> NonzeroNNBatch(const std::vector<Point2>& queries) const;
+
+  /// Quantification estimates within additive eps for every query
+  /// (spiral or Monte Carlo per the engine's plan rule).
+  BatchResult<std::vector<Quantification>> QuantifyBatch(
+      const std::vector<Point2>& queries,
+      std::optional<double> eps = std::nullopt) const;
+
+  /// Entries with pi_i(q) > tau for every query ([DYM+05] semantics).
+  BatchResult<std::vector<Quantification>> ThresholdNNBatch(
+      const std::vector<Point2>& queries, double tau,
+      std::optional<double> eps = std::nullopt) const;
+
+  const Engine& engine() const { return *engine_; }
+  size_t num_threads() const { return pool_ ? pool_->size() + 1 : 1; }
+
+ private:
+  template <typename T, typename Fn>
+  BatchResult<T> Run(size_t n, const Fn& answer_one) const;
+  void FillPlanStats(std::optional<double> eps, size_t n, BatchStats* stats) const;
+
+  const Engine* engine_;
+  BatchOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // Null when num_threads == 1.
+};
+
+}  // namespace exec
+}  // namespace pnn
+
+#endif  // PNN_EXEC_BATCH_ENGINE_H_

@@ -1,0 +1,137 @@
+#include "src/exec/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace pnn {
+namespace exec {
+
+namespace {
+// Which pool (if any) the current thread is a worker of, so a nested
+// ParallelFor can help-drain instead of blocking on its own pool.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local size_t tls_worker_index = 0;
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t n = num_threads > 0 ? num_threads
+                             : std::max<size_t>(1, std::thread::hardware_concurrency());
+  queues_.reserve(n);
+  for (size_t i = 0; i < n; ++i) queues_.push_back(std::make_unique<WorkQueue>());
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    WorkQueue& q = *queues_[next_queue_];
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    std::lock_guard<std::mutex> qlock(q.mu);
+    q.tasks.push_back(std::move(task));
+  }
+  wake_cv_.notify_one();
+}
+
+std::function<void()> ThreadPool::NextTask(size_t self) {
+  {  // Own queue first, newest task (LIFO).
+    WorkQueue& q = *queues_[self];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      auto task = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      return task;
+    }
+  }
+  // Steal the oldest task (FIFO) from a sibling, scanning from self + 1 so
+  // victims differ across thieves.
+  for (size_t off = 1; off < queues_.size(); ++off) {
+    WorkQueue& q = *queues_[(self + off) % queues_.size()];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      auto task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return task;
+    }
+  }
+  return {};
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  tls_pool = this;
+  tls_worker_index = self;
+  for (;;) {
+    std::function<void()> task = NextTask(self);
+    if (task) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    if (stop_) return;
+    // Re-check under the lock: a submission may have raced our scan.
+    bool any = false;
+    for (const auto& q : queues_) {
+      std::lock_guard<std::mutex> qlock(q->mu);
+      if (!q->tasks.empty()) {
+        any = true;
+        break;
+      }
+    }
+    if (any) continue;
+    wake_cv_.wait(lock);
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  size_t runners = std::min(size(), n);
+  if (runners <= 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  // Shared state outlives this frame only through the runner tasks, which
+  // all finish before the final wait returns.
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  auto done = std::make_shared<std::atomic<size_t>>(0);
+  auto done_mu = std::make_shared<std::mutex>();
+  auto done_cv = std::make_shared<std::condition_variable>();
+  size_t total = runners + 1;  // Pool runners + the calling thread.
+  auto runner = [next, done, done_mu, done_cv, total, n, &body] {
+    for (size_t i = next->fetch_add(1); i < n; i = next->fetch_add(1)) body(i);
+    if (done->fetch_add(1) + 1 == total) {
+      std::lock_guard<std::mutex> lock(*done_mu);
+      done_cv->notify_all();
+    }
+  };
+  for (size_t r = 0; r < runners; ++r) Submit(runner);
+  runner();  // The caller participates instead of blocking idle.
+  if (tls_pool == this) {
+    // Nested call from one of our own workers: blocking would starve the
+    // runner tasks we just queued, so help-drain until they all finish.
+    while (done->load() != total) {
+      std::function<void()> task = NextTask(tls_worker_index);
+      if (task) {
+        task();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lock(*done_mu);
+  done_cv->wait(lock, [&] { return done->load() == total; });
+}
+
+}  // namespace exec
+}  // namespace pnn

@@ -43,6 +43,23 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+/// Derives stream `stream` of a base seed via the SplitMix64 finalizer.
+/// Unlike Rng::Fork(), the result depends only on (seed, stream) — not on
+/// how many values were drawn before the split — so parallel components
+/// (Monte-Carlo rounds, batch-executor workers) get decorrelated streams
+/// that are reproducible regardless of thread scheduling.
+inline uint64_t SplitSeed(uint64_t seed, uint64_t stream) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15ull * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Rng seeded with SplitSeed(seed, stream).
+inline Rng MakeStreamRng(uint64_t seed, uint64_t stream) {
+  return Rng(SplitSeed(seed, stream));
+}
+
 }  // namespace pnn
 
 #endif  // PNN_UTIL_RNG_H_

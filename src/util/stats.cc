@@ -43,4 +43,17 @@ double LogLogSlope(const std::vector<std::pair<double, double>>& pts) {
   return (n * sxy - sx * sy) / denom;
 }
 
+double Percentile(std::vector<double> values, double pct) {
+  if (values.empty()) return 0.0;
+  pct = std::min(100.0, std::max(0.0, pct));
+  double rank = pct / 100.0 * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  std::nth_element(values.begin(), values.begin() + lo, values.end());
+  double at_lo = values[lo];
+  if (lo + 1 >= values.size()) return at_lo;
+  double at_hi = *std::min_element(values.begin() + lo + 1, values.end());
+  double frac = rank - static_cast<double>(lo);
+  return at_lo + frac * (at_hi - at_lo);
+}
+
 }  // namespace pnn

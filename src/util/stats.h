@@ -35,6 +35,12 @@ class Summary {
 /// This is the empirical growth exponent: slope ~ 3 for a Theta(n^3) curve.
 double LogLogSlope(const std::vector<std::pair<double, double>>& pts);
 
+/// The pct-th percentile (pct in [0, 100]) by linear interpolation between
+/// order statistics (the "nearest-rank with interpolation" definition).
+/// Takes its input by value and selects in-place; 0 on empty input. Used by
+/// the batch executor for p50/p99 latency reporting.
+double Percentile(std::vector<double> values, double pct);
+
 }  // namespace pnn
 
 #endif  // PNN_UTIL_STATS_H_

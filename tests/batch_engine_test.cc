@@ -1,0 +1,200 @@
+// Tests for exec::BatchEngine: the parallel batch results must be
+// bit-identical to sequential execution at a fixed seed, for every plan
+// (spiral / Monte Carlo) and input family (discrete / continuous).
+
+#include "src/exec/batch_engine.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "src/workload/generators.h"
+
+namespace pnn {
+namespace exec {
+namespace {
+
+std::vector<Point2> RandomQueries(int count, double span, Rng* rng) {
+  std::vector<Point2> out(count);
+  for (auto& q : out) q = {rng->Uniform(-span, span), rng->Uniform(-span, span)};
+  return out;
+}
+
+void ExpectIdentical(const std::vector<Quantification>& a,
+                     const std::vector<Quantification>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].index, b[i].index);
+    // Bit-identical, not approximately equal: same structure, same path.
+    EXPECT_EQ(a[i].probability, b[i].probability);
+  }
+}
+
+TEST(BatchEngine, DiscreteBatchMatchesSequential) {
+  Rng rng(2001);
+  auto pts = ToUniformUncertain(RandomDiscreteLocations(40, 3, 25, 4, &rng));
+  Engine engine(pts);
+  auto queries = RandomQueries(200, 30, &rng);
+  ASSERT_EQ(engine.PlanForQuantify(0.05), QuantifyPlan::kSpiral);
+
+  for (size_t threads : {1u, 2u, 4u}) {
+    BatchOptions opt;
+    opt.num_threads = threads;
+    opt.min_parallel_batch = 1;
+    BatchEngine batch(&engine, opt);
+    EXPECT_EQ(batch.num_threads(), threads);
+
+    auto nn = batch.NonzeroNNBatch(queries);
+    auto quant = batch.QuantifyBatch(queries, 0.05);
+    ASSERT_EQ(nn.values.size(), queries.size());
+    ASSERT_EQ(quant.values.size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(nn.values[i], engine.NonzeroNN(queries[i]));
+      ExpectIdentical(quant.values[i], engine.Quantify(queries[i], 0.05));
+    }
+    EXPECT_EQ(quant.stats.spiral_plans, queries.size());
+    EXPECT_EQ(quant.stats.monte_carlo_plans, 0u);
+  }
+}
+
+TEST(BatchEngine, MonteCarloBatchMatchesSequentialAcrossEngines) {
+  // Continuous inputs route through the Monte-Carlo structure. A separate
+  // engine with the same seed must produce the same batch answers: the
+  // structure depends only on (points, seed, rounds), and round seeds are
+  // split per round, not drawn from a shared sequential stream.
+  Rng rng(2003);
+  UncertainSet pts;
+  for (int i = 0; i < 12; ++i) {
+    pts.push_back(UncertainPoint::UniformDisk(
+        {rng.Uniform(-12, 12), rng.Uniform(-12, 12)}, rng.Uniform(0.5, 2.0)));
+  }
+  Engine::Options eopt;
+  eopt.seed = 77;
+  eopt.mc_rounds_override = 300;
+  Engine sequential(pts, eopt);
+  Engine shared(pts, eopt);
+  auto queries = RandomQueries(120, 15, &rng);
+  ASSERT_EQ(shared.PlanForQuantify(0.1), QuantifyPlan::kMonteCarlo);
+
+  BatchOptions opt;
+  opt.num_threads = 4;
+  opt.min_parallel_batch = 1;
+  BatchEngine batch(&shared, opt);
+  auto result = batch.QuantifyBatch(queries, 0.1);
+  EXPECT_EQ(result.stats.monte_carlo_plans, queries.size());
+  EXPECT_EQ(shared.MonteCarloRounds(), 300u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ExpectIdentical(result.values[i], sequential.Quantify(queries[i], 0.1));
+  }
+}
+
+TEST(BatchEngine, ThresholdBatchMatchesSequential) {
+  Rng rng(2005);
+  auto pts = ToUniformUncertain(RandomDiscreteLocations(20, 2, 18, 3, &rng));
+  Engine engine(pts);
+  auto queries = RandomQueries(90, 22, &rng);
+  BatchOptions opt;
+  opt.num_threads = 3;
+  opt.min_parallel_batch = 1;
+  BatchEngine batch(&engine, opt);
+  auto result = batch.ThresholdNNBatch(queries, 0.25, 0.02);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ExpectIdentical(result.values[i], engine.ThresholdNN(queries[i], 0.25, 0.02));
+    for (const auto& e : result.values[i]) EXPECT_GT(e.probability, 0.25);
+  }
+}
+
+TEST(BatchEngine, StatsAreConsistent) {
+  Rng rng(2007);
+  auto pts = ToUniformUncertain(RandomDiscreteLocations(15, 2, 10, 2, &rng));
+  Engine engine(pts);
+  BatchEngine batch(&engine, BatchOptions{2, 1});
+  auto queries = RandomQueries(64, 12, &rng);
+  auto result = batch.NonzeroNNBatch(queries);
+  const BatchStats& s = result.stats;
+  EXPECT_EQ(s.num_queries, queries.size());
+  EXPECT_EQ(s.threads, 2u);
+  EXPECT_GT(s.wall_seconds, 0.0);
+  EXPECT_GT(s.queries_per_sec, 0.0);
+  EXPECT_GE(s.p99_micros, s.p50_micros);
+  EXPECT_GT(s.p50_micros, 0.0);
+  EXPECT_EQ(s.spiral_plans + s.monte_carlo_plans, 0u);  // Not a quantify batch.
+}
+
+TEST(BatchEngine, SmallBatchRunsInline) {
+  Rng rng(2009);
+  auto pts = ToUniformUncertain(RandomDiscreteLocations(10, 2, 10, 2, &rng));
+  Engine engine(pts);
+  BatchOptions opt;
+  opt.num_threads = 4;
+  opt.min_parallel_batch = 1000;  // Forces the inline path.
+  BatchEngine batch(&engine, opt);
+  auto queries = RandomQueries(10, 12, &rng);
+  auto result = batch.NonzeroNNBatch(queries);
+  ASSERT_EQ(result.values.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(result.values[i], engine.NonzeroNN(queries[i]));
+  }
+}
+
+TEST(BatchEngine, MixedEpsRebuildIsThreadSafe) {
+  // Two successive batches at tightening eps: the second must rebuild the
+  // Monte-Carlo structure (outside the fan-out) and stay deterministic.
+  Rng rng(2011);
+  UncertainSet pts;
+  for (int i = 0; i < 8; ++i) {
+    pts.push_back(UncertainPoint::UniformDisk(
+        {rng.Uniform(-8, 8), rng.Uniform(-8, 8)}, rng.Uniform(0.5, 1.5)));
+  }
+  Engine::Options eopt;
+  eopt.seed = 5;
+  eopt.mc_rounds_override = 200;
+  Engine shared(pts, eopt);
+  Engine sequential(pts, eopt);
+  BatchOptions opt;
+  opt.num_threads = 4;
+  opt.min_parallel_batch = 1;
+  BatchEngine batch(&shared, opt);
+  auto queries = RandomQueries(60, 10, &rng);
+  auto loose = batch.QuantifyBatch(queries, 0.2);
+  auto tight = batch.QuantifyBatch(queries, 0.05);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ExpectIdentical(loose.values[i], sequential.Quantify(queries[i], 0.2));
+    ExpectIdentical(tight.values[i], sequential.Quantify(queries[i], 0.05));
+  }
+}
+
+TEST(BatchEngine, ConcurrentEpsTighteningIsSafe) {
+  // Regression: a Quantify at a tighter eps rebuilds the Monte-Carlo
+  // structure; concurrent queries holding the old structure must keep it
+  // alive (this used to be a use-after-free, caught by TSan/ASan).
+  Rng rng(2013);
+  UncertainSet pts;
+  for (int i = 0; i < 6; ++i) {
+    pts.push_back(UncertainPoint::UniformDisk(
+        {rng.Uniform(-6, 6), rng.Uniform(-6, 6)}, rng.Uniform(0.5, 1.5)));
+  }
+  Engine::Options eopt;
+  eopt.mc_rounds_override = 100;
+  Engine engine(pts, eopt);
+  const double epses[] = {0.4, 0.2, 0.1, 0.05};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Rng trng(100 + t);
+      for (int i = 0; i < 40; ++i) {
+        Point2 q{trng.Uniform(-8, 8), trng.Uniform(-8, 8)};
+        auto result = engine.Quantify(q, epses[(t + i) % 4]);
+        for (const auto& e : result) {
+          EXPECT_GE(e.probability, 0.0);
+          EXPECT_LE(e.probability, 1.0);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace pnn

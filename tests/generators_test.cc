@@ -1,0 +1,123 @@
+// Focused tests for the workload generators (src/workload/generators.cc):
+// the lower-bound constructions the benchmarks rely on must have exactly
+// the sizes, radii and disjointness the paper's proofs require.
+
+#include "src/workload/generators.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace pnn {
+namespace {
+
+TEST(GeneratorsDetail, RandomDisksRespectsRanges) {
+  Rng rng(3001);
+  auto disks = RandomDisks(100, 50.0, 0.5, 2.5, &rng);
+  ASSERT_EQ(disks.size(), 100u);
+  for (const auto& d : disks) {
+    EXPECT_GE(d.radius, 0.5);
+    EXPECT_LT(d.radius, 2.5);
+    EXPECT_GE(d.center.x, -50.0);
+    EXPECT_LE(d.center.x, 50.0);
+    EXPECT_GE(d.center.y, -50.0);
+    EXPECT_LE(d.center.y, 50.0);
+  }
+}
+
+TEST(GeneratorsDetail, DisjointDisksAreStrictlyDisjoint) {
+  Rng rng(3003);
+  for (double lambda : {1.0, 3.0, 10.0}) {
+    for (int n : {1, 7, 64}) {
+      auto disks = DisjointDisks(n, lambda, &rng);
+      ASSERT_EQ(disks.size(), static_cast<size_t>(n));
+      for (size_t i = 0; i < disks.size(); ++i) {
+        EXPECT_GE(disks[i].radius, 1.0);
+        EXPECT_LE(disks[i].radius, lambda);
+        for (size_t j = i + 1; j < disks.size(); ++j) {
+          // Strict separation: centers farther apart than the radii sum.
+          EXPECT_GT(Distance(disks[i].center, disks[j].center),
+                    disks[i].radius + disks[j].radius)
+              << "disks " << i << " and " << j << " overlap (lambda=" << lambda << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(GeneratorsDetail, LowerBoundCubicShapeAndRadii) {
+  for (int m : {1, 2, 5}) {
+    auto disks = LowerBoundCubic(m);
+    int n = 4 * m;
+    ASSERT_EQ(disks.size(), static_cast<size_t>(n)) << "n must equal 4m";
+    double big_r = 8.0 * n * n;
+    // First m disks are D- (radius R), next m are D+ (radius R), the last
+    // 2m are the unit disks D0 (Theorem 2.7's construction).
+    for (int i = 0; i < m; ++i) {
+      EXPECT_DOUBLE_EQ(disks[i].radius, big_r);
+      EXPECT_LT(disks[i].center.x, 0.0);  // D- sits left of the origin.
+    }
+    for (int j = m; j < 2 * m; ++j) {
+      EXPECT_DOUBLE_EQ(disks[j].radius, big_r);
+      EXPECT_GT(disks[j].center.x, 0.0);  // D+ sits right.
+    }
+    for (int k = 2 * m; k < n; ++k) {
+      EXPECT_DOUBLE_EQ(disks[k].radius, 1.0);
+      EXPECT_DOUBLE_EQ(disks[k].center.x, 0.0);  // D0 on the y-axis.
+    }
+  }
+}
+
+TEST(GeneratorsDetail, LowerBoundEqualRadiusIsUnitRadius) {
+  for (int m : {1, 4}) {
+    auto disks = LowerBoundCubicEqualRadius(m);
+    ASSERT_EQ(disks.size(), static_cast<size_t>(3 * m)) << "n must equal 3m";
+    for (const auto& d : disks) EXPECT_DOUBLE_EQ(d.radius, 1.0);
+  }
+}
+
+TEST(GeneratorsDetail, LowerBoundQuadraticPlacement) {
+  int m = 6;
+  auto disks = LowerBoundQuadratic(m);
+  ASSERT_EQ(disks.size(), static_cast<size_t>(2 * m));
+  for (int i = 0; i < 2 * m; ++i) {
+    EXPECT_DOUBLE_EQ(disks[i].radius, 1.0);
+    EXPECT_DOUBLE_EQ(disks[i].center.x, 4.0 * (i + 1 - m) - 2.0);
+    EXPECT_DOUBLE_EQ(disks[i].center.y, 0.0);
+  }
+}
+
+TEST(GeneratorsDetail, DiscreteWorkloadsAreWellFormed) {
+  Rng rng(3005);
+  auto locs = RandomDiscreteLocations(25, 4, 30, 5, &rng);
+  ASSERT_EQ(locs.size(), 25u);
+  for (const auto& l : locs) EXPECT_EQ(l.size(), 4u);
+  auto pts = ToUniformUncertain(locs);
+  ASSERT_EQ(pts.size(), 25u);
+  for (const auto& p : pts) {
+    ASSERT_TRUE(p.is_discrete());
+    double sum = 0;
+    for (double w : p.discrete().weights) {
+      EXPECT_DOUBLE_EQ(w, 0.25);
+      sum += w;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(GeneratorsDetail, Lemma41InstanceShape) {
+  Rng rng(3007);
+  auto pts = Lemma41Instance(16, &rng);
+  ASSERT_EQ(pts.size(), 16u);
+  for (const auto& p : pts) {
+    ASSERT_TRUE(p.is_discrete());
+    ASSERT_EQ(p.discrete().locations.size(), 2u);  // k = 2 per Lemma 4.1.
+    // One location inside the unit disk, one near the common far point.
+    EXPECT_LE(Norm(p.discrete().locations[0]), 1.0 + 1e-12);
+    EXPECT_NEAR(p.discrete().locations[1].x, 100.0, 0.01);
+    EXPECT_NEAR(p.discrete().locations[1].y, 0.0, 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace pnn

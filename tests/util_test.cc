@@ -64,6 +64,30 @@ TEST(LogLogSlope, SkipsNonPositive) {
   EXPECT_NEAR(LogLogSlope(pts), 2.0, 1e-9);
 }
 
+TEST(SplitSeed, DeterministicAndStreamDependent) {
+  EXPECT_EQ(SplitSeed(42, 0), SplitSeed(42, 0));
+  EXPECT_NE(SplitSeed(42, 0), SplitSeed(42, 1));
+  EXPECT_NE(SplitSeed(42, 0), SplitSeed(43, 0));
+  // Streams of the same seed produce decorrelated draws.
+  Rng a = MakeStreamRng(7, 0), b = MakeStreamRng(7, 1);
+  int agree = 0;
+  for (int i = 0; i < 100; ++i) {
+    agree += a.UniformInt(0, 9) == b.UniformInt(0, 9);
+  }
+  EXPECT_LT(agree, 50);
+}
+
+TEST(Percentile, MatchesOrderStatistics) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({3.0}, 99), 3.0);
+  std::vector<double> v = {5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 87.5), 4.5);  // Interpolates between 4 and 5.
+}
+
 TEST(Table, FormatsWithoutCrashing) {
   Table t({"n", "vertices", "slope"});
   t.AddRow({Table::Int(10), Table::Int(123), Table::Num(2.97)});
