@@ -5,65 +5,105 @@
 // units could be closest (NN!=0) and with what probability — and decides
 // dispatch by probability, not by stale point estimates.
 //
+// The fleet churns every tick (fresh fixes shrink a unit's disk, staleness
+// grows the others), so the tracker runs on pnn::dyn::DynamicEngine:
+// per-tick updates are erase+reinsert pairs at microsecond cost instead of
+// a full engine rebuild, and query latency is reported next to update
+// latency to show both sides of the live workload.
+//
 //   ./examples/sensor_tracking
 
 #include <cstdio>
 #include <vector>
 
-#include "src/core/pnn.h"
 #include "src/core/v0/nonzero_voronoi.h"
+#include "src/dyn/dynamic_engine.h"
 #include "src/util/rng.h"
+#include "src/util/timer.h"
 
 int main() {
   using namespace pnn;
   Rng rng(2024);
 
   // 12 patrol units; staleness in [0, 60] seconds, uncertainty radius
-  // grows at 0.5 units/s up to a cap.
+  // grows at 0.5 units/s up to a cap; a unit gets a fresh fix (radius
+  // snaps back down, position drifts) with probability 1/3 per tick.
   struct Unit {
     Point2 last_fix;
     double staleness;
+    dyn::Id id = -1;
   };
+  auto radius_of = [](const Unit& u) { return std::min(1.0 + 0.5 * u.staleness, 25.0); };
+
   std::vector<Unit> units;
-  UncertainSet points;
   std::vector<Circle> disks;
+  dyn::Options dopt;
+  dopt.engine.mc_rounds_override = 4000;  // Quantification backend for disks.
+  dyn::DynamicEngine engine(dopt);
   for (int i = 0; i < 12; ++i) {
     Unit u{{rng.Uniform(-40, 40), rng.Uniform(-40, 40)}, rng.Uniform(0, 60)};
+    u.id = engine.Insert(UncertainPoint::UniformDisk(u.last_fix, radius_of(u)));
     units.push_back(u);
-    double radius = std::min(1.0 + 0.5 * u.staleness, 25.0);
-    points.push_back(UncertainPoint::UniformDisk(u.last_fix, radius));
-    disks.push_back({u.last_fix, radius});
+    disks.push_back({u.last_fix, radius_of(u)});
   }
 
-  Engine::Options opt;
-  opt.mc_rounds_override = 4000;  // Quantification backend for disks.
-  Engine engine(points, opt);
-
-  // The full nonzero Voronoi diagram doubles as a dispatch map: its faces
-  // are the regions where the candidate set stays constant.
+  // The full nonzero Voronoi diagram of the initial fleet doubles as a
+  // dispatch map: its faces are the regions of constant candidate set.
   NonzeroVoronoi v0(disks);
   std::printf("dispatch map: %zu regions, %zu vertices (Theorem 2.5 object)\n\n",
               v0.complexity().faces, v0.complexity().vertices);
 
-  for (int incident = 0; incident < 5; ++incident) {
-    Point2 q{rng.Uniform(-45, 45), rng.Uniform(-45, 45)};
-    std::printf("incident #%d at (%.1f, %.1f)\n", incident, q.x, q.y);
+  for (int tick = 0; tick < 5; ++tick) {
+    // Advance the fleet: every unit's disk changes, so every unit is an
+    // erase+reinsert pair against the dynamic engine.
+    Timer update_timer;
+    int moved = 0;
+    for (Unit& u : units) {
+      if (rng.Bernoulli(1.0 / 3.0)) {
+        u.last_fix = {u.last_fix.x + rng.Uniform(-5, 5),
+                      u.last_fix.y + rng.Uniform(-5, 5)};
+        u.staleness = 0;
+        ++moved;
+      } else {
+        u.staleness += 5;
+      }
+      engine.Erase(u.id);
+      u.id = engine.Insert(UncertainPoint::UniformDisk(u.last_fix, radius_of(u)));
+    }
+    double update_ms = update_timer.Millis();
 
+    Point2 q{rng.Uniform(-45, 45), rng.Uniform(-45, 45)};
+    Timer query_timer;
     auto candidates = engine.NonzeroNN(q);
+    auto probs = engine.Quantify(q, 0.05);
+    double query_ms = query_timer.Millis();
+
+    std::printf("tick #%d: %d fresh fixes; incident at (%.1f, %.1f)\n", tick, moved,
+                q.x, q.y);
+    std::printf("  update latency: %.3f ms for %zu erase+insert pairs "
+                "(%.1f us/update)  |  query latency: %.3f ms\n",
+                update_ms, units.size(), 1000.0 * update_ms / (2 * units.size()),
+                query_ms);
+
     std::printf("  %zu unit(s) could be closest:", candidates.size());
-    for (int i : candidates) std::printf(" U%d", i);
+    for (dyn::Id id : candidates) {
+      for (size_t i = 0; i < units.size(); ++i) {
+        if (units[i].id == id) std::printf(" U%zu", i);
+      }
+    }
     std::printf("\n");
 
     // Dispatch decision: the most probably-nearest unit, with its odds.
-    auto probs = engine.Quantify(q, 0.05);
-    int best = MostLikelyNN(probs);
+    dyn::Id best = MostLikelyNN(probs);
     double best_p = 0;
+    size_t best_unit = 0;
     for (const auto& e : probs) {
       if (e.index == best) best_p = e.probability;
     }
-    int naive = engine.ExpectedDistanceNN(q);
-    std::printf("  dispatch U%d (P[nearest] ~ %.2f)%s\n", best, best_p,
-                naive != best ? "  [naive expected-distance pick differs!]" : "");
+    for (size_t i = 0; i < units.size(); ++i) {
+      if (units[i].id == best) best_unit = i;
+    }
+    std::printf("  dispatch U%zu (P[nearest] ~ %.2f)\n", best_unit, best_p);
   }
   return 0;
 }

@@ -23,10 +23,22 @@ NonzeroNNIndex::NonzeroNNIndex(const std::vector<Circle>& disks)
   PNN_CHECK_MSG(!disks.empty(), "NonzeroNNIndex needs at least one disk");
 }
 
-double NonzeroNNIndex::Delta(Point2 q) const { return tree_.MinAdditivelyWeighted(q); }
+double NonzeroNNIndex::Delta(Point2 q, const std::vector<char>* skip) const {
+  return tree_.MinAdditivelyWeighted(q, nullptr, skip);
+}
 
 std::vector<int> NonzeroNNIndex::Query(Point2 q) const {
-  std::vector<int> out = tree_.ReportSubtractiveLess(q, Delta(q));
+  return QueryWithin(q, Delta(q));
+}
+
+std::vector<int> NonzeroNNIndex::QueryWithin(Point2 q, double bound,
+                                             const std::vector<char>* skip) const {
+  std::vector<int> out = tree_.ReportSubtractiveLess(q, bound);
+  if (skip != nullptr) {
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [&](int i) { return (*skip)[i] != 0; }),
+              out.end());
+  }
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -78,7 +90,7 @@ DiscreteNonzeroNNIndex::DiscreteNonzeroNNIndex(
   }
 }
 
-double DiscreteNonzeroNNIndex::Delta(Point2 q) const {
+double DiscreteNonzeroNNIndex::Delta(Point2 q, const std::vector<char>* skip) const {
   // Best-first over centroids: Delta_i(q) >= d(q, centroid_i), so the
   // incremental centroid stream gives monotone lower bounds and we can
   // stop as soon as the bound passes the best exact value found.
@@ -88,6 +100,7 @@ double DiscreteNonzeroNNIndex::Delta(Point2 q) const {
     double lb;
     int i = inc.Next(&lb);
     if (lb >= best) break;
+    if (skip != nullptr && (*skip)[i]) continue;
     double exact = 0.0;
     for (Point2 p : hulls_[i]) exact = std::max(exact, Distance(q, p));
     best = std::min(best, exact);
@@ -96,11 +109,16 @@ double DiscreteNonzeroNNIndex::Delta(Point2 q) const {
 }
 
 std::vector<int> DiscreteNonzeroNNIndex::Query(Point2 q) const {
-  double bound = Delta(q);
+  return QueryWithin(q, Delta(q));
+}
+
+std::vector<int> DiscreteNonzeroNNIndex::QueryWithin(
+    Point2 q, double bound, const std::vector<char>* skip) const {
   // Report all locations strictly within `bound` and deduplicate owners.
   std::vector<int> hits = location_tree_.ReportWithin(q, bound);
   std::vector<int> out;
   for (int h : hits) {
+    if (skip != nullptr && (*skip)[owners_[h]]) continue;
     if (Distance(q, location_tree_.points()[h]) < bound) out.push_back(owners_[h]);
   }
   std::sort(out.begin(), out.end());

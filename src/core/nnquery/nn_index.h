@@ -32,11 +32,18 @@ class NonzeroNNIndex {
  public:
   explicit NonzeroNNIndex(const std::vector<Circle>& disks);
 
-  /// Delta(q) = min_i (d(q, c_i) + r_i).
-  double Delta(Point2 q) const;
+  /// Delta(q) = min_i (d(q, c_i) + r_i). Disks with skip[i] != 0 are
+  /// ignored (the dynamic engine's tombstone masks); +inf if all skipped.
+  double Delta(Point2 q, const std::vector<char>* skip = nullptr) const;
 
   /// NN!=0(q): all i with d(q, c_i) - r_i < Delta(q), sorted.
   std::vector<int> Query(Point2 q) const;
+
+  /// Stage 2 against an external bound: all non-skipped i with
+  /// d(q, c_i) - r_i < bound, sorted. The dynamic engine passes the global
+  /// Delta over all buckets, which is at most this bucket's own Delta.
+  std::vector<int> QueryWithin(Point2 q, double bound,
+                               const std::vector<char>* skip = nullptr) const;
 
   size_t size() const { return tree_.size(); }
 
@@ -70,11 +77,17 @@ class DiscreteNonzeroNNIndex {
  public:
   explicit DiscreteNonzeroNNIndex(const std::vector<std::vector<Point2>>& points);
 
-  /// Delta(q) = min_i max_j d(q, p_ij).
-  double Delta(Point2 q) const;
+  /// Delta(q) = min_i max_j d(q, p_ij), ignoring uncertain points with
+  /// skip[i] != 0; +inf if all are skipped.
+  double Delta(Point2 q, const std::vector<char>* skip = nullptr) const;
 
   /// NN!=0(q): all i with min_j d(q, p_ij) < Delta(q), sorted.
   std::vector<int> Query(Point2 q) const;
+
+  /// All non-skipped i with min_j d(q, p_ij) < bound, sorted (stage 2
+  /// against an externally supplied bound; see NonzeroNNIndex::QueryWithin).
+  std::vector<int> QueryWithin(Point2 q, double bound,
+                               const std::vector<char>* skip = nullptr) const;
 
   size_t num_points() const { return hulls_.size(); }
   size_t num_locations() const { return owners_.size(); }

@@ -2,14 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "src/util/check.h"
 
 namespace pnn {
 
 Engine::Engine(UncertainSet points, Options options)
-    : points_(std::move(points)), options_(options) {
+    : points_(std::move(points)), options_(std::move(options)) {
   PNN_CHECK_MSG(!points_.empty(), "Engine needs at least one uncertain point");
+  PNN_CHECK_MSG(options_.default_eps > 0 && options_.default_eps < 1,
+                "Options::default_eps must be in (0,1)");
+  PNN_CHECK_MSG(options_.mc_delta > 0 && options_.mc_delta < 1,
+                "Options::mc_delta must be in (0,1)");
+  PNN_CHECK_MSG(
+      options_.spiral_budget_fraction > 0 && options_.spiral_budget_fraction <= 1,
+      "Options::spiral_budget_fraction must be in (0,1]");
+  PNN_CHECK_MSG(
+      options_.mc_stream_ids.empty() || options_.mc_stream_ids.size() == points_.size(),
+      "Options::mc_stream_ids must be empty or have one id per point");
   for (const auto& p : points_) {
     all_discrete_ = all_discrete_ && p.is_discrete();
     all_continuous_ = all_continuous_ && !p.is_discrete();
@@ -40,6 +51,29 @@ std::vector<int> Engine::NonzeroNN(Point2 q) const {
   return NonzeroNNBruteForce(points_, q);  // Mixed inputs: linear scan.
 }
 
+double Engine::NonzeroDelta(Point2 q, const std::vector<char>* skip) const {
+  if (disk_index_) return disk_index_->Delta(q, skip);
+  if (discrete_index_) return discrete_index_->Delta(q, skip);
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (skip != nullptr && (*skip)[i]) continue;
+    best = std::min(best, points_[i].MaxDistance(q));
+  }
+  return best;
+}
+
+std::vector<int> Engine::NonzeroNNWithin(Point2 q, double bound,
+                                         const std::vector<char>* skip) const {
+  if (disk_index_) return disk_index_->QueryWithin(q, bound, skip);
+  if (discrete_index_) return discrete_index_->QueryWithin(q, bound, skip);
+  std::vector<int> out;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (skip != nullptr && (*skip)[i]) continue;
+    if (points_[i].MinDistance(q) < bound) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
 QuantifyPlan Engine::PlanForQuantify(std::optional<double> eps_opt) const {
   double eps = ResolveEps(eps_opt);
   if (spiral_) {
@@ -66,6 +100,7 @@ std::shared_ptr<const MonteCarloPNN> Engine::EnsureMonteCarlo(double eps) const 
     mco.delta = options_.mc_delta;
     mco.seed = options_.seed;
     mco.rounds_override = options_.mc_rounds_override;
+    mco.stream_ids = options_.mc_stream_ids;
     cur = std::make_shared<const MonteCarloPNN>(points_, mco);
     std::atomic_store_explicit(&monte_carlo_, cur, std::memory_order_release);
   }
@@ -111,6 +146,8 @@ std::vector<Quantification> Engine::QuantifyExact(Point2 q) const {
 
 std::vector<Quantification> Engine::ThresholdNN(Point2 q, double tau,
                                                 std::optional<double> eps) const {
+  PNN_CHECK_MSG(tau >= 0 && tau <= 1,
+                "ThresholdNN tau must be a probability in [0,1]");
   return ThresholdFilter(Quantify(q, eps), tau);
 }
 

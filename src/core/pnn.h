@@ -50,19 +50,36 @@ class Engine {
  public:
   struct Options {
     uint64_t seed = 1;
-    double default_eps = 0.05;   // Quantification error when unspecified.
-    double mc_delta = 0.01;      // Monte-Carlo failure probability.
+    double default_eps = 0.05;   // Quantification error when unspecified; (0,1).
+    double mc_delta = 0.01;      // Monte-Carlo failure probability; (0,1).
     size_t mc_rounds_override = 0;
     /// Spiral search is preferred while rho * k * ln(rho/eps) stays below
-    /// this fraction of N; beyond it Monte Carlo wins.
+    /// this fraction of N; beyond it Monte Carlo wins. Must be in (0,1].
     double spiral_budget_fraction = 0.5;
+    /// Per-point Monte-Carlo sample streams (see
+    /// MonteCarloPNN::Options::stream_ids). Empty, or one id per point.
+    std::vector<uint64_t> mc_stream_ids;
   };
 
+  /// Construction validates Options (aborts with a message on default_eps
+  /// or mc_delta outside (0,1), spiral_budget_fraction outside (0,1], or a
+  /// mis-sized mc_stream_ids) instead of producing nonsense plans later.
   explicit Engine(UncertainSet points) : Engine(std::move(points), Options()) {}
   Engine(UncertainSet points, Options options);
 
   /// NN!=0(q), sorted indices (Lemma 2.1 semantics).
   std::vector<int> NonzeroNN(Point2 q) const;
+
+  /// Delta(q) = min_i Delta_i(q), the Lemma 2.1 pruning bound. Points with
+  /// skip[i] != 0 are ignored (+inf if all are). The dynamic engine takes
+  /// the min of this over its buckets to get the global bound.
+  double NonzeroDelta(Point2 q, const std::vector<char>* skip = nullptr) const;
+
+  /// All non-skipped i with delta_i(q) < bound, sorted. With
+  /// bound = NonzeroDelta(q) this is exactly NonzeroNN(q); the dynamic
+  /// engine passes the global bound over all buckets instead.
+  std::vector<int> NonzeroNNWithin(Point2 q, double bound,
+                                   const std::vector<char>* skip = nullptr) const;
 
   /// Estimates of all positive pi_i(q) within additive eps.
   std::vector<Quantification> Quantify(Point2 q,
@@ -73,6 +90,7 @@ class Engine {
   std::vector<Quantification> QuantifyExact(Point2 q) const;
 
   /// Points with pi_i(q) > tau, using estimates of error eps ([DYM+05]).
+  /// tau must be in [0, 1] (checked; probabilities outside it are vacuous).
   std::vector<Quantification> ThresholdNN(Point2 q, double tau,
                                           std::optional<double> eps = std::nullopt) const;
 
@@ -98,6 +116,11 @@ class Engine {
   const Options& options() const { return options_; }
   bool all_discrete() const { return all_discrete_; }
   bool all_continuous() const { return all_continuous_; }
+  size_t total_complexity() const { return total_complexity_; }
+
+  /// The spiral-search structure (null unless all points are discrete).
+  /// Exposed for the dynamic engine's per-bucket location streams.
+  const SpiralSearchPNN* spiral() const { return spiral_.get(); }
 
  private:
   double ResolveEps(std::optional<double> eps) const;

@@ -30,15 +30,27 @@ MonteCarloPNN::MonteCarloPNN(const UncertainSet& points, const Options& options)
                 ? options.rounds_override
                 : TheoreticalRounds(n_, max_k, options.eps, options.delta);
 
+  PNN_CHECK_MSG(options.stream_ids.empty() || options.stream_ids.size() == n_,
+                "stream_ids must be empty or have one id per point");
+
   // Round r draws from stream SplitSeed(seed, r) rather than one shared
   // sequential stream: each instantiation depends only on (seed, r), so
   // structures are bit-identical no matter which thread builds them or in
   // what order — the property the parallel batch executor relies on for
-  // reproducible Monte-Carlo results.
+  // reproducible Monte-Carlo results. With stream_ids, the round stream is
+  // split once more per point (see Options::stream_ids).
   std::vector<Point2> instance(n_);
   for (size_t r = 0; r < rounds_; ++r) {
     Rng rng = MakeStreamRng(options.seed, r);
-    for (size_t i = 0; i < n_; ++i) instance[i] = points[i].Sample(&rng);
+    if (options.stream_ids.empty()) {
+      for (size_t i = 0; i < n_; ++i) instance[i] = points[i].Sample(&rng);
+    } else {
+      uint64_t round_seed = SplitSeed(options.seed, r);
+      for (size_t i = 0; i < n_; ++i) {
+        Rng prng = MakeStreamRng(round_seed, options.stream_ids[i]);
+        instance[i] = points[i].Sample(&prng);
+      }
+    }
     if (backend_ == Backend::kDelaunay) {
       delaunay_.push_back(std::make_unique<Delaunay>(instance, rng.engine()()));
     } else {

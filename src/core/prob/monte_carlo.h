@@ -31,6 +31,14 @@ class MonteCarloPNN {
     uint64_t seed = 1;
     Backend backend = Backend::kDelaunay;
     size_t rounds_override = 0;  // If nonzero, use exactly this many rounds.
+    /// When non-empty (size n), point i draws round r from the dedicated
+    /// stream SplitSeed(SplitSeed(seed, r), stream_ids[i]) instead of the
+    /// round's shared sequential stream. A point's instantiations then
+    /// depend only on (seed, r, its id) — not on which other points are in
+    /// the set — which is what lets the dynamic engine's per-bucket round
+    /// structures reproduce this structure's samples exactly under
+    /// arbitrary insert/erase histories.
+    std::vector<uint64_t> stream_ids;
   };
 
   MonteCarloPNN(const UncertainSet& points, const Options& options);

@@ -69,6 +69,12 @@ class SurvivalProduct {
     return std::exp(lp);
   }
 
+  // prod_j factor_j.
+  double ProductAll() const {
+    if (zeros_ > 0) return 0.0;
+    return std::exp(log_prod_);
+  }
+
  private:
   static bool IsZero(double v) { return v <= 1e-300; }
   std::vector<double> factor_;
@@ -156,6 +162,102 @@ std::vector<Quantification> QuantifyNumericContinuous(const UncertainSet& points
     };
     double v = AdaptiveSimpson(integrand, lo, hi, tol / 4);
     if (v > tol) out.push_back({static_cast<int>(i), std::min(v, 1.0)});
+  }
+  return out;
+}
+
+std::vector<Quantification> QuantifyPrefixSweep(const std::vector<WeightedLocation>& locs,
+                                                const std::vector<int>& counts) {
+  // The same tie-grouped sweep as the exact quantifier, restricted to the
+  // retrieved prefix. Kept bit-for-bit in sync with its former inline copy
+  // in spiral.cc: the dynamic engine merges per-bucket streams into the
+  // identical global distance order and must reproduce identical doubles.
+  size_t n = counts.size();
+  std::vector<double> pi(n, 0.0), cum(n, 0.0);
+  std::vector<int> seen(n, 0);
+  // Survival factors with zero tracking (small n per query: direct scan).
+  std::vector<double> survival(n, 1.0);
+  size_t idx = 0;
+  std::vector<int> touched;
+  while (idx < locs.size()) {
+    size_t end = idx;
+    while (end < locs.size() && locs[end].dist == locs[idx].dist) ++end;
+    for (size_t k = idx; k < end; ++k) {
+      int o = locs[k].owner;
+      if (cum[o] == 0.0) touched.push_back(o);
+      cum[o] += locs[k].weight;
+      // Exactly 0 once all of o's locations are retrieved (no rounding
+      // residue; see QuantifyExactDiscrete above).
+      survival[o] = (++seen[o] == counts[o]) ? 0.0 : std::max(0.0, 1.0 - cum[o]);
+    }
+    for (size_t k = idx; k < end; ++k) {
+      int o = locs[k].owner;
+      double prod = 1.0;
+      for (int j : touched) {
+        if (j == o) continue;
+        prod *= survival[j];
+        if (prod == 0.0) break;
+      }
+      pi[o] += locs[k].weight * prod;
+    }
+    idx = end;
+  }
+
+  std::vector<Quantification> out;
+  for (int o : touched) {
+    if (pi[o] > 0) out.push_back({o, pi[o]});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Quantification& a, const Quantification& b) {
+              return a.index < b.index;
+            });
+  return out;
+}
+
+double SurvivalProfile::Value(double r) const {
+  auto it = std::upper_bound(dists.begin(), dists.end(), r);
+  if (it == dists.begin()) return 1.0;
+  return values[static_cast<size_t>(it - dists.begin()) - 1];
+}
+
+PartialQuantify QuantifyPartDiscrete(const UncertainSet& points,
+                                     const std::vector<int>& members, Point2 q) {
+  size_t n = members.size();
+  std::vector<Loc> locs;
+  for (size_t m = 0; m < n; ++m) {
+    const UncertainPoint& p = points[members[m]];
+    PNN_CHECK_MSG(p.is_discrete(), "QuantifyPartDiscrete needs discrete points");
+    const auto& d = p.discrete();
+    for (size_t s = 0; s < d.locations.size(); ++s) {
+      locs.push_back({Distance(q, d.locations[s]), static_cast<int>(m), d.weights[s]});
+    }
+  }
+  std::sort(locs.begin(), locs.end(),
+            [](const Loc& a, const Loc& b) { return a.dist < b.dist; });
+
+  std::vector<double> cum(n, 0.0);
+  std::vector<int> remaining(n, 0);
+  for (const Loc& l : locs) ++remaining[l.owner];
+  SurvivalProduct survival(n);
+
+  PartialQuantify out;
+  out.terms.reserve(locs.size());
+  size_t idx = 0;
+  while (idx < locs.size()) {
+    size_t end = idx;
+    while (end < locs.size() && locs[end].dist == locs[idx].dist) ++end;
+    for (size_t k = idx; k < end; ++k) {
+      int o = locs[k].owner;
+      cum[o] += locs[k].weight;
+      survival.Set(o, --remaining[o] == 0 ? 0.0 : 1.0 - cum[o]);
+    }
+    for (size_t k = idx; k < end; ++k) {
+      out.terms.push_back({locs[k].dist, locs[k].owner,
+                           locs[k].weight * survival.ProductExcluding(locs[k].owner)});
+    }
+    out.profile.dists.push_back(locs[idx].dist);
+    out.profile.values.push_back(survival.ProductAll());
+    idx = end;
   }
   return out;
 }

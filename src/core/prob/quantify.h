@@ -35,6 +35,61 @@ std::vector<Quantification> QuantifyExactDiscrete(const UncertainSet& points, Po
 std::vector<Quantification> QuantifyNumericContinuous(const UncertainSet& points,
                                                       Point2 q, double tol = 1e-8);
 
+/// One retrieved discrete location in a distance-ordered stream: its
+/// distance to the query, a dense owner label in [0, num_owners), and its
+/// location probability.
+struct WeightedLocation {
+  double dist;
+  int owner;
+  double weight;
+};
+
+/// The truncated tie-grouped sweep of Eq. (10)/(11): estimates pi_owner
+/// from a distance-ascending prefix of locations (Lemma 4.6: truncation
+/// underestimates by at most eps when the prefix is long enough). Shared
+/// by SpiralSearchPNN and the dynamic engine's cross-bucket stream merge so
+/// both produce bit-identical estimates. `counts[o]` is owner o's total
+/// location count in the full set (so survival hits exact zero once every
+/// location is swept). Returns nonzero estimates sorted by owner label.
+std::vector<Quantification> QuantifyPrefixSweep(const std::vector<WeightedLocation>& locs,
+                                                const std::vector<int>& counts);
+
+/// Piecewise-constant survival product of a subset B of the input:
+///   Value(r) = prod_{j in B} (1 - G_{q,j}(r)),
+/// right-continuous (a breakpoint's value includes locations at exactly
+/// that distance, matching the <= in G). The paper's independence
+/// structure — pi_i(q) = Int f_i prod_{j != i} (1 - G_j) — factorizes over
+/// any partition of P \ {i}, so per-part profiles simply multiply; this is
+/// the hook the dynamic engine uses to recombine per-bucket answers.
+struct SurvivalProfile {
+  std::vector<double> dists;   // Ascending breakpoints.
+  std::vector<double> values;  // values[g] holds on [dists[g], dists[g+1]).
+  /// Value(r); 1.0 before the first breakpoint.
+  double Value(double r) const;
+};
+
+/// The per-part piece of the exact discrete quantification: for one part B
+/// of an independence partition, the Eq. (2) sweep restricted to B yields
+///   * terms: for each location (at distance d, of member i) the partial
+///     contribution w * prod_{j in B, j != i} (1 - G_j(d)), and
+///   * profile: the part's survival product (see SurvivalProfile).
+/// The full pi_i for i in B is the sum over i's terms of
+///   partial * prod_{parts B' != B} profile_{B'}(d).
+struct PartialQuantify {
+  struct Term {
+    double dist;
+    int member;  // Index into `members` as passed to QuantifyPartDiscrete.
+    double partial;
+  };
+  std::vector<Term> terms;  // Ascending by dist.
+  SurvivalProfile profile;
+};
+
+/// Computes the part sweep above for the (discrete) points
+/// {points[members[0]], ...}. Members must be discrete.
+PartialQuantify QuantifyPartDiscrete(const UncertainSet& points,
+                                     const std::vector<int>& members, Point2 q);
+
 /// Entries with probability > tau (threshold queries, [DYM+05] semantics).
 std::vector<Quantification> ThresholdFilter(const std::vector<Quantification>& all,
                                             double tau);

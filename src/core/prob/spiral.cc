@@ -34,9 +34,13 @@ SpiralSearchPNN::SpiralSearchPNN(const UncertainSet& points)
 }
 
 size_t SpiralSearchPNN::RetrievalBound(double eps) const {
+  return RetrievalBoundFor(rho_, max_k_, eps);
+}
+
+size_t SpiralSearchPNN::RetrievalBoundFor(double rho, size_t max_k, double eps) {
   PNN_CHECK(eps > 0 && eps < 1);
-  double m = rho_ * static_cast<double>(max_k_) * std::log(std::max(rho_, 1.0) / eps);
-  return static_cast<size_t>(std::ceil(m)) + max_k_ - 1;
+  double m = rho * static_cast<double>(max_k) * std::log(std::max(rho, 1.0) / eps);
+  return static_cast<size_t>(std::ceil(m)) + max_k - 1;
 }
 
 std::vector<Quantification> SpiralSearchPNN::Query(Point2 q, double eps) const {
@@ -47,13 +51,8 @@ std::vector<Quantification> SpiralSearchPNN::QueryWithBudget(Point2 q,
                                                              size_t m) const {
   m = std::min(m, owners_.size());
   // Retrieve the m nearest locations (ascending). The incremental stream
-  // yields them already sorted, which the sweep below needs anyway.
-  struct Loc {
-    double dist;
-    int owner;
-    double weight;
-  };
-  std::vector<Loc> locs;
+  // yields them already sorted, which the sweep needs anyway.
+  std::vector<WeightedLocation> locs;
   locs.reserve(m);
   KdTree::Incremental inc(tree_, q);
   while (locs.size() < m && inc.HasNext()) {
@@ -61,48 +60,27 @@ std::vector<Quantification> SpiralSearchPNN::QueryWithBudget(Point2 q,
     int idx = inc.Next(&d);
     locs.push_back({d, owners_[idx], weights_[idx]});
   }
-
   // Eq. (10)/(11) restricted to the retrieved prefix: the same tie-grouped
   // sweep as the exact quantifier, but over bar-P.
-  std::vector<double> pi(n_, 0.0), cum(n_, 0.0);
-  std::vector<int> seen(n_, 0);
-  // Survival factors with zero tracking (small n per query: direct scan).
-  std::vector<double> survival(n_, 1.0);
-  size_t idx = 0;
-  std::vector<int> touched;
-  while (idx < locs.size()) {
-    size_t end = idx;
-    while (end < locs.size() && locs[end].dist == locs[idx].dist) ++end;
-    for (size_t k = idx; k < end; ++k) {
-      int o = locs[k].owner;
-      if (cum[o] == 0.0) touched.push_back(o);
-      cum[o] += locs[k].weight;
-      // Exactly 0 once all of o's locations are retrieved (no rounding
-      // residue; see quantify.cc).
-      survival[o] = (++seen[o] == counts_[o]) ? 0.0 : std::max(0.0, 1.0 - cum[o]);
-    }
-    for (size_t k = idx; k < end; ++k) {
-      int o = locs[k].owner;
-      double prod = 1.0;
-      for (int j : touched) {
-        if (j == o) continue;
-        prod *= survival[j];
-        if (prod == 0.0) break;
-      }
-      pi[o] += locs[k].weight * prod;
-    }
-    idx = end;
-  }
+  return QuantifyPrefixSweep(locs, counts_);
+}
 
-  std::vector<Quantification> out;
-  for (int o : touched) {
-    if (pi[o] > 0) out.push_back({o, pi[o]});
+SpiralSearchPNN::Stream::Stream(const SpiralSearchPNN& s, Point2 q,
+                                const std::vector<char>* skip_owner)
+    : s_(s), inc_(s.tree_, q), skip_(skip_owner) {}
+
+bool SpiralSearchPNN::Stream::Next(double* dist, int* owner, double* weight) {
+  while (inc_.HasNext()) {
+    double d;
+    int idx = inc_.Next(&d);
+    int o = s_.owners_[idx];
+    if (skip_ != nullptr && (*skip_)[o]) continue;
+    *dist = d;
+    *owner = o;
+    *weight = s_.weights_[idx];
+    return true;
   }
-  std::sort(out.begin(), out.end(),
-            [](const Quantification& a, const Quantification& b) {
-              return a.index < b.index;
-            });
-  return out;
+  return false;
 }
 
 }  // namespace pnn

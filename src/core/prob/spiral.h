@@ -35,7 +35,33 @@ class SpiralSearchPNN {
   /// m(rho, eps) = ceil(rho k ln(rho / eps)) + k - 1 (Theorem 4.7).
   size_t RetrievalBound(double eps) const;
 
+  /// The same bound for explicit parameters — the dynamic engine evaluates
+  /// the plan rule over its live set without materializing a structure.
+  static size_t RetrievalBoundFor(double rho, size_t max_k, double eps);
+
   size_t max_k() const { return max_k_; }
+
+  /// Total location count of owner i.
+  int count(int owner) const { return counts_[owner]; }
+
+  /// Best-first stream of this structure's locations in ascending distance
+  /// from q, as (dist, owner, weight) triples. Owners with
+  /// skip_owner[owner] != 0 are passed over (the dynamic engine's
+  /// tombstones). The dynamic engine k-way-merges one stream per bucket to
+  /// recover the exact global retrieval order of a monolithic structure.
+  class Stream {
+   public:
+    Stream(const SpiralSearchPNN& s, Point2 q,
+           const std::vector<char>* skip_owner = nullptr);
+
+    /// Advances to the next location; false when the stream is exhausted.
+    bool Next(double* dist, int* owner, double* weight);
+
+   private:
+    const SpiralSearchPNN& s_;
+    KdTree::Incremental inc_;
+    const std::vector<char>* skip_;
+  };
 
  private:
   size_t n_ = 0;

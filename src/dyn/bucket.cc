@@ -1,0 +1,72 @@
+#include "src/dyn/bucket.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace pnn {
+namespace dyn {
+
+namespace {
+
+Engine::Options BucketEngineOptions(Engine::Options options) {
+  // Per-point stream ids sized for some other point set must not leak into
+  // the bucket engine's validation; the dynamic engine maintains id-keyed
+  // per-round structures itself (see McRounds).
+  options.mc_stream_ids.clear();
+  return options;
+}
+
+}  // namespace
+
+Bucket::Bucket(std::vector<Id> ids, UncertainSet points, Engine::Options options)
+    : ids_(std::move(ids)),
+      seed_(options.seed),
+      engine_(std::move(points), BucketEngineOptions(std::move(options))) {
+  PNN_CHECK_MSG(ids_.size() == engine_.points().size(),
+                "bucket ids/points size mismatch");
+  PNN_CHECK_MSG(std::is_sorted(ids_.begin(), ids_.end()), "bucket ids must ascend");
+}
+
+int Bucket::LocalIndex(Id id) const {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end() || *it != id) return -1;
+  return static_cast<int>(it - ids_.begin());
+}
+
+std::shared_ptr<const McRounds> Bucket::EnsureRounds(size_t rounds,
+                                                     exec::ThreadPool* pool) const {
+  auto cur = std::atomic_load_explicit(&mc_, std::memory_order_acquire);
+  if (cur && cur->trees.size() >= rounds) return cur;
+  std::lock_guard<std::mutex> lock(mc_mu_);
+  cur = std::atomic_load_explicit(&mc_, std::memory_order_acquire);
+  if (cur && cur->trees.size() >= rounds) return cur;
+
+  auto next = std::make_shared<McRounds>();
+  if (cur) next->trees = cur->trees;  // Share the already-built prefix.
+  size_t from = next->trees.size();
+  next->trees.resize(rounds);
+  const UncertainSet& pts = engine_.points();
+  auto build_round = [&](size_t r) {
+    uint64_t round_seed = SplitSeed(seed_, r);
+    std::vector<Point2> samples(pts.size());
+    for (size_t j = 0; j < pts.size(); ++j) {
+      Rng rng = MakeStreamRng(round_seed, static_cast<uint64_t>(ids_[j]));
+      samples[j] = pts[j].Sample(&rng);
+    }
+    next->trees[r] = std::make_shared<const KdTree>(std::move(samples));
+  };
+  if (pool != nullptr && rounds - from > 1) {
+    pool->ParallelFor(rounds - from, [&](size_t i) { build_round(from + i); });
+  } else {
+    for (size_t r = from; r < rounds; ++r) build_round(r);
+  }
+  std::atomic_store_explicit(&mc_, std::shared_ptr<const McRounds>(next),
+                             std::memory_order_release);
+  return next;
+}
+
+}  // namespace dyn
+}  // namespace pnn

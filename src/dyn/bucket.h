@@ -1,0 +1,74 @@
+// One immutable Bentley–Saxe bucket of the dynamic engine: a frozen slice
+// of the live set with its own static pnn::Engine, plus a lazily extended
+// cache of per-round Monte-Carlo instantiations keyed by stable point ids.
+//
+// A bucket never changes after construction; erases are tombstone masks
+// kept next to the bucket in the engine's snapshot, and growth happens by
+// building a new bucket and swapping snapshots (queries never block).
+
+#ifndef PNN_DYN_BUCKET_H_
+#define PNN_DYN_BUCKET_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/core/pnn.h"
+#include "src/exec/thread_pool.h"
+#include "src/spatial/kdtree.h"
+
+namespace pnn {
+namespace dyn {
+
+/// Stable identifier of an inserted point (assigned sequentially, so
+/// ascending-id order equals insertion order equals the rank order of a
+/// fresh static Engine over the live set).
+using Id = int;
+
+/// Per-round Monte-Carlo search structures over a bucket's members. Round r
+/// holds a kd-tree over the samples drawn from the per-point streams
+/// SplitSeed(SplitSeed(seed, r), id_j) — exactly the samples a monolithic
+/// MonteCarloPNN with stream_ids = member ids draws, so a cross-bucket
+/// argmin per round reproduces its per-round nearest neighbor.
+struct McRounds {
+  std::vector<std::shared_ptr<const KdTree>> trees;  // trees[r], local order.
+};
+
+class Bucket {
+ public:
+  /// `ids` must be ascending and parallel to `points`; both non-empty.
+  /// `options` is the dynamic engine's shared Engine configuration (its
+  /// mc_stream_ids, if any, are ignored: the bucket engine's own
+  /// Monte-Carlo path is unused).
+  Bucket(std::vector<Id> ids, UncertainSet points, Engine::Options options);
+
+  const std::vector<Id>& ids() const { return ids_; }
+  const UncertainSet& points() const { return engine_.points(); }
+  const Engine& engine() const { return engine_; }
+  size_t size() const { return ids_.size(); }
+
+  /// Local index of `id`, or -1 (binary search; ids are ascending).
+  int LocalIndex(Id id) const;
+
+  /// Rounds [0, rounds) of the Monte-Carlo cache, building any missing
+  /// suffix (on `pool` when provided). Builds serialize on an internal
+  /// mutex; the completed prefix is shared structurally between extensions,
+  /// and readers holding an older McRounds keep it alive via shared_ptr.
+  std::shared_ptr<const McRounds> EnsureRounds(size_t rounds,
+                                               exec::ThreadPool* pool) const;
+
+ private:
+  std::vector<Id> ids_;
+  uint64_t seed_;
+  Engine engine_;
+
+  mutable std::mutex mc_mu_;  // Serializes round-cache extensions.
+  // Accessed with std::atomic_load/atomic_store (the Engine snapshot
+  // pattern): readers are lock-free once enough rounds exist.
+  mutable std::shared_ptr<const McRounds> mc_;
+};
+
+}  // namespace dyn
+}  // namespace pnn
+
+#endif  // PNN_DYN_BUCKET_H_

@@ -1,0 +1,431 @@
+#include "src/dyn/dynamic_engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "src/dyn/merge.h"
+#include "src/util/check.h"
+
+namespace pnn {
+namespace dyn {
+
+// What one maintenance step will build: either a tail merge (the frozen
+// tail plus every bucket the doubling rule absorbs) or a full compaction
+// (everything live). Members are snapshotted under the lock; the bucket is
+// built outside it.
+struct DynamicEngine::MaintenancePlan {
+  bool any = false;
+  std::vector<size_t> absorbed;  // Indices into buckets_ at plan time.
+  size_t frozen_tail = 0;        // Tail prefix consumed by the build.
+  std::vector<Id> ids;           // Ascending members of the new bucket.
+  UncertainSet points;           // Parallel to ids.
+};
+
+DynamicEngine::DynamicEngine(Options options) : options_(std::move(options)) {
+  PNN_CHECK_MSG(options_.engine.mc_stream_ids.empty(),
+                "dyn::Options::engine.mc_stream_ids is managed internally");
+  PNN_CHECK_MSG(options_.tail_limit >= 1, "tail_limit must be >= 1");
+  PNN_CHECK_MSG(options_.max_dead_fraction > 0 && options_.max_dead_fraction < 1,
+                "max_dead_fraction must be in (0,1)");
+  // Validate the shared engine options eagerly (Engine would only check
+  // them at the first bucket build).
+  PNN_CHECK_MSG(options_.engine.default_eps > 0 && options_.engine.default_eps < 1,
+                "Options::default_eps must be in (0,1)");
+  PNN_CHECK_MSG(options_.engine.mc_delta > 0 && options_.engine.mc_delta < 1,
+                "Options::mc_delta must be in (0,1)");
+  PNN_CHECK_MSG(options_.engine.spiral_budget_fraction > 0 &&
+                    options_.engine.spiral_budget_fraction <= 1,
+                "Options::spiral_budget_fraction must be in (0,1]");
+  std::lock_guard<std::mutex> lock(mu_);
+  PublishLocked();
+}
+
+DynamicEngine::DynamicEngine(const UncertainSet& initial, Options options)
+    : DynamicEngine(std::move(options)) {
+  if (initial.empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  std::vector<Id> ids(initial.size());
+  for (size_t i = 0; i < initial.size(); ++i) {
+    ids[i] = next_id_++;
+    live_.emplace(ids[i], initial[i]);
+    AddAggregatesLocked(initial[i]);
+  }
+  auto bucket = std::make_shared<const Bucket>(std::move(ids), initial, options_.engine);
+  buckets_.push_back({bucket, nullptr, bucket->size()});
+  PublishLocked();
+}
+
+DynamicEngine::~DynamicEngine() { WaitForMaintenance(); }
+
+void DynamicEngine::PublishLocked() {
+  auto s = std::make_shared<Snapshot>();
+  s->buckets = buckets_;
+  s->tail = std::make_shared<const std::vector<TailEntry>>(tail_);
+  s->tail_dead = tail_dead_.empty()
+                     ? nullptr
+                     : std::make_shared<const std::unordered_set<Id>>(tail_dead_);
+  s->live_count = live_.size();
+  s->discrete_count = discrete_count_;
+  s->continuous_count = continuous_count_;
+  s->total_complexity = total_complexity_;
+  s->max_k = live_ks_.empty() ? 1 : *live_ks_.rbegin();
+  // Mirrors SpiralSearchPNN's spread computation (wmin/wmax seeds 1.0/0.0).
+  double wmin = live_weights_.empty() ? 1.0 : std::min(1.0, *live_weights_.begin());
+  double wmax = live_weights_.empty() ? 0.0 : *live_weights_.rbegin();
+  s->rho = wmax / wmin;
+  std::atomic_store_explicit(&snapshot_, std::shared_ptr<const Snapshot>(std::move(s)),
+                             std::memory_order_release);
+}
+
+void DynamicEngine::AddAggregatesLocked(const UncertainPoint& p) {
+  if (p.is_discrete()) {
+    ++discrete_count_;
+    const auto& d = p.discrete();
+    for (double w : d.weights) live_weights_.insert(w);
+  } else {
+    ++continuous_count_;
+  }
+  total_complexity_ += p.DescriptionComplexity();
+  live_ks_.insert(std::max<size_t>(p.DescriptionComplexity(), 1));
+}
+
+void DynamicEngine::RemoveAggregatesLocked(const UncertainPoint& p) {
+  if (p.is_discrete()) {
+    --discrete_count_;
+    for (double w : p.discrete().weights) {
+      live_weights_.erase(live_weights_.find(w));
+    }
+  } else {
+    --continuous_count_;
+  }
+  total_complexity_ -= p.DescriptionComplexity();
+  live_ks_.erase(live_ks_.find(std::max<size_t>(p.DescriptionComplexity(), 1)));
+}
+
+Id DynamicEngine::Insert(UncertainPoint point) {
+  std::unique_lock<std::mutex> lock(mu_);
+  PNN_CHECK_MSG(next_id_ < std::numeric_limits<Id>::max(), "id space exhausted");
+  Id id = next_id_++;
+  AddAggregatesLocked(point);
+  tail_.push_back({id, point});
+  live_.emplace(id, std::move(point));
+  PublishLocked();
+  MaybeStartMaintenanceLocked(lock);
+  return id;
+}
+
+bool DynamicEngine::Erase(Id id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = live_.find(id);
+  if (it == live_.end()) return false;
+  RemoveAggregatesLocked(it->second);
+  live_.erase(it);
+
+  bool in_bucket = false;
+  for (auto& bref : buckets_) {
+    int local = bref.bucket->LocalIndex(id);
+    if (local < 0) continue;
+    auto mask = bref.dead ? std::make_shared<std::vector<char>>(*bref.dead)
+                          : std::make_shared<std::vector<char>>(bref.bucket->size(), 0);
+    (*mask)[local] = 1;
+    bref.dead = std::move(mask);
+    --bref.live_count;
+    in_bucket = true;
+    break;
+  }
+  if (!in_bucket) tail_dead_.insert(id);  // Must still be a tail entry.
+  if (building_) erased_during_build_.push_back(id);
+
+  PublishLocked();
+  MaybeStartMaintenanceLocked(lock);
+  return true;
+}
+
+bool DynamicEngine::MaintenanceNeededLocked() const {
+  size_t total = tail_.size();
+  size_t dead = tail_dead_.size();
+  for (const auto& bref : buckets_) {
+    total += bref.bucket->size();
+    dead += bref.bucket->size() - bref.live_count;
+  }
+  if (dead >= 8 &&
+      static_cast<double>(dead) > options_.max_dead_fraction * static_cast<double>(total)) {
+    return true;
+  }
+  return tail_.size() - tail_dead_.size() >= options_.tail_limit;
+}
+
+void DynamicEngine::MaybeStartMaintenanceLocked(std::unique_lock<std::mutex>& lock) {
+  if (maintenance_running_ || !MaintenanceNeededLocked()) return;
+  maintenance_running_ = true;
+  if (options_.pool != nullptr) {
+    options_.pool->Submit([this] { MaintenanceLoop(); });
+  } else {
+    lock.unlock();
+    MaintenanceLoop();
+  }
+}
+
+DynamicEngine::MaintenancePlan DynamicEngine::DecidePlanLocked() {
+  MaintenancePlan plan;
+  size_t total = tail_.size();
+  size_t dead = tail_dead_.size();
+  for (const auto& bref : buckets_) {
+    total += bref.bucket->size();
+    dead += bref.bucket->size() - bref.live_count;
+  }
+  if (dead >= 8 &&
+      static_cast<double>(dead) > options_.max_dead_fraction * static_cast<double>(total)) {
+    // Compaction: rebuild the whole structure from the live set.
+    plan.any = true;
+    plan.frozen_tail = tail_.size();
+    for (size_t i = 0; i < buckets_.size(); ++i) plan.absorbed.push_back(i);
+    plan.ids.reserve(live_.size());
+    plan.points.reserve(live_.size());
+    for (const auto& [id, p] : live_) {
+      plan.ids.push_back(id);
+      plan.points.push_back(p);
+    }
+  } else if (tail_.size() - tail_dead_.size() >= options_.tail_limit) {
+    // Tail merge with the Bentley–Saxe doubling rule: absorb every bucket
+    // no larger than the accumulated merge, so an absorbed bucket at least
+    // doubles — each point is rebuilt O(log n) times.
+    plan.any = true;
+    plan.frozen_tail = tail_.size();
+    std::vector<std::pair<Id, const UncertainPoint*>> members;
+    for (const TailEntry& e : tail_) {
+      if (tail_dead_.count(e.id) == 0) members.push_back({e.id, &e.point});
+    }
+    size_t merged = members.size();
+    std::vector<char> take(buckets_.size(), 0);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t i = 0; i < buckets_.size(); ++i) {
+        if (!take[i] && buckets_[i].live_count <= merged) {
+          take[i] = 1;
+          merged += buckets_[i].live_count;
+          changed = true;
+        }
+      }
+    }
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      if (!take[i]) continue;
+      plan.absorbed.push_back(i);
+      const auto& bref = buckets_[i];
+      for (size_t j = 0; j < bref.bucket->size(); ++j) {
+        if (bref.dead && (*bref.dead)[j]) continue;
+        members.push_back({bref.bucket->ids()[j], &bref.bucket->points()[j]});
+      }
+    }
+    std::sort(members.begin(), members.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    plan.ids.reserve(members.size());
+    plan.points.reserve(members.size());
+    for (const auto& [id, p] : members) {
+      plan.ids.push_back(id);
+      plan.points.push_back(*p);
+    }
+  }
+  if (plan.any) {
+    building_ = true;
+    erased_during_build_.clear();
+  }
+  return plan;
+}
+
+void DynamicEngine::SpliceLocked(const MaintenancePlan& plan,
+                                 std::shared_ptr<const Bucket> built) {
+  for (auto it = plan.absorbed.rbegin(); it != plan.absorbed.rend(); ++it) {
+    buckets_.erase(buckets_.begin() + static_cast<long>(*it));
+  }
+  tail_.erase(tail_.begin(), tail_.begin() + static_cast<long>(plan.frozen_tail));
+  if (!tail_dead_.empty()) {
+    // Tombstones of frozen tail entries are either folded into the new
+    // bucket's mask (erased during the build) or gone with their points.
+    std::unordered_set<Id> keep;
+    for (const TailEntry& e : tail_) {
+      if (tail_dead_.count(e.id)) keep.insert(e.id);
+    }
+    tail_dead_ = std::move(keep);
+  }
+  if (built != nullptr) {
+    Snapshot::BucketRef ref{built, nullptr, built->size()};
+    std::shared_ptr<std::vector<char>> mask;
+    for (Id id : erased_during_build_) {
+      int local = built->LocalIndex(id);
+      if (local < 0) continue;
+      if (!mask) mask = std::make_shared<std::vector<char>>(built->size(), 0);
+      if (!(*mask)[local]) {
+        (*mask)[local] = 1;
+        --ref.live_count;
+      }
+    }
+    ref.dead = mask;
+    buckets_.push_back(std::move(ref));
+  }
+  building_ = false;
+  erased_during_build_.clear();
+  PublishLocked();
+}
+
+void DynamicEngine::MaintenanceLoop() {
+  for (;;) {
+    MaintenancePlan plan;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      plan = DecidePlanLocked();
+      if (!plan.any) {
+        maintenance_running_ = false;
+        cv_.notify_all();
+        return;
+      }
+    }
+    // Build outside the lock: updates and queries proceed against the old
+    // snapshot; erases landing meanwhile are logged and folded in below.
+    std::shared_ptr<const Bucket> built;
+    if (!plan.ids.empty()) {
+      built = std::make_shared<const Bucket>(plan.ids, std::move(plan.points),
+                                             options_.engine);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      SpliceLocked(plan, std::move(built));
+    }
+  }
+}
+
+void DynamicEngine::WaitForMaintenance() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !maintenance_running_; });
+}
+
+double DynamicEngine::ResolveEps(std::optional<double> eps_opt) const {
+  double eps = eps_opt.value_or(options_.engine.default_eps);
+  PNN_CHECK_MSG(eps > 0 && eps < 1, "eps must be in (0,1)");
+  return eps;
+}
+
+QuantifyPlan DynamicEngine::PlanFor(const Snapshot& snap, double eps) const {
+  if (snap.all_discrete()) {
+    size_t budget = SpiralSearchPNN::RetrievalBoundFor(snap.rho, snap.max_k, eps);
+    if (static_cast<double>(budget) <= options_.engine.spiral_budget_fraction *
+                                           static_cast<double>(snap.total_complexity)) {
+      return QuantifyPlan::kSpiral;
+    }
+  }
+  return QuantifyPlan::kMonteCarlo;
+}
+
+size_t DynamicEngine::RoundsFor(const Snapshot& snap, double eps) const {
+  if (options_.engine.mc_rounds_override > 0) return options_.engine.mc_rounds_override;
+  return MonteCarloPNN::TheoreticalRounds(snap.live_count, snap.max_k, eps,
+                                          options_.engine.mc_delta);
+}
+
+QuantifyPlan DynamicEngine::PlanForQuantify(std::optional<double> eps_opt) const {
+  return PlanFor(*Snap(), ResolveEps(eps_opt));
+}
+
+void DynamicEngine::Prewarm(std::optional<double> eps_opt) const {
+  double eps = ResolveEps(eps_opt);
+  auto snap = Snap();
+  if (snap->live_count == 0) return;
+  if (PlanFor(*snap, eps) != QuantifyPlan::kMonteCarlo) return;
+  size_t rounds = RoundsFor(*snap, eps);
+  for (const auto& bref : snap->buckets) {
+    if (bref.live_count > 0) bref.bucket->EnsureRounds(rounds, options_.pool);
+  }
+}
+
+std::vector<Id> DynamicEngine::NonzeroNN(Point2 q) const {
+  auto snap = Snap();
+  if (snap->live_count == 0) return {};
+  return MergedNonzeroNN(*snap, q);
+}
+
+std::vector<Quantification> DynamicEngine::Quantify(Point2 q,
+                                                    std::optional<double> eps_opt) const {
+  double eps = ResolveEps(eps_opt);
+  auto snap = Snap();
+  if (snap->live_count == 0) return {};
+  if (PlanFor(*snap, eps) == QuantifyPlan::kSpiral) {
+    return MergedSpiralQuantify(*snap, q, eps);
+  }
+  return MergedMonteCarloQuantify(*snap, q, RoundsFor(*snap, eps),
+                                  options_.engine.seed, options_.pool);
+}
+
+std::vector<Quantification> DynamicEngine::QuantifyExact(Point2 q) const {
+  auto snap = Snap();
+  if (snap->live_count == 0) return {};
+  if (snap->all_discrete()) return MergedQuantifyExact(*snap, q);
+  PNN_CHECK_MSG(snap->all_continuous(),
+                "QuantifyExact supports all-discrete or all-continuous inputs");
+  // Gather from the snapshot, not the mutable live set: a concurrent
+  // insert must not leak into (or invalidate the all-continuous check of)
+  // this query's view.
+  std::vector<Id> ids;
+  UncertainSet live = SnapshotLiveSet(*snap, &ids);
+  std::vector<Quantification> out = QuantifyNumericContinuous(live, q, 1e-8);
+  for (auto& e : out) e.index = ids[e.index];
+  return out;
+}
+
+std::vector<Quantification> DynamicEngine::ThresholdNN(
+    Point2 q, double tau, std::optional<double> eps) const {
+  PNN_CHECK_MSG(tau >= 0 && tau <= 1,
+                "ThresholdNN tau must be a probability in [0,1]");
+  return ThresholdFilter(Quantify(q, eps), tau);
+}
+
+Id DynamicEngine::MostLikelyNN(Point2 q, std::optional<double> eps) const {
+  return pnn::MostLikelyNN(Quantify(q, eps));
+}
+
+size_t DynamicEngine::live_size() const { return Snap()->live_count; }
+
+size_t DynamicEngine::num_buckets() const { return Snap()->buckets.size(); }
+
+size_t DynamicEngine::tail_size() const {
+  auto snap = Snap();
+  return snap->tail->size() - (snap->tail_dead ? snap->tail_dead->size() : 0);
+}
+
+size_t DynamicEngine::dead_size() const {
+  auto snap = Snap();
+  size_t dead = snap->tail_dead ? snap->tail_dead->size() : 0;
+  for (const auto& bref : snap->buckets) {
+    dead += bref.bucket->size() - bref.live_count;
+  }
+  return dead;
+}
+
+UncertainSet DynamicEngine::LiveSet(std::vector<Id>* ids) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  UncertainSet out;
+  out.reserve(live_.size());
+  if (ids != nullptr) {
+    ids->clear();
+    ids->reserve(live_.size());
+  }
+  for (const auto& [id, p] : live_) {
+    out.push_back(p);
+    if (ids != nullptr) ids->push_back(id);
+  }
+  return out;
+}
+
+Engine::Options DynamicEngine::ReferenceEngineOptions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Engine::Options o = options_.engine;
+  o.mc_stream_ids.reserve(live_.size());
+  for (const auto& [id, p] : live_) {
+    o.mc_stream_ids.push_back(static_cast<uint64_t>(id));
+  }
+  return o;
+}
+
+}  // namespace dyn
+}  // namespace pnn

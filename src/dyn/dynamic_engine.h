@@ -1,0 +1,219 @@
+// pnn::dyn — dynamic uncertain-point engine: Insert/Erase plus the full
+// pnn::Engine query surface, with answers identical to a freshly built
+// static Engine over the current live set.
+//
+// Structure (Bentley–Saxe logarithmic method): points live in O(log n)
+// geometrically sized immutable buckets, each backed by a static
+// pnn::Engine, plus a small mutable tail answered by brute force. Inserts
+// append to the tail; once it exceeds `tail_limit` a merge folds it —
+// together with every bucket no larger than the accumulated merge — into a
+// new bucket, so a point's bucket at least doubles each time it is rebuilt
+// (O(log n) rebuilds per point, O(polylog n) amortized insert). Erases are
+// tombstones (per-bucket masks / a tail set); once the dead fraction
+// exceeds `max_dead_fraction` a compaction rebuilds the structure from the
+// live set. Merges and compactions can run as background jobs on an
+// exec::ThreadPool; structure versions are published with the atomic
+// shared_ptr snapshot pattern of Engine::EnsureMonteCarlo, so queries
+// never block on a rebuild.
+//
+// Equivalence contract: every query decomposes exactly across the
+// partition into buckets + tail —
+//   * NonzeroNN: Delta(q) = min over parts, then per-part threshold
+//     reporting (Lemma 2.1 is a pure min/filter, so the partition is
+//     invisible);
+//   * spiral Quantify: per-bucket best-first location streams are k-way
+//     merged into the global distance order and fed through the same
+//     tie-grouped sweep (QuantifyPrefixSweep) a monolithic structure runs;
+//   * Monte-Carlo Quantify: samples are keyed by (seed, round, point id)
+//     (MonteCarloPNN::Options::stream_ids), so the per-round global NN is
+//     the cross-part argmin of per-part NNs over identical samples;
+//   * QuantifyExact (discrete): per-part survival profiles multiply by the
+//     paper's independence structure (SurvivalProfile in core/prob).
+// Consequently answers match a fresh Engine(LiveSet(),
+// ReferenceEngineOptions()) — bit-identically for NonzeroNN/Quantify/
+// ThresholdNN — regardless of the update history, the merge schedule, or
+// the thread count, up to the same measure-zero distance ties the batch
+// executor documents.
+
+#ifndef PNN_DYN_DYNAMIC_ENGINE_H_
+#define PNN_DYN_DYNAMIC_ENGINE_H_
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/pnn.h"
+#include "src/dyn/bucket.h"
+#include "src/exec/thread_pool.h"
+
+namespace pnn {
+namespace dyn {
+
+struct Options {
+  /// Shared by every bucket's static engine: seed, eps defaults and the
+  /// spiral-vs-Monte-Carlo plan rule. mc_stream_ids is managed internally
+  /// and must stay empty.
+  Engine::Options engine;
+  /// Live tail entries that trigger a bucket merge.
+  size_t tail_limit = 64;
+  /// Tombstone fraction of the structure that triggers a compaction.
+  double max_dead_fraction = 0.25;
+  /// When set, merges/compactions run as background jobs here and
+  /// Monte-Carlo round work fans out across it. When null, maintenance
+  /// runs inline in the update that triggered it.
+  exec::ThreadPool* pool = nullptr;
+};
+
+struct TailEntry {
+  Id id;
+  UncertainPoint point;
+};
+
+/// One immutable version of the structure. Queries snapshot it with a
+/// lock-free atomic load and are unaffected by concurrent updates or
+/// background rebuilds (old versions stay alive through the shared_ptrs a
+/// running query holds).
+struct Snapshot {
+  struct BucketRef {
+    std::shared_ptr<const Bucket> bucket;
+    /// Tombstone mask in bucket-local indexing; null when nothing is dead.
+    std::shared_ptr<const std::vector<char>> dead;
+    size_t live_count = 0;
+  };
+  std::vector<BucketRef> buckets;
+  std::shared_ptr<const std::vector<TailEntry>> tail;       // Ascending ids.
+  std::shared_ptr<const std::unordered_set<Id>> tail_dead;  // Null when empty.
+
+  // Aggregates over the live set, mirroring what a fresh static Engine
+  // derives at construction (pnn.cc / spiral.cc):
+  size_t live_count = 0;
+  size_t discrete_count = 0;
+  size_t continuous_count = 0;
+  size_t total_complexity = 0;  // Sum of description complexities.
+  size_t max_k = 1;             // max over live points of max(k, 1).
+  double rho = 0.0;             // wmax / wmin over live location weights.
+
+  bool all_discrete() const { return live_count > 0 && continuous_count == 0; }
+  bool all_continuous() const { return live_count > 0 && discrete_count == 0; }
+  bool TailAlive(Id id) const { return tail_dead == nullptr || tail_dead->count(id) == 0; }
+};
+
+/// Thread safety: all query methods are const and may run concurrently
+/// with each other, with updates, and with background maintenance. Updates
+/// (Insert/Erase) serialize on an internal mutex and are safe to call from
+/// one or many threads.
+class DynamicEngine {
+ public:
+  explicit DynamicEngine(Options options = Options());
+  /// Bulk load: the initial points become one bucket with ids 0..n-1.
+  explicit DynamicEngine(const UncertainSet& initial, Options options = Options());
+  ~DynamicEngine();
+
+  DynamicEngine(const DynamicEngine&) = delete;
+  DynamicEngine& operator=(const DynamicEngine&) = delete;
+
+  /// Adds a point; returns its stable id (sequential from 0).
+  Id Insert(UncertainPoint point);
+
+  /// Removes a point; false if the id is unknown or already erased.
+  bool Erase(Id id);
+
+  /// NN!=0(q) over the live set, ascending ids (Lemma 2.1 semantics).
+  std::vector<Id> NonzeroNN(Point2 q) const;
+
+  /// Estimates of all positive pi_i(q) within additive eps; Quantification
+  /// indices are point ids, ascending.
+  std::vector<Quantification> Quantify(Point2 q,
+                                       std::optional<double> eps = std::nullopt) const;
+
+  /// Exact pi_i(q) (discrete: per-bucket survival-profile recombination;
+  /// continuous: quadrature over the gathered live set).
+  std::vector<Quantification> QuantifyExact(Point2 q) const;
+
+  /// Points with pi_i(q) > tau; tau must be in [0, 1] (checked).
+  std::vector<Quantification> ThresholdNN(Point2 q, double tau,
+                                          std::optional<double> eps = std::nullopt) const;
+
+  /// Id with the largest estimated quantification probability (-1 when the
+  /// live set is empty).
+  Id MostLikelyNN(Point2 q, std::optional<double> eps = std::nullopt) const;
+
+  /// The plan Quantify() will pick at this eps, by the same rule a fresh
+  /// static Engine over the live set applies.
+  QuantifyPlan PlanForQuantify(std::optional<double> eps = std::nullopt) const;
+
+  /// Builds every per-bucket structure Quantify(·, eps) may need (batch
+  /// callers fan out afterwards without contending on construction).
+  void Prewarm(std::optional<double> eps = std::nullopt) const;
+
+  size_t live_size() const;
+  size_t num_buckets() const;
+  size_t tail_size() const;  // Live tail entries.
+  size_t dead_size() const;  // Tombstones not yet compacted away.
+  const Options& options() const { return options_; }
+
+  /// The live set in ascending-id order, optionally with the ids — the
+  /// input a reference static Engine is built over.
+  UncertainSet LiveSet(std::vector<Id>* ids = nullptr) const;
+
+  /// Options for a static Engine over LiveSet() that answers
+  /// bit-identically to this engine: the shared engine options plus
+  /// mc_stream_ids = the live ids (so Monte-Carlo samples coincide).
+  Engine::Options ReferenceEngineOptions() const;
+
+  /// Blocks until no background merge/compaction is running or pending.
+  void WaitForMaintenance() const;
+
+ private:
+  struct MaintenancePlan;
+
+  std::shared_ptr<const Snapshot> Snap() const {
+    return std::atomic_load_explicit(&snapshot_, std::memory_order_acquire);
+  }
+  void PublishLocked();
+  double ResolveEps(std::optional<double> eps) const;
+  size_t RoundsFor(const Snapshot& snap, double eps) const;
+  QuantifyPlan PlanFor(const Snapshot& snap, double eps) const;
+  void AddAggregatesLocked(const UncertainPoint& p);
+  void RemoveAggregatesLocked(const UncertainPoint& p);
+  bool MaintenanceNeededLocked() const;
+  /// May release `lock` (inline maintenance mode); callers must not touch
+  /// guarded state afterwards.
+  void MaybeStartMaintenanceLocked(std::unique_lock<std::mutex>& lock);
+  MaintenancePlan DecidePlanLocked();
+  void SpliceLocked(const MaintenancePlan& plan,
+                    std::shared_ptr<const Bucket> built);
+  void MaintenanceLoop();
+
+  Options options_;
+
+  mutable std::mutex mu_;  // Serializes updates and maintenance swaps.
+  mutable std::condition_variable cv_;
+  // Accessed with std::atomic_load/atomic_store; queries are lock-free.
+  std::shared_ptr<const Snapshot> snapshot_;
+
+  // Writer state (guarded by mu_):
+  std::map<Id, UncertainPoint> live_;  // Ascending = insertion order.
+  std::multiset<double> live_weights_;
+  std::multiset<size_t> live_ks_;
+  size_t discrete_count_ = 0;
+  size_t continuous_count_ = 0;
+  size_t total_complexity_ = 0;
+  Id next_id_ = 0;
+  std::vector<Snapshot::BucketRef> buckets_;
+  std::vector<TailEntry> tail_;
+  std::unordered_set<Id> tail_dead_;
+  bool maintenance_running_ = false;
+  bool building_ = false;
+  std::vector<Id> erased_during_build_;
+};
+
+}  // namespace dyn
+}  // namespace pnn
+
+#endif  // PNN_DYN_DYNAMIC_ENGINE_H_

@@ -1,0 +1,327 @@
+#include "src/dyn/merge.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace pnn {
+namespace dyn {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+std::vector<Id> MergedNonzeroNN(const Snapshot& snap, Point2 q) {
+  // Stage 1: the global pruning bound Delta(q) = min over parts. Each part
+  // computes the exact same per-point values a monolithic index would, so
+  // the min over the partition equals the monolithic min.
+  double bound = kInf;
+  for (const auto& bref : snap.buckets) {
+    if (bref.live_count == 0) continue;
+    bound = std::min(bound, bref.bucket->engine().NonzeroDelta(q, bref.dead.get()));
+  }
+  for (const TailEntry& e : *snap.tail) {
+    if (snap.TailAlive(e.id)) bound = std::min(bound, e.point.MaxDistance(q));
+  }
+
+  // Stage 2: per-part threshold reporting against the global bound. A
+  // mixed live set's reference engine compares the clamped MinDistance
+  // (brute-force path), which only differs from the disk index's
+  // unclamped d - r when both are negative — re-filter to match exactly.
+  bool mixed = snap.discrete_count > 0 && snap.continuous_count > 0;
+  std::vector<Id> out;
+  for (const auto& bref : snap.buckets) {
+    if (bref.live_count == 0) continue;
+    const Bucket& b = *bref.bucket;
+    for (int local : b.engine().NonzeroNNWithin(q, bound, bref.dead.get())) {
+      if (mixed && !(b.points()[local].MinDistance(q) < bound)) continue;
+      out.push_back(b.ids()[local]);
+    }
+  }
+  for (const TailEntry& e : *snap.tail) {
+    if (snap.TailAlive(e.id) && e.point.MinDistance(q) < bound) out.push_back(e.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+UncertainSet SnapshotLiveSet(const Snapshot& snap, std::vector<Id>* ids) {
+  std::vector<std::pair<Id, const UncertainPoint*>> live;
+  live.reserve(snap.live_count);
+  for (const auto& bref : snap.buckets) {
+    for (size_t j = 0; j < bref.bucket->size(); ++j) {
+      if (bref.dead && (*bref.dead)[j]) continue;
+      live.push_back({bref.bucket->ids()[j], &bref.bucket->points()[j]});
+    }
+  }
+  for (const TailEntry& e : *snap.tail) {
+    if (snap.TailAlive(e.id)) live.push_back({e.id, &e.point});
+  }
+  std::sort(live.begin(), live.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  UncertainSet out;
+  out.reserve(live.size());
+  if (ids != nullptr) {
+    ids->clear();
+    ids->reserve(live.size());
+  }
+  for (const auto& [id, p] : live) {
+    out.push_back(*p);
+    if (ids != nullptr) ids->push_back(id);
+  }
+  return out;
+}
+
+namespace {
+
+// One element of the merged location stream, carrying everything the
+// sweep's bookkeeping needs about its owner.
+struct SourceLoc {
+  double dist;
+  Id id;
+  double weight;
+  int k;  // Owner's total location count.
+};
+
+// A distance-ascending location source: either a bucket's best-first
+// spiral stream or a pre-sorted vector (mixed buckets, the tail).
+struct Source {
+  std::unique_ptr<SpiralSearchPNN::Stream> stream;
+  const Bucket* bucket = nullptr;  // Set for stream sources.
+  std::vector<SourceLoc> sorted;
+  size_t pos = 0;
+  SourceLoc cur{};
+  bool has = false;
+
+  void Advance() {
+    if (stream != nullptr) {
+      double d, w;
+      int o;
+      if (stream->Next(&d, &o, &w)) {
+        const SpiralSearchPNN* sp = bucket->engine().spiral();
+        cur = {d, bucket->ids()[o], w, sp->count(o)};
+        has = true;
+      } else {
+        has = false;
+      }
+    } else if (pos < sorted.size()) {
+      cur = sorted[pos++];
+      has = true;
+    } else {
+      has = false;
+    }
+  }
+};
+
+void AppendDiscreteLocations(const UncertainPoint& p, Id id, Point2 q,
+                             std::vector<SourceLoc>* out) {
+  const auto& d = p.discrete();
+  int k = static_cast<int>(d.locations.size());
+  for (size_t s = 0; s < d.locations.size(); ++s) {
+    out->push_back({Distance(q, d.locations[s]), id, d.weights[s], k});
+  }
+}
+
+}  // namespace
+
+std::vector<Quantification> MergedSpiralQuantify(const Snapshot& snap, Point2 q,
+                                                 double eps) {
+  PNN_CHECK_MSG(snap.all_discrete(), "spiral merge needs an all-discrete live set");
+  size_t m = SpiralSearchPNN::RetrievalBoundFor(snap.rho, snap.max_k, eps);
+  m = std::min(m, snap.total_complexity);
+
+  std::vector<Source> sources;
+  for (const auto& bref : snap.buckets) {
+    if (bref.live_count == 0) continue;
+    Source s;
+    s.bucket = bref.bucket.get();
+    if (const SpiralSearchPNN* sp = bref.bucket->engine().spiral()) {
+      s.stream = std::make_unique<SpiralSearchPNN::Stream>(
+          *sp, q, bref.dead ? bref.dead.get() : nullptr);
+    } else {
+      // Mixed bucket: its live members are all discrete here (the live set
+      // is), so a sorted scan stands in for the missing location tree.
+      const auto& pts = bref.bucket->points();
+      for (size_t j = 0; j < pts.size(); ++j) {
+        if (bref.dead && (*bref.dead)[j]) continue;
+        AppendDiscreteLocations(pts[j], bref.bucket->ids()[j], q, &s.sorted);
+      }
+      std::sort(s.sorted.begin(), s.sorted.end(),
+                [](const SourceLoc& a, const SourceLoc& b) { return a.dist < b.dist; });
+    }
+    sources.push_back(std::move(s));
+  }
+  {
+    Source tail;
+    for (const TailEntry& e : *snap.tail) {
+      if (snap.TailAlive(e.id)) AppendDiscreteLocations(e.point, e.id, q, &tail.sorted);
+    }
+    if (!tail.sorted.empty()) {
+      std::sort(tail.sorted.begin(), tail.sorted.end(),
+                [](const SourceLoc& a, const SourceLoc& b) { return a.dist < b.dist; });
+      sources.push_back(std::move(tail));
+    }
+  }
+
+  // K-way merge of the sources reproduces the global ascending-distance
+  // retrieval order of a monolithic location tree.
+  using HeapEntry = std::pair<double, size_t>;  // (dist, source index).
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>> heap;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    sources[i].Advance();
+    if (sources[i].has) heap.push({sources[i].cur.dist, i});
+  }
+
+  std::vector<WeightedLocation> locs;
+  locs.reserve(m);
+  std::unordered_map<Id, int> label_of;
+  std::vector<int> counts;
+  std::vector<Id> label_ids;
+  while (locs.size() < m && !heap.empty()) {
+    size_t si = heap.top().second;
+    heap.pop();
+    Source& s = sources[si];
+    SourceLoc l = s.cur;
+    int label;
+    auto it = label_of.find(l.id);
+    if (it == label_of.end()) {
+      label = static_cast<int>(label_ids.size());
+      label_of.emplace(l.id, label);
+      label_ids.push_back(l.id);
+      counts.push_back(l.k);
+    } else {
+      label = it->second;
+    }
+    locs.push_back({l.dist, label, l.weight});
+    s.Advance();
+    if (s.has) heap.push({s.cur.dist, si});
+  }
+
+  std::vector<Quantification> out = QuantifyPrefixSweep(locs, counts);
+  for (auto& e : out) e.index = label_ids[e.index];
+  std::sort(out.begin(), out.end(),
+            [](const Quantification& a, const Quantification& b) {
+              return a.index < b.index;
+            });
+  return out;
+}
+
+std::vector<Quantification> MergedMonteCarloQuantify(const Snapshot& snap, Point2 q,
+                                                     size_t rounds, uint64_t seed,
+                                                     exec::ThreadPool* pool) {
+  PNN_CHECK(rounds > 0 && snap.live_count > 0);
+  std::vector<std::shared_ptr<const McRounds>> mc(snap.buckets.size());
+  for (size_t b = 0; b < snap.buckets.size(); ++b) {
+    if (snap.buckets[b].live_count > 0) {
+      mc[b] = snap.buckets[b].bucket->EnsureRounds(rounds, pool);
+    }
+  }
+  std::vector<const TailEntry*> tail_live;
+  for (const TailEntry& e : *snap.tail) {
+    if (snap.TailAlive(e.id)) tail_live.push_back(&e);
+  }
+
+  // Per round, the nearest sample over the live set is the argmin over the
+  // parts' nearest samples; winners are round-indexed, so the fan-out
+  // schedule cannot change the result.
+  std::vector<Id> winners(rounds, -1);
+  auto body = [&](size_t r) {
+    double best_d = kInf;
+    Id best = -1;
+    for (size_t b = 0; b < snap.buckets.size(); ++b) {
+      const auto& bref = snap.buckets[b];
+      if (bref.live_count == 0) continue;
+      double d;
+      int li = mc[b]->trees[r]->Nearest(q, &d, bref.dead.get());
+      if (li >= 0 && d < best_d) {
+        best_d = d;
+        best = bref.bucket->ids()[li];
+      }
+    }
+    uint64_t round_seed = SplitSeed(seed, r);
+    for (const TailEntry* e : tail_live) {
+      Rng rng = MakeStreamRng(round_seed, static_cast<uint64_t>(e->id));
+      double d = Distance(q, e->point.Sample(&rng));
+      if (d < best_d) {
+        best_d = d;
+        best = e->id;
+      }
+    }
+    winners[r] = best;
+  };
+  if (pool != nullptr && rounds > 1) {
+    pool->ParallelFor(rounds, body);
+  } else {
+    for (size_t r = 0; r < rounds; ++r) body(r);
+  }
+
+  std::map<Id, int> counts;
+  for (Id w : winners) ++counts[w];
+  std::vector<Quantification> out;
+  out.reserve(counts.size());
+  for (const auto& [id, c] : counts) {
+    out.push_back({id, static_cast<double>(c) / static_cast<double>(rounds)});
+  }
+  return out;
+}
+
+std::vector<Quantification> MergedQuantifyExact(const Snapshot& snap, Point2 q) {
+  PNN_CHECK_MSG(snap.all_discrete(), "exact merge needs an all-discrete live set");
+  std::vector<PartialQuantify> parts;
+  std::vector<std::vector<Id>> part_ids;  // part_ids[p][member] = id.
+  for (const auto& bref : snap.buckets) {
+    if (bref.live_count == 0) continue;
+    std::vector<int> members;
+    std::vector<Id> ids;
+    for (size_t j = 0; j < bref.bucket->size(); ++j) {
+      if (bref.dead && (*bref.dead)[j]) continue;
+      members.push_back(static_cast<int>(j));
+      ids.push_back(bref.bucket->ids()[j]);
+    }
+    parts.push_back(QuantifyPartDiscrete(bref.bucket->points(), members, q));
+    part_ids.push_back(std::move(ids));
+  }
+  {
+    UncertainSet tpts;
+    std::vector<Id> ids;
+    for (const TailEntry& e : *snap.tail) {
+      if (!snap.TailAlive(e.id)) continue;
+      tpts.push_back(e.point);
+      ids.push_back(e.id);
+    }
+    if (!tpts.empty()) {
+      std::vector<int> members(tpts.size());
+      for (size_t j = 0; j < members.size(); ++j) members[j] = static_cast<int>(j);
+      parts.push_back(QuantifyPartDiscrete(tpts, members, q));
+      part_ids.push_back(std::move(ids));
+    }
+  }
+
+  // pi_i factorizes over the partition: within-part partial times the
+  // product of the other parts' survival profiles at i's location radius.
+  std::map<Id, double> pi;
+  for (size_t p = 0; p < parts.size(); ++p) {
+    for (const PartialQuantify::Term& t : parts[p].terms) {
+      double f = t.partial;
+      for (size_t p2 = 0; p2 < parts.size() && f != 0.0; ++p2) {
+        if (p2 != p) f *= parts[p2].profile.Value(t.dist);
+      }
+      if (f != 0.0) pi[part_ids[p][t.member]] += f;
+    }
+  }
+  std::vector<Quantification> out;
+  for (const auto& [id, v] : pi) {
+    if (v > 0) out.push_back({id, v});
+  }
+  return out;
+}
+
+}  // namespace dyn
+}  // namespace pnn

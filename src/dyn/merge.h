@@ -1,0 +1,51 @@
+// Cross-bucket query recombination for the dynamic engine: each function
+// answers one query mode over a Snapshot by decomposing it across the
+// buckets + tail partition and recombining exactly (see the equivalence
+// contract in dynamic_engine.h).
+
+#ifndef PNN_DYN_MERGE_H_
+#define PNN_DYN_MERGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dyn/dynamic_engine.h"
+
+namespace pnn {
+namespace dyn {
+
+/// NN!=0(q): global Delta(q) = min over parts, then per-part threshold
+/// reporting. Ascending ids.
+std::vector<Id> MergedNonzeroNN(const Snapshot& snap, Point2 q);
+
+/// The snapshot's live set in ascending-id order (with the ids when
+/// `ids` is non-null) — the snapshot-consistent counterpart of
+/// DynamicEngine::LiveSet for queries that gather the whole set.
+UncertainSet SnapshotLiveSet(const Snapshot& snap, std::vector<Id>* ids);
+
+/// Spiral-search quantification: k-way merges the per-bucket best-first
+/// location streams (plus sorted tail locations) into the global distance
+/// order and runs the shared truncated sweep. Requires an all-discrete
+/// live set. Quantification indices are ids, ascending.
+std::vector<Quantification> MergedSpiralQuantify(const Snapshot& snap, Point2 q,
+                                                 double eps);
+
+/// Monte-Carlo quantification over `rounds` id-keyed instantiations: per
+/// round, the global nearest sample is the argmin over per-bucket nearest
+/// samples and freshly drawn tail samples. Rounds fan out on `pool` when
+/// provided (results are round-indexed, so scheduling cannot change them).
+std::vector<Quantification> MergedMonteCarloQuantify(const Snapshot& snap, Point2 q,
+                                                     size_t rounds, uint64_t seed,
+                                                     exec::ThreadPool* pool);
+
+/// Exact discrete quantification by survival-profile recombination:
+///   pi_i = sum over i's locations of
+///          (within-part partial) * prod_{other parts} profile(dist),
+/// using QuantifyPartDiscrete per part (mathematically exact; float
+/// reassociation keeps it within ~1e-12 of the monolithic sweep).
+std::vector<Quantification> MergedQuantifyExact(const Snapshot& snap, Point2 q);
+
+}  // namespace dyn
+}  // namespace pnn
+
+#endif  // PNN_DYN_MERGE_H_

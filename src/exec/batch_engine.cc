@@ -10,15 +10,45 @@
 namespace pnn {
 namespace exec {
 
-BatchEngine::BatchEngine(const Engine* engine, BatchOptions options)
-    : engine_(engine), options_(options) {
-  PNN_CHECK_MSG(engine != nullptr, "BatchEngine needs an engine");
+BatchEngine::BatchEngine(const Engine* engine, dyn::DynamicEngine* dyn,
+                         BatchOptions options)
+    : engine_(engine), dyn_(dyn), options_(options) {
+  PNN_CHECK_MSG(engine != nullptr || dyn != nullptr, "BatchEngine needs an engine");
   size_t threads = options_.num_threads > 0
                        ? options_.num_threads
                        : std::max<size_t>(1, std::thread::hardware_concurrency());
   // The calling thread always participates, so a pool is only needed for
   // the extra threads beyond it.
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads - 1);
+}
+
+BatchEngine::BatchEngine(const Engine* engine, BatchOptions options)
+    : BatchEngine(engine, nullptr, options) {}
+
+BatchEngine::BatchEngine(dyn::DynamicEngine* engine, BatchOptions options)
+    : BatchEngine(nullptr, engine, options) {}
+
+const Engine& BatchEngine::engine() const {
+  PNN_CHECK_MSG(engine_ != nullptr, "engine() on a DynamicEngine-backed BatchEngine");
+  return *engine_;
+}
+
+dyn::DynamicEngine& BatchEngine::dynamic_engine() const {
+  PNN_CHECK_MSG(dyn_ != nullptr, "dynamic_engine() on an Engine-backed BatchEngine");
+  return *dyn_;
+}
+
+void BatchEngine::PrewarmBackend(std::optional<double> eps) const {
+  if (engine_ != nullptr) {
+    engine_->Prewarm(eps);
+  } else {
+    dyn_->Prewarm(eps);
+  }
+}
+
+QuantifyPlan BatchEngine::BackendPlan(std::optional<double> eps) const {
+  return engine_ != nullptr ? engine_->PlanForQuantify(eps)
+                            : dyn_->PlanForQuantify(eps);
 }
 
 template <typename T, typename Fn>
@@ -51,36 +81,127 @@ BatchResult<T> BatchEngine::Run(size_t n, const Fn& answer_one) const {
 void BatchEngine::FillPlanStats(std::optional<double> eps, size_t n,
                                 BatchStats* stats) const {
   // The plan rule is query-independent (it depends on eps and the point
-  // set only), so the whole batch shares one plan.
-  if (engine_->PlanForQuantify(eps) == QuantifyPlan::kSpiral) {
-    stats->spiral_plans = n;
+  // set only), so a run of n queries shares one plan. Accumulating (rather
+  // than assigning) lets MixedBatch sample the rule once per query run.
+  if (BackendPlan(eps) == QuantifyPlan::kSpiral) {
+    stats->spiral_plans += n;
   } else {
-    stats->monte_carlo_plans = n;
+    stats->monte_carlo_plans += n;
   }
 }
 
 BatchResult<std::vector<int>> BatchEngine::NonzeroNNBatch(
     const std::vector<Point2>& queries) const {
-  return Run<std::vector<int>>(
-      queries.size(), [&](size_t i) { return engine_->NonzeroNN(queries[i]); });
+  return Run<std::vector<int>>(queries.size(), [&](size_t i) {
+    return engine_ != nullptr ? engine_->NonzeroNN(queries[i])
+                              : dyn_->NonzeroNN(queries[i]);
+  });
 }
 
 BatchResult<std::vector<Quantification>> BatchEngine::QuantifyBatch(
     const std::vector<Point2>& queries, std::optional<double> eps) const {
-  engine_->Prewarm(eps);  // Build the Monte-Carlo structure outside the fan-out.
-  auto out = Run<std::vector<Quantification>>(
-      queries.size(), [&](size_t i) { return engine_->Quantify(queries[i], eps); });
+  PrewarmBackend(eps);  // Build the Monte-Carlo structures outside the fan-out.
+  auto out = Run<std::vector<Quantification>>(queries.size(), [&](size_t i) {
+    return engine_ != nullptr ? engine_->Quantify(queries[i], eps)
+                              : dyn_->Quantify(queries[i], eps);
+  });
   FillPlanStats(eps, queries.size(), &out.stats);
   return out;
 }
 
 BatchResult<std::vector<Quantification>> BatchEngine::ThresholdNNBatch(
     const std::vector<Point2>& queries, double tau, std::optional<double> eps) const {
-  engine_->Prewarm(eps);
+  PrewarmBackend(eps);
   auto out = Run<std::vector<Quantification>>(queries.size(), [&](size_t i) {
-    return engine_->ThresholdNN(queries[i], tau, eps);
+    return engine_ != nullptr ? engine_->ThresholdNN(queries[i], tau, eps)
+                              : dyn_->ThresholdNN(queries[i], tau, eps);
   });
   FillPlanStats(eps, queries.size(), &out.stats);
+  return out;
+}
+
+BatchResult<MixedResult> BatchEngine::MixedBatch(const std::vector<MixedOp>& ops,
+                                                 std::optional<double> eps) const {
+  PNN_CHECK_MSG(dyn_ != nullptr, "MixedBatch needs a DynamicEngine backend");
+  size_t n = ops.size();
+  BatchResult<MixedResult> out;
+  out.values.resize(n);
+  std::vector<double> query_lat, update_lat;
+  bool parallel_used = false;
+  Timer wall;
+
+  auto answer_query = [&](size_t i, double* lat) {
+    Timer t;
+    const MixedOp& op = ops[i];
+    MixedResult& r = out.values[i];
+    switch (op.kind) {
+      case MixedOp::Kind::kNonzeroNN:
+        r.nonzero = dyn_->NonzeroNN(op.q);
+        break;
+      case MixedOp::Kind::kQuantify:
+        r.quant = dyn_->Quantify(op.q, eps);
+        break;
+      case MixedOp::Kind::kThresholdNN:
+        r.quant = dyn_->ThresholdNN(op.q, op.tau, eps);
+        break;
+      default:
+        break;
+    }
+    *lat = t.Micros();
+  };
+
+  size_t i = 0;
+  while (i < n) {
+    if (ops[i].is_update()) {
+      Timer t;
+      MixedResult& r = out.values[i];
+      if (ops[i].kind == MixedOp::Kind::kInsert) {
+        r.id = dyn_->Insert(*ops[i].point);
+      } else {
+        r.id = dyn_->Erase(ops[i].id) ? ops[i].id : -1;
+      }
+      update_lat.push_back(t.Micros());
+      ++i;
+      continue;
+    }
+    // Maximal run of consecutive queries: fan out when it pays.
+    size_t j = i;
+    size_t run_quantify = 0;
+    while (j < n && !ops[j].is_update()) {
+      if (ops[j].kind != MixedOp::Kind::kNonzeroNN) ++run_quantify;
+      ++j;
+    }
+    size_t run = j - i;
+    size_t lat_base = query_lat.size();
+    query_lat.resize(lat_base + run);
+    if (run_quantify > 0) {
+      PrewarmBackend(eps);
+      // Plan stats are sampled per run: interleaved updates can flip the
+      // spiral-vs-Monte-Carlo rule mid-stream.
+      FillPlanStats(eps, run_quantify, &out.stats);
+    }
+    if (pool_ && run >= options_.min_parallel_batch) {
+      pool_->ParallelFor(
+          run, [&](size_t k) { answer_query(i + k, &query_lat[lat_base + k]); });
+      parallel_used = true;
+    } else {
+      for (size_t k = 0; k < run; ++k) answer_query(i + k, &query_lat[lat_base + k]);
+    }
+    i = j;
+  }
+
+  BatchStats& s = out.stats;
+  s.num_queries = query_lat.size();
+  s.num_updates = update_lat.size();
+  s.threads = parallel_used ? num_threads() : 1;
+  s.wall_seconds = wall.Seconds();
+  s.queries_per_sec = s.wall_seconds > 0
+                          ? static_cast<double>(s.num_queries) / s.wall_seconds
+                          : 0.0;
+  s.p50_micros = Percentile(query_lat, 50.0);
+  s.p99_micros = Percentile(std::move(query_lat), 99.0);
+  s.update_p50_micros = Percentile(update_lat, 50.0);
+  s.update_p99_micros = Percentile(std::move(update_lat), 99.0);
   return out;
 }
 

@@ -23,9 +23,11 @@
 #include <cstddef>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "src/core/pnn.h"
+#include "src/dyn/dynamic_engine.h"
 #include "src/exec/thread_pool.h"
 
 namespace pnn {
@@ -52,6 +54,11 @@ struct BatchStats {
   /// Per-query latency percentiles, microseconds.
   double p50_micros = 0.0;
   double p99_micros = 0.0;
+  /// Update ops and their latency percentiles (mixed batches only; 0/0/0
+  /// for pure query batches).
+  size_t num_updates = 0;
+  double update_p50_micros = 0.0;
+  double update_p99_micros = 0.0;
 };
 
 /// A batch answer: `values[i]` answers `queries[i]`, plus the stats.
@@ -61,12 +68,70 @@ struct BatchResult {
   BatchStats stats;
 };
 
-/// Answers vectors of queries in parallel against a shared Engine. The
-/// engine must outlive the BatchEngine; the BatchEngine itself is
-/// thread-compatible (use one per batching thread, or serialize calls).
+/// One operation of a mixed update/query stream (dynamic backend only).
+struct MixedOp {
+  enum class Kind { kInsert, kErase, kNonzeroNN, kQuantify, kThresholdNN };
+
+  static MixedOp Insert(UncertainPoint p) {
+    MixedOp op;
+    op.kind = Kind::kInsert;
+    op.point = std::move(p);
+    return op;
+  }
+  static MixedOp Erase(dyn::Id id) {
+    MixedOp op;
+    op.kind = Kind::kErase;
+    op.id = id;
+    return op;
+  }
+  static MixedOp NonzeroNN(Point2 q) {
+    MixedOp op;
+    op.kind = Kind::kNonzeroNN;
+    op.q = q;
+    return op;
+  }
+  static MixedOp Quantify(Point2 q) {
+    MixedOp op;
+    op.kind = Kind::kQuantify;
+    op.q = q;
+    return op;
+  }
+  static MixedOp ThresholdNN(Point2 q, double tau) {
+    MixedOp op;
+    op.kind = Kind::kThresholdNN;
+    op.q = q;
+    op.tau = tau;
+    return op;
+  }
+
+  bool is_update() const { return kind == Kind::kInsert || kind == Kind::kErase; }
+
+  Kind kind = Kind::kNonzeroNN;
+  std::optional<UncertainPoint> point;  // kInsert.
+  dyn::Id id = -1;                      // kErase.
+  Point2 q{0, 0};                       // Query kinds.
+  double tau = 0.0;                     // kThresholdNN.
+};
+
+/// The answer to one MixedOp (only the member matching the op kind is set).
+struct MixedResult {
+  dyn::Id id = -1;                    // kInsert: new id; kErase: erased id or -1.
+  std::vector<dyn::Id> nonzero;       // kNonzeroNN.
+  std::vector<Quantification> quant;  // kQuantify / kThresholdNN.
+};
+
+/// Answers vectors of queries in parallel against a shared Engine or
+/// dyn::DynamicEngine. The backend must outlive the BatchEngine; the
+/// BatchEngine itself is thread-compatible (use one per batching thread, or
+/// serialize calls).
 class BatchEngine {
  public:
   explicit BatchEngine(const Engine* engine, BatchOptions options = {});
+
+  /// Dynamic backend: query batches fan out exactly like the static
+  /// backend (the engine's snapshots make concurrent queries safe), and
+  /// MixedBatch() becomes available for interleaved update/query streams.
+  explicit BatchEngine(dyn::DynamicEngine* engine, BatchOptions options = {});
 
   /// NN!=0(q) for every query (Lemma 2.1 semantics).
   BatchResult<std::vector<int>> NonzeroNNBatch(const std::vector<Point2>& queries) const;
@@ -82,15 +147,33 @@ class BatchEngine {
       const std::vector<Point2>& queries, double tau,
       std::optional<double> eps = std::nullopt) const;
 
-  const Engine& engine() const { return *engine_; }
+  /// Applies a mixed update/query stream in order (dynamic backend only):
+  /// updates run sequentially at their stream positions; maximal runs of
+  /// consecutive queries fan out over the pool. Results are identical to a
+  /// fully sequential replay at any thread count (updates are ordered and
+  /// dynamic-engine queries are snapshot-deterministic), and the stats
+  /// report query and update latency percentiles side by side.
+  BatchResult<MixedResult> MixedBatch(const std::vector<MixedOp>& ops,
+                                      std::optional<double> eps = std::nullopt) const;
+
+  /// The static backend (aborts when constructed over a DynamicEngine —
+  /// use dynamic_engine() there).
+  const Engine& engine() const;
+  /// The dynamic backend (aborts when constructed over a static Engine).
+  dyn::DynamicEngine& dynamic_engine() const;
   size_t num_threads() const { return pool_ ? pool_->size() + 1 : 1; }
 
  private:
+  BatchEngine(const Engine* engine, dyn::DynamicEngine* dyn, BatchOptions options);
+
   template <typename T, typename Fn>
   BatchResult<T> Run(size_t n, const Fn& answer_one) const;
   void FillPlanStats(std::optional<double> eps, size_t n, BatchStats* stats) const;
+  void PrewarmBackend(std::optional<double> eps) const;
+  QuantifyPlan BackendPlan(std::optional<double> eps) const;
 
-  const Engine* engine_;
+  const Engine* engine_ = nullptr;     // Static backend (exactly one is set).
+  dyn::DynamicEngine* dyn_ = nullptr;  // Dynamic backend.
   BatchOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // Null when num_threads == 1.
 };

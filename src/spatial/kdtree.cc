@@ -66,7 +66,7 @@ int KdTree::Build(int begin, int end) {
   return id;
 }
 
-int KdTree::Nearest(Point2 q, double* out_dist) const {
+int KdTree::Nearest(Point2 q, double* out_dist, const std::vector<char>* skip) const {
   PNN_CHECK_MSG(!points_.empty(), "Nearest on empty tree");
   double best = kInf;
   int best_idx = -1;
@@ -79,6 +79,7 @@ int KdTree::Nearest(Point2 q, double* out_dist) const {
     if (BoxDist(n.box, q) >= best) continue;
     if (n.left < 0) {
       for (int i = n.begin; i < n.end; ++i) {
+        if (skip != nullptr && (*skip)[order_[i]]) continue;
         double d = PointDist(q, points_[order_[i]]);
         if (d < best) {
           best = d;
@@ -129,7 +130,8 @@ std::vector<int> KdTree::ReportWithin(Point2 q, double r) const {
   return out;
 }
 
-double KdTree::MinAdditivelyWeighted(Point2 q, int* arg) const {
+double KdTree::MinAdditivelyWeighted(Point2 q, int* arg,
+                                     const std::vector<char>* skip) const {
   PNN_CHECK_MSG(!points_.empty(), "MinAdditivelyWeighted on empty tree");
   double best = kInf;
   int best_idx = -1;
@@ -144,6 +146,7 @@ double KdTree::MinAdditivelyWeighted(Point2 q, int* arg) const {
     if (n.left < 0) {
       for (int i = n.begin; i < n.end; ++i) {
         int idx = order_[i];
+        if (skip != nullptr && (*skip)[idx]) continue;
         double v = PointDist(q, points_[idx]) + weights_[idx];
         if (v < best) {
           best = v;

@@ -40,8 +40,11 @@ class KdTree {
   const std::vector<Point2>& points() const { return points_; }
 
   /// Index of the nearest point to q (ties broken arbitrarily); n must be
-  /// >= 1. If out_dist is non-null it receives the distance.
-  int Nearest(Point2 q, double* out_dist = nullptr) const;
+  /// >= 1. If out_dist is non-null it receives the distance. When `skip` is
+  /// non-null, points with skip[i] != 0 are ignored (the dynamic engine's
+  /// tombstone masks); returns -1 with *out_dist = +inf if all are skipped.
+  int Nearest(Point2 q, double* out_dist = nullptr,
+              const std::vector<char>* skip = nullptr) const;
 
   /// The k nearest points, ascending by distance. Returns fewer if k > n.
   std::vector<int> KNearest(Point2 q, int k) const;
@@ -49,8 +52,10 @@ class KdTree {
   /// All indices with d(q, p_i) <= r (closed disk).
   std::vector<int> ReportWithin(Point2 q, double r) const;
 
-  /// min_i d(q, p_i) + w_i; sets *arg to the minimizing index.
-  double MinAdditivelyWeighted(Point2 q, int* arg = nullptr) const;
+  /// min_i d(q, p_i) + w_i; sets *arg to the minimizing index. Points with
+  /// skip[i] != 0 are ignored (+inf / -1 if all are skipped).
+  double MinAdditivelyWeighted(Point2 q, int* arg = nullptr,
+                               const std::vector<char>* skip = nullptr) const;
 
   /// All indices with d(q, p_i) - w_i < bound (strict).
   std::vector<int> ReportSubtractiveLess(Point2 q, double bound) const;

@@ -1,0 +1,93 @@
+#include "src/util/bench_json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pnn {
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(double v, std::string* out) {
+  if (!std::isfinite(v)) {
+    *out += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  *out += buf;
+}
+
+}  // namespace
+
+void BenchJson::AddMeta(const std::string& key, const std::string& value) {
+  meta_.push_back({key, value});
+}
+
+void BenchJson::Add(const std::string& name,
+                    const std::vector<std::pair<std::string, double>>& metrics) {
+  entries_.push_back({name, metrics});
+}
+
+std::string BenchJson::ToString() const {
+  std::string out = "{\n  \"meta\": {";
+  for (size_t i = 0; i < meta_.size(); ++i) {
+    if (i > 0) out += ", ";
+    AppendEscaped(meta_[i].first, &out);
+    out += ": ";
+    AppendEscaped(meta_[i].second, &out);
+  }
+  out += "},\n  \"bench\": [\n";
+  for (size_t e = 0; e < entries_.size(); ++e) {
+    out += "    {\"name\": ";
+    AppendEscaped(entries_[e].name, &out);
+    out += ", \"metrics\": {";
+    for (size_t m = 0; m < entries_[e].metrics.size(); ++m) {
+      if (m > 0) out += ", ";
+      AppendEscaped(entries_[e].metrics[m].first, &out);
+      out += ": ";
+      AppendNumber(entries_[e].metrics[m].second, &out);
+    }
+    out += e + 1 < entries_.size() ? "}},\n" : "}}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool BenchJson::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string s = ToString();
+  size_t written = std::fwrite(s.data(), 1, s.size(), f);
+  return std::fclose(f) == 0 && written == s.size();
+}
+
+}  // namespace pnn

@@ -1,0 +1,39 @@
+// Minimal dependency-free JSON emitter for benchmark results, so the CI
+// bench job can publish machine-readable trajectories (BENCH_pr*.json)
+// next to the human-readable tables.
+
+#ifndef PNN_UTIL_BENCH_JSON_H_
+#define PNN_UTIL_BENCH_JSON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pnn {
+
+/// Collects benchmark entries and serializes them as
+///   { "meta": {k: v, ...},
+///     "bench": [ {"name": n, "metrics": {k: v, ...}}, ... ] }
+/// Metric values must be finite (non-finite values serialize as null).
+class BenchJson {
+ public:
+  void AddMeta(const std::string& key, const std::string& value);
+  void Add(const std::string& name,
+           const std::vector<std::pair<std::string, double>>& metrics);
+
+  std::string ToString() const;
+  /// Writes ToString() to `path`; false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace pnn
+
+#endif  // PNN_UTIL_BENCH_JSON_H_

@@ -1,0 +1,88 @@
+#include "src/workload/streaming.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace pnn {
+
+namespace {
+
+UncertainPoint ChurnPoint(const StreamingChurnOptions& o, Point2 center, Rng* rng) {
+  if (!o.discrete) {
+    return UncertainPoint::UniformDisk(center, rng->Uniform(o.rmin, o.rmax));
+  }
+  std::vector<Point2> locs(o.k);
+  std::vector<double> w(o.k, 1.0 / o.k);
+  for (int s = 0; s < o.k; ++s) {
+    locs[s] = {center.x + rng->Uniform(-o.cluster, o.cluster),
+               center.y + rng->Uniform(-o.cluster, o.cluster)};
+  }
+  return UncertainPoint::Discrete(std::move(locs), std::move(w));
+}
+
+}  // namespace
+
+std::vector<exec::MixedOp> GenerateStreamingChurn(const StreamingChurnOptions& o,
+                                                  Rng* rng) {
+  PNN_CHECK_MSG(o.initial >= 0 && o.ops >= 0, "sizes must be nonnegative");
+  PNN_CHECK_MSG(o.churn >= 0 && o.churn <= 1, "churn must be in [0,1]");
+  PNN_CHECK_MSG(o.quantify_fraction >= 0 && o.quantify_fraction <= 1,
+                "quantify_fraction must be in [0,1]");
+  double update_total = o.arrival_weight + o.departure_weight + o.drift_weight;
+  PNN_CHECK_MSG(o.arrival_weight >= 0 && o.departure_weight >= 0 &&
+                    o.drift_weight >= 0 && update_total > 0,
+                "update weights must be nonnegative with a positive sum");
+  PNN_CHECK_MSG(!o.discrete || o.k >= 1, "discrete points need k >= 1");
+
+  std::vector<exec::MixedOp> out;
+  out.reserve(static_cast<size_t>(o.initial + o.ops));
+  // Mirror of the engine's live set: (id, center), ids assigned
+  // sequentially exactly as DynamicEngine::Insert will.
+  struct LivePoint {
+    dyn::Id id;
+    Point2 center;
+  };
+  std::vector<LivePoint> live;
+  dyn::Id next_id = 0;
+
+  auto arrive = [&](Point2 center) {
+    out.push_back(exec::MixedOp::Insert(ChurnPoint(o, center, rng)));
+    live.push_back({next_id++, center});
+  };
+  auto random_center = [&] {
+    return Point2{rng->Uniform(-o.span, o.span), rng->Uniform(-o.span, o.span)};
+  };
+
+  for (int i = 0; i < o.initial; ++i) arrive(random_center());
+
+  for (int i = 0; i < o.ops; ++i) {
+    if (rng->Bernoulli(o.churn)) {
+      double pick = rng->Uniform(0, update_total);
+      if (pick < o.arrival_weight || live.empty()) {
+        arrive(random_center());
+      } else {
+        size_t victim = static_cast<size_t>(rng->UniformInt(0, live.size() - 1));
+        LivePoint moved = live[victim];
+        out.push_back(exec::MixedOp::Erase(moved.id));
+        live.erase(live.begin() + static_cast<long>(victim));
+        if (pick >= o.arrival_weight + o.departure_weight) {
+          // Drift: the point reappears nearby under a fresh id.
+          arrive({moved.center.x + o.drift_sigma * rng->Gaussian(),
+                  moved.center.y + o.drift_sigma * rng->Gaussian()});
+        }
+      }
+      continue;
+    }
+    Point2 q = random_center();
+    if (rng->Bernoulli(o.quantify_fraction)) {
+      out.push_back(o.tau >= 0 ? exec::MixedOp::ThresholdNN(q, o.tau)
+                               : exec::MixedOp::Quantify(q));
+    } else {
+      out.push_back(exec::MixedOp::NonzeroNN(q));
+    }
+  }
+  return out;
+}
+
+}  // namespace pnn

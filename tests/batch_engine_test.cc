@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "src/workload/generators.h"
+#include "src/workload/streaming.h"
 
 namespace pnn {
 namespace exec {
@@ -162,6 +163,117 @@ TEST(BatchEngine, MixedEpsRebuildIsThreadSafe) {
     ExpectIdentical(loose.values[i], sequential.Quantify(queries[i], 0.2));
     ExpectIdentical(tight.values[i], sequential.Quantify(queries[i], 0.05));
   }
+}
+
+TEST(BatchEngine, DynamicBackendMatchesStaticReference) {
+  // Query batches against a DynamicEngine backend must agree with both
+  // per-query dynamic calls and a static reference engine over the live
+  // set, at several thread counts.
+  Rng rng(2101);
+  dyn::Options dopt;
+  dopt.engine.seed = 9;
+  dopt.engine.mc_rounds_override = 120;
+  dopt.tail_limit = 8;
+  dyn::DynamicEngine dynamic(dopt);
+  std::vector<dyn::Id> live;
+  for (int i = 0; i < 40; ++i) {
+    live.push_back(dynamic.Insert(UncertainPoint::UniformDisk(
+        {rng.Uniform(-12, 12), rng.Uniform(-12, 12)}, rng.Uniform(0.5, 2.0))));
+  }
+  for (int i = 0; i < 10; ++i) dynamic.Erase(live[static_cast<size_t>(i) * 3]);
+  dynamic.WaitForMaintenance();
+
+  std::vector<dyn::Id> ids;
+  Engine reference(dynamic.LiveSet(&ids), dynamic.ReferenceEngineOptions());
+  auto queries = RandomQueries(80, 15, &rng);
+  for (size_t threads : {1u, 3u}) {
+    BatchOptions opt;
+    opt.num_threads = threads;
+    opt.min_parallel_batch = 1;
+    BatchEngine batch(&dynamic, opt);
+    auto nn = batch.NonzeroNNBatch(queries);
+    auto quant = batch.QuantifyBatch(queries, 0.1);
+    EXPECT_EQ(quant.stats.monte_carlo_plans, queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(nn.values[i], dynamic.NonzeroNN(queries[i]));
+      std::vector<dyn::Id> want_nn;
+      for (int r : reference.NonzeroNN(queries[i])) want_nn.push_back(ids[r]);
+      EXPECT_EQ(nn.values[i], want_nn);
+      auto want_q = reference.Quantify(queries[i], 0.1);
+      ASSERT_EQ(quant.values[i].size(), want_q.size());
+      for (size_t j = 0; j < want_q.size(); ++j) {
+        EXPECT_EQ(quant.values[i][j].index, ids[want_q[j].index]);
+        EXPECT_EQ(quant.values[i][j].probability, want_q[j].probability);
+      }
+    }
+  }
+}
+
+TEST(BatchEngine, MixedBatchMatchesSequentialReplay) {
+  // The same streaming-churn op stream, applied (a) via MixedBatch with a
+  // pool and (b) op-by-op against a second engine, must produce identical
+  // results — updates are ordered and queries snapshot-deterministic.
+  Rng gen_rng(2103);
+  StreamingChurnOptions sopt;
+  sopt.initial = 48;
+  sopt.ops = 300;
+  sopt.churn = 0.3;
+  sopt.drift_weight = 1.0;
+  sopt.quantify_fraction = 0.4;
+  auto ops = GenerateStreamingChurn(sopt, &gen_rng);
+
+  dyn::Options dopt;
+  dopt.engine.mc_rounds_override = 48;
+  dopt.tail_limit = 16;
+  dyn::DynamicEngine batched(dopt);
+  dyn::DynamicEngine sequential(dopt);
+
+  BatchOptions bopt;
+  bopt.num_threads = 4;
+  bopt.min_parallel_batch = 2;
+  BatchEngine batch(&batched, bopt);
+  auto result = batch.MixedBatch(ops, 0.1);
+  ASSERT_EQ(result.values.size(), ops.size());
+
+  size_t queries = 0, updates = 0;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const MixedOp& op = ops[i];
+    const MixedResult& got = result.values[i];
+    switch (op.kind) {
+      case MixedOp::Kind::kInsert:
+        EXPECT_EQ(got.id, sequential.Insert(*op.point));
+        ++updates;
+        break;
+      case MixedOp::Kind::kErase:
+        EXPECT_EQ(got.id, sequential.Erase(op.id) ? op.id : -1);
+        ++updates;
+        break;
+      case MixedOp::Kind::kNonzeroNN:
+        EXPECT_EQ(got.nonzero, sequential.NonzeroNN(op.q));
+        ++queries;
+        break;
+      case MixedOp::Kind::kQuantify:
+      case MixedOp::Kind::kThresholdNN: {
+        auto want = op.kind == MixedOp::Kind::kQuantify
+                        ? sequential.Quantify(op.q, 0.1)
+                        : sequential.ThresholdNN(op.q, op.tau, 0.1);
+        ASSERT_EQ(got.quant.size(), want.size());
+        for (size_t j = 0; j < want.size(); ++j) {
+          EXPECT_EQ(got.quant[j].index, want[j].index);
+          EXPECT_EQ(got.quant[j].probability, want[j].probability);
+        }
+        ++queries;
+        break;
+      }
+    }
+  }
+  const BatchStats& s = result.stats;
+  EXPECT_EQ(s.num_queries, queries);
+  EXPECT_EQ(s.num_updates, updates);
+  EXPECT_GT(s.num_updates, 0u);
+  EXPECT_GT(s.update_p50_micros, 0.0);
+  EXPECT_GE(s.update_p99_micros, s.update_p50_micros);
+  EXPECT_GT(s.queries_per_sec, 0.0);
 }
 
 TEST(BatchEngine, ConcurrentEpsTighteningIsSafe) {

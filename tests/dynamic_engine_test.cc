@@ -1,0 +1,193 @@
+// Unit tests for pnn::dyn::DynamicEngine: lifecycle, Bentley–Saxe
+// maintenance behavior (merges, compaction), option validation, and the
+// small invariants the differential tests don't pin down.
+
+#include "src/dyn/dynamic_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/generators.h"
+
+namespace pnn {
+namespace dyn {
+namespace {
+
+UncertainPoint Disk(double x, double y, double r = 1.0) {
+  return UncertainPoint::UniformDisk({x, y}, r);
+}
+
+TEST(DynamicEngine, EmptyEngineAnswersEmpty) {
+  DynamicEngine engine;
+  EXPECT_EQ(engine.live_size(), 0u);
+  EXPECT_TRUE(engine.NonzeroNN({0, 0}).empty());
+  EXPECT_TRUE(engine.Quantify({0, 0}, 0.1).empty());
+  EXPECT_TRUE(engine.QuantifyExact({0, 0}).empty());
+  EXPECT_TRUE(engine.ThresholdNN({0, 0}, 0.5).empty());
+  EXPECT_EQ(engine.MostLikelyNN({0, 0}), -1);
+  EXPECT_FALSE(engine.Erase(0));
+}
+
+TEST(DynamicEngine, InsertAssignsSequentialIds) {
+  DynamicEngine engine;
+  EXPECT_EQ(engine.Insert(Disk(0, 0)), 0);
+  EXPECT_EQ(engine.Insert(Disk(5, 0)), 1);
+  EXPECT_EQ(engine.Insert(Disk(10, 0)), 2);
+  EXPECT_EQ(engine.live_size(), 3u);
+  // Ids are never recycled, even after an erase.
+  EXPECT_TRUE(engine.Erase(1));
+  EXPECT_EQ(engine.Insert(Disk(5, 0)), 3);
+}
+
+TEST(DynamicEngine, NonzeroNNIsolatedPoint) {
+  DynamicEngine engine;
+  Id far = engine.Insert(Disk(100, 100, 0.5));
+  Id near_a = engine.Insert(Disk(0, 0, 1.0));
+  Id near_b = engine.Insert(Disk(1, 0, 1.0));
+  std::vector<Id> nn = engine.NonzeroNN({0.2, 0});
+  EXPECT_EQ(nn, (std::vector<Id>{near_a, near_b}));
+  EXPECT_TRUE(engine.Erase(near_a));
+  EXPECT_TRUE(engine.Erase(near_b));
+  EXPECT_EQ(engine.NonzeroNN({0.2, 0}), std::vector<Id>{far});
+}
+
+TEST(DynamicEngine, MergesKeepBucketCountLogarithmic) {
+  Options opt;
+  opt.tail_limit = 4;
+  DynamicEngine engine(opt);
+  Rng rng(31);
+  for (int i = 0; i < 400; ++i) {
+    engine.Insert(Disk(rng.Uniform(-50, 50), rng.Uniform(-50, 50)));
+  }
+  engine.WaitForMaintenance();
+  EXPECT_EQ(engine.live_size(), 400u);
+  // Bentley–Saxe: every merge at least doubles the absorbed bucket, so the
+  // bucket count stays O(log n).
+  EXPECT_LE(engine.num_buckets(), 10u);
+  EXPECT_LT(engine.tail_size(), opt.tail_limit);
+}
+
+TEST(DynamicEngine, CompactionDropsTombstones) {
+  Options opt;
+  opt.tail_limit = 8;
+  opt.max_dead_fraction = 0.25;
+  DynamicEngine engine(opt);
+  Rng rng(33);
+  std::vector<Id> ids;
+  for (int i = 0; i < 128; ++i) {
+    ids.push_back(engine.Insert(Disk(rng.Uniform(-50, 50), rng.Uniform(-50, 50))));
+  }
+  engine.WaitForMaintenance();
+  // Erase well past the dead-fraction trigger: compaction must kick in and
+  // drop the tombstones from the structure.
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(engine.Erase(ids[i]));
+  engine.WaitForMaintenance();
+  EXPECT_EQ(engine.live_size(), 28u);
+  EXPECT_LT(engine.dead_size(), 40u);
+  std::vector<Id> live_ids;
+  UncertainSet live = engine.LiveSet(&live_ids);
+  EXPECT_EQ(live.size(), 28u);
+  EXPECT_EQ(live_ids.front(), ids[100]);
+}
+
+TEST(DynamicEngine, BulkConstructorBuildsOneBucket) {
+  Rng rng(35);
+  UncertainSet initial;
+  for (int i = 0; i < 64; ++i) {
+    initial.push_back(Disk(rng.Uniform(-20, 20), rng.Uniform(-20, 20)));
+  }
+  DynamicEngine engine(initial);
+  EXPECT_EQ(engine.live_size(), 64u);
+  EXPECT_EQ(engine.num_buckets(), 1u);
+  EXPECT_EQ(engine.tail_size(), 0u);
+  // Bulk ids are 0..n-1 in input order.
+  std::vector<Id> ids;
+  engine.LiveSet(&ids);
+  EXPECT_EQ(ids.front(), 0);
+  EXPECT_EQ(ids.back(), 63);
+}
+
+TEST(DynamicEngine, ReferenceOptionsCarryLiveIds) {
+  DynamicEngine engine;
+  engine.Insert(Disk(0, 0));
+  Id middle = engine.Insert(Disk(5, 0));
+  engine.Insert(Disk(10, 0));
+  EXPECT_TRUE(engine.Erase(middle));
+  Engine::Options ref = engine.ReferenceEngineOptions();
+  EXPECT_EQ(ref.mc_stream_ids, (std::vector<uint64_t>{0, 2}));
+}
+
+TEST(DynamicEngine, PlanTracksLiveComposition) {
+  // All-discrete with tiny spread: spiral. After inserting a continuous
+  // point the plan must fall back to Monte Carlo, and recover once the
+  // continuous point is erased.
+  Rng rng(37);
+  DynamicEngine engine;
+  for (int i = 0; i < 12; ++i) {
+    std::vector<Point2> locs{{rng.Uniform(-5, 5), rng.Uniform(-5, 5)},
+                             {rng.Uniform(-5, 5), rng.Uniform(-5, 5)}};
+    engine.Insert(UncertainPoint::Discrete(locs, {0.5, 0.5}));
+  }
+  EXPECT_EQ(engine.PlanForQuantify(0.1), QuantifyPlan::kSpiral);
+  Id disk = engine.Insert(Disk(0, 0));
+  EXPECT_EQ(engine.PlanForQuantify(0.1), QuantifyPlan::kMonteCarlo);
+  EXPECT_TRUE(engine.Erase(disk));
+  EXPECT_EQ(engine.PlanForQuantify(0.1), QuantifyPlan::kSpiral);
+}
+
+TEST(DynamicEngine, PrewarmMakesQuantifyCheap) {
+  Options opt;
+  opt.engine.mc_rounds_override = 64;
+  DynamicEngine engine(opt);
+  Rng rng(39);
+  for (int i = 0; i < 20; ++i) {
+    engine.Insert(Disk(rng.Uniform(-10, 10), rng.Uniform(-10, 10)));
+  }
+  engine.Prewarm(0.1);
+  auto result = engine.Quantify({0, 0}, 0.1);
+  double total = 0;
+  for (const auto& e : result) total += e.probability;
+  EXPECT_NEAR(total, 1.0, 1e-12);  // Counts over rounds partition unity.
+}
+
+TEST(DynamicEngineDeath, ValidatesOptions) {
+EXPECT_DEATH(
+      [] {
+        Options opt;
+        opt.engine.default_eps = 1.5;
+        DynamicEngine engine(opt);
+      }(),
+      "default_eps");
+  EXPECT_DEATH(
+      [] {
+        Options opt;
+        opt.engine.mc_delta = 0.0;
+        DynamicEngine engine(opt);
+      }(),
+      "mc_delta");
+  EXPECT_DEATH(
+      [] {
+        Options opt;
+        opt.engine.spiral_budget_fraction = 0.0;
+        DynamicEngine engine(opt);
+      }(),
+      "spiral_budget_fraction");
+  EXPECT_DEATH(
+      [] {
+        Options opt;
+        opt.max_dead_fraction = 1.5;
+        DynamicEngine engine(opt);
+      }(),
+      "max_dead_fraction");
+}
+
+TEST(DynamicEngineDeath, ValidatesQueryArguments) {
+DynamicEngine engine;
+  engine.Insert(Disk(0, 0));
+  EXPECT_DEATH(engine.ThresholdNN({0, 0}, -0.1), "tau");
+  EXPECT_DEATH(engine.ThresholdNN({0, 0}, 1.1), "tau");
+  EXPECT_DEATH(engine.Quantify({0, 0}, 0.0), "eps");
+}
+
+}  // namespace
+}  // namespace dyn
+}  // namespace pnn

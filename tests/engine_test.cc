@@ -114,6 +114,68 @@ TEST(Engine, RejectsInvalidEps) {
   EXPECT_DEATH(engine.Quantify({0, 0}, 1.5), "eps");
 }
 
+TEST(Engine, ValidatesOptionsAtConstruction) {
+  UncertainSet pts;
+  pts.push_back(UncertainPoint::Discrete({{0, 0}}, {1.0}));
+  {
+    Engine::Options opt;
+    opt.default_eps = 0.0;
+    EXPECT_DEATH(Engine(pts, opt), "default_eps");
+    opt.default_eps = 1.0;
+    EXPECT_DEATH(Engine(pts, opt), "default_eps");
+  }
+  {
+    Engine::Options opt;
+    opt.mc_delta = -0.5;
+    EXPECT_DEATH(Engine(pts, opt), "mc_delta");
+  }
+  {
+    Engine::Options opt;
+    opt.spiral_budget_fraction = 0.0;
+    EXPECT_DEATH(Engine(pts, opt), "spiral_budget_fraction");
+    opt.spiral_budget_fraction = 1.5;
+    EXPECT_DEATH(Engine(pts, opt), "spiral_budget_fraction");
+  }
+  {
+    Engine::Options opt;
+    opt.mc_stream_ids = {1, 2};  // Two ids for one point.
+    EXPECT_DEATH(Engine(pts, opt), "mc_stream_ids");
+  }
+}
+
+TEST(Engine, RejectsInvalidTau) {
+  UncertainSet pts;
+  pts.push_back(UncertainPoint::Discrete({{0, 0}}, {1.0}));
+  Engine engine(pts);
+  EXPECT_DEATH(engine.ThresholdNN({0, 0}, -0.01), "tau");
+  EXPECT_DEATH(engine.ThresholdNN({0, 0}, 1.01), "tau");
+  EXPECT_TRUE(engine.ThresholdNN({5, 5}, 1.0).empty());  // Boundary is legal.
+}
+
+TEST(Engine, NonzeroDeltaAndWithinMatchNonzeroNN) {
+  Rng rng(1013);
+  UncertainSet pts;
+  for (int i = 0; i < 20; ++i) {
+    pts.push_back(UncertainPoint::UniformDisk(
+        {rng.Uniform(-15, 15), rng.Uniform(-15, 15)}, rng.Uniform(0.5, 2.5)));
+  }
+  Engine engine(pts);
+  for (int t = 0; t < 30; ++t) {
+    Point2 q{rng.Uniform(-18, 18), rng.Uniform(-18, 18)};
+    EXPECT_EQ(engine.NonzeroNNWithin(q, engine.NonzeroDelta(q)), engine.NonzeroNN(q));
+  }
+  // A skip mask excludes exactly the masked points from both stages.
+  std::vector<char> skip(pts.size(), 0);
+  skip[0] = skip[7] = 1;
+  UncertainSet rest;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (!skip[i]) rest.push_back(pts[i]);
+  }
+  Engine rest_engine(rest);
+  Point2 q{1.5, -2.5};
+  EXPECT_DOUBLE_EQ(engine.NonzeroDelta(q, &skip), rest_engine.NonzeroDelta(q));
+}
+
 TEST(Generators, DisjointDisksAreDisjoint) {
   Rng rng(1007);
   for (double lambda : {1.0, 2.0, 8.0}) {

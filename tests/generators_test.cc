@@ -5,8 +5,11 @@
 #include "src/workload/generators.h"
 
 #include <cmath>
+#include <unordered_set>
 
 #include <gtest/gtest.h>
+
+#include "src/workload/streaming.h"
 
 namespace pnn {
 namespace {
@@ -116,6 +119,77 @@ TEST(GeneratorsDetail, Lemma41InstanceShape) {
     EXPECT_LE(Norm(p.discrete().locations[0]), 1.0 + 1e-12);
     EXPECT_NEAR(p.discrete().locations[1].x, 100.0, 0.01);
     EXPECT_NEAR(p.discrete().locations[1].y, 0.0, 0.01);
+  }
+}
+
+TEST(StreamingChurn, OpStreamIsConsistent) {
+  Rng rng(3101);
+  StreamingChurnOptions opt;
+  opt.initial = 50;
+  opt.ops = 600;
+  opt.churn = 0.4;
+  opt.arrival_weight = 1.0;
+  opt.departure_weight = 1.0;
+  opt.drift_weight = 1.0;
+  opt.quantify_fraction = 0.3;
+  opt.tau = 0.25;
+  auto ops = GenerateStreamingChurn(opt, &rng);
+  ASSERT_GE(ops.size(), static_cast<size_t>(opt.initial + opt.ops));
+
+  // Replay the id-assignment contract: inserts take sequential ids and
+  // every erase references an id that is live at its stream position.
+  std::unordered_set<dyn::Id> live;
+  dyn::Id next_id = 0;
+  size_t inserts = 0, erases = 0, queries = 0, thresholds = 0;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const exec::MixedOp& op = ops[i];
+    switch (op.kind) {
+      case exec::MixedOp::Kind::kInsert:
+        ASSERT_TRUE(op.point.has_value());
+        live.insert(next_id++);
+        ++inserts;
+        break;
+      case exec::MixedOp::Kind::kErase:
+        ASSERT_EQ(live.erase(op.id), 1u) << "op " << i;
+        ++erases;
+        break;
+      case exec::MixedOp::Kind::kThresholdNN:
+        EXPECT_EQ(op.tau, 0.25);
+        ++thresholds;
+        ++queries;
+        break;
+      default:
+        ++queries;
+        break;
+    }
+  }
+  EXPECT_EQ(inserts, live.size() + erases);
+  EXPECT_GT(erases, 0u);
+  EXPECT_GT(thresholds, 0u);
+  EXPECT_GT(queries, erases);  // churn < 0.5.
+
+  // The first `initial` ops are the bulk fill.
+  for (int i = 0; i < opt.initial; ++i) {
+    EXPECT_EQ(ops[static_cast<size_t>(i)].kind, exec::MixedOp::Kind::kInsert);
+  }
+}
+
+TEST(StreamingChurn, DiscreteFamilyAndPureArrivals) {
+  Rng rng(3103);
+  StreamingChurnOptions opt;
+  opt.initial = 10;
+  opt.ops = 100;
+  opt.churn = 1.0;  // Updates only.
+  opt.departure_weight = 0.0;
+  opt.drift_weight = 0.0;
+  opt.discrete = true;
+  opt.k = 3;
+  auto ops = GenerateStreamingChurn(opt, &rng);
+  ASSERT_EQ(ops.size(), 110u);
+  for (const auto& op : ops) {
+    ASSERT_EQ(op.kind, exec::MixedOp::Kind::kInsert);
+    ASSERT_TRUE(op.point->is_discrete());
+    EXPECT_EQ(op.point->discrete().locations.size(), 3u);
   }
 }
 

@@ -4,6 +4,7 @@
 
 #include "src/core/prob/quantify.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -189,6 +190,92 @@ TEST(Helpers, ThresholdAndMostLikely) {
   EXPECT_EQ(big[1].index, 2);
   EXPECT_EQ(MostLikelyNN(all), 0);
   EXPECT_EQ(MostLikelyNN({}), -1);
+}
+
+TEST(SurvivalProfile, ValueIsRightContinuousStep) {
+  SurvivalProfile p;
+  p.dists = {1.0, 2.0, 4.0};
+  p.values = {0.8, 0.5, 0.0};
+  EXPECT_EQ(p.Value(0.5), 1.0);   // Before the first breakpoint.
+  EXPECT_EQ(p.Value(1.0), 0.8);   // Breakpoints include their own distance.
+  EXPECT_EQ(p.Value(1.5), 0.8);
+  EXPECT_EQ(p.Value(2.0), 0.5);
+  EXPECT_EQ(p.Value(100.0), 0.0);
+}
+
+TEST(QuantifyPartDiscrete, PartsRecombineToExactSweep) {
+  // pi_i(q) = sum_s w_is prod_{j != i}(1 - G_j) factorizes over any
+  // partition of the point set: within-part partials times the other
+  // parts' survival profiles must reproduce the monolithic sweep.
+  Rng rng(611);
+  UncertainSet pts;
+  for (int i = 0; i < 18; ++i) {
+    int k = static_cast<int>(rng.UniformInt(1, 4));
+    std::vector<Point2> locs(k);
+    std::vector<double> w(k, 1.0 / k);
+    for (int s = 0; s < k; ++s) {
+      locs[s] = {rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+    }
+    pts.push_back(UncertainPoint::Discrete(std::move(locs), std::move(w)));
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    Point2 q{rng.Uniform(-12, 12), rng.Uniform(-12, 12)};
+    // Split into three interleaved parts.
+    std::vector<std::vector<int>> members(3);
+    for (int i = 0; i < 18; ++i) members[i % 3].push_back(i);
+    std::vector<PartialQuantify> parts;
+    for (const auto& m : members) parts.push_back(QuantifyPartDiscrete(pts, m, q));
+
+    std::vector<double> pi(pts.size(), 0.0);
+    for (size_t p = 0; p < parts.size(); ++p) {
+      for (const auto& t : parts[p].terms) {
+        double f = t.partial;
+        for (size_t p2 = 0; p2 < parts.size(); ++p2) {
+          if (p2 != p) f *= parts[p2].profile.Value(t.dist);
+        }
+        pi[members[p][t.member]] += f;
+      }
+    }
+    std::vector<double> want(pts.size(), 0.0);
+    for (const auto& e : QuantifyExactDiscrete(pts, q)) want[e.index] = e.probability;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      EXPECT_NEAR(pi[i], want[i], 1e-12) << "i=" << i;
+    }
+  }
+}
+
+TEST(QuantifyPrefixSweep, FullPrefixEqualsExactSweep) {
+  // Sweeping the complete location set through the truncated sweep must
+  // reproduce the exact quantifier (the truncation error vanishes).
+  Rng rng(613);
+  UncertainSet pts;
+  for (int i = 0; i < 10; ++i) {
+    std::vector<Point2> locs{{rng.Uniform(-8, 8), rng.Uniform(-8, 8)},
+                             {rng.Uniform(-8, 8), rng.Uniform(-8, 8)}};
+    pts.push_back(UncertainPoint::Discrete(std::move(locs), {0.5, 0.5}));
+  }
+  Point2 q{0.3, -0.7};
+  std::vector<WeightedLocation> locs;
+  std::vector<int> counts(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    const auto& d = pts[i].discrete();
+    counts[i] = static_cast<int>(d.locations.size());
+    for (size_t s = 0; s < d.locations.size(); ++s) {
+      locs.push_back(
+          {Distance(q, d.locations[s]), static_cast<int>(i), d.weights[s]});
+    }
+  }
+  std::sort(locs.begin(), locs.end(),
+            [](const WeightedLocation& a, const WeightedLocation& b) {
+              return a.dist < b.dist;
+            });
+  auto got = QuantifyPrefixSweep(locs, counts);
+  auto want = QuantifyExactDiscrete(pts, q);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].index, want[i].index);
+    EXPECT_NEAR(got[i].probability, want[i].probability, 1e-12);
+  }
 }
 
 }  // namespace

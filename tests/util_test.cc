@@ -1,9 +1,12 @@
 // Tests for the util module: stats, rng determinism, tables.
 
 #include <cmath>
+#include <limits>
+#include <string>
 
 #include <gtest/gtest.h>
 
+#include "src/util/bench_json.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
@@ -95,6 +98,25 @@ TEST(Table, FormatsWithoutCrashing) {
   t.Print();  // Smoke test; output inspected by humans.
   EXPECT_EQ(Table::Int(-5), "-5");
   EXPECT_EQ(Table::Num(2.5, 2), "2.5");
+}
+
+TEST(BenchJson, SerializesEntriesAndMeta) {
+  BenchJson json;
+  json.AddMeta("host", "ci \"runner\"");
+  json.Add("churn_0.2", {{"ops_per_sec", 12345.5}, {"speedup", 11.0}});
+  json.Add("churn_0.5", {{"ops_per_sec", 67890.0}});
+  std::string s = json.ToString();
+  EXPECT_NE(s.find("\"host\": \"ci \\\"runner\\\"\""), std::string::npos);
+  EXPECT_NE(s.find("\"name\": \"churn_0.2\""), std::string::npos);
+  EXPECT_NE(s.find("\"ops_per_sec\": 12345.5"), std::string::npos);
+  EXPECT_NE(s.find("\"speedup\": 11"), std::string::npos);
+  // Entries are comma-separated; the document closes cleanly.
+  EXPECT_NE(s.find("}},\n"), std::string::npos);
+  EXPECT_EQ(s.back(), '\n');
+  // Non-finite metrics degrade to null instead of invalid JSON.
+  BenchJson bad;
+  bad.Add("x", {{"inf", std::numeric_limits<double>::infinity()}});
+  EXPECT_NE(bad.ToString().find("\"inf\": null"), std::string::npos);
 }
 
 }  // namespace
