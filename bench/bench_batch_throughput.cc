@@ -73,9 +73,11 @@ bool BenchInstance(const char* name, const Engine& engine, Rng* rng, int total_q
   auto thresh_q = MakeQueries(total_queries / 10, span, rng);
   engine.Prewarm(0.05);  // Keep structure construction out of the timings.
 
-  std::printf("\n### %s — %d mixed queries (60%% NN!=0, 30%% quantify, 10%% threshold)\n",
-              name, total_queries);
-  std::printf("plan mix per quantify batch: %zu spiral, %zu Monte-Carlo (MC rounds: %zu)\n\n",
+  std::printf(
+      "\n### %s — %d mixed queries (60%% NN!=0, 30%% quantify, 10%% threshold)\n",
+      name, total_queries);
+  std::printf(
+      "plan mix per quantify batch: %zu spiral, %zu Monte-Carlo (MC rounds: %zu)\n\n",
               engine.PlanForQuantify(0.05) == QuantifyPlan::kSpiral ? quant_q.size() : 0,
               engine.PlanForQuantify(0.05) == QuantifyPlan::kSpiral ? size_t{0}
                                                                     : quant_q.size(),

@@ -133,7 +133,8 @@ void BudgetSweep() {
 }
 
 void HeadToHead() {
-  std::printf("\n### spiral vs Monte Carlo vs exact (n = 400, k = 4, rho = 2, eps = 0.05)\n\n");
+  std::printf(
+      "\n### spiral vs Monte Carlo vs exact (n = 400, k = 4, rho = 2, eps = 0.05)\n\n");
   Rng rng(61);
   auto pts = DiscreteWithSpread(400, 4, 2.0, 60, 2, &rng);
   std::vector<Point2> queries;

@@ -295,10 +295,14 @@ void Arrangement::BuildGrid() {
   grid_.assign(static_cast<size_t>(grid_nx_) * grid_ny_, {});
   for (size_t e = 0; e < edges_.size(); ++e) {
     Box2 b = edges_[e].geom.Bounds().Inflated(snap_eps_);
-    int x0 = std::clamp(static_cast<int>((b.xmin - box_.xmin) / cell_w_), 0, grid_nx_ - 1);
-    int x1 = std::clamp(static_cast<int>((b.xmax - box_.xmin) / cell_w_), 0, grid_nx_ - 1);
-    int y0 = std::clamp(static_cast<int>((b.ymin - box_.ymin) / cell_h_), 0, grid_ny_ - 1);
-    int y1 = std::clamp(static_cast<int>((b.ymax - box_.ymin) / cell_h_), 0, grid_ny_ - 1);
+    int x0 =
+        std::clamp(static_cast<int>((b.xmin - box_.xmin) / cell_w_), 0, grid_nx_ - 1);
+    int x1 =
+        std::clamp(static_cast<int>((b.xmax - box_.xmin) / cell_w_), 0, grid_nx_ - 1);
+    int y0 =
+        std::clamp(static_cast<int>((b.ymin - box_.ymin) / cell_h_), 0, grid_ny_ - 1);
+    int y1 =
+        std::clamp(static_cast<int>((b.ymax - box_.ymin) / cell_h_), 0, grid_ny_ - 1);
     for (int x = x0; x <= x1; ++x) {
       for (int y = y0; y <= y1; ++y) {
         grid_[static_cast<size_t>(x) * grid_ny_ + y].push_back(static_cast<int>(e));

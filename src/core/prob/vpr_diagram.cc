@@ -17,7 +17,8 @@ VprDiagram::VprDiagram(const UncertainSet& points, std::optional<Box2> box)
   }
   Box2 data;
   for (Point2 p : all) data.Expand(p);
-  Box2 clip = box.has_value() ? *box : data.Inflated(2.0 * std::max(1.0, data.Diagonal()));
+  Box2 clip =
+      box.has_value() ? *box : data.Inflated(2.0 * std::max(1.0, data.Diagonal()));
 
   // Bisector lines of all distinct location pairs, clipped to the box.
   // Each becomes a maximal segment spanning the (inflated) box.

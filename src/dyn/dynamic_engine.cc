@@ -56,24 +56,42 @@ DynamicEngine::DynamicEngine(const UncertainSet& initial, Options options)
   PublishLocked();
 }
 
+DynamicEngine::DynamicEngine(std::vector<Id> ids, const UncertainSet& points,
+                             Options options)
+    : DynamicEngine(std::move(options)) {
+  PNN_CHECK_MSG(ids.size() == points.size(), "ids must parallel points");
+  if (points.empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (size_t i = 0; i < points.size(); ++i) {
+    PNN_CHECK_MSG(ids[i] >= 0 && (i == 0 || ids[i] > ids[i - 1]),
+                  "bulk ids must be nonnegative, ascending and unique");
+    live_.emplace(ids[i], points[i]);
+    AddAggregatesLocked(points[i]);
+  }
+  next_id_ = ids.back() + 1;
+  auto bucket = std::make_shared<const Bucket>(std::move(ids), points, options_.engine);
+  buckets_.push_back({bucket, nullptr, bucket->size()});
+  PublishLocked();
+}
+
 DynamicEngine::~DynamicEngine() { WaitForMaintenance(); }
 
 void DynamicEngine::PublishLocked() {
   auto s = std::make_shared<Snapshot>();
   s->buckets = buckets_;
   s->tail = std::make_shared<const std::vector<TailEntry>>(tail_);
-  s->tail_dead = tail_dead_.empty()
+  s->tail_dead = tail_dead_count_ == 0
                      ? nullptr
-                     : std::make_shared<const std::unordered_set<Id>>(tail_dead_);
+                     : std::make_shared<const std::vector<char>>(tail_dead_mask_);
   s->live_count = live_.size();
   s->discrete_count = discrete_count_;
   s->continuous_count = continuous_count_;
   s->total_complexity = total_complexity_;
   s->max_k = live_ks_.empty() ? 1 : *live_ks_.rbegin();
   // Mirrors SpiralSearchPNN's spread computation (wmin/wmax seeds 1.0/0.0).
-  double wmin = live_weights_.empty() ? 1.0 : std::min(1.0, *live_weights_.begin());
-  double wmax = live_weights_.empty() ? 0.0 : *live_weights_.rbegin();
-  s->rho = wmax / wmin;
+  s->wmin = live_weights_.empty() ? 1.0 : std::min(1.0, *live_weights_.begin());
+  s->wmax = live_weights_.empty() ? 0.0 : *live_weights_.rbegin();
+  s->rho = s->wmax / s->wmin;
   std::atomic_store_explicit(&snapshot_, std::shared_ptr<const Snapshot>(std::move(s)),
                              std::memory_order_release);
 }
@@ -107,12 +125,30 @@ Id DynamicEngine::Insert(UncertainPoint point) {
   std::unique_lock<std::mutex> lock(mu_);
   PNN_CHECK_MSG(next_id_ < std::numeric_limits<Id>::max(), "id space exhausted");
   Id id = next_id_++;
-  AddAggregatesLocked(point);
-  tail_.push_back({id, point});
-  live_.emplace(id, std::move(point));
+  InsertEntryLocked(id, std::move(point));
   PublishLocked();
   MaybeStartMaintenanceLocked(lock);
   return id;
+}
+
+void DynamicEngine::InsertWithId(Id id, UncertainPoint point) {
+  std::unique_lock<std::mutex> lock(mu_);
+  PNN_CHECK_MSG(id >= 0, "ids must be nonnegative");
+  PNN_CHECK_MSG(live_.count(id) == 0, "InsertWithId id is already live");
+  // A tombstoned copy of this id may still sit in a bucket or the tail
+  // (shard migration round trip); deadness is positional, so appending a
+  // fresh live entry alongside it is exact.
+  if (id >= next_id_) next_id_ = id + 1;
+  InsertEntryLocked(id, std::move(point));
+  PublishLocked();
+  MaybeStartMaintenanceLocked(lock);
+}
+
+void DynamicEngine::InsertEntryLocked(Id id, UncertainPoint point) {
+  AddAggregatesLocked(point);
+  tail_.push_back({id, point});
+  tail_dead_mask_.push_back(0);
+  live_.emplace(id, std::move(point));
 }
 
 bool DynamicEngine::Erase(Id id) {
@@ -122,10 +158,13 @@ bool DynamicEngine::Erase(Id id) {
   RemoveAggregatesLocked(it->second);
   live_.erase(it);
 
+  // Find the live copy: dead-masked copies of the same id may linger in
+  // buckets (and the tail) after a shard migration round trip; skip them.
   bool in_bucket = false;
   for (auto& bref : buckets_) {
     int local = bref.bucket->LocalIndex(id);
     if (local < 0) continue;
+    if (bref.dead && (*bref.dead)[local]) continue;  // Stale tombstoned copy.
     auto mask = bref.dead ? std::make_shared<std::vector<char>>(*bref.dead)
                           : std::make_shared<std::vector<char>>(bref.bucket->size(), 0);
     (*mask)[local] = 1;
@@ -134,7 +173,18 @@ bool DynamicEngine::Erase(Id id) {
     in_bucket = true;
     break;
   }
-  if (!in_bucket) tail_dead_.insert(id);  // Must still be a tail entry.
+  if (!in_bucket) {
+    bool in_tail = false;
+    for (size_t i = 0; i < tail_.size(); ++i) {
+      if (tail_[i].id == id && tail_dead_mask_[i] == 0) {
+        tail_dead_mask_[i] = 1;
+        ++tail_dead_count_;
+        in_tail = true;
+        break;
+      }
+    }
+    PNN_CHECK_MSG(in_tail, "live id missing from both buckets and tail");
+  }
   if (building_) erased_during_build_.push_back(id);
 
   PublishLocked();
@@ -144,16 +194,16 @@ bool DynamicEngine::Erase(Id id) {
 
 bool DynamicEngine::MaintenanceNeededLocked() const {
   size_t total = tail_.size();
-  size_t dead = tail_dead_.size();
+  size_t dead = tail_dead_count_;
   for (const auto& bref : buckets_) {
     total += bref.bucket->size();
     dead += bref.bucket->size() - bref.live_count;
   }
-  if (dead >= 8 &&
-      static_cast<double>(dead) > options_.max_dead_fraction * static_cast<double>(total)) {
+  if (dead >= 8 && static_cast<double>(dead) >
+                       options_.max_dead_fraction * static_cast<double>(total)) {
     return true;
   }
-  return tail_.size() - tail_dead_.size() >= options_.tail_limit;
+  return tail_.size() - tail_dead_count_ >= options_.tail_limit;
 }
 
 void DynamicEngine::MaybeStartMaintenanceLocked(std::unique_lock<std::mutex>& lock) {
@@ -170,13 +220,13 @@ void DynamicEngine::MaybeStartMaintenanceLocked(std::unique_lock<std::mutex>& lo
 DynamicEngine::MaintenancePlan DynamicEngine::DecidePlanLocked() {
   MaintenancePlan plan;
   size_t total = tail_.size();
-  size_t dead = tail_dead_.size();
+  size_t dead = tail_dead_count_;
   for (const auto& bref : buckets_) {
     total += bref.bucket->size();
     dead += bref.bucket->size() - bref.live_count;
   }
-  if (dead >= 8 &&
-      static_cast<double>(dead) > options_.max_dead_fraction * static_cast<double>(total)) {
+  if (dead >= 8 && static_cast<double>(dead) >
+                       options_.max_dead_fraction * static_cast<double>(total)) {
     // Compaction: rebuild the whole structure from the live set.
     plan.any = true;
     plan.frozen_tail = tail_.size();
@@ -187,15 +237,15 @@ DynamicEngine::MaintenancePlan DynamicEngine::DecidePlanLocked() {
       plan.ids.push_back(id);
       plan.points.push_back(p);
     }
-  } else if (tail_.size() - tail_dead_.size() >= options_.tail_limit) {
+  } else if (tail_.size() - tail_dead_count_ >= options_.tail_limit) {
     // Tail merge with the Bentley–Saxe doubling rule: absorb every bucket
     // no larger than the accumulated merge, so an absorbed bucket at least
     // doubles — each point is rebuilt O(log n) times.
     plan.any = true;
     plan.frozen_tail = tail_.size();
     std::vector<std::pair<Id, const UncertainPoint*>> members;
-    for (const TailEntry& e : tail_) {
-      if (tail_dead_.count(e.id) == 0) members.push_back({e.id, &e.point});
+    for (size_t i = 0; i < tail_.size(); ++i) {
+      if (tail_dead_mask_[i] == 0) members.push_back({tail_[i].id, &tail_[i].point});
     }
     size_t merged = members.size();
     std::vector<char> take(buckets_.size(), 0);
@@ -241,15 +291,13 @@ void DynamicEngine::SpliceLocked(const MaintenancePlan& plan,
     buckets_.erase(buckets_.begin() + static_cast<long>(*it));
   }
   tail_.erase(tail_.begin(), tail_.begin() + static_cast<long>(plan.frozen_tail));
-  if (!tail_dead_.empty()) {
-    // Tombstones of frozen tail entries are either folded into the new
-    // bucket's mask (erased during the build) or gone with their points.
-    std::unordered_set<Id> keep;
-    for (const TailEntry& e : tail_) {
-      if (tail_dead_.count(e.id)) keep.insert(e.id);
-    }
-    tail_dead_ = std::move(keep);
-  }
+  // Tombstones of frozen tail entries are either folded into the new
+  // bucket's mask (erased during the build) or gone with their points; the
+  // mask is positional, so dropping the consumed prefix is all it takes.
+  tail_dead_mask_.erase(tail_dead_mask_.begin(),
+                        tail_dead_mask_.begin() + static_cast<long>(plan.frozen_tail));
+  tail_dead_count_ = 0;
+  for (char d : tail_dead_mask_) tail_dead_count_ += d != 0;
   if (built != nullptr) {
     Snapshot::BucketRef ref{built, nullptr, built->size()};
     std::shared_ptr<std::vector<char>> mask;
@@ -307,10 +355,11 @@ double DynamicEngine::ResolveEps(std::optional<double> eps_opt) const {
   return eps;
 }
 
-QuantifyPlan DynamicEngine::PlanFor(const Snapshot& snap, double eps) const {
+QuantifyPlan PlanForSnapshot(const Snapshot& snap, const Engine::Options& options,
+                             double eps) {
   if (snap.all_discrete()) {
     size_t budget = SpiralSearchPNN::RetrievalBoundFor(snap.rho, snap.max_k, eps);
-    if (static_cast<double>(budget) <= options_.engine.spiral_budget_fraction *
+    if (static_cast<double>(budget) <= options.spiral_budget_fraction *
                                            static_cast<double>(snap.total_complexity)) {
       return QuantifyPlan::kSpiral;
     }
@@ -318,10 +367,19 @@ QuantifyPlan DynamicEngine::PlanFor(const Snapshot& snap, double eps) const {
   return QuantifyPlan::kMonteCarlo;
 }
 
-size_t DynamicEngine::RoundsFor(const Snapshot& snap, double eps) const {
-  if (options_.engine.mc_rounds_override > 0) return options_.engine.mc_rounds_override;
+size_t McRoundsForSnapshot(const Snapshot& snap, const Engine::Options& options,
+                           double eps) {
+  if (options.mc_rounds_override > 0) return options.mc_rounds_override;
   return MonteCarloPNN::TheoreticalRounds(snap.live_count, snap.max_k, eps,
-                                          options_.engine.mc_delta);
+                                          options.mc_delta);
+}
+
+QuantifyPlan DynamicEngine::PlanFor(const Snapshot& snap, double eps) const {
+  return PlanForSnapshot(snap, options_.engine, eps);
+}
+
+size_t DynamicEngine::RoundsFor(const Snapshot& snap, double eps) const {
+  return McRoundsForSnapshot(snap, options_.engine, eps);
 }
 
 QuantifyPlan DynamicEngine::PlanForQuantify(std::optional<double> eps_opt) const {
@@ -388,14 +446,24 @@ size_t DynamicEngine::live_size() const { return Snap()->live_count; }
 
 size_t DynamicEngine::num_buckets() const { return Snap()->buckets.size(); }
 
+namespace {
+size_t CountDead(const std::shared_ptr<const std::vector<char>>& mask) {
+  size_t dead = 0;
+  if (mask != nullptr) {
+    for (char d : *mask) dead += d != 0;
+  }
+  return dead;
+}
+}  // namespace
+
 size_t DynamicEngine::tail_size() const {
   auto snap = Snap();
-  return snap->tail->size() - (snap->tail_dead ? snap->tail_dead->size() : 0);
+  return snap->tail->size() - CountDead(snap->tail_dead);
 }
 
 size_t DynamicEngine::dead_size() const {
   auto snap = Snap();
-  size_t dead = snap->tail_dead ? snap->tail_dead->size() : 0;
+  size_t dead = CountDead(snap->tail_dead);
   for (const auto& bref : snap->buckets) {
     dead += bref.bucket->size() - bref.live_count;
   }

@@ -44,7 +44,6 @@
 #include <mutex>
 #include <optional>
 #include <set>
-#include <unordered_set>
 #include <vector>
 
 #include "src/core/pnn.h"
@@ -86,8 +85,13 @@ struct Snapshot {
     size_t live_count = 0;
   };
   std::vector<BucketRef> buckets;
-  std::shared_ptr<const std::vector<TailEntry>> tail;       // Ascending ids.
-  std::shared_ptr<const std::unordered_set<Id>> tail_dead;  // Null when empty.
+  /// Tail entries in insertion order. Ids are not necessarily ascending
+  /// (InsertWithId may re-add an id previously moved out by the shard
+  /// router), and an id may recur dead in one part and live in another;
+  /// deadness is therefore positional, never keyed by id.
+  std::shared_ptr<const std::vector<TailEntry>> tail;
+  /// Tombstone mask parallel to `tail`; null when nothing is dead.
+  std::shared_ptr<const std::vector<char>> tail_dead;
 
   // Aggregates over the live set, mirroring what a fresh static Engine
   // derives at construction (pnn.cc / spiral.cc):
@@ -96,11 +100,19 @@ struct Snapshot {
   size_t continuous_count = 0;
   size_t total_complexity = 0;  // Sum of description complexities.
   size_t max_k = 1;             // max over live points of max(k, 1).
-  double rho = 0.0;             // wmax / wmin over live location weights.
+  // Location-weight spread over the live set, with SpiralSearchPNN's
+  // seeding (wmin clamped to <= 1, wmax seeded 0). Kept alongside rho so
+  // partitions of snapshots (the shard router) can recombine the global
+  // spread by min/max instead of re-scanning every point.
+  double wmin = 1.0;
+  double wmax = 0.0;
+  double rho = 0.0;  // wmax / wmin.
 
   bool all_discrete() const { return live_count > 0 && continuous_count == 0; }
   bool all_continuous() const { return live_count > 0 && discrete_count == 0; }
-  bool TailAlive(Id id) const { return tail_dead == nullptr || tail_dead->count(id) == 0; }
+  bool TailAlive(size_t index) const {
+    return tail_dead == nullptr || (*tail_dead)[index] == 0;
+  }
 };
 
 /// Thread safety: all query methods are const and may run concurrently
@@ -112,6 +124,11 @@ class DynamicEngine {
   explicit DynamicEngine(Options options = Options());
   /// Bulk load: the initial points become one bucket with ids 0..n-1.
   explicit DynamicEngine(const UncertainSet& initial, Options options = Options());
+  /// Bulk load under caller-chosen ids (ascending, unique, parallel to
+  /// `points`): the shard router's per-shard bootstrap. Subsequent
+  /// Insert() ids continue after the largest initial id.
+  DynamicEngine(std::vector<Id> ids, const UncertainSet& points,
+                Options options = Options());
   ~DynamicEngine();
 
   DynamicEngine(const DynamicEngine&) = delete;
@@ -119,6 +136,13 @@ class DynamicEngine {
 
   /// Adds a point; returns its stable id (sequential from 0).
   Id Insert(UncertainPoint point);
+
+  /// Adds a point under a caller-chosen id (must be >= 0 and not currently
+  /// live). The shard router uses this to keep ids global across shards —
+  /// both for new points and for points migrated between shards, whose old
+  /// engine may still hold a tombstoned copy of the same id. Sample streams
+  /// are keyed by id, so a migrated point keeps its Monte-Carlo identity.
+  void InsertWithId(Id id, UncertainPoint point);
 
   /// Removes a point; false if the id is unknown or already erased.
   bool Erase(Id id);
@@ -169,6 +193,11 @@ class DynamicEngine {
   /// Blocks until no background merge/compaction is running or pending.
   void WaitForMaintenance() const;
 
+  /// The current immutable structure version (lock-free acquire load). The
+  /// shard router concatenates these across shards and feeds the union to
+  /// the same Merged* recombination this engine's own queries run.
+  std::shared_ptr<const Snapshot> snapshot() const { return Snap(); }
+
  private:
   struct MaintenancePlan;
 
@@ -176,6 +205,7 @@ class DynamicEngine {
     return std::atomic_load_explicit(&snapshot_, std::memory_order_acquire);
   }
   void PublishLocked();
+  void InsertEntryLocked(Id id, UncertainPoint point);
   double ResolveEps(std::optional<double> eps) const;
   size_t RoundsFor(const Snapshot& snap, double eps) const;
   QuantifyPlan PlanFor(const Snapshot& snap, double eps) const;
@@ -198,7 +228,9 @@ class DynamicEngine {
   std::shared_ptr<const Snapshot> snapshot_;
 
   // Writer state (guarded by mu_):
-  std::map<Id, UncertainPoint> live_;  // Ascending = insertion order.
+  // Ascending by id (NOT insertion order once InsertWithId re-adds old
+  // ids); this ordering is what keeps compaction bucket ids ascending.
+  std::map<Id, UncertainPoint> live_;
   std::multiset<double> live_weights_;
   std::multiset<size_t> live_ks_;
   size_t discrete_count_ = 0;
@@ -207,11 +239,24 @@ class DynamicEngine {
   Id next_id_ = 0;
   std::vector<Snapshot::BucketRef> buckets_;
   std::vector<TailEntry> tail_;
-  std::unordered_set<Id> tail_dead_;
+  std::vector<char> tail_dead_mask_;  // Parallel to tail_.
+  size_t tail_dead_count_ = 0;
   bool maintenance_running_ = false;
   bool building_ = false;
   std::vector<Id> erased_during_build_;
 };
+
+/// The spiral-vs-Monte-Carlo routing rule over a snapshot's aggregates —
+/// exactly what a fresh static Engine over the same live set would decide.
+/// Shared between DynamicEngine::PlanForQuantify and the shard router
+/// (which applies it to the union of its shards' snapshots).
+QuantifyPlan PlanForSnapshot(const Snapshot& snap, const Engine::Options& options,
+                             double eps);
+
+/// Monte-Carlo rounds the plan above needs at this eps (the override, or
+/// MonteCarloPNN::TheoreticalRounds over the snapshot's live aggregates).
+size_t McRoundsForSnapshot(const Snapshot& snap, const Engine::Options& options,
+                           double eps);
 
 }  // namespace dyn
 }  // namespace pnn

@@ -18,36 +18,53 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
-std::vector<Id> MergedNonzeroNN(const Snapshot& snap, Point2 q) {
-  // Stage 1: the global pruning bound Delta(q) = min over parts. Each part
-  // computes the exact same per-point values a monolithic index would, so
-  // the min over the partition equals the monolithic min.
+double SnapshotNonzeroDelta(const Snapshot& snap, Point2 q) {
+  // Each part computes the exact same per-point values a monolithic index
+  // would, so the min over the partition equals the monolithic min.
   double bound = kInf;
   for (const auto& bref : snap.buckets) {
     if (bref.live_count == 0) continue;
     bound = std::min(bound, bref.bucket->engine().NonzeroDelta(q, bref.dead.get()));
   }
-  for (const TailEntry& e : *snap.tail) {
-    if (snap.TailAlive(e.id)) bound = std::min(bound, e.point.MaxDistance(q));
+  if (snap.tail != nullptr) {
+    const std::vector<TailEntry>& tail = *snap.tail;
+    for (size_t i = 0; i < tail.size(); ++i) {
+      if (snap.TailAlive(i)) bound = std::min(bound, tail[i].point.MaxDistance(q));
+    }
   }
+  return bound;
+}
 
-  // Stage 2: per-part threshold reporting against the global bound. A
-  // mixed live set's reference engine compares the clamped MinDistance
-  // (brute-force path), which only differs from the disk index's
-  // unclamped d - r when both are negative — re-filter to match exactly.
-  bool mixed = snap.discrete_count > 0 && snap.continuous_count > 0;
-  std::vector<Id> out;
+void AppendNonzeroNNWithin(const Snapshot& snap, Point2 q, double bound, bool mixed,
+                           std::vector<Id>* out) {
   for (const auto& bref : snap.buckets) {
     if (bref.live_count == 0) continue;
     const Bucket& b = *bref.bucket;
     for (int local : b.engine().NonzeroNNWithin(q, bound, bref.dead.get())) {
+      // A mixed live set's reference engine compares the clamped
+      // MinDistance (brute-force path), which only differs from the disk
+      // index's unclamped d - r when both are negative — re-filter to
+      // match exactly.
       if (mixed && !(b.points()[local].MinDistance(q) < bound)) continue;
-      out.push_back(b.ids()[local]);
+      out->push_back(b.ids()[local]);
     }
   }
-  for (const TailEntry& e : *snap.tail) {
-    if (snap.TailAlive(e.id) && e.point.MinDistance(q) < bound) out.push_back(e.id);
+  if (snap.tail != nullptr) {
+    const std::vector<TailEntry>& tail = *snap.tail;
+    for (size_t i = 0; i < tail.size(); ++i) {
+      if (snap.TailAlive(i) && tail[i].point.MinDistance(q) < bound) {
+        out->push_back(tail[i].id);
+      }
+    }
   }
+}
+
+std::vector<Id> MergedNonzeroNN(const Snapshot& snap, Point2 q) {
+  if (snap.live_count == 0) return {};
+  double bound = SnapshotNonzeroDelta(snap, q);
+  bool mixed = snap.discrete_count > 0 && snap.continuous_count > 0;
+  std::vector<Id> out;
+  AppendNonzeroNNWithin(snap, q, bound, mixed, &out);
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -61,8 +78,11 @@ UncertainSet SnapshotLiveSet(const Snapshot& snap, std::vector<Id>* ids) {
       live.push_back({bref.bucket->ids()[j], &bref.bucket->points()[j]});
     }
   }
-  for (const TailEntry& e : *snap.tail) {
-    if (snap.TailAlive(e.id)) live.push_back({e.id, &e.point});
+  if (snap.tail != nullptr) {
+    const std::vector<TailEntry>& tail = *snap.tail;
+    for (size_t i = 0; i < tail.size(); ++i) {
+      if (snap.TailAlive(i)) live.push_back({tail[i].id, &tail[i].point});
+    }
   }
   std::sort(live.begin(), live.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -133,6 +153,7 @@ void AppendDiscreteLocations(const UncertainPoint& p, Id id, Point2 q,
 
 std::vector<Quantification> MergedSpiralQuantify(const Snapshot& snap, Point2 q,
                                                  double eps) {
+  if (snap.live_count == 0) return {};  // Every part dead (or none): no stream.
   PNN_CHECK_MSG(snap.all_discrete(), "spiral merge needs an all-discrete live set");
   size_t m = SpiralSearchPNN::RetrievalBoundFor(snap.rho, snap.max_k, eps);
   m = std::min(m, snap.total_complexity);
@@ -158,10 +179,13 @@ std::vector<Quantification> MergedSpiralQuantify(const Snapshot& snap, Point2 q,
     }
     sources.push_back(std::move(s));
   }
-  {
+  if (snap.tail != nullptr) {
     Source tail;
-    for (const TailEntry& e : *snap.tail) {
-      if (snap.TailAlive(e.id)) AppendDiscreteLocations(e.point, e.id, q, &tail.sorted);
+    const std::vector<TailEntry>& entries = *snap.tail;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (snap.TailAlive(i)) {
+        AppendDiscreteLocations(entries[i].point, entries[i].id, q, &tail.sorted);
+      }
     }
     if (!tail.sorted.empty()) {
       std::sort(tail.sorted.begin(), tail.sorted.end(),
@@ -216,7 +240,8 @@ std::vector<Quantification> MergedSpiralQuantify(const Snapshot& snap, Point2 q,
 std::vector<Quantification> MergedMonteCarloQuantify(const Snapshot& snap, Point2 q,
                                                      size_t rounds, uint64_t seed,
                                                      exec::ThreadPool* pool) {
-  PNN_CHECK(rounds > 0 && snap.live_count > 0);
+  if (snap.live_count == 0) return {};  // Every part dead: nothing to sample.
+  PNN_CHECK(rounds > 0);
   std::vector<std::shared_ptr<const McRounds>> mc(snap.buckets.size());
   for (size_t b = 0; b < snap.buckets.size(); ++b) {
     if (snap.buckets[b].live_count > 0) {
@@ -224,8 +249,11 @@ std::vector<Quantification> MergedMonteCarloQuantify(const Snapshot& snap, Point
     }
   }
   std::vector<const TailEntry*> tail_live;
-  for (const TailEntry& e : *snap.tail) {
-    if (snap.TailAlive(e.id)) tail_live.push_back(&e);
+  if (snap.tail != nullptr) {
+    const std::vector<TailEntry>& entries = *snap.tail;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (snap.TailAlive(i)) tail_live.push_back(&entries[i]);
+    }
   }
 
   // Per round, the nearest sample over the live set is the argmin over the
@@ -273,6 +301,7 @@ std::vector<Quantification> MergedMonteCarloQuantify(const Snapshot& snap, Point
 }
 
 std::vector<Quantification> MergedQuantifyExact(const Snapshot& snap, Point2 q) {
+  if (snap.live_count == 0) return {};  // Every part dead: empty product.
   PNN_CHECK_MSG(snap.all_discrete(), "exact merge needs an all-discrete live set");
   std::vector<PartialQuantify> parts;
   std::vector<std::vector<Id>> part_ids;  // part_ids[p][member] = id.
@@ -288,13 +317,14 @@ std::vector<Quantification> MergedQuantifyExact(const Snapshot& snap, Point2 q) 
     parts.push_back(QuantifyPartDiscrete(bref.bucket->points(), members, q));
     part_ids.push_back(std::move(ids));
   }
-  {
+  if (snap.tail != nullptr) {
     UncertainSet tpts;
     std::vector<Id> ids;
-    for (const TailEntry& e : *snap.tail) {
-      if (!snap.TailAlive(e.id)) continue;
-      tpts.push_back(e.point);
-      ids.push_back(e.id);
+    const std::vector<TailEntry>& entries = *snap.tail;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (!snap.TailAlive(i)) continue;
+      tpts.push_back(entries[i].point);
+      ids.push_back(entries[i].id);
     }
     if (!tpts.empty()) {
       std::vector<int> members(tpts.size());

@@ -1,7 +1,14 @@
 // Cross-bucket query recombination for the dynamic engine: each function
 // answers one query mode over a Snapshot by decomposing it across the
 // buckets + tail partition and recombining exactly (see the equivalence
-// contract in dynamic_engine.h).
+// contract in dynamic_engine.h). The shard router feeds these the union of
+// many engines' snapshots — the decompositions never assume the partition
+// came from one engine.
+//
+// Degenerate snapshots are handled uniformly: an empty snapshot (no parts,
+// or every bucket and tail entry tombstoned, live_count == 0) yields empty
+// results from every function here rather than tripping the all-discrete
+// checks or streaming from dead parts.
 
 #ifndef PNN_DYN_MERGE_H_
 #define PNN_DYN_MERGE_H_
@@ -17,6 +24,19 @@ namespace dyn {
 /// NN!=0(q): global Delta(q) = min over parts, then per-part threshold
 /// reporting. Ascending ids.
 std::vector<Id> MergedNonzeroNN(const Snapshot& snap, Point2 q);
+
+/// Stage 1 of MergedNonzeroNN on its own: this snapshot's contribution to
+/// the Lemma 2.1 pruning bound, min over its live parts (+inf when every
+/// part is dead). The shard router min-reduces this across shards.
+double SnapshotNonzeroDelta(const Snapshot& snap, Point2 q);
+
+/// Stage 2 of MergedNonzeroNN on its own: appends (unsorted) the ids of
+/// this snapshot's live members with delta_i(q) < bound. `mixed` selects
+/// the clamped-MinDistance re-filter a mixed discrete/continuous reference
+/// engine applies — pass the UNION's mixedness, not this snapshot's, when
+/// recombining across shards.
+void AppendNonzeroNNWithin(const Snapshot& snap, Point2 q, double bound, bool mixed,
+                           std::vector<Id>* out);
 
 /// The snapshot's live set in ascending-id order (with the ids when
 /// `ids` is non-null) — the snapshot-consistent counterpart of

@@ -11,9 +11,10 @@ namespace pnn {
 namespace exec {
 
 BatchEngine::BatchEngine(const Engine* engine, dyn::DynamicEngine* dyn,
-                         BatchOptions options)
-    : engine_(engine), dyn_(dyn), options_(options) {
-  PNN_CHECK_MSG(engine != nullptr || dyn != nullptr, "BatchEngine needs an engine");
+                         shard::ShardedEngine* sharded, BatchOptions options)
+    : engine_(engine), dyn_(dyn), sharded_(sharded), options_(options) {
+  PNN_CHECK_MSG(engine != nullptr || dyn != nullptr || sharded != nullptr,
+                "BatchEngine needs an engine");
   size_t threads = options_.num_threads > 0
                        ? options_.num_threads
                        : std::max<size_t>(1, std::thread::hardware_concurrency());
@@ -23,32 +24,43 @@ BatchEngine::BatchEngine(const Engine* engine, dyn::DynamicEngine* dyn,
 }
 
 BatchEngine::BatchEngine(const Engine* engine, BatchOptions options)
-    : BatchEngine(engine, nullptr, options) {}
+    : BatchEngine(engine, nullptr, nullptr, options) {}
 
 BatchEngine::BatchEngine(dyn::DynamicEngine* engine, BatchOptions options)
-    : BatchEngine(nullptr, engine, options) {}
+    : BatchEngine(nullptr, engine, nullptr, options) {}
+
+BatchEngine::BatchEngine(shard::ShardedEngine* engine, BatchOptions options)
+    : BatchEngine(nullptr, nullptr, engine, options) {}
 
 const Engine& BatchEngine::engine() const {
-  PNN_CHECK_MSG(engine_ != nullptr, "engine() on a DynamicEngine-backed BatchEngine");
+  PNN_CHECK_MSG(engine_ != nullptr, "engine() needs a static-Engine backend");
   return *engine_;
 }
 
 dyn::DynamicEngine& BatchEngine::dynamic_engine() const {
-  PNN_CHECK_MSG(dyn_ != nullptr, "dynamic_engine() on an Engine-backed BatchEngine");
+  PNN_CHECK_MSG(dyn_ != nullptr, "dynamic_engine() needs a DynamicEngine backend");
   return *dyn_;
+}
+
+shard::ShardedEngine& BatchEngine::sharded_engine() const {
+  PNN_CHECK_MSG(sharded_ != nullptr, "sharded_engine() needs a ShardedEngine backend");
+  return *sharded_;
 }
 
 void BatchEngine::PrewarmBackend(std::optional<double> eps) const {
   if (engine_ != nullptr) {
     engine_->Prewarm(eps);
-  } else {
+  } else if (dyn_ != nullptr) {
     dyn_->Prewarm(eps);
+  } else {
+    sharded_->Prewarm(eps);
   }
 }
 
 QuantifyPlan BatchEngine::BackendPlan(std::optional<double> eps) const {
-  return engine_ != nullptr ? engine_->PlanForQuantify(eps)
-                            : dyn_->PlanForQuantify(eps);
+  if (engine_ != nullptr) return engine_->PlanForQuantify(eps);
+  if (dyn_ != nullptr) return dyn_->PlanForQuantify(eps);
+  return sharded_->PlanForQuantify(eps);
 }
 
 template <typename T, typename Fn>
@@ -73,8 +85,8 @@ BatchResult<T> BatchEngine::Run(size_t n, const Fn& answer_one) const {
   out.stats.wall_seconds = wall.Seconds();
   out.stats.queries_per_sec =
       out.stats.wall_seconds > 0 ? static_cast<double>(n) / out.stats.wall_seconds : 0.0;
-  out.stats.p50_micros = Percentile(latencies, 50.0);
-  out.stats.p99_micros = Percentile(std::move(latencies), 99.0);
+  out.stats.p50_micros = Percentile(&latencies, 50.0);
+  out.stats.p99_micros = Percentile(&latencies, 99.0);
   return out;
 }
 
@@ -93,8 +105,9 @@ void BatchEngine::FillPlanStats(std::optional<double> eps, size_t n,
 BatchResult<std::vector<int>> BatchEngine::NonzeroNNBatch(
     const std::vector<Point2>& queries) const {
   return Run<std::vector<int>>(queries.size(), [&](size_t i) {
-    return engine_ != nullptr ? engine_->NonzeroNN(queries[i])
-                              : dyn_->NonzeroNN(queries[i]);
+    if (engine_ != nullptr) return engine_->NonzeroNN(queries[i]);
+    if (dyn_ != nullptr) return dyn_->NonzeroNN(queries[i]);
+    return sharded_->NonzeroNN(queries[i]);
   });
 }
 
@@ -102,8 +115,9 @@ BatchResult<std::vector<Quantification>> BatchEngine::QuantifyBatch(
     const std::vector<Point2>& queries, std::optional<double> eps) const {
   PrewarmBackend(eps);  // Build the Monte-Carlo structures outside the fan-out.
   auto out = Run<std::vector<Quantification>>(queries.size(), [&](size_t i) {
-    return engine_ != nullptr ? engine_->Quantify(queries[i], eps)
-                              : dyn_->Quantify(queries[i], eps);
+    if (engine_ != nullptr) return engine_->Quantify(queries[i], eps);
+    if (dyn_ != nullptr) return dyn_->Quantify(queries[i], eps);
+    return sharded_->Quantify(queries[i], eps);
   });
   FillPlanStats(eps, queries.size(), &out.stats);
   return out;
@@ -113,8 +127,9 @@ BatchResult<std::vector<Quantification>> BatchEngine::ThresholdNNBatch(
     const std::vector<Point2>& queries, double tau, std::optional<double> eps) const {
   PrewarmBackend(eps);
   auto out = Run<std::vector<Quantification>>(queries.size(), [&](size_t i) {
-    return engine_ != nullptr ? engine_->ThresholdNN(queries[i], tau, eps)
-                              : dyn_->ThresholdNN(queries[i], tau, eps);
+    if (engine_ != nullptr) return engine_->ThresholdNN(queries[i], tau, eps);
+    if (dyn_ != nullptr) return dyn_->ThresholdNN(queries[i], tau, eps);
+    return sharded_->ThresholdNN(queries[i], tau, eps);
   });
   FillPlanStats(eps, queries.size(), &out.stats);
   return out;
@@ -122,7 +137,8 @@ BatchResult<std::vector<Quantification>> BatchEngine::ThresholdNNBatch(
 
 BatchResult<MixedResult> BatchEngine::MixedBatch(const std::vector<MixedOp>& ops,
                                                  std::optional<double> eps) const {
-  PNN_CHECK_MSG(dyn_ != nullptr, "MixedBatch needs a DynamicEngine backend");
+  PNN_CHECK_MSG(dyn_ != nullptr || sharded_ != nullptr,
+                "MixedBatch needs a DynamicEngine or ShardedEngine backend");
   size_t n = ops.size();
   BatchResult<MixedResult> out;
   out.values.resize(n);
@@ -136,13 +152,15 @@ BatchResult<MixedResult> BatchEngine::MixedBatch(const std::vector<MixedOp>& ops
     MixedResult& r = out.values[i];
     switch (op.kind) {
       case MixedOp::Kind::kNonzeroNN:
-        r.nonzero = dyn_->NonzeroNN(op.q);
+        r.nonzero = dyn_ != nullptr ? dyn_->NonzeroNN(op.q) : sharded_->NonzeroNN(op.q);
         break;
       case MixedOp::Kind::kQuantify:
-        r.quant = dyn_->Quantify(op.q, eps);
+        r.quant = dyn_ != nullptr ? dyn_->Quantify(op.q, eps)
+                                  : sharded_->Quantify(op.q, eps);
         break;
       case MixedOp::Kind::kThresholdNN:
-        r.quant = dyn_->ThresholdNN(op.q, op.tau, eps);
+        r.quant = dyn_ != nullptr ? dyn_->ThresholdNN(op.q, op.tau, eps)
+                                  : sharded_->ThresholdNN(op.q, op.tau, eps);
         break;
       default:
         break;
@@ -156,9 +174,12 @@ BatchResult<MixedResult> BatchEngine::MixedBatch(const std::vector<MixedOp>& ops
       Timer t;
       MixedResult& r = out.values[i];
       if (ops[i].kind == MixedOp::Kind::kInsert) {
-        r.id = dyn_->Insert(*ops[i].point);
-      } else {
+        r.id = dyn_ != nullptr ? dyn_->Insert(*ops[i].point)
+                               : sharded_->Insert(*ops[i].point);
+      } else if (dyn_ != nullptr) {
         r.id = dyn_->Erase(ops[i].id) ? ops[i].id : -1;
+      } else {
+        r.id = sharded_->Erase(ops[i].id) ? ops[i].id : -1;
       }
       update_lat.push_back(t.Micros());
       ++i;
@@ -198,10 +219,10 @@ BatchResult<MixedResult> BatchEngine::MixedBatch(const std::vector<MixedOp>& ops
   s.queries_per_sec = s.wall_seconds > 0
                           ? static_cast<double>(s.num_queries) / s.wall_seconds
                           : 0.0;
-  s.p50_micros = Percentile(query_lat, 50.0);
-  s.p99_micros = Percentile(std::move(query_lat), 99.0);
-  s.update_p50_micros = Percentile(update_lat, 50.0);
-  s.update_p99_micros = Percentile(std::move(update_lat), 99.0);
+  s.p50_micros = Percentile(&query_lat, 50.0);
+  s.p99_micros = Percentile(&query_lat, 99.0);
+  s.update_p50_micros = Percentile(&update_lat, 50.0);
+  s.update_p99_micros = Percentile(&update_lat, 99.0);
   return out;
 }
 

@@ -29,6 +29,7 @@
 #include "src/core/pnn.h"
 #include "src/dyn/dynamic_engine.h"
 #include "src/exec/thread_pool.h"
+#include "src/shard/sharded_engine.h"
 
 namespace pnn {
 namespace exec {
@@ -68,7 +69,8 @@ struct BatchResult {
   BatchStats stats;
 };
 
-/// One operation of a mixed update/query stream (dynamic backend only).
+/// One operation of a mixed update/query stream (dynamic and sharded
+/// backends).
 struct MixedOp {
   enum class Kind { kInsert, kErase, kNonzeroNN, kQuantify, kThresholdNN };
 
@@ -133,6 +135,11 @@ class BatchEngine {
   /// MixedBatch() becomes available for interleaved update/query streams.
   explicit BatchEngine(dyn::DynamicEngine* engine, BatchOptions options = {});
 
+  /// Sharded backend: like the dynamic backend (including MixedBatch), but
+  /// over a shard::ShardedEngine — queries fan out across this batch pool
+  /// while each query recombines across the shards.
+  explicit BatchEngine(shard::ShardedEngine* engine, BatchOptions options = {});
+
   /// NN!=0(q) for every query (Lemma 2.1 semantics).
   BatchResult<std::vector<int>> NonzeroNNBatch(const std::vector<Point2>& queries) const;
 
@@ -147,24 +154,27 @@ class BatchEngine {
       const std::vector<Point2>& queries, double tau,
       std::optional<double> eps = std::nullopt) const;
 
-  /// Applies a mixed update/query stream in order (dynamic backend only):
-  /// updates run sequentially at their stream positions; maximal runs of
-  /// consecutive queries fan out over the pool. Results are identical to a
-  /// fully sequential replay at any thread count (updates are ordered and
-  /// dynamic-engine queries are snapshot-deterministic), and the stats
-  /// report query and update latency percentiles side by side.
+  /// Applies a mixed update/query stream in order (dynamic and sharded
+  /// backends): updates run sequentially at their stream positions;
+  /// maximal runs of consecutive queries fan out over the pool. Results
+  /// are identical to a fully sequential replay at any thread count
+  /// (updates are ordered and backend queries are snapshot-deterministic),
+  /// and the stats report query and update latency percentiles side by
+  /// side.
   BatchResult<MixedResult> MixedBatch(const std::vector<MixedOp>& ops,
                                       std::optional<double> eps = std::nullopt) const;
 
-  /// The static backend (aborts when constructed over a DynamicEngine —
-  /// use dynamic_engine() there).
+  /// The static backend (aborts unless constructed over an Engine).
   const Engine& engine() const;
-  /// The dynamic backend (aborts when constructed over a static Engine).
+  /// The dynamic backend (aborts unless constructed over a DynamicEngine).
   dyn::DynamicEngine& dynamic_engine() const;
+  /// The sharded backend (aborts unless constructed over a ShardedEngine).
+  shard::ShardedEngine& sharded_engine() const;
   size_t num_threads() const { return pool_ ? pool_->size() + 1 : 1; }
 
  private:
-  BatchEngine(const Engine* engine, dyn::DynamicEngine* dyn, BatchOptions options);
+  BatchEngine(const Engine* engine, dyn::DynamicEngine* dyn,
+              shard::ShardedEngine* sharded, BatchOptions options);
 
   template <typename T, typename Fn>
   BatchResult<T> Run(size_t n, const Fn& answer_one) const;
@@ -172,8 +182,9 @@ class BatchEngine {
   void PrewarmBackend(std::optional<double> eps) const;
   QuantifyPlan BackendPlan(std::optional<double> eps) const;
 
-  const Engine* engine_ = nullptr;     // Static backend (exactly one is set).
-  dyn::DynamicEngine* dyn_ = nullptr;  // Dynamic backend.
+  const Engine* engine_ = nullptr;           // Static backend (exactly one is set).
+  dyn::DynamicEngine* dyn_ = nullptr;        // Dynamic backend.
+  shard::ShardedEngine* sharded_ = nullptr;  // Sharded backend.
   BatchOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // Null when num_threads == 1.
 };

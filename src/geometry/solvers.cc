@@ -142,8 +142,12 @@ RealRoots SolveQuartic(double a, double b, double c, double d, double e) {
     // t^4 + p t^2 + q t + s = (t^2 - w t + u)(t^2 + w t + v).
     RealRoots q1 = SolveQuadratic(1.0, -w, u);
     RealRoots q2 = SolveQuadratic(1.0, w, v);
-    for (int i = 0; i < q1.count; ++i) r.Add(PolishPolyRoot(coeffs, 4, q1.root[i] + shift));
-    for (int i = 0; i < q2.count; ++i) r.Add(PolishPolyRoot(coeffs, 4, q2.root[i] + shift));
+    for (int i = 0; i < q1.count; ++i) {
+      r.Add(PolishPolyRoot(coeffs, 4, q1.root[i] + shift));
+    }
+    for (int i = 0; i < q2.count; ++i) {
+      r.Add(PolishPolyRoot(coeffs, 4, q2.root[i] + shift));
+    }
   }
   double scale = 1.0 + std::abs(shift);
   r.SortAndDedupe(1e-11 * scale);

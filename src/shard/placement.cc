@@ -1,0 +1,133 @@
+#include "src/shard/placement.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace pnn {
+namespace shard {
+
+namespace {
+
+double Coord(Point2 p, int axis) { return axis == 0 ? p.x : p.y; }
+
+// The wider-spread axis of a centroid range (0 = x, 1 = y).
+int WiderAxis(const std::vector<Point2>& pts, size_t begin, size_t end) {
+  double xmin = pts[begin].x, xmax = xmin, ymin = pts[begin].y, ymax = ymin;
+  for (size_t i = begin + 1; i < end; ++i) {
+    xmin = std::min(xmin, pts[i].x);
+    xmax = std::max(xmax, pts[i].x);
+    ymin = std::min(ymin, pts[i].y);
+    ymax = std::max(ymax, pts[i].y);
+  }
+  return xmax - xmin >= ymax - ymin ? 0 : 1;
+}
+
+}  // namespace
+
+uint32_t HashShard(dyn::Id id, uint32_t num_shards) {
+  PNN_CHECK(num_shards >= 1);
+  return static_cast<uint32_t>(SplitSeed(0x5aa5d00d, static_cast<uint64_t>(id)) %
+                               num_shards);
+}
+
+SpatialRouter::SpatialRouter(uint32_t num_shards) {
+  PNN_CHECK(num_shards >= 1);
+  BuildBalanced(0, num_shards, 0);
+}
+
+SpatialRouter::SpatialRouter(uint32_t num_shards, const UncertainSet& points) {
+  PNN_CHECK(num_shards >= 1);
+  if (points.empty()) {
+    BuildBalanced(0, num_shards, 0);
+    return;
+  }
+  std::vector<Point2> centroids;
+  centroids.reserve(points.size());
+  for (const UncertainPoint& p : points) centroids.push_back(p.Centroid());
+  BuildMedian(0, num_shards, &centroids, 0, centroids.size());
+}
+
+int SpatialRouter::BuildBalanced(uint32_t lo, uint32_t hi, int axis) {
+  int index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  if (hi - lo == 1) {
+    nodes_[index].shard = lo;
+    return index;
+  }
+  uint32_t mid = lo + (hi - lo) / 2;
+  int left = BuildBalanced(lo, mid, axis ^ 1);
+  int right = BuildBalanced(mid, hi, axis ^ 1);
+  nodes_[index].axis = axis;
+  nodes_[index].threshold = 0.0;
+  nodes_[index].left = left;
+  nodes_[index].right = right;
+  return index;
+}
+
+int SpatialRouter::BuildMedian(uint32_t lo, uint32_t hi, std::vector<Point2>* centroids,
+                               size_t begin, size_t end) {
+  int index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  if (hi - lo == 1) {
+    nodes_[index].shard = lo;
+    return index;
+  }
+  // Split the cell population proportionally to the shard counts on each
+  // side, at the median coordinate of the wider-spread axis.
+  uint32_t mid = lo + (hi - lo) / 2;
+  size_t rank = begin + (end - begin) * (mid - lo) / (hi - lo);
+  rank = std::min(std::max(rank, begin + 1), end - 1);  // Both sides non-empty.
+  int axis = WiderAxis(*centroids, begin, end);
+  std::nth_element(centroids->begin() + static_cast<long>(begin),
+                   centroids->begin() + static_cast<long>(rank),
+                   centroids->begin() + static_cast<long>(end),
+                   [axis](Point2 a, Point2 b) {
+                     return Coord(a, axis) < Coord(b, axis);
+                   });
+  double threshold = Coord((*centroids)[rank], axis);
+  int left = BuildMedian(lo, mid, centroids, begin, rank);
+  int right = BuildMedian(mid, hi, centroids, rank, end);
+  nodes_[index].axis = axis;
+  nodes_[index].threshold = threshold;
+  nodes_[index].left = left;
+  nodes_[index].right = right;
+  return index;
+}
+
+uint32_t SpatialRouter::Route(Point2 c) const {
+  int index = 0;
+  for (;;) {
+    const Node& n = nodes_[index];
+    if (n.axis < 0) return n.shard;
+    index = Coord(c, n.axis) < n.threshold ? n.left : n.right;
+  }
+}
+
+void SpatialRouter::SplitShard(uint32_t from, uint32_t to, int axis, double threshold) {
+  PNN_CHECK(axis == 0 || axis == 1);
+  size_t existing = nodes_.size();
+  for (size_t i = 0; i < existing; ++i) {
+    if (nodes_[i].axis >= 0 || nodes_[i].shard != from) continue;
+    int left = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_[left].shard = to;
+    int right = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_[right].shard = from;
+    nodes_[i].axis = axis;
+    nodes_[i].threshold = threshold;
+    nodes_[i].left = left;
+    nodes_[i].right = right;
+  }
+}
+
+size_t SpatialRouter::num_leaves() const {
+  size_t leaves = 0;
+  for (const Node& n : nodes_) leaves += n.axis < 0;
+  return leaves;
+}
+
+}  // namespace shard
+}  // namespace pnn

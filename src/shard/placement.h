@@ -1,0 +1,80 @@
+// Placement policies for pnn::shard::ShardedEngine: which shard a newly
+// inserted uncertain point lands on. Placement only steers inserts — the
+// router's id->shard map stays authoritative for erases and rebalance
+// moves, so a policy never has to be invertible.
+//
+//   * HashShard     — stateless splitmix hash of the id; uniform in
+//                     expectation, no spatial locality.
+//   * SpatialRouter — a kd decision tree over point centroids whose leaves
+//                     are labeled with shard indices (the kd-median
+//                     partition of the bulk-load set, or a degenerate
+//                     balanced tree when starting empty). Rebalance
+//                     refines it: splitting a shard's cells at a median
+//                     coordinate re-labels half of its region to another
+//                     shard, so future inserts follow the moved points.
+
+#ifndef PNN_SHARD_PLACEMENT_H_
+#define PNN_SHARD_PLACEMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dyn/bucket.h"
+#include "src/geometry/point2.h"
+#include "src/uncertain/uncertain_point.h"
+
+namespace pnn {
+namespace shard {
+
+/// Stateless id-hash placement (SplitMix64 finalizer), uniform across
+/// shards in expectation for sequential ids.
+uint32_t HashShard(dyn::Id id, uint32_t num_shards);
+
+/// Mutable spatial partition: a binary kd decision tree routing points by
+/// centroid to shard labels. Multiple leaves may carry the same label (a
+/// shard owns a union of cells); every shard labels at least one leaf at
+/// construction. Not thread-safe — the router guards it with its update
+/// mutex.
+class SpatialRouter {
+ public:
+  /// Data-free start: a balanced tree over the shards with alternating
+  /// axes and all thresholds at 0. Degenerate on purpose — rebalance
+  /// adapts the partition once data shows up.
+  explicit SpatialRouter(uint32_t num_shards);
+
+  /// Kd-median bulk partition: recursively splits `points` (by centroid,
+  /// median coordinate along the wider-spread axis, cell counts
+  /// proportional to the shard counts on each side) into num_shards cells
+  /// labeled left-to-right.
+  SpatialRouter(uint32_t num_shards, const UncertainSet& points);
+
+  /// The shard whose region contains c.
+  uint32_t Route(Point2 c) const;
+
+  /// Refines the partition for a rebalance move: every leaf labeled `from`
+  /// splits at (axis, threshold), with the strictly-less side re-labeled
+  /// `to`. Future inserts of the moved half therefore land on `to`.
+  void SplitShard(uint32_t from, uint32_t to, int axis, double threshold);
+
+  size_t num_leaves() const;
+
+ private:
+  struct Node {
+    int axis = -1;  // -1: leaf (shard valid); 0/1: split on x/y.
+    double threshold = 0.0;
+    int left = -1;   // Subtree for coord < threshold.
+    int right = -1;  // Subtree for coord >= threshold.
+    uint32_t shard = 0;
+  };
+
+  int BuildBalanced(uint32_t lo, uint32_t hi, int axis);
+  int BuildMedian(uint32_t lo, uint32_t hi, std::vector<Point2>* centroids,
+                  size_t begin, size_t end);
+
+  std::vector<Node> nodes_;  // nodes_[0] is the root (num_shards >= 1).
+};
+
+}  // namespace shard
+}  // namespace pnn
+
+#endif  // PNN_SHARD_PLACEMENT_H_

@@ -1,0 +1,420 @@
+#include "src/shard/sharded_engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <thread>
+#include <utility>
+
+#include "src/dyn/merge.h"
+#include "src/util/check.h"
+
+namespace pnn {
+namespace shard {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double Coord(Point2 p, int axis) { return axis == 0 ? p.x : p.y; }
+
+// The union of the shards' snapshots as one Snapshot: the buckets
+// concatenate (shared, zero-copy), the live tail entries gather into one
+// tail, and the aggregates recombine by sum / max / min — exactly what a
+// single engine over the union would publish. The Merged* decompositions
+// never assume the parts came from one engine, so feeding them this union
+// reproduces the single-engine answers bit-for-bit.
+dyn::Snapshot CombineSnapshots(
+    const std::vector<std::shared_ptr<const dyn::Snapshot>>& parts) {
+  dyn::Snapshot c;
+  auto tail = std::make_shared<std::vector<dyn::TailEntry>>();
+  for (const auto& s : parts) {
+    for (const auto& bref : s->buckets) {
+      if (bref.live_count > 0) c.buckets.push_back(bref);
+    }
+    if (s->tail != nullptr) {
+      for (size_t i = 0; i < s->tail->size(); ++i) {
+        if (s->TailAlive(i)) tail->push_back((*s->tail)[i]);
+      }
+    }
+    c.live_count += s->live_count;
+    c.discrete_count += s->discrete_count;
+    c.continuous_count += s->continuous_count;
+    c.total_complexity += s->total_complexity;
+    c.max_k = std::max(c.max_k, s->max_k);
+    c.wmin = std::min(c.wmin, s->wmin);
+    c.wmax = std::max(c.wmax, s->wmax);
+  }
+  c.rho = c.wmax / c.wmin;
+  c.tail = std::move(tail);
+  return c;
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(Options options) : ShardedEngine(UncertainSet(), options) {}
+
+ShardedEngine::ShardedEngine(const UncertainSet& initial, Options options)
+    : options_(std::move(options)) {
+  PNN_CHECK_MSG(options_.num_shards >= 1, "num_shards must be >= 1");
+  PNN_CHECK_MSG(options_.shard.pool == nullptr,
+                "set shard::Options::pool; the per-shard pool is managed here");
+  PNN_CHECK_MSG(options_.rebalance_max_imbalance > 1,
+                "rebalance_max_imbalance must exceed 1");
+  dyn::Options per_shard = options_.shard;
+  per_shard.pool = options_.pool;
+
+  if (options_.placement == PlacementKind::kSpatialKdMedian) {
+    spatial_ = initial.empty()
+                   ? std::make_unique<SpatialRouter>(options_.num_shards)
+                   : std::make_unique<SpatialRouter>(options_.num_shards, initial);
+  }
+
+  std::vector<std::vector<Id>> ids_of(options_.num_shards);
+  std::vector<UncertainSet> points_of(options_.num_shards);
+  for (size_t i = 0; i < initial.size(); ++i) {
+    Id id = static_cast<Id>(i);
+    uint32_t s = PlaceLocked(id, initial[i]);
+    shard_of_.emplace(id, s);
+    ids_of[s].push_back(id);
+    points_of[s].push_back(initial[i]);
+  }
+  next_id_ = static_cast<Id>(initial.size());
+
+  shards_.reserve(options_.num_shards);
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    shards_.push_back(points_of[s].empty()
+                          ? std::make_unique<dyn::DynamicEngine>(per_shard)
+                          : std::make_unique<dyn::DynamicEngine>(
+                                std::move(ids_of[s]), points_of[s], per_shard));
+  }
+}
+
+ShardedEngine::~ShardedEngine() { WaitForMaintenance(); }
+
+uint32_t ShardedEngine::PlaceLocked(Id id, const UncertainPoint& point) const {
+  if (options_.placement == PlacementKind::kSpatialKdMedian) {
+    return spatial_->Route(point.Centroid());
+  }
+  return HashShard(id, options_.num_shards);
+}
+
+Id ShardedEngine::Insert(UncertainPoint point) {
+  std::unique_lock<std::mutex> lock(mu_);
+  PNN_CHECK_MSG(next_id_ < std::numeric_limits<Id>::max(), "id space exhausted");
+  Id id = next_id_++;
+  uint32_t s = PlaceLocked(id, point);
+  shard_of_.emplace(id, s);
+  shards_[s]->InsertWithId(id, std::move(point));
+  MaybeScheduleRebalanceLocked();
+  return id;
+}
+
+bool ShardedEngine::Erase(Id id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = shard_of_.find(id);
+  if (it == shard_of_.end()) return false;
+  bool erased = shards_[it->second]->Erase(id);
+  PNN_CHECK_MSG(erased, "id->shard map out of sync with shard live set");
+  shard_of_.erase(it);
+  MaybeScheduleRebalanceLocked();
+  return true;
+}
+
+std::vector<std::shared_ptr<const dyn::Snapshot>> ShardedEngine::Grab() const {
+  for (;;) {
+    uint64_t before = epoch_.load(std::memory_order_acquire);
+    if ((before & 1) == 0) {
+      std::vector<std::shared_ptr<const dyn::Snapshot>> parts;
+      parts.reserve(shards_.size());
+      for (const auto& s : shards_) parts.push_back(s->snapshot());
+      if (epoch_.load(std::memory_order_acquire) == before) return parts;
+    }
+    // A rebalance move is splicing a point between two shards; the gather
+    // is cheap, so retry rather than ever seeing the point 0 or 2 times.
+    std::this_thread::yield();
+  }
+}
+
+double ShardedEngine::ResolveEps(std::optional<double> eps_opt) const {
+  double eps = eps_opt.value_or(options_.shard.engine.default_eps);
+  PNN_CHECK_MSG(eps > 0 && eps < 1, "eps must be in (0,1)");
+  return eps;
+}
+
+std::vector<Id> ShardedEngine::NonzeroNN(Point2 q) const {
+  auto parts = Grab();
+  size_t live = 0, discrete = 0, continuous = 0;
+  for (const auto& s : parts) {
+    live += s->live_count;
+    discrete += s->discrete_count;
+    continuous += s->continuous_count;
+  }
+  if (live == 0) return {};
+
+  // Stage 1: the global Lemma 2.1 bound is the min over the shards'
+  // per-part bounds; stage 2: per-shard threshold reporting against it.
+  // Both stages are per-shard independent, so they fan out on the pool.
+  size_t n = parts.size();
+  bool fan_out = options_.pool != nullptr && n > 1;
+  std::vector<double> deltas(n, kInf);
+  auto stage1 = [&](size_t i) { deltas[i] = dyn::SnapshotNonzeroDelta(*parts[i], q); };
+  if (fan_out) {
+    options_.pool->ParallelFor(n, stage1);
+  } else {
+    for (size_t i = 0; i < n; ++i) stage1(i);
+  }
+  double bound = kInf;
+  for (double d : deltas) bound = std::min(bound, d);
+
+  bool mixed = discrete > 0 && continuous > 0;
+  std::vector<std::vector<Id>> found(n);
+  auto stage2 = [&](size_t i) {
+    dyn::AppendNonzeroNNWithin(*parts[i], q, bound, mixed, &found[i]);
+  };
+  if (fan_out) {
+    options_.pool->ParallelFor(n, stage2);
+  } else {
+    for (size_t i = 0; i < n; ++i) stage2(i);
+  }
+  std::vector<Id> out;
+  for (auto& f : found) out.insert(out.end(), f.begin(), f.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Quantification> ShardedEngine::Quantify(Point2 q,
+                                                    std::optional<double> eps_opt) const {
+  double eps = ResolveEps(eps_opt);
+  dyn::Snapshot snap = CombineSnapshots(Grab());
+  if (snap.live_count == 0) return {};
+  if (dyn::PlanForSnapshot(snap, options_.shard.engine, eps) == QuantifyPlan::kSpiral) {
+    return dyn::MergedSpiralQuantify(snap, q, eps);
+  }
+  size_t rounds = dyn::McRoundsForSnapshot(snap, options_.shard.engine, eps);
+  return dyn::MergedMonteCarloQuantify(snap, q, rounds, options_.shard.engine.seed,
+                                       options_.pool);
+}
+
+std::vector<Quantification> ShardedEngine::QuantifyExact(Point2 q) const {
+  dyn::Snapshot snap = CombineSnapshots(Grab());
+  if (snap.live_count == 0) return {};
+  if (snap.all_discrete()) return dyn::MergedQuantifyExact(snap, q);
+  PNN_CHECK_MSG(snap.all_continuous(),
+                "QuantifyExact supports all-discrete or all-continuous inputs");
+  std::vector<Id> ids;
+  UncertainSet live = dyn::SnapshotLiveSet(snap, &ids);
+  std::vector<Quantification> out = QuantifyNumericContinuous(live, q, 1e-8);
+  for (auto& e : out) e.index = ids[e.index];
+  return out;
+}
+
+std::vector<Quantification> ShardedEngine::ThresholdNN(Point2 q, double tau,
+                                                       std::optional<double> eps) const {
+  PNN_CHECK_MSG(tau >= 0 && tau <= 1, "ThresholdNN tau must be a probability in [0,1]");
+  return ThresholdFilter(Quantify(q, eps), tau);
+}
+
+Id ShardedEngine::MostLikelyNN(Point2 q, std::optional<double> eps) const {
+  return pnn::MostLikelyNN(Quantify(q, eps));
+}
+
+QuantifyPlan ShardedEngine::PlanForQuantify(std::optional<double> eps_opt) const {
+  dyn::Snapshot snap = CombineSnapshots(Grab());
+  return dyn::PlanForSnapshot(snap, options_.shard.engine, ResolveEps(eps_opt));
+}
+
+void ShardedEngine::Prewarm(std::optional<double> eps_opt) const {
+  double eps = ResolveEps(eps_opt);
+  dyn::Snapshot snap = CombineSnapshots(Grab());
+  if (snap.live_count == 0) return;
+  if (dyn::PlanForSnapshot(snap, options_.shard.engine, eps) !=
+      QuantifyPlan::kMonteCarlo) {
+    return;
+  }
+  size_t rounds = dyn::McRoundsForSnapshot(snap, options_.shard.engine, eps);
+  for (const auto& bref : snap.buckets) {
+    if (bref.live_count > 0) bref.bucket->EnsureRounds(rounds, options_.pool);
+  }
+}
+
+size_t ShardedEngine::live_size() const {
+  size_t live = 0;
+  for (const auto& s : Grab()) live += s->live_count;
+  return live;
+}
+
+std::vector<size_t> ShardedEngine::ShardLiveSizes() const {
+  auto parts = Grab();
+  std::vector<size_t> sizes(parts.size());
+  for (size_t i = 0; i < parts.size(); ++i) sizes[i] = parts[i]->live_count;
+  return sizes;
+}
+
+RebalanceStats ShardedEngine::rebalance_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rebalance_stats_;
+}
+
+UncertainSet ShardedEngine::LiveSet(std::vector<Id>* ids) const {
+  dyn::Snapshot snap = CombineSnapshots(Grab());
+  return dyn::SnapshotLiveSet(snap, ids);
+}
+
+Engine::Options ShardedEngine::ReferenceEngineOptions() const {
+  std::vector<Id> ids;
+  LiveSet(&ids);
+  Engine::Options o = options_.shard.engine;
+  o.mc_stream_ids.reserve(ids.size());
+  for (Id id : ids) o.mc_stream_ids.push_back(static_cast<uint64_t>(id));
+  return o;
+}
+
+bool ShardedEngine::RebalanceNeededLocked(uint32_t* src, uint32_t* dst,
+                                          size_t* total_out) const {
+  size_t total = 0;
+  size_t max_live = 0, min_live = std::numeric_limits<size_t>::max();
+  uint32_t argmax = 0, argmin = 0;
+  for (uint32_t i = 0; i < shards_.size(); ++i) {
+    size_t n = shards_[i]->live_size();
+    total += n;
+    if (n > max_live) {
+      max_live = n;
+      argmax = i;
+    }
+    if (n < min_live) {
+      min_live = n;
+      argmin = i;
+    }
+  }
+  if (shards_.size() < 2 || total < options_.rebalance_min_points) return false;
+  double ideal = static_cast<double>(total) / static_cast<double>(shards_.size());
+  if (static_cast<double>(max_live) <= options_.rebalance_max_imbalance * ideal) {
+    return false;
+  }
+  if (argmax == argmin || max_live < 2) return false;
+  *src = argmax;
+  *dst = argmin;
+  *total_out = total;
+  return true;
+}
+
+bool ShardedEngine::RebalanceNeeded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t src, dst;
+  size_t total;
+  return RebalanceNeededLocked(&src, &dst, &total);
+}
+
+bool ShardedEngine::RebalanceOnceLocked(std::unique_lock<std::mutex>* lock) {
+  uint32_t src, dst;
+  size_t total;
+  if (!RebalanceNeededLocked(&src, &dst, &total)) return false;
+
+  std::vector<Id> ids;
+  UncertainSet pts = shards_[src]->LiveSet(&ids);
+  size_t src_live = ids.size();
+  size_t dst_live = shards_[dst]->live_size();
+  if (src_live < 2) return false;
+  // Cap the migration at half the gap: the classic potential argument
+  // (sum of squared loads strictly decreases) then bounds the number of
+  // passes, so RebalanceNow / the background loop terminate.
+  size_t cap = std::max<size_t>(1, std::min(src_live / 2, (src_live - dst_live) / 2));
+
+  // Pick the moved subset. Spatial placement carves off the cap-rank
+  // coordinate prefix along the wider-spread centroid axis and re-labels
+  // that region in the router (future inserts follow the moved points);
+  // hash placement (or a degenerate all-equal cloud) just takes the
+  // oldest-id prefix, since placement is id-determined there anyway.
+  std::vector<size_t> chosen;
+  if (options_.placement == PlacementKind::kSpatialKdMedian) {
+    std::vector<Point2> centroids(src_live);
+    double xmin = kInf, xmax = -kInf, ymin = kInf, ymax = -kInf;
+    for (size_t i = 0; i < src_live; ++i) {
+      centroids[i] = pts[i].Centroid();
+      xmin = std::min(xmin, centroids[i].x);
+      xmax = std::max(xmax, centroids[i].x);
+      ymin = std::min(ymin, centroids[i].y);
+      ymax = std::max(ymax, centroids[i].y);
+    }
+    int axis = xmax - xmin >= ymax - ymin ? 0 : 1;
+    std::vector<double> coords(src_live);
+    for (size_t i = 0; i < src_live; ++i) coords[i] = Coord(centroids[i], axis);
+    std::vector<double> order = coords;
+    std::nth_element(order.begin(), order.begin() + static_cast<long>(cap), order.end());
+    double threshold = order[cap];
+    for (size_t i = 0; i < src_live; ++i) {
+      if (coords[i] < threshold) chosen.push_back(i);
+    }
+    if (!chosen.empty()) {
+      spatial_->SplitShard(src, dst, axis, threshold);
+    }
+  }
+  if (chosen.empty()) {
+    for (size_t i = 0; i < cap; ++i) chosen.push_back(i);
+  }
+
+  size_t moved = 0;
+  for (size_t idx : chosen) {
+    Id id = ids[idx];
+    auto it = shard_of_.find(id);
+    // Erased (or already migrated) by an update that slipped in between
+    // point moves; skip.
+    if (it == shard_of_.end() || it->second != src) continue;
+    // The only multi-shard mutation: bump the seqlock epoch around the
+    // erase+reinsert so no query observes the point 0 or 2 times.
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+    bool erased = shards_[src]->Erase(id);
+    PNN_CHECK(erased);
+    shards_[dst]->InsertWithId(id, pts[idx]);
+    it->second = dst;
+    epoch_.fetch_add(1, std::memory_order_release);
+    ++moved;
+    // Let queued updates through between moves.
+    lock->unlock();
+    lock->lock();
+  }
+  if (moved == 0) return false;
+  ++rebalance_stats_.passes;
+  rebalance_stats_.points_moved += moved;
+  return true;
+}
+
+void ShardedEngine::MaybeScheduleRebalanceLocked() {
+  if (!options_.auto_rebalance || options_.pool == nullptr || rebalance_running_) {
+    return;
+  }
+  uint32_t src, dst;
+  size_t total;
+  if (!RebalanceNeededLocked(&src, &dst, &total)) return;
+  rebalance_running_ = true;
+  options_.pool->Submit([this] { RebalanceLoop(); });
+}
+
+void ShardedEngine::RebalanceLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (RebalanceOnceLocked(&lock)) {
+  }
+  rebalance_running_ = false;
+  cv_.notify_all();
+}
+
+void ShardedEngine::RebalanceNow() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !rebalance_running_; });
+  rebalance_running_ = true;
+  while (RebalanceOnceLocked(&lock)) {
+  }
+  rebalance_running_ = false;
+  cv_.notify_all();
+}
+
+void ShardedEngine::WaitForMaintenance() const {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !rebalance_running_; });
+  }
+  for (const auto& s : shards_) s->WaitForMaintenance();
+}
+
+}  // namespace shard
+}  // namespace pnn

@@ -1,0 +1,208 @@
+// pnn::shard — the multi-shard router over dyn::DynamicEngine: one
+// Insert/Erase + full query surface (NonzeroNN, Quantify, QuantifyExact,
+// ThresholdNN, MostLikelyNN) over N shards, each an independent
+// DynamicEngine owning a disjoint slice of the live set.
+//
+// Placement is pluggable (hash-by-id or a kd-median spatial partition of
+// point centroids); either way the router's id->shard map stays
+// authoritative, so erases and background rebalance moves never depend on
+// the placement being invertible.
+//
+// Equivalence contract: ids are assigned globally (sequential from 0) and
+// passed through to the shards (dyn::DynamicEngine::InsertWithId), so the
+// union of the shards' snapshots is just a bigger buckets+tail partition
+// of the same live set a single DynamicEngine would hold — and every
+// query recombines through the exact per-part primitives of src/dyn/merge:
+//   * NonzeroNN: per-shard Delta(q) min-reduced to the global bound
+//     (SnapshotNonzeroDelta), then per-shard threshold reporting against
+//     it (AppendNonzeroNNWithin), fanned out on the exec::ThreadPool;
+//   * spiral Quantify: the shards' per-bucket location streams k-way
+//     merged into one global distance order (MergedSpiralQuantify over the
+//     combined snapshot);
+//   * Monte-Carlo Quantify: per-(seed, round, id) sample streams make the
+//     per-round NN a cross-shard argmin (MergedMonteCarloQuantify), rounds
+//     fanned out on the pool;
+//   * QuantifyExact: per-part SurvivalProfile products (MergedQuantifyExact).
+// The plan rule and Monte-Carlo round count are evaluated over the UNION's
+// aggregates (PlanForSnapshot/McRoundsForSnapshot), so answers bit-match a
+// single DynamicEngine — and hence a fresh static Engine — over the live
+// set, regardless of shard count, placement, or rebalance history (same
+// measure-zero tie caveats as the batch executor).
+//
+// Consistency: queries never lock and never block on updates. A query
+// gathers the N shard snapshots under a seqlock epoch: plain updates touch
+// one shard (any interleaving is a valid set), while a rebalance move —
+// the only multi-shard mutation, erase from one shard + reinsert into
+// another — bumps the epoch around each moved point, so a query retries
+// the (cheap, N atomic loads) gather instead of ever observing a point
+// twice or not at all. Updates serialize on the router mutex; during a
+// background rebalance they stall at most one point-move at a time.
+
+#ifndef PNN_SHARD_SHARDED_ENGINE_H_
+#define PNN_SHARD_SHARDED_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/dyn/dynamic_engine.h"
+#include "src/exec/thread_pool.h"
+#include "src/shard/placement.h"
+
+namespace pnn {
+namespace shard {
+
+using dyn::Id;
+
+enum class PlacementKind {
+  kHashById,        // Stateless splitmix hash of the global id.
+  kSpatialKdMedian  // Kd decision tree over point centroids.
+};
+
+struct Options {
+  /// Number of DynamicEngine shards; >= 1.
+  uint32_t num_shards = 4;
+  PlacementKind placement = PlacementKind::kHashById;
+  /// Per-shard dynamic-engine configuration. Shared by every shard (the
+  /// engine seed in particular must coincide for cross-shard Monte-Carlo
+  /// recombination); its pool must be null — set `pool` below instead.
+  dyn::Options shard;
+  /// When set: per-shard maintenance runs here, NonzeroNN fans out across
+  /// shards, Monte-Carlo rounds fan out, and auto_rebalance may schedule
+  /// background moves. Must outlive the engine. When null, everything runs
+  /// inline on the calling thread. Query fan-out shares the pool with
+  /// maintenance and rebalance jobs; work stealing plus caller
+  /// participation keeps queries progressing while a long job occupies a
+  /// worker (a single-worker pool skips fan-out entirely).
+  exec::ThreadPool* pool = nullptr;
+
+  // Rebalance policy:
+  /// A shard is overfull when its live count exceeds this factor times the
+  /// ideal (total / num_shards); > 1.
+  double rebalance_max_imbalance = 2.0;
+  /// Below this total live count rebalance never triggers.
+  size_t rebalance_min_points = 128;
+  /// Schedule background rebalance passes on `pool` after updates.
+  bool auto_rebalance = false;
+};
+
+struct RebalanceStats {
+  size_t passes = 0;         // Completed rebalance passes (>= 1 move each).
+  size_t points_moved = 0;   // Total erase+reinsert migrations.
+};
+
+/// Thread safety: queries are const, lock-free (seqlock-retry on rebalance
+/// moves only) and may run concurrently with updates, maintenance and
+/// rebalance. Updates serialize on an internal mutex.
+class ShardedEngine {
+ public:
+  explicit ShardedEngine(Options options = Options());
+  /// Bulk load: ids 0..n-1, routed by placement (the spatial router builds
+  /// its kd-median partition from `initial` first), one bucket per shard.
+  explicit ShardedEngine(const UncertainSet& initial, Options options = Options());
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// Adds a point; returns its global id (sequential from 0).
+  Id Insert(UncertainPoint point);
+
+  /// Removes a point; false if the id is unknown or already erased.
+  bool Erase(Id id);
+
+  /// NN!=0(q) over the union, ascending ids (Lemma 2.1 semantics).
+  std::vector<Id> NonzeroNN(Point2 q) const;
+
+  /// Estimates of all positive pi_i(q) within additive eps; indices are
+  /// global ids, ascending.
+  std::vector<Quantification> Quantify(Point2 q,
+                                       std::optional<double> eps = std::nullopt) const;
+
+  /// Exact pi_i(q) (discrete: survival-profile recombination across every
+  /// shard's parts; continuous: quadrature over the gathered union).
+  std::vector<Quantification> QuantifyExact(Point2 q) const;
+
+  /// Points with pi_i(q) > tau; tau must be in [0, 1] (checked).
+  std::vector<Quantification> ThresholdNN(Point2 q, double tau,
+                                          std::optional<double> eps = std::nullopt) const;
+
+  /// Id with the largest estimated quantification probability (-1 when the
+  /// live set is empty).
+  Id MostLikelyNN(Point2 q, std::optional<double> eps = std::nullopt) const;
+
+  /// The plan Quantify() will pick at this eps — the single-engine rule
+  /// over the union's aggregates.
+  QuantifyPlan PlanForQuantify(std::optional<double> eps = std::nullopt) const;
+
+  /// Builds every per-bucket structure Quantify(·, eps) may need across
+  /// all shards.
+  void Prewarm(std::optional<double> eps = std::nullopt) const;
+
+  /// True when the most loaded shard exceeds the imbalance threshold.
+  bool RebalanceNeeded() const;
+
+  /// Runs rebalance passes inline until balanced (no-op when balanced or
+  /// below rebalance_min_points). Safe to call concurrently with queries;
+  /// note that with a null pool a move whose reinsert crosses the target
+  /// shard's tail limit runs that shard's merge inline INSIDE the epoch
+  /// window, so concurrent queries spin for the build's duration — give
+  /// the engine a pool when serving queries from other threads (merges
+  /// then run as background jobs and every epoch window stays tiny).
+  void RebalanceNow();
+
+  /// Blocks until no background rebalance pass or per-shard merge /
+  /// compaction is running or pending.
+  void WaitForMaintenance() const;
+
+  size_t live_size() const;
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+  std::vector<size_t> ShardLiveSizes() const;
+  RebalanceStats rebalance_stats() const;
+  const Options& options() const { return options_; }
+
+  /// The live union in ascending-id order (with the ids when non-null) —
+  /// a seqlock-consistent gather, the input a reference engine is built on.
+  UncertainSet LiveSet(std::vector<Id>* ids = nullptr) const;
+
+  /// Options for a static Engine over LiveSet() answering bit-identically
+  /// to this router (engine options + mc_stream_ids = the live ids).
+  Engine::Options ReferenceEngineOptions() const;
+
+ private:
+  /// One seqlock-consistent gather of the shard snapshots: every live id
+  /// appears in exactly one snapshot.
+  std::vector<std::shared_ptr<const dyn::Snapshot>> Grab() const;
+
+  double ResolveEps(std::optional<double> eps) const;
+  uint32_t PlaceLocked(Id id, const UncertainPoint& point) const;
+  bool RebalanceOnceLocked(std::unique_lock<std::mutex>* lock);
+  bool RebalanceNeededLocked(uint32_t* src, uint32_t* dst, size_t* total) const;
+  void MaybeScheduleRebalanceLocked();
+  void RebalanceLoop();
+
+  Options options_;
+  std::vector<std::unique_ptr<dyn::DynamicEngine>> shards_;
+
+  mutable std::mutex mu_;  // Serializes updates, placement and rebalance.
+  mutable std::condition_variable cv_;
+  /// Seqlock epoch: odd while a rebalance move is mid-flight across two
+  /// shards; queries retry their snapshot gather on any change.
+  mutable std::atomic<uint64_t> epoch_{0};
+
+  // Guarded by mu_:
+  Id next_id_ = 0;
+  std::unordered_map<Id, uint32_t> shard_of_;
+  std::unique_ptr<SpatialRouter> spatial_;  // kSpatialKdMedian only.
+  bool rebalance_running_ = false;
+  RebalanceStats rebalance_stats_;
+};
+
+}  // namespace shard
+}  // namespace pnn
+
+#endif  // PNN_SHARD_SHARDED_ENGINE_H_

@@ -148,7 +148,8 @@ double UncertainPoint::DistanceCdf(Point2 q, double r) const {
   double full_to = std::clamp(r - d, 0.0, s.radius);
   double mass = 0.0;
   if (full_to > 0) {
-    mass += 2.0 * M_PI * disk_.sigma * disk_.sigma * -std::expm1(-full_to * full_to / sg2);
+    mass +=
+        2.0 * M_PI * disk_.sigma * disk_.sigma * -std::expm1(-full_to * full_to / sg2);
   }
   // Circles with |d - rho| < r are partially covered.
   double lo = std::max(std::abs(d - r), full_to);

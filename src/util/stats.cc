@@ -43,17 +43,51 @@ double LogLogSlope(const std::vector<std::pair<double, double>>& pts) {
   return (n * sxy - sx * sy) / denom;
 }
 
-double Percentile(std::vector<double> values, double pct) {
-  if (values.empty()) return 0.0;
-  pct = std::min(100.0, std::max(0.0, pct));
-  double rank = pct / 100.0 * static_cast<double>(values.size() - 1);
-  size_t lo = static_cast<size_t>(rank);
-  std::nth_element(values.begin(), values.begin() + lo, values.end());
+namespace {
+
+// Shared interpolation on a buffer whose lo-th order statistic is in place
+// and whose suffix holds everything above it.
+double InterpolateAt(const std::vector<double>& values, double rank, size_t lo) {
   double at_lo = values[lo];
   if (lo + 1 >= values.size()) return at_lo;
-  double at_hi = *std::min_element(values.begin() + lo + 1, values.end());
+  double at_hi = *std::min_element(values.begin() + static_cast<long>(lo) + 1,
+                                   values.end());
   double frac = rank - static_cast<double>(lo);
   return at_lo + frac * (at_hi - at_lo);
+}
+
+double ClampedRank(double pct, size_t n) {
+  pct = std::min(100.0, std::max(0.0, pct));
+  return pct / 100.0 * static_cast<double>(n - 1);
+}
+
+}  // namespace
+
+double Percentile(std::vector<double>* values, double pct) {
+  if (values->empty()) return 0.0;
+  double rank = ClampedRank(pct, values->size());
+  size_t lo = static_cast<size_t>(rank);
+  std::nth_element(values->begin(), values->begin() + static_cast<long>(lo),
+                   values->end());
+  return InterpolateAt(*values, rank, lo);
+}
+
+std::vector<double> Percentiles(std::vector<double>* values,
+                                const std::vector<double>& pcts) {
+  std::vector<double> out(pcts.size(), 0.0);
+  if (values->empty()) return out;
+  std::sort(values->begin(), values->end());
+  for (size_t i = 0; i < pcts.size(); ++i) {
+    double rank = ClampedRank(pcts[i], values->size());
+    size_t lo = static_cast<size_t>(rank);
+    // Fully sorted: the next order statistic is adjacent, no suffix scan.
+    double at_lo = (*values)[lo];
+    out[i] = lo + 1 < values->size()
+                 ? at_lo + (rank - static_cast<double>(lo)) *
+                               ((*values)[lo + 1] - at_lo)
+                 : at_lo;
+  }
+  return out;
 }
 
 }  // namespace pnn

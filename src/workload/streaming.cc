@@ -1,5 +1,7 @@
 #include "src/workload/streaming.h"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "src/util/check.h"
@@ -34,6 +36,8 @@ std::vector<exec::MixedOp> GenerateStreamingChurn(const StreamingChurnOptions& o
                     o.drift_weight >= 0 && update_total > 0,
                 "update weights must be nonnegative with a positive sum");
   PNN_CHECK_MSG(!o.discrete || o.k >= 1, "discrete points need k >= 1");
+  PNN_CHECK_MSG(o.hotspot_fraction >= 0 && o.hotspot_fraction <= 1,
+                "hotspot_fraction must be in [0,1]");
 
   std::vector<exec::MixedOp> out;
   out.reserve(static_cast<size_t>(o.initial + o.ops));
@@ -53,6 +57,17 @@ std::vector<exec::MixedOp> GenerateStreamingChurn(const StreamingChurnOptions& o
   auto random_center = [&] {
     return Point2{rng->Uniform(-o.span, o.span), rng->Uniform(-o.span, o.span)};
   };
+  // Arrival center, honoring the orbiting hotspot at stream position i.
+  auto arrival_center = [&](int i) {
+    if (o.hotspot_fraction <= 0 || !rng->Bernoulli(o.hotspot_fraction)) {
+      return random_center();
+    }
+    double theta = 2.0 * M_PI * o.hotspot_orbits * static_cast<double>(i) /
+                   static_cast<double>(std::max(o.ops, 1));
+    Point2 hot{0.7 * o.span * std::cos(theta), 0.7 * o.span * std::sin(theta)};
+    return Point2{hot.x + o.hotspot_sigma * rng->Gaussian(),
+                  hot.y + o.hotspot_sigma * rng->Gaussian()};
+  };
 
   for (int i = 0; i < o.initial; ++i) arrive(random_center());
 
@@ -60,7 +75,7 @@ std::vector<exec::MixedOp> GenerateStreamingChurn(const StreamingChurnOptions& o
     if (rng->Bernoulli(o.churn)) {
       double pick = rng->Uniform(0, update_total);
       if (pick < o.arrival_weight || live.empty()) {
-        arrive(random_center());
+        arrive(arrival_center(i));
       } else {
         size_t victim = static_cast<size_t>(rng->UniformInt(0, live.size() - 1));
         LivePoint moved = live[victim];

@@ -34,6 +34,14 @@ struct StreamingChurnOptions {
   double span = 50.0;              // Centers uniform in [-span, span]^2.
   double cluster = 2.0;            // Discrete location scatter radius.
   double rmin = 0.5, rmax = 2.0;   // Disk radius range (continuous).
+  // Moving hotspot: this fraction of arrivals clusters (std-dev
+  // hotspot_sigma) around a center orbiting the 0.7*span circle,
+  // completing hotspot_orbits turns over the stream — a drifting load
+  // imbalance that keeps any fixed spatial partition lopsided, which is
+  // exactly what the shard router's background rebalance corrects.
+  double hotspot_fraction = 0.0;
+  double hotspot_sigma = 5.0;
+  double hotspot_orbits = 1.0;
 };
 
 /// Generates an op stream for exec::BatchEngine::MixedBatch against a

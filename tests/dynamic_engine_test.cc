@@ -4,8 +4,14 @@
 
 #include "src/dyn/dynamic_engine.h"
 
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <vector>
+
 #include <gtest/gtest.h>
 
+#include "src/dyn/merge.h"
 #include "src/workload/generators.h"
 
 namespace pnn {
@@ -186,6 +192,115 @@ DynamicEngine engine;
   EXPECT_DEATH(engine.ThresholdNN({0, 0}, -0.1), "tau");
   EXPECT_DEATH(engine.ThresholdNN({0, 0}, 1.1), "tau");
   EXPECT_DEATH(engine.Quantify({0, 0}, 0.0), "eps");
+}
+
+// Two nearby locations, so delta < Delta strictly and Lemma 2.1 reporting
+// includes the point when it is the sole live candidate.
+UncertainPoint Loc(double x, double y) {
+  return UncertainPoint::Discrete({{x, y}, {x + 0.5, y}}, {0.5, 0.5});
+}
+
+// Regression tests for the Merged* degenerate-snapshot edges: an empty
+// snapshot, or one where every bucket and tail entry is tombstoned, must
+// yield empty results from every recombination — not a degenerate infinite
+// Delta report, a stream over dead parts, or a tripped all-discrete check.
+TEST(MergedEdges, DefaultSnapshotAnswersEmpty) {
+  Snapshot snap;  // No parts at all; tail pointer never published.
+  Point2 q{0, 0};
+  EXPECT_TRUE(MergedNonzeroNN(snap, q).empty());
+  EXPECT_TRUE(MergedSpiralQuantify(snap, q, 0.1).empty());
+  EXPECT_TRUE(MergedMonteCarloQuantify(snap, q, 8, 1, nullptr).empty());
+  EXPECT_TRUE(MergedQuantifyExact(snap, q).empty());
+  EXPECT_TRUE(SnapshotLiveSet(snap, nullptr).empty());
+  EXPECT_EQ(SnapshotNonzeroDelta(snap, q),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(MergedEdges, AllTombstonedPartsAnswerEmpty) {
+  // Hand-build a snapshot whose only bucket and only tail entry are both
+  // dead — live_count 0 with non-empty parts, the shape a snapshot has
+  // right after the last erase and before compaction.
+  Engine::Options eopt;
+  auto bucket = std::make_shared<const Bucket>(
+      std::vector<Id>{0, 1}, UncertainSet{Loc(0, 0), Loc(4, 0)}, eopt);
+  Snapshot snap;
+  snap.buckets.push_back(
+      {bucket, std::make_shared<const std::vector<char>>(std::vector<char>{1, 1}), 0});
+  snap.tail = std::make_shared<const std::vector<TailEntry>>(
+      std::vector<TailEntry>{{2, Loc(8, 0)}});
+  snap.tail_dead =
+      std::make_shared<const std::vector<char>>(std::vector<char>{1});
+  snap.live_count = 0;
+
+  Point2 q{1, 1};
+  EXPECT_TRUE(MergedNonzeroNN(snap, q).empty());
+  EXPECT_TRUE(MergedSpiralQuantify(snap, q, 0.1).empty());
+  EXPECT_TRUE(MergedMonteCarloQuantify(snap, q, 8, 1, nullptr).empty());
+  EXPECT_TRUE(MergedQuantifyExact(snap, q).empty());
+  EXPECT_TRUE(SnapshotLiveSet(snap, nullptr).empty());
+  EXPECT_EQ(SnapshotNonzeroDelta(snap, q),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(MergedEdges, DeadBucketAlongsideLiveTail) {
+  // A fully tombstoned bucket next to a live tail: the dead part must not
+  // contribute to Delta or to any stream, and the engine must agree with a
+  // fresh engine over just the live point. Erase everything in the first
+  // bucket of a real engine to get the shape.
+  Options dopt;
+  dopt.tail_limit = 4;
+  DynamicEngine engine(dopt);
+  std::vector<Id> first;
+  for (int i = 0; i < 4; ++i) first.push_back(engine.Insert(Loc(i, 0)));
+  engine.WaitForMaintenance();
+  ASSERT_GE(engine.num_buckets(), 1u);
+  Id tail_id = engine.Insert(Loc(10, 10));
+  for (Id id : first) EXPECT_TRUE(engine.Erase(id));
+
+  Point2 q{9, 9};
+  EXPECT_EQ(engine.NonzeroNN(q), std::vector<Id>{tail_id});
+  std::vector<Quantification> quant = engine.QuantifyExact(q);
+  ASSERT_EQ(quant.size(), 1u);
+  EXPECT_EQ(quant[0].index, tail_id);
+  EXPECT_DOUBLE_EQ(quant[0].probability, 1.0);
+  // And fully erased: everything answers empty (compaction may or may not
+  // have run yet; both shapes must degrade cleanly).
+  EXPECT_TRUE(engine.Erase(tail_id));
+  EXPECT_TRUE(engine.NonzeroNN(q).empty());
+  EXPECT_TRUE(engine.Quantify(q, 0.1).empty());
+  EXPECT_TRUE(engine.QuantifyExact(q).empty());
+}
+
+TEST(DynamicEngine, InsertWithIdKeepsGlobalIdentity) {
+  // The shard-migration shape: an id erased here may come back later (via
+  // InsertWithId) while tombstoned copies of it still sit in a bucket or
+  // the tail; queries must see exactly the one live copy.
+  Options dopt;
+  dopt.tail_limit = 4;
+  DynamicEngine engine(dopt);
+  std::vector<Id> ids;
+  for (int i = 0; i < 4; ++i) ids.push_back(engine.Insert(Loc(i, 0)));
+  engine.WaitForMaintenance();  // Bucket now holds ids 0..3.
+  EXPECT_TRUE(engine.Erase(ids[1]));
+  engine.InsertWithId(ids[1], Loc(1, 0));  // Round trip back into the tail.
+  EXPECT_EQ(engine.live_size(), 4u);
+  std::vector<Id> nn = engine.NonzeroNN({1, 0});
+  EXPECT_EQ(std::count(nn.begin(), nn.end(), ids[1]), 1);
+  // Erase again: must kill the live tail copy, not re-kill the bucket copy.
+  EXPECT_TRUE(engine.Erase(ids[1]));
+  EXPECT_EQ(engine.live_size(), 3u);
+  nn = engine.NonzeroNN({1, 0});
+  EXPECT_EQ(std::count(nn.begin(), nn.end(), ids[1]), 0);
+  // Fresh ids continue past any id ever seen.
+  engine.InsertWithId(100, Loc(50, 50));
+  EXPECT_EQ(engine.Insert(Loc(51, 51)), 101);
+}
+
+TEST(DynamicEngineDeath, InsertWithIdRejectsLiveId) {
+  DynamicEngine engine;
+  Id id = engine.Insert(Disk(0, 0));
+  EXPECT_DEATH(engine.InsertWithId(id, Disk(1, 1)), "already live");
+  EXPECT_DEATH(engine.InsertWithId(-1, Disk(1, 1)), "nonnegative");
 }
 
 }  // namespace

@@ -21,7 +21,8 @@ TEST(Expansion, ExactDiffAndProduct) {
   // a - 1 + 2^-60 == 0 exactly.
   EXPECT_EQ((a - Expansion(1.0) + Expansion(std::ldexp(1.0, -60))).Sign(), 0);
 
-  Expansion p = Expansion::Product(1.0 + std::ldexp(1.0, -30), 1.0 - std::ldexp(1.0, -30));
+  Expansion p =
+      Expansion::Product(1.0 + std::ldexp(1.0, -30), 1.0 - std::ldexp(1.0, -30));
   // (1+e)(1-e) = 1 - e^2 exactly.
   Expansion expected = Expansion(1.0) + Expansion(-std::ldexp(1.0, -60));
   EXPECT_EQ((p - expected).Sign(), 0);

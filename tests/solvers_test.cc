@@ -52,7 +52,8 @@ TEST(Cubic, OneRealRoot) {
 TEST(Cubic, RandomReconstruction) {
   Rng rng(3);
   for (int i = 0; i < 300; ++i) {
-    double r1 = rng.Uniform(-10, 10), r2 = rng.Uniform(-10, 10), r3 = rng.Uniform(-10, 10);
+    double r1 = rng.Uniform(-10, 10), r2 = rng.Uniform(-10, 10),
+           r3 = rng.Uniform(-10, 10);
     // Require separated roots so counting is unambiguous.
     if (std::abs(r1 - r2) < 0.05 || std::abs(r1 - r3) < 0.05 || std::abs(r2 - r3) < 0.05)
       continue;

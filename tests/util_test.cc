@@ -63,7 +63,8 @@ TEST(LogLogSlope, RecoversExponent) {
 }
 
 TEST(LogLogSlope, SkipsNonPositive) {
-  std::vector<std::pair<double, double>> pts = {{0, 5}, {-1, 5}, {10, 0}, {2, 8}, {4, 32}};
+  std::vector<std::pair<double, double>> pts = {
+      {0, 5}, {-1, 5}, {10, 0}, {2, 8}, {4, 32}};
   EXPECT_NEAR(LogLogSlope(pts), 2.0, 1e-9);
 }
 
@@ -81,14 +82,29 @@ TEST(SplitSeed, DeterministicAndStreamDependent) {
 }
 
 TEST(Percentile, MatchesOrderStatistics) {
-  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
-  EXPECT_DOUBLE_EQ(Percentile({3.0}, 99), 3.0);
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(Percentile(&empty, 50), 0.0);
+  std::vector<double> one = {3.0};
+  EXPECT_DOUBLE_EQ(Percentile(&one, 99), 3.0);
+  // The buffer is the caller's scratch: repeated calls reorder it in place
+  // (no copies) but every percentile stays exact.
   std::vector<double> v = {5, 1, 4, 2, 3};
-  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
-  EXPECT_DOUBLE_EQ(Percentile(v, 50), 3.0);
-  EXPECT_DOUBLE_EQ(Percentile(v, 100), 5.0);
-  EXPECT_DOUBLE_EQ(Percentile(v, 25), 2.0);
-  EXPECT_DOUBLE_EQ(Percentile(v, 87.5), 4.5);  // Interpolates between 4 and 5.
+  EXPECT_DOUBLE_EQ(Percentile(&v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(&v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(&v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(&v, 25), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile(&v, 87.5), 4.5);  // Interpolates between 4 and 5.
+  // The multi-cut API sorts once and agrees with the one-shot calls.
+  std::vector<double> w = {5, 1, 4, 2, 3};
+  std::vector<double> cuts = Percentiles(&w, {0, 25, 50, 87.5, 100});
+  ASSERT_EQ(cuts.size(), 5u);
+  EXPECT_DOUBLE_EQ(cuts[0], 1.0);
+  EXPECT_DOUBLE_EQ(cuts[1], 2.0);
+  EXPECT_DOUBLE_EQ(cuts[2], 3.0);
+  EXPECT_DOUBLE_EQ(cuts[3], 4.5);
+  EXPECT_DOUBLE_EQ(cuts[4], 5.0);
+  std::vector<double> none;
+  EXPECT_EQ(Percentiles(&none, {50, 99}), (std::vector<double>{0.0, 0.0}));
 }
 
 TEST(Table, FormatsWithoutCrashing) {
