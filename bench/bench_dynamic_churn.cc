@@ -11,11 +11,13 @@
 // churn ratio (the acceptance bar); --no-gate reports without failing, for
 // trajectory sampling on noisy CI runners.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/dyn/dynamic_engine.h"
@@ -82,6 +84,8 @@ int Run(int n, int ops, int baseline_ops, const char* json_path, bool gate) {
   json.AddMeta("bench", "dynamic_churn");
   json.AddMeta("n", std::to_string(n));
   json.AddMeta("ops", std::to_string(ops));
+  json.AddMeta("host_cores",
+               std::to_string(std::max<size_t>(1, std::thread::hardware_concurrency())));
 
   Table table({"churn", "ops", "dyn ops/s", "upd p50us", "upd p99us", "qry p50us",
                "rebuild ops/s", "speedup"});

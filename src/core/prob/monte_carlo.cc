@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/util/arena.h"
 #include "src/util/check.h"
 
 namespace pnn {
@@ -60,7 +61,9 @@ MonteCarloPNN::MonteCarloPNN(const UncertainSet& points, const Options& options)
 }
 
 std::vector<Quantification> MonteCarloPNN::Query(Point2 q) const {
-  std::vector<int> counts(n_, 0);
+  util::ScratchVec<int> lease;
+  std::vector<int>& counts = *lease;
+  counts.assign(n_, 0);
   if (backend_ == Backend::kDelaunay) {
     for (const auto& dt : delaunay_) ++counts[dt->Nearest(q)];
   } else {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <functional>
 
+#include "src/util/arena.h"
 #include "src/util/check.h"
 
 namespace pnn {
@@ -168,17 +169,33 @@ std::vector<Quantification> QuantifyNumericContinuous(const UncertainSet& points
 
 std::vector<Quantification> QuantifyPrefixSweep(const std::vector<WeightedLocation>& locs,
                                                 const std::vector<int>& counts) {
+  std::vector<Quantification> out;
+  QuantifyPrefixSweepInto(locs, counts, &out);
+  return out;
+}
+
+void QuantifyPrefixSweepInto(const std::vector<WeightedLocation>& locs,
+                             const std::vector<int>& counts,
+                             std::vector<Quantification>* out) {
   // The same tie-grouped sweep as the exact quantifier, restricted to the
   // retrieved prefix. Kept bit-for-bit in sync with its former inline copy
   // in spiral.cc: the dynamic engine merges per-bucket streams into the
   // identical global distance order and must reproduce identical doubles.
   size_t n = counts.size();
-  std::vector<double> pi(n, 0.0), cum(n, 0.0);
-  std::vector<int> seen(n, 0);
+  util::ScratchVec<double> pi_lease, cum_lease, survival_lease;
+  util::ScratchVec<int> seen_lease, touched_lease;
+  std::vector<double>& pi = *pi_lease;
+  std::vector<double>& cum = *cum_lease;
   // Survival factors with zero tracking (small n per query: direct scan).
-  std::vector<double> survival(n, 1.0);
+  std::vector<double>& survival = *survival_lease;
+  std::vector<int>& seen = *seen_lease;
+  std::vector<int>& touched = *touched_lease;
+  pi.assign(n, 0.0);
+  cum.assign(n, 0.0);
+  survival.assign(n, 1.0);
+  seen.assign(n, 0);
+  touched.clear();
   size_t idx = 0;
-  std::vector<int> touched;
   while (idx < locs.size()) {
     size_t end = idx;
     while (end < locs.size() && locs[end].dist == locs[idx].dist) ++end;
@@ -203,15 +220,14 @@ std::vector<Quantification> QuantifyPrefixSweep(const std::vector<WeightedLocati
     idx = end;
   }
 
-  std::vector<Quantification> out;
+  out->clear();
   for (int o : touched) {
-    if (pi[o] > 0) out.push_back({o, pi[o]});
+    if (pi[o] > 0) out->push_back({o, pi[o]});
   }
-  std::sort(out.begin(), out.end(),
+  std::sort(out->begin(), out->end(),
             [](const Quantification& a, const Quantification& b) {
               return a.index < b.index;
             });
-  return out;
 }
 
 double SurvivalProfile::Value(double r) const {

@@ -54,6 +54,14 @@ struct WeightedLocation {
 std::vector<Quantification> QuantifyPrefixSweep(const std::vector<WeightedLocation>& locs,
                                                 const std::vector<int>& counts);
 
+/// QuantifyPrefixSweep writing into `out` (cleared first), with all
+/// internal bookkeeping drawn from the per-thread scratch arena — the
+/// zero-allocation form the query hot paths use. Results are bit-identical
+/// to QuantifyPrefixSweep.
+void QuantifyPrefixSweepInto(const std::vector<WeightedLocation>& locs,
+                             const std::vector<int>& counts,
+                             std::vector<Quantification>* out);
+
 /// Piecewise-constant survival product of a subset B of the input:
 ///   Value(r) = prod_{j in B} (1 - G_{q,j}(r)),
 /// right-continuous (a breakpoint's value includes locations at exactly

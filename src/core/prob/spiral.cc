@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/util/arena.h"
 #include "src/util/check.h"
 
 namespace pnn {
@@ -51,8 +52,11 @@ std::vector<Quantification> SpiralSearchPNN::QueryWithBudget(Point2 q,
                                                              size_t m) const {
   m = std::min(m, owners_.size());
   // Retrieve the m nearest locations (ascending). The incremental stream
-  // yields them already sorted, which the sweep needs anyway.
-  std::vector<WeightedLocation> locs;
+  // yields them already sorted, which the sweep needs anyway. The prefix
+  // buffer is a scratch lease: only the returned estimates allocate.
+  util::ScratchVec<WeightedLocation> lease;
+  std::vector<WeightedLocation>& locs = *lease;
+  locs.clear();
   locs.reserve(m);
   KdTree::Incremental inc(tree_, q);
   while (locs.size() < m && inc.HasNext()) {
@@ -62,7 +66,9 @@ std::vector<Quantification> SpiralSearchPNN::QueryWithBudget(Point2 q,
   }
   // Eq. (10)/(11) restricted to the retrieved prefix: the same tie-grouped
   // sweep as the exact quantifier, but over bar-P.
-  return QuantifyPrefixSweep(locs, counts_);
+  std::vector<Quantification> out;
+  QuantifyPrefixSweepInto(locs, counts_, &out);
+  return out;
 }
 
 SpiralSearchPNN::Stream::Stream(const SpiralSearchPNN& s, Point2 q,

@@ -23,11 +23,13 @@ Delaunay::Delaunay(const std::vector<Point2>& points, uint64_t seed) {
   {
     std::unordered_map<long long, std::vector<int>> buckets;
     auto key = [](Point2 p) {
-      long long hx, hy;
-      static_assert(sizeof(double) == sizeof(long long));
+      // Hash in unsigned space: the multiply routinely wraps, which is
+      // defined for unsigned and UB for signed (UBSan flags real inputs).
+      unsigned long long hx, hy;
+      static_assert(sizeof(double) == sizeof(unsigned long long));
       std::memcpy(&hx, &p.x, 8);
       std::memcpy(&hy, &p.y, 8);
-      return hx * 1000003LL ^ hy;
+      return static_cast<long long>(hx * 1000003ULL ^ hy);
     };
     for (size_t i = 0; i < num_input_; ++i) {
       auto& bucket = buckets[key(points[i])];

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/dyn/merge.h"
+#include "src/dyn/tail_cache.h"
 #include "src/util/check.h"
 
 namespace pnn {
@@ -83,6 +84,7 @@ void DynamicEngine::PublishLocked() {
   s->tail_dead = tail_dead_count_ == 0
                      ? nullptr
                      : std::make_shared<const std::vector<char>>(tail_dead_mask_);
+  if (tail_.size() > tail_dead_count_) s->tail_mc = std::make_shared<TailMcCache>();
   s->live_count = live_.size();
   s->discrete_count = discrete_count_;
   s->continuous_count = continuous_count_;
@@ -337,9 +339,32 @@ void DynamicEngine::MaintenanceLoop() {
       built = std::make_shared<const Bucket>(plan.ids, std::move(plan.points),
                                              options_.engine);
     }
+    if (built != nullptr && options_.prewarm_after_build) {
+      // Warm the new bucket before it is published, so the first query
+      // against it never pays the lazy Monte-Carlo construction. A merge
+      // preserves the live set, so the pre-splice aggregates give the same
+      // plan and round count the post-splice snapshot will.
+      auto snap = Snap();
+      double eps = options_.engine.default_eps;
+      if (snap->live_count > 0 &&
+          PlanFor(*snap, eps) == QuantifyPlan::kMonteCarlo) {
+        built->EnsureRounds(RoundsFor(*snap, eps), options_.pool);
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       SpliceLocked(plan, std::move(built));
+    }
+    if (options_.prewarm_after_build) {
+      // The splice published a fresh snapshot (and a fresh tail cache):
+      // warm the tail samples too, so the whole post-build query path is
+      // construction-free.
+      auto snap = Snap();
+      double eps = options_.engine.default_eps;
+      if (snap->live_count > 0 && snap->tail_mc != nullptr &&
+          PlanFor(*snap, eps) == QuantifyPlan::kMonteCarlo) {
+        snap->tail_mc->Ensure(*snap, RoundsFor(*snap, eps), options_.engine.seed);
+      }
     }
   }
 }
@@ -395,6 +420,9 @@ void DynamicEngine::Prewarm(std::optional<double> eps_opt) const {
   for (const auto& bref : snap->buckets) {
     if (bref.live_count > 0) bref.bucket->EnsureRounds(rounds, options_.pool);
   }
+  if (snap->tail_mc != nullptr) {
+    snap->tail_mc->Ensure(*snap, rounds, options_.engine.seed);
+  }
 }
 
 std::vector<Id> DynamicEngine::NonzeroNN(Point2 q) const {
@@ -403,16 +431,41 @@ std::vector<Id> DynamicEngine::NonzeroNN(Point2 q) const {
   return MergedNonzeroNN(*snap, q);
 }
 
+std::vector<Id> DynamicEngine::NonzeroNN(const Snapshot& snap, Point2 q) const {
+  return MergedNonzeroNN(snap, q);
+}
+
 std::vector<Quantification> DynamicEngine::Quantify(Point2 q,
                                                     std::optional<double> eps_opt) const {
-  double eps = ResolveEps(eps_opt);
   auto snap = Snap();
-  if (snap->live_count == 0) return {};
-  if (PlanFor(*snap, eps) == QuantifyPlan::kSpiral) {
-    return MergedSpiralQuantify(*snap, q, eps);
+  return Quantify(*snap, q, eps_opt);
+}
+
+std::vector<Quantification> DynamicEngine::Quantify(const Snapshot& snap, Point2 q,
+                                                    std::optional<double> eps_opt) const {
+  std::vector<Quantification> out;
+  QuantifyInto(snap, q, eps_opt, &out);
+  return out;
+}
+
+void DynamicEngine::QuantifyInto(Point2 q, std::optional<double> eps_opt,
+                                 std::vector<Quantification>* out) const {
+  auto snap = Snap();
+  QuantifyInto(*snap, q, eps_opt, out);
+}
+
+void DynamicEngine::QuantifyInto(const Snapshot& snap, Point2 q,
+                                 std::optional<double> eps_opt,
+                                 std::vector<Quantification>* out) const {
+  double eps = ResolveEps(eps_opt);
+  out->clear();
+  if (snap.live_count == 0) return;
+  if (PlanFor(snap, eps) == QuantifyPlan::kSpiral) {
+    MergedSpiralQuantifyInto(snap, q, eps, out);
+    return;
   }
-  return MergedMonteCarloQuantify(*snap, q, RoundsFor(*snap, eps),
-                                  options_.engine.seed, options_.pool);
+  MergedMonteCarloQuantifyInto(snap, q, RoundsFor(snap, eps), options_.engine.seed,
+                               options_.pool, out);
 }
 
 std::vector<Quantification> DynamicEngine::QuantifyExact(Point2 q) const {
@@ -433,9 +486,15 @@ std::vector<Quantification> DynamicEngine::QuantifyExact(Point2 q) const {
 
 std::vector<Quantification> DynamicEngine::ThresholdNN(
     Point2 q, double tau, std::optional<double> eps) const {
+  auto snap = Snap();
+  return ThresholdNN(*snap, q, tau, eps);
+}
+
+std::vector<Quantification> DynamicEngine::ThresholdNN(
+    const Snapshot& snap, Point2 q, double tau, std::optional<double> eps) const {
   PNN_CHECK_MSG(tau >= 0 && tau <= 1,
                 "ThresholdNN tau must be a probability in [0,1]");
-  return ThresholdFilter(Quantify(q, eps), tau);
+  return ThresholdFilter(Quantify(snap, q, eps), tau);
 }
 
 Id DynamicEngine::MostLikelyNN(Point2 q, std::optional<double> eps) const {

@@ -66,12 +66,20 @@ struct Options {
   /// Monte-Carlo round work fans out across it. When null, maintenance
   /// runs inline in the update that triggered it.
   exec::ThreadPool* pool = nullptr;
+  /// Prewarm as part of maintenance: when the Monte-Carlo plan is active
+  /// at default_eps, a merge/compaction builds the new bucket's per-round
+  /// structures before publishing it (and the published snapshot's tail
+  /// samples right after), so the first query after a bucket build doesn't
+  /// pay the lazy construction inside its latency.
+  bool prewarm_after_build = false;
 };
 
 struct TailEntry {
   Id id;
   UncertainPoint point;
 };
+
+class TailMcCache;  // Per-snapshot Monte-Carlo tail samples (tail_cache.h).
 
 /// One immutable version of the structure. Queries snapshot it with a
 /// lock-free atomic load and are unaffected by concurrent updates or
@@ -92,6 +100,13 @@ struct Snapshot {
   std::shared_ptr<const std::vector<TailEntry>> tail;
   /// Tombstone mask parallel to `tail`; null when nothing is dead.
   std::shared_ptr<const std::vector<char>> tail_dead;
+  /// Lazily built per-(seed, rounds) Monte-Carlo tail samples, shared by
+  /// every query against this snapshot so repeated quantifications sample
+  /// the tail once (null when the tail has no live entries — notably on
+  /// hand-built snapshots, where the merge layer falls back to direct
+  /// sampling). A snapshot publish starts a fresh cache: that is the
+  /// invalidation on insert/erase/merge/compaction.
+  std::shared_ptr<TailMcCache> tail_mc;
 
   // Aggregates over the live set, mirroring what a fresh static Engine
   // derives at construction (pnn.cc / spiral.cc):
@@ -150,10 +165,26 @@ class DynamicEngine {
   /// NN!=0(q) over the live set, ascending ids (Lemma 2.1 semantics).
   std::vector<Id> NonzeroNN(Point2 q) const;
 
+  /// NonzeroNN over an explicit snapshot (the batch executor grabs one
+  /// snapshot per batch instead of per query).
+  std::vector<Id> NonzeroNN(const Snapshot& snap, Point2 q) const;
+
   /// Estimates of all positive pi_i(q) within additive eps; Quantification
   /// indices are point ids, ascending.
   std::vector<Quantification> Quantify(Point2 q,
                                        std::optional<double> eps = std::nullopt) const;
+
+  /// Quantify over an explicit snapshot.
+  std::vector<Quantification> Quantify(const Snapshot& snap, Point2 q,
+                                       std::optional<double> eps = std::nullopt) const;
+
+  /// Quantify writing into `out` (cleared first) — with warm caches and a
+  /// warm scratch arena this performs zero heap allocations on the spiral
+  /// and Monte-Carlo paths (asserted by tests/alloc_hotpath_test.cc).
+  void QuantifyInto(Point2 q, std::optional<double> eps,
+                    std::vector<Quantification>* out) const;
+  void QuantifyInto(const Snapshot& snap, Point2 q, std::optional<double> eps,
+                    std::vector<Quantification>* out) const;
 
   /// Exact pi_i(q) (discrete: per-bucket survival-profile recombination;
   /// continuous: quadrature over the gathered live set).
@@ -161,6 +192,10 @@ class DynamicEngine {
 
   /// Points with pi_i(q) > tau; tau must be in [0, 1] (checked).
   std::vector<Quantification> ThresholdNN(Point2 q, double tau,
+                                          std::optional<double> eps = std::nullopt) const;
+
+  /// ThresholdNN over an explicit snapshot.
+  std::vector<Quantification> ThresholdNN(const Snapshot& snap, Point2 q, double tau,
                                           std::optional<double> eps = std::nullopt) const;
 
   /// Id with the largest estimated quantification probability (-1 when the

@@ -4,10 +4,11 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <queue>
-#include <unordered_map>
+#include <optional>
 #include <utility>
 
+#include "src/dyn/tail_cache.h"
+#include "src/util/arena.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
 
@@ -111,17 +112,19 @@ struct SourceLoc {
 };
 
 // A distance-ascending location source: either a bucket's best-first
-// spiral stream or a pre-sorted vector (mixed buckets, the tail).
+// spiral stream or a range of a pre-sorted shared scratch vector (mixed
+// buckets' live members and the tail, merged into one sorted source).
 struct Source {
-  std::unique_ptr<SpiralSearchPNN::Stream> stream;
   const Bucket* bucket = nullptr;  // Set for stream sources.
-  std::vector<SourceLoc> sorted;
+  std::optional<SpiralSearchPNN::Stream> stream;
+  const SourceLoc* sorted = nullptr;
+  size_t sorted_n = 0;
   size_t pos = 0;
   SourceLoc cur{};
   bool has = false;
 
   void Advance() {
-    if (stream != nullptr) {
+    if (stream.has_value()) {
       double d, w;
       int o;
       if (stream->Next(&d, &o, &w)) {
@@ -131,7 +134,7 @@ struct Source {
       } else {
         has = false;
       }
-    } else if (pos < sorted.size()) {
+    } else if (pos < sorted_n) {
       cur = sorted[pos++];
       has = true;
     } else {
@@ -153,103 +156,157 @@ void AppendDiscreteLocations(const UncertainPoint& p, Id id, Point2 q,
 
 std::vector<Quantification> MergedSpiralQuantify(const Snapshot& snap, Point2 q,
                                                  double eps) {
-  if (snap.live_count == 0) return {};  // Every part dead (or none): no stream.
+  std::vector<Quantification> out;
+  MergedSpiralQuantifyInto(snap, q, eps, &out);
+  return out;
+}
+
+void MergedSpiralQuantifyInto(const Snapshot& snap, Point2 q, double eps,
+                              std::vector<Quantification>* out) {
+  out->clear();
+  if (snap.live_count == 0) return;  // Every part dead (or none): no stream.
   PNN_CHECK_MSG(snap.all_discrete(), "spiral merge needs an all-discrete live set");
   size_t m = SpiralSearchPNN::RetrievalBoundFor(snap.rho, snap.max_k, eps);
   m = std::min(m, snap.total_complexity);
 
-  std::vector<Source> sources;
+  // Everything without a location tree — mixed buckets' live members (all
+  // discrete here, since the live set is) and the live tail — merges into
+  // one shared sorted source.
+  util::ScratchVec<SourceLoc> extra_lease;
+  std::vector<SourceLoc>& extra = *extra_lease;
+  extra.clear();
+  util::ScratchVec<Source> sources_lease;
+  std::vector<Source>& sources = *sources_lease;
+  sources.clear();
   for (const auto& bref : snap.buckets) {
     if (bref.live_count == 0) continue;
-    Source s;
-    s.bucket = bref.bucket.get();
     if (const SpiralSearchPNN* sp = bref.bucket->engine().spiral()) {
-      s.stream = std::make_unique<SpiralSearchPNN::Stream>(
-          *sp, q, bref.dead ? bref.dead.get() : nullptr);
+      Source s;
+      s.bucket = bref.bucket.get();
+      s.stream.emplace(*sp, q, bref.dead ? bref.dead.get() : nullptr);
+      sources.push_back(std::move(s));
     } else {
-      // Mixed bucket: its live members are all discrete here (the live set
-      // is), so a sorted scan stands in for the missing location tree.
       const auto& pts = bref.bucket->points();
       for (size_t j = 0; j < pts.size(); ++j) {
         if (bref.dead && (*bref.dead)[j]) continue;
-        AppendDiscreteLocations(pts[j], bref.bucket->ids()[j], q, &s.sorted);
+        AppendDiscreteLocations(pts[j], bref.bucket->ids()[j], q, &extra);
       }
-      std::sort(s.sorted.begin(), s.sorted.end(),
-                [](const SourceLoc& a, const SourceLoc& b) { return a.dist < b.dist; });
     }
-    sources.push_back(std::move(s));
   }
   if (snap.tail != nullptr) {
-    Source tail;
     const std::vector<TailEntry>& entries = *snap.tail;
     for (size_t i = 0; i < entries.size(); ++i) {
       if (snap.TailAlive(i)) {
-        AppendDiscreteLocations(entries[i].point, entries[i].id, q, &tail.sorted);
+        AppendDiscreteLocations(entries[i].point, entries[i].id, q, &extra);
       }
     }
-    if (!tail.sorted.empty()) {
-      std::sort(tail.sorted.begin(), tail.sorted.end(),
-                [](const SourceLoc& a, const SourceLoc& b) { return a.dist < b.dist; });
-      sources.push_back(std::move(tail));
-    }
+  }
+  if (!extra.empty()) {
+    std::sort(extra.begin(), extra.end(),
+              [](const SourceLoc& a, const SourceLoc& b) { return a.dist < b.dist; });
+    Source s;
+    s.sorted = extra.data();
+    s.sorted_n = extra.size();
+    sources.push_back(std::move(s));
   }
 
   // K-way merge of the sources reproduces the global ascending-distance
-  // retrieval order of a monolithic location tree.
+  // retrieval order of a monolithic location tree (heap ties between
+  // sources are the usual measure-zero distance-tie caveat).
   using HeapEntry = std::pair<double, size_t>;  // (dist, source index).
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>> heap;
+  util::ScratchVec<HeapEntry> heap_lease;
+  std::vector<HeapEntry>& heap = *heap_lease;
+  heap.clear();
   for (size_t i = 0; i < sources.size(); ++i) {
     sources[i].Advance();
-    if (sources[i].has) heap.push({sources[i].cur.dist, i});
-  }
-
-  std::vector<WeightedLocation> locs;
-  locs.reserve(m);
-  std::unordered_map<Id, int> label_of;
-  std::vector<int> counts;
-  std::vector<Id> label_ids;
-  while (locs.size() < m && !heap.empty()) {
-    size_t si = heap.top().second;
-    heap.pop();
-    Source& s = sources[si];
-    SourceLoc l = s.cur;
-    int label;
-    auto it = label_of.find(l.id);
-    if (it == label_of.end()) {
-      label = static_cast<int>(label_ids.size());
-      label_of.emplace(l.id, label);
-      label_ids.push_back(l.id);
-      counts.push_back(l.k);
-    } else {
-      label = it->second;
+    if (sources[i].has) {
+      heap.push_back({sources[i].cur.dist, i});
+      std::push_heap(heap.begin(), heap.end(), std::greater<HeapEntry>());
     }
-    locs.push_back({l.dist, label, l.weight});
-    s.Advance();
-    if (s.has) heap.push({s.cur.dist, si});
   }
 
-  std::vector<Quantification> out = QuantifyPrefixSweep(locs, counts);
-  for (auto& e : out) e.index = label_ids[e.index];
-  std::sort(out.begin(), out.end(),
-            [](const Quantification& a, const Quantification& b) {
-              return a.index < b.index;
-            });
-  return out;
+  util::ScratchVec<SourceLoc> raw_lease;
+  std::vector<SourceLoc>& raw = *raw_lease;
+  raw.clear();
+  raw.reserve(m);
+  while (raw.size() < m && !heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), std::greater<HeapEntry>());
+    size_t si = heap.back().second;
+    heap.pop_back();
+    Source& s = sources[si];
+    raw.push_back(s.cur);
+    s.Advance();
+    if (s.has) {
+      heap.push_back({s.cur.dist, si});
+      std::push_heap(heap.begin(), heap.end(), std::greater<HeapEntry>());
+    }
+  }
+
+  // Dense owner labels by id rank (any labeling yields the same per-owner
+  // probabilities; ascending labels make the sweep output id-sorted).
+  util::ScratchVec<Id> ids_lease;
+  std::vector<Id>& ids = *ids_lease;
+  ids.clear();
+  for (const SourceLoc& l : raw) ids.push_back(l.id);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+
+  util::ScratchVec<WeightedLocation> locs_lease;
+  std::vector<WeightedLocation>& locs = *locs_lease;
+  locs.clear();
+  locs.reserve(raw.size());
+  util::ScratchVec<int> counts_lease;
+  std::vector<int>& counts = *counts_lease;
+  counts.assign(ids.size(), 0);
+  for (const SourceLoc& l : raw) {
+    int label = static_cast<int>(std::lower_bound(ids.begin(), ids.end(), l.id) -
+                                 ids.begin());
+    locs.push_back({l.dist, label, l.weight});
+    counts[label] = l.k;
+  }
+
+  QuantifyPrefixSweepInto(locs, counts, out);
+  for (auto& e : *out) e.index = ids[e.index];  // Monotone: stays sorted.
+  // Destroy the streams now so their heap leases return to the arena
+  // before the sources vector itself is pooled.
+  sources.clear();
 }
 
 std::vector<Quantification> MergedMonteCarloQuantify(const Snapshot& snap, Point2 q,
                                                      size_t rounds, uint64_t seed,
                                                      exec::ThreadPool* pool) {
-  if (snap.live_count == 0) return {};  // Every part dead: nothing to sample.
+  std::vector<Quantification> out;
+  MergedMonteCarloQuantifyInto(snap, q, rounds, seed, pool, &out);
+  return out;
+}
+
+void MergedMonteCarloQuantifyInto(const Snapshot& snap, Point2 q, size_t rounds,
+                                  uint64_t seed, exec::ThreadPool* pool,
+                                  std::vector<Quantification>* out) {
+  out->clear();
+  if (snap.live_count == 0) return;  // Every part dead: nothing to sample.
   PNN_CHECK(rounds > 0);
-  std::vector<std::shared_ptr<const McRounds>> mc(snap.buckets.size());
+  util::ScratchVec<std::shared_ptr<const McRounds>> mc_lease;
+  std::vector<std::shared_ptr<const McRounds>>& mc = *mc_lease;
+  mc.assign(snap.buckets.size(), nullptr);
   for (size_t b = 0; b < snap.buckets.size(); ++b) {
     if (snap.buckets[b].live_count > 0) {
       mc[b] = snap.buckets[b].bucket->EnsureRounds(rounds, pool);
     }
   }
-  std::vector<const TailEntry*> tail_live;
-  if (snap.tail != nullptr) {
+  // Tail samples come from the snapshot's cache when it has one (built
+  // once per snapshot, shared by every query); hand-built snapshots
+  // without a cache fall back to drawing the streams directly. Both paths
+  // visit the live tail in tail order with identical per-(round, id)
+  // samples, so winners are bit-identical.
+  std::shared_ptr<const TailSamples> tail_samples;
+  if (snap.tail_mc != nullptr) {
+    tail_samples = snap.tail_mc->Ensure(snap, rounds, seed);
+  }
+  util::ScratchVec<const TailEntry*> tail_lease;
+  std::vector<const TailEntry*>& tail_live = *tail_lease;
+  tail_live.clear();
+  if (snap.tail_mc == nullptr && snap.tail != nullptr) {
     const std::vector<TailEntry>& entries = *snap.tail;
     for (size_t i = 0; i < entries.size(); ++i) {
       if (snap.TailAlive(i)) tail_live.push_back(&entries[i]);
@@ -259,7 +316,10 @@ std::vector<Quantification> MergedMonteCarloQuantify(const Snapshot& snap, Point
   // Per round, the nearest sample over the live set is the argmin over the
   // parts' nearest samples; winners are round-indexed, so the fan-out
   // schedule cannot change the result.
-  std::vector<Id> winners(rounds, -1);
+  util::ScratchVec<Id> winners_lease;
+  std::vector<Id>& winners = *winners_lease;
+  winners.assign(rounds, -1);
+  const TailSamples* ts = tail_samples.get();
   auto body = [&](size_t r) {
     double best_d = kInf;
     Id best = -1;
@@ -273,13 +333,25 @@ std::vector<Quantification> MergedMonteCarloQuantify(const Snapshot& snap, Point
         best = bref.bucket->ids()[li];
       }
     }
-    uint64_t round_seed = SplitSeed(seed, r);
-    for (const TailEntry* e : tail_live) {
-      Rng rng = MakeStreamRng(round_seed, static_cast<uint64_t>(e->id));
-      double d = Distance(q, e->point.Sample(&rng));
-      if (d < best_d) {
-        best_d = d;
-        best = e->id;
+    if (ts != nullptr) {
+      size_t m = ts->ids.size();
+      const Point2* row = ts->samples.data() + r * m;
+      for (size_t j = 0; j < m; ++j) {
+        double d = Distance(q, row[j]);
+        if (d < best_d) {
+          best_d = d;
+          best = ts->ids[j];
+        }
+      }
+    } else {
+      uint64_t round_seed = SplitSeed(seed, r);
+      for (const TailEntry* e : tail_live) {
+        Rng rng = MakeStreamRng(round_seed, static_cast<uint64_t>(e->id));
+        double d = Distance(q, e->point.Sample(&rng));
+        if (d < best_d) {
+          best_d = d;
+          best = e->id;
+        }
       }
     }
     winners[r] = best;
@@ -290,14 +362,24 @@ std::vector<Quantification> MergedMonteCarloQuantify(const Snapshot& snap, Point
     for (size_t r = 0; r < rounds; ++r) body(r);
   }
 
-  std::map<Id, int> counts;
-  for (Id w : winners) ++counts[w];
-  std::vector<Quantification> out;
-  out.reserve(counts.size());
-  for (const auto& [id, c] : counts) {
-    out.push_back({id, static_cast<double>(c) / static_cast<double>(rounds)});
+  // Winner histogram without a node-based map: sort a scratch copy and
+  // run-length encode (ascending ids — the same order std::map iterated).
+  util::ScratchVec<Id> sorted_lease;
+  std::vector<Id>& sorted = *sorted_lease;
+  sorted.assign(winners.begin(), winners.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size();) {
+    size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    out->push_back(
+        {sorted[i], static_cast<double>(j - i) / static_cast<double>(rounds)});
+    i = j;
   }
-  return out;
+  // Drop the round-table refs (and stale tail pointers) before the leases
+  // return to the arena: a pooled buffer must not pin retired buckets'
+  // sample structures on an idle thread.
+  mc.clear();
+  tail_live.clear();
 }
 
 std::vector<Quantification> MergedQuantifyExact(const Snapshot& snap, Point2 q) {

@@ -50,13 +50,28 @@ UncertainSet SnapshotLiveSet(const Snapshot& snap, std::vector<Id>* ids);
 std::vector<Quantification> MergedSpiralQuantify(const Snapshot& snap, Point2 q,
                                                  double eps);
 
+/// MergedSpiralQuantify writing into `out` (cleared first). All merge
+/// bookkeeping (stream heaps, the retrieved prefix, owner labels) comes
+/// from the per-thread scratch arena: with warm pools this allocates
+/// nothing.
+void MergedSpiralQuantifyInto(const Snapshot& snap, Point2 q, double eps,
+                              std::vector<Quantification>* out);
+
 /// Monte-Carlo quantification over `rounds` id-keyed instantiations: per
 /// round, the global nearest sample is the argmin over per-bucket nearest
-/// samples and freshly drawn tail samples. Rounds fan out on `pool` when
-/// provided (results are round-indexed, so scheduling cannot change them).
+/// samples and the snapshot's cached tail samples (drawn directly when the
+/// snapshot carries no cache). Rounds fan out on `pool` when provided
+/// (results are round-indexed, so scheduling cannot change them).
 std::vector<Quantification> MergedMonteCarloQuantify(const Snapshot& snap, Point2 q,
                                                      size_t rounds, uint64_t seed,
                                                      exec::ThreadPool* pool);
+
+/// MergedMonteCarloQuantify writing into `out` (cleared first); winners
+/// and histogram scratch come from the per-thread arena. With warm bucket
+/// rounds and a warm tail cache (and a null pool) this allocates nothing.
+void MergedMonteCarloQuantifyInto(const Snapshot& snap, Point2 q, size_t rounds,
+                                  uint64_t seed, exec::ThreadPool* pool,
+                                  std::vector<Quantification>* out);
 
 /// Exact discrete quantification by survival-profile recombination:
 ///   pi_i = sum over i's locations of

@@ -1,0 +1,53 @@
+#include "src/dyn/tail_cache.h"
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace pnn {
+namespace dyn {
+
+std::shared_ptr<const TailSamples> TailMcCache::Ensure(const Snapshot& snap,
+                                                       size_t rounds,
+                                                       uint64_t seed) {
+  auto cur = std::atomic_load_explicit(&cur_, std::memory_order_acquire);
+  if (cur && cur->seed == seed && cur->rounds >= rounds) return cur;
+  std::lock_guard<std::mutex> lock(mu_);
+  cur = std::atomic_load_explicit(&cur_, std::memory_order_acquire);
+  if (cur && cur->seed == seed && cur->rounds >= rounds) return cur;
+
+  PNN_CHECK_MSG(snap.tail != nullptr, "tail cache on a snapshot without a tail");
+  const std::vector<TailEntry>& tail = *snap.tail;
+  auto next = std::make_shared<TailSamples>();
+  next->seed = seed;
+  if (cur && cur->seed == seed) {
+    // Extension: keep the built prefix (flat copy; the filtered live set
+    // is identical — it is a property of the snapshot).
+    next->ids = cur->ids;
+    next->tail_index = cur->tail_index;
+    next->samples = cur->samples;
+    next->rounds = cur->rounds;
+  } else {
+    for (size_t i = 0; i < tail.size(); ++i) {
+      if (!snap.TailAlive(i)) continue;
+      next->ids.push_back(tail[i].id);
+      next->tail_index.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  size_t m = next->ids.size();
+  next->samples.resize(rounds * m);
+  for (size_t r = next->rounds; r < rounds; ++r) {
+    uint64_t round_seed = SplitSeed(seed, r);
+    Point2* row = next->samples.data() + r * m;
+    for (size_t j = 0; j < m; ++j) {
+      Rng rng = MakeStreamRng(round_seed, static_cast<uint64_t>(next->ids[j]));
+      row[j] = tail[next->tail_index[j]].point.Sample(&rng);
+    }
+  }
+  next->rounds = rounds;
+  std::atomic_store_explicit(&cur_, std::shared_ptr<const TailSamples>(next),
+                             std::memory_order_release);
+  return next;
+}
+
+}  // namespace dyn
+}  // namespace pnn

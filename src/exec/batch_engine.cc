@@ -63,6 +63,15 @@ QuantifyPlan BatchEngine::BackendPlan(std::optional<double> eps) const {
   return sharded_->PlanForQuantify(eps);
 }
 
+void BatchEngine::GrabBackend(std::shared_ptr<const dyn::Snapshot>* snap,
+                              std::shared_ptr<const shard::CombinedView>* view) const {
+  if (dyn_ != nullptr) {
+    *snap = dyn_->snapshot();
+  } else if (sharded_ != nullptr) {
+    *view = sharded_->View();
+  }
+}
+
 template <typename T, typename Fn>
 BatchResult<T> BatchEngine::Run(size_t n, const Fn& answer_one) const {
   BatchResult<T> out;
@@ -104,20 +113,30 @@ void BatchEngine::FillPlanStats(std::optional<double> eps, size_t n,
 
 BatchResult<std::vector<int>> BatchEngine::NonzeroNNBatch(
     const std::vector<Point2>& queries) const {
+  // One backend snapshot/view per batch: grabbing (and cache-validating)
+  // per query is wasted work when the whole batch runs against one live
+  // set, and a pinned view keeps the batch consistent under concurrent
+  // maintenance (which preserves answers bit-for-bit anyway).
+  std::shared_ptr<const dyn::Snapshot> snap;
+  std::shared_ptr<const shard::CombinedView> view;
+  GrabBackend(&snap, &view);
   return Run<std::vector<int>>(queries.size(), [&](size_t i) {
     if (engine_ != nullptr) return engine_->NonzeroNN(queries[i]);
-    if (dyn_ != nullptr) return dyn_->NonzeroNN(queries[i]);
-    return sharded_->NonzeroNN(queries[i]);
+    if (dyn_ != nullptr) return dyn_->NonzeroNN(*snap, queries[i]);
+    return sharded_->NonzeroNN(*view, queries[i]);
   });
 }
 
 BatchResult<std::vector<Quantification>> BatchEngine::QuantifyBatch(
     const std::vector<Point2>& queries, std::optional<double> eps) const {
   PrewarmBackend(eps);  // Build the Monte-Carlo structures outside the fan-out.
+  std::shared_ptr<const dyn::Snapshot> snap;
+  std::shared_ptr<const shard::CombinedView> view;
+  GrabBackend(&snap, &view);
   auto out = Run<std::vector<Quantification>>(queries.size(), [&](size_t i) {
     if (engine_ != nullptr) return engine_->Quantify(queries[i], eps);
-    if (dyn_ != nullptr) return dyn_->Quantify(queries[i], eps);
-    return sharded_->Quantify(queries[i], eps);
+    if (dyn_ != nullptr) return dyn_->Quantify(*snap, queries[i], eps);
+    return sharded_->Quantify(*view, queries[i], eps);
   });
   FillPlanStats(eps, queries.size(), &out.stats);
   return out;
@@ -126,10 +145,13 @@ BatchResult<std::vector<Quantification>> BatchEngine::QuantifyBatch(
 BatchResult<std::vector<Quantification>> BatchEngine::ThresholdNNBatch(
     const std::vector<Point2>& queries, double tau, std::optional<double> eps) const {
   PrewarmBackend(eps);
+  std::shared_ptr<const dyn::Snapshot> snap;
+  std::shared_ptr<const shard::CombinedView> view;
+  GrabBackend(&snap, &view);
   auto out = Run<std::vector<Quantification>>(queries.size(), [&](size_t i) {
     if (engine_ != nullptr) return engine_->ThresholdNN(queries[i], tau, eps);
-    if (dyn_ != nullptr) return dyn_->ThresholdNN(queries[i], tau, eps);
-    return sharded_->ThresholdNN(queries[i], tau, eps);
+    if (dyn_ != nullptr) return dyn_->ThresholdNN(*snap, queries[i], tau, eps);
+    return sharded_->ThresholdNN(*view, queries[i], tau, eps);
   });
   FillPlanStats(eps, queries.size(), &out.stats);
   return out;
@@ -146,21 +168,28 @@ BatchResult<MixedResult> BatchEngine::MixedBatch(const std::vector<MixedOp>& ops
   bool parallel_used = false;
   Timer wall;
 
+  // The snapshot/view each query run answers against: grabbed once at the
+  // start of the run (updates between runs invalidate it), threaded
+  // through every query in the run instead of re-grabbing per query.
+  std::shared_ptr<const dyn::Snapshot> run_snap;
+  std::shared_ptr<const shard::CombinedView> run_view;
   auto answer_query = [&](size_t i, double* lat) {
     Timer t;
     const MixedOp& op = ops[i];
     MixedResult& r = out.values[i];
     switch (op.kind) {
       case MixedOp::Kind::kNonzeroNN:
-        r.nonzero = dyn_ != nullptr ? dyn_->NonzeroNN(op.q) : sharded_->NonzeroNN(op.q);
+        r.nonzero = dyn_ != nullptr ? dyn_->NonzeroNN(*run_snap, op.q)
+                                    : sharded_->NonzeroNN(*run_view, op.q);
         break;
       case MixedOp::Kind::kQuantify:
-        r.quant = dyn_ != nullptr ? dyn_->Quantify(op.q, eps)
-                                  : sharded_->Quantify(op.q, eps);
+        r.quant = dyn_ != nullptr ? dyn_->Quantify(*run_snap, op.q, eps)
+                                  : sharded_->Quantify(*run_view, op.q, eps);
         break;
       case MixedOp::Kind::kThresholdNN:
-        r.quant = dyn_ != nullptr ? dyn_->ThresholdNN(op.q, op.tau, eps)
-                                  : sharded_->ThresholdNN(op.q, op.tau, eps);
+        r.quant = dyn_ != nullptr
+                      ? dyn_->ThresholdNN(*run_snap, op.q, op.tau, eps)
+                      : sharded_->ThresholdNN(*run_view, op.q, op.tau, eps);
         break;
       default:
         break;
@@ -201,6 +230,7 @@ BatchResult<MixedResult> BatchEngine::MixedBatch(const std::vector<MixedOp>& ops
       // spiral-vs-Monte-Carlo rule mid-stream.
       FillPlanStats(eps, run_quantify, &out.stats);
     }
+    GrabBackend(&run_snap, &run_view);
     if (pool_ && run >= options_.min_parallel_batch) {
       pool_->ParallelFor(
           run, [&](size_t k) { answer_query(i + k, &query_lat[lat_base + k]); });

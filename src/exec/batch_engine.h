@@ -181,6 +181,11 @@ class BatchEngine {
   void FillPlanStats(std::optional<double> eps, size_t n, BatchStats* stats) const;
   void PrewarmBackend(std::optional<double> eps) const;
   QuantifyPlan BackendPlan(std::optional<double> eps) const;
+  /// Pins the backend state one batch (or one query run) answers against:
+  /// the dynamic engine's snapshot or the shard router's combined view
+  /// (whichever backend is set; no-op for the static engine).
+  void GrabBackend(std::shared_ptr<const dyn::Snapshot>* snap,
+                   std::shared_ptr<const shard::CombinedView>* view) const;
 
   const Engine* engine_ = nullptr;           // Static backend (exactly one is set).
   dyn::DynamicEngine* dyn_ = nullptr;        // Dynamic backend.

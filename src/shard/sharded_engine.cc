@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "src/dyn/merge.h"
+#include "src/dyn/tail_cache.h"
+#include "src/util/arena.h"
 #include "src/util/check.h"
 
 namespace pnn {
@@ -22,30 +24,33 @@ double Coord(Point2 p, int axis) { return axis == 0 ? p.x : p.y; }
 // tail, and the aggregates recombine by sum / max / min — exactly what a
 // single engine over the union would publish. The Merged* decompositions
 // never assume the parts came from one engine, so feeding them this union
-// reproduces the single-engine answers bit-for-bit.
-dyn::Snapshot CombineSnapshots(
+// reproduces the single-engine answers bit-for-bit. The union gets its own
+// tail-sample cache: it lives exactly as long as the view that owns it,
+// which is the required per-publish invalidation.
+std::shared_ptr<const dyn::Snapshot> CombineSnapshots(
     const std::vector<std::shared_ptr<const dyn::Snapshot>>& parts) {
-  dyn::Snapshot c;
+  auto c = std::make_shared<dyn::Snapshot>();
   auto tail = std::make_shared<std::vector<dyn::TailEntry>>();
   for (const auto& s : parts) {
     for (const auto& bref : s->buckets) {
-      if (bref.live_count > 0) c.buckets.push_back(bref);
+      if (bref.live_count > 0) c->buckets.push_back(bref);
     }
     if (s->tail != nullptr) {
       for (size_t i = 0; i < s->tail->size(); ++i) {
         if (s->TailAlive(i)) tail->push_back((*s->tail)[i]);
       }
     }
-    c.live_count += s->live_count;
-    c.discrete_count += s->discrete_count;
-    c.continuous_count += s->continuous_count;
-    c.total_complexity += s->total_complexity;
-    c.max_k = std::max(c.max_k, s->max_k);
-    c.wmin = std::min(c.wmin, s->wmin);
-    c.wmax = std::max(c.wmax, s->wmax);
+    c->live_count += s->live_count;
+    c->discrete_count += s->discrete_count;
+    c->continuous_count += s->continuous_count;
+    c->total_complexity += s->total_complexity;
+    c->max_k = std::max(c->max_k, s->max_k);
+    c->wmin = std::min(c->wmin, s->wmin);
+    c->wmax = std::max(c->wmax, s->wmax);
   }
-  c.rho = c.wmax / c.wmin;
-  c.tail = std::move(tail);
+  c->rho = c->wmax / c->wmin;
+  if (!tail->empty()) c->tail_mc = std::make_shared<dyn::TailMcCache>();
+  c->tail = std::move(tail);
   return c;
 }
 
@@ -135,6 +140,50 @@ std::vector<std::shared_ptr<const dyn::Snapshot>> ShardedEngine::Grab() const {
   }
 }
 
+std::shared_ptr<const CombinedView> ShardedEngine::View() const {
+  auto cached = std::atomic_load_explicit(&view_cache_, std::memory_order_acquire);
+  for (;;) {
+    uint64_t before = epoch_.load(std::memory_order_acquire);
+    if ((before & 1) == 0) {
+      if (cached != nullptr) {
+        // Validate: every shard's current snapshot must still be the
+        // cached part. The cache holds each part alive, so a pointer match
+        // means "still that snapshot" — publishes always allocate a new
+        // object, and a freed address cannot recur while we pin it. A
+        // shard that moved on since the view was built mismatches, which
+        // is exactly the insert/erase/merge/rebalance invalidation.
+        bool match = true;
+        for (size_t i = 0; i < shards_.size(); ++i) {
+          if (shards_[i]->snapshot().get() != cached->parts[i].get()) {
+            match = false;
+            break;
+          }
+        }
+        if (match && epoch_.load(std::memory_order_acquire) == before) {
+          view_hits_.fetch_add(1, std::memory_order_relaxed);
+          return cached;
+        }
+      }
+      std::vector<std::shared_ptr<const dyn::Snapshot>> parts;
+      parts.reserve(shards_.size());
+      for (const auto& s : shards_) parts.push_back(s->snapshot());
+      if (epoch_.load(std::memory_order_acquire) == before) {
+        auto view = std::make_shared<CombinedView>();
+        view->parts = std::move(parts);
+        view->combined = CombineSnapshots(view->parts);
+        std::atomic_store_explicit(&view_cache_,
+                                   std::shared_ptr<const CombinedView>(view),
+                                   std::memory_order_release);
+        view_misses_.fetch_add(1, std::memory_order_relaxed);
+        return view;
+      }
+      cached = std::atomic_load_explicit(&view_cache_, std::memory_order_acquire);
+    }
+    // A rebalance move is mid-flight; retry like Grab().
+    std::this_thread::yield();
+  }
+}
+
 double ShardedEngine::ResolveEps(std::optional<double> eps_opt) const {
   double eps = eps_opt.value_or(options_.shard.engine.default_eps);
   PNN_CHECK_MSG(eps > 0 && eps < 1, "eps must be in (0,1)");
@@ -142,22 +191,35 @@ double ShardedEngine::ResolveEps(std::optional<double> eps_opt) const {
 }
 
 std::vector<Id> ShardedEngine::NonzeroNN(Point2 q) const {
-  auto parts = Grab();
-  size_t live = 0, discrete = 0, continuous = 0;
-  for (const auto& s : parts) {
-    live += s->live_count;
-    discrete += s->discrete_count;
-    continuous += s->continuous_count;
+  return NonzeroNN(*View(), q);
+}
+
+std::vector<Id> ShardedEngine::NonzeroNN(const CombinedView& view, Point2 q) const {
+  const auto& parts = view.parts;
+  const dyn::Snapshot& u = *view.combined;
+  if (u.live_count == 0) return {};
+
+  // Skip empty shards before scheduling pool work: an empty shard
+  // contributes +inf to stage 1 and nothing to stage 2, so fanning it out
+  // (and allocating its per-shard result vector) is pure overhead.
+  util::ScratchVec<size_t> active_lease;
+  std::vector<size_t>& active = *active_lease;
+  active.clear();
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (parts[i]->live_count > 0) active.push_back(i);
   }
-  if (live == 0) return {};
 
   // Stage 1: the global Lemma 2.1 bound is the min over the shards'
   // per-part bounds; stage 2: per-shard threshold reporting against it.
   // Both stages are per-shard independent, so they fan out on the pool.
-  size_t n = parts.size();
+  size_t n = active.size();
   bool fan_out = options_.pool != nullptr && n > 1;
-  std::vector<double> deltas(n, kInf);
-  auto stage1 = [&](size_t i) { deltas[i] = dyn::SnapshotNonzeroDelta(*parts[i], q); };
+  util::ScratchVec<double> deltas_lease;
+  std::vector<double>& deltas = *deltas_lease;
+  deltas.assign(n, kInf);
+  auto stage1 = [&](size_t i) {
+    deltas[i] = dyn::SnapshotNonzeroDelta(*parts[active[i]], q);
+  };
   if (fan_out) {
     options_.pool->ParallelFor(n, stage1);
   } else {
@@ -166,10 +228,15 @@ std::vector<Id> ShardedEngine::NonzeroNN(Point2 q) const {
   double bound = kInf;
   for (double d : deltas) bound = std::min(bound, d);
 
-  bool mixed = discrete > 0 && continuous > 0;
-  std::vector<std::vector<Id>> found(n);
+  bool mixed = u.discrete_count > 0 && u.continuous_count > 0;
+  util::ScratchVec<std::vector<Id>> found_lease;
+  std::vector<std::vector<Id>>& found = *found_lease;
+  // Grow-only: shrinking would destroy the tail inner vectors and forfeit
+  // their pooled capacity when the active-shard count oscillates.
+  if (found.size() < n) found.resize(n);
+  for (size_t i = 0; i < n; ++i) found[i].clear();
   auto stage2 = [&](size_t i) {
-    dyn::AppendNonzeroNNWithin(*parts[i], q, bound, mixed, &found[i]);
+    dyn::AppendNonzeroNNWithin(*parts[active[i]], q, bound, mixed, &found[i]);
   };
   if (fan_out) {
     options_.pool->ParallelFor(n, stage2);
@@ -177,26 +244,47 @@ std::vector<Id> ShardedEngine::NonzeroNN(Point2 q) const {
     for (size_t i = 0; i < n; ++i) stage2(i);
   }
   std::vector<Id> out;
-  for (auto& f : found) out.insert(out.end(), f.begin(), f.end());
+  for (size_t i = 0; i < n; ++i) out.insert(out.end(), found[i].begin(), found[i].end());
   std::sort(out.begin(), out.end());
   return out;
 }
 
 std::vector<Quantification> ShardedEngine::Quantify(Point2 q,
                                                     std::optional<double> eps_opt) const {
+  return Quantify(*View(), q, eps_opt);
+}
+
+std::vector<Quantification> ShardedEngine::Quantify(const CombinedView& view, Point2 q,
+                                                    std::optional<double> eps_opt) const {
+  std::vector<Quantification> out;
+  QuantifyInto(view, q, eps_opt, &out);
+  return out;
+}
+
+void ShardedEngine::QuantifyInto(Point2 q, std::optional<double> eps_opt,
+                                 std::vector<Quantification>* out) const {
+  QuantifyInto(*View(), q, eps_opt, out);
+}
+
+void ShardedEngine::QuantifyInto(const CombinedView& view, Point2 q,
+                                 std::optional<double> eps_opt,
+                                 std::vector<Quantification>* out) const {
   double eps = ResolveEps(eps_opt);
-  dyn::Snapshot snap = CombineSnapshots(Grab());
-  if (snap.live_count == 0) return {};
+  const dyn::Snapshot& snap = *view.combined;
+  out->clear();
+  if (snap.live_count == 0) return;
   if (dyn::PlanForSnapshot(snap, options_.shard.engine, eps) == QuantifyPlan::kSpiral) {
-    return dyn::MergedSpiralQuantify(snap, q, eps);
+    dyn::MergedSpiralQuantifyInto(snap, q, eps, out);
+    return;
   }
   size_t rounds = dyn::McRoundsForSnapshot(snap, options_.shard.engine, eps);
-  return dyn::MergedMonteCarloQuantify(snap, q, rounds, options_.shard.engine.seed,
-                                       options_.pool);
+  dyn::MergedMonteCarloQuantifyInto(snap, q, rounds, options_.shard.engine.seed,
+                                    options_.pool, out);
 }
 
 std::vector<Quantification> ShardedEngine::QuantifyExact(Point2 q) const {
-  dyn::Snapshot snap = CombineSnapshots(Grab());
+  auto view = View();
+  const dyn::Snapshot& snap = *view->combined;
   if (snap.live_count == 0) return {};
   if (snap.all_discrete()) return dyn::MergedQuantifyExact(snap, q);
   PNN_CHECK_MSG(snap.all_continuous(),
@@ -210,8 +298,14 @@ std::vector<Quantification> ShardedEngine::QuantifyExact(Point2 q) const {
 
 std::vector<Quantification> ShardedEngine::ThresholdNN(Point2 q, double tau,
                                                        std::optional<double> eps) const {
+  return ThresholdNN(*View(), q, tau, eps);
+}
+
+std::vector<Quantification> ShardedEngine::ThresholdNN(const CombinedView& view,
+                                                       Point2 q, double tau,
+                                                       std::optional<double> eps) const {
   PNN_CHECK_MSG(tau >= 0 && tau <= 1, "ThresholdNN tau must be a probability in [0,1]");
-  return ThresholdFilter(Quantify(q, eps), tau);
+  return ThresholdFilter(Quantify(view, q, eps), tau);
 }
 
 Id ShardedEngine::MostLikelyNN(Point2 q, std::optional<double> eps) const {
@@ -219,13 +313,15 @@ Id ShardedEngine::MostLikelyNN(Point2 q, std::optional<double> eps) const {
 }
 
 QuantifyPlan ShardedEngine::PlanForQuantify(std::optional<double> eps_opt) const {
-  dyn::Snapshot snap = CombineSnapshots(Grab());
-  return dyn::PlanForSnapshot(snap, options_.shard.engine, ResolveEps(eps_opt));
+  auto view = View();
+  return dyn::PlanForSnapshot(*view->combined, options_.shard.engine,
+                              ResolveEps(eps_opt));
 }
 
 void ShardedEngine::Prewarm(std::optional<double> eps_opt) const {
   double eps = ResolveEps(eps_opt);
-  dyn::Snapshot snap = CombineSnapshots(Grab());
+  auto view = View();
+  const dyn::Snapshot& snap = *view->combined;
   if (snap.live_count == 0) return;
   if (dyn::PlanForSnapshot(snap, options_.shard.engine, eps) !=
       QuantifyPlan::kMonteCarlo) {
@@ -234,6 +330,9 @@ void ShardedEngine::Prewarm(std::optional<double> eps_opt) const {
   size_t rounds = dyn::McRoundsForSnapshot(snap, options_.shard.engine, eps);
   for (const auto& bref : snap.buckets) {
     if (bref.live_count > 0) bref.bucket->EnsureRounds(rounds, options_.pool);
+  }
+  if (snap.tail_mc != nullptr) {
+    snap.tail_mc->Ensure(snap, rounds, options_.shard.engine.seed);
   }
 }
 
@@ -255,9 +354,15 @@ RebalanceStats ShardedEngine::rebalance_stats() const {
   return rebalance_stats_;
 }
 
+SnapshotCacheStats ShardedEngine::snapshot_cache_stats() const {
+  SnapshotCacheStats s;
+  s.hits = view_hits_.load(std::memory_order_relaxed);
+  s.misses = view_misses_.load(std::memory_order_relaxed);
+  return s;
+}
+
 UncertainSet ShardedEngine::LiveSet(std::vector<Id>* ids) const {
-  dyn::Snapshot snap = CombineSnapshots(Grab());
-  return dyn::SnapshotLiveSet(snap, ids);
+  return dyn::SnapshotLiveSet(*View()->combined, ids);
 }
 
 Engine::Options ShardedEngine::ReferenceEngineOptions() const {

@@ -37,6 +37,12 @@
 // the (cheap, N atomic loads) gather instead of ever observing a point
 // twice or not at all. Updates serialize on the router mutex; during a
 // background rebalance they stall at most one point-move at a time.
+//
+// The gather + union rebuild is cached (see CombinedView): a query first
+// validates the published view against the shards' current snapshot
+// pointers under the epoch, so bursts against an unchanged live set pay
+// the recombination setup once and the steady-state query path allocates
+// nothing (tests/alloc_hotpath_test.cc).
 
 #ifndef PNN_SHARD_SHARDED_ENGINE_H_
 #define PNN_SHARD_SHARDED_ENGINE_H_
@@ -95,6 +101,25 @@ struct RebalanceStats {
   size_t points_moved = 0;   // Total erase+reinsert migrations.
 };
 
+/// One immutable cross-shard query view: the per-shard snapshots gathered
+/// under a seqlock epoch plus their combined union snapshot. Published
+/// through the engine's snapshot cache, so query bursts against an
+/// unchanged live set share one view; any shard publish (insert, erase,
+/// background merge/compaction, rebalance move) makes the next View() call
+/// rebuild it. Holding a view pins its structures: queries against it stay
+/// valid and answer as of the gather.
+struct CombinedView {
+  std::vector<std::shared_ptr<const dyn::Snapshot>> parts;
+  std::shared_ptr<const dyn::Snapshot> combined;
+};
+
+/// Hit/miss counters of the combined-snapshot cache (process-lifetime,
+/// monotone; hit rate = hits / (hits + misses)).
+struct SnapshotCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
+
 /// Thread safety: queries are const, lock-free (seqlock-retry on rebalance
 /// moves only) and may run concurrently with updates, maintenance and
 /// rebalance. Updates serialize on an internal mutex.
@@ -115,13 +140,30 @@ class ShardedEngine {
   /// Removes a point; false if the id is unknown or already erased.
   bool Erase(Id id);
 
+  /// The current combined view. Cache hit: a handful of atomic loads and
+  /// pointer compares, no allocation; miss: one seqlock gather plus the
+  /// union rebuild, published for subsequent queries. The batch executor
+  /// threads one view through a whole batch.
+  std::shared_ptr<const CombinedView> View() const;
+
   /// NN!=0(q) over the union, ascending ids (Lemma 2.1 semantics).
   std::vector<Id> NonzeroNN(Point2 q) const;
+  std::vector<Id> NonzeroNN(const CombinedView& view, Point2 q) const;
 
   /// Estimates of all positive pi_i(q) within additive eps; indices are
   /// global ids, ascending.
   std::vector<Quantification> Quantify(Point2 q,
                                        std::optional<double> eps = std::nullopt) const;
+  std::vector<Quantification> Quantify(const CombinedView& view, Point2 q,
+                                       std::optional<double> eps = std::nullopt) const;
+
+  /// Quantify writing into `out` (cleared first) — the zero-allocation
+  /// form: with a warm view, warm Monte-Carlo/tail caches and a warm
+  /// scratch arena, a steady-state call allocates nothing.
+  void QuantifyInto(Point2 q, std::optional<double> eps,
+                    std::vector<Quantification>* out) const;
+  void QuantifyInto(const CombinedView& view, Point2 q, std::optional<double> eps,
+                    std::vector<Quantification>* out) const;
 
   /// Exact pi_i(q) (discrete: survival-profile recombination across every
   /// shard's parts; continuous: quadrature over the gathered union).
@@ -129,6 +171,9 @@ class ShardedEngine {
 
   /// Points with pi_i(q) > tau; tau must be in [0, 1] (checked).
   std::vector<Quantification> ThresholdNN(Point2 q, double tau,
+                                          std::optional<double> eps = std::nullopt) const;
+  std::vector<Quantification> ThresholdNN(const CombinedView& view, Point2 q,
+                                          double tau,
                                           std::optional<double> eps = std::nullopt) const;
 
   /// Id with the largest estimated quantification probability (-1 when the
@@ -163,6 +208,7 @@ class ShardedEngine {
   uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
   std::vector<size_t> ShardLiveSizes() const;
   RebalanceStats rebalance_stats() const;
+  SnapshotCacheStats snapshot_cache_stats() const;
   const Options& options() const { return options_; }
 
   /// The live union in ascending-id order (with the ids when non-null) —
@@ -193,6 +239,13 @@ class ShardedEngine {
   /// Seqlock epoch: odd while a rebalance move is mid-flight across two
   /// shards; queries retry their snapshot gather on any change.
   mutable std::atomic<uint64_t> epoch_{0};
+  /// Combined-snapshot cache (atomic shared_ptr): valid exactly while
+  /// every shard's current snapshot pointer equals the cached part (the
+  /// cache holds the parts alive, so pointer equality cannot alias a
+  /// recycled address). Any shard publish therefore invalidates it.
+  mutable std::shared_ptr<const CombinedView> view_cache_;
+  mutable std::atomic<uint64_t> view_hits_{0};
+  mutable std::atomic<uint64_t> view_misses_{0};
 
   // Guarded by mu_:
   Id next_id_ = 0;

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "src/util/arena.h"
 #include "src/util/check.h"
 
 namespace pnn {
@@ -70,8 +71,13 @@ int KdTree::Nearest(Point2 q, double* out_dist, const std::vector<char>* skip) c
   PNN_CHECK_MSG(!points_.empty(), "Nearest on empty tree");
   double best = kInf;
   int best_idx = -1;
-  // Iterative DFS with pruning; visits the closer child first.
-  std::vector<int> stack = {root_};
+  // Iterative DFS with pruning; visits the closer child first. The stack
+  // is a scratch lease: Nearest runs once per Monte-Carlo round per query,
+  // so a per-call allocation here would dominate the hot path.
+  util::ScratchVec<int> lease;
+  std::vector<int>& stack = *lease;
+  stack.clear();
+  stack.push_back(root_);
   while (!stack.empty()) {
     int id = stack.back();
     stack.pop_back();
@@ -112,7 +118,10 @@ std::vector<int> KdTree::KNearest(Point2 q, int k) const {
 std::vector<int> KdTree::ReportWithin(Point2 q, double r) const {
   std::vector<int> out;
   if (root_ < 0) return out;
-  std::vector<int> stack = {root_};
+  util::ScratchVec<int> lease;
+  std::vector<int>& stack = *lease;
+  stack.clear();
+  stack.push_back(root_);
   while (!stack.empty()) {
     int id = stack.back();
     stack.pop_back();
@@ -135,7 +144,10 @@ double KdTree::MinAdditivelyWeighted(Point2 q, int* arg,
   PNN_CHECK_MSG(!points_.empty(), "MinAdditivelyWeighted on empty tree");
   double best = kInf;
   int best_idx = -1;
-  std::vector<int> stack = {root_};
+  util::ScratchVec<int> lease;
+  std::vector<int>& stack = *lease;
+  stack.clear();
+  stack.push_back(root_);
   while (!stack.empty()) {
     int id = stack.back();
     stack.pop_back();
@@ -172,7 +184,10 @@ double KdTree::MinAdditivelyWeighted(Point2 q, int* arg,
 std::vector<int> KdTree::ReportSubtractiveLess(Point2 q, double bound) const {
   std::vector<int> out;
   if (root_ < 0) return out;
-  std::vector<int> stack = {root_};
+  util::ScratchVec<int> lease;
+  std::vector<int>& stack = *lease;
+  stack.clear();
+  stack.push_back(root_);
   while (!stack.empty()) {
     int id = stack.back();
     stack.pop_back();
@@ -194,18 +209,30 @@ std::vector<int> KdTree::ReportSubtractiveLess(Point2 q, double bound) const {
 }
 
 KdTree::Incremental::Incremental(const KdTree& tree, Point2 q) : tree_(tree), q_(q) {
+  heap_->clear();
   if (tree_.root_ >= 0) PushNode(tree_.root_);
+}
+
+void KdTree::Incremental::Push(Entry e) {
+  heap_->push_back(e);
+  std::push_heap(heap_->begin(), heap_->end());
+}
+
+KdTree::Incremental::Entry KdTree::Incremental::Pop() {
+  std::pop_heap(heap_->begin(), heap_->end());
+  Entry e = heap_->back();
+  heap_->pop_back();
+  return e;
 }
 
 void KdTree::Incremental::PushNode(int node) {
   const Node& n = tree_.nodes_[node];
-  heap_.push({tree_.BoxDist(n.box, q_), node, -1});
+  Push({tree_.BoxDist(n.box, q_), node, -1});
 }
 
 int KdTree::Incremental::Next(double* dist) {
-  while (!heap_.empty()) {
-    Entry top = heap_.top();
-    heap_.pop();
+  while (!heap_->empty()) {
+    Entry top = Pop();
     if (top.node < 0) {
       if (dist != nullptr) *dist = top.key;
       return top.point;
@@ -214,7 +241,7 @@ int KdTree::Incremental::Next(double* dist) {
     if (n.left < 0) {
       for (int i = n.begin; i < n.end; ++i) {
         int idx = tree_.order_[i];
-        heap_.push({tree_.PointDist(q_, tree_.points_[idx]), -1, idx});
+        Push({tree_.PointDist(q_, tree_.points_[idx]), -1, idx});
       }
     } else {
       PushNode(n.left);

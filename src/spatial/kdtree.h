@@ -14,11 +14,11 @@
 #ifndef PNN_SPATIAL_KDTREE_H_
 #define PNN_SPATIAL_KDTREE_H_
 
-#include <queue>
 #include <vector>
 
 #include "src/geometry/box2.h"
 #include "src/geometry/point2.h"
+#include "src/util/arena.h"
 
 namespace pnn {
 
@@ -63,13 +63,15 @@ class KdTree {
   /// Best-first enumeration of points in ascending distance from a query;
   /// each Next() costs O(log n) amortized. Used by the spiral-search
   /// quantifier to consume exactly as many neighbors as the error bound
-  /// requires.
+  /// requires. The heap storage is leased from the per-thread scratch
+  /// arena, so constructing one per query allocates nothing in steady
+  /// state. Move-only (the lease follows the object).
   class Incremental {
    public:
     Incremental(const KdTree& tree, Point2 q);
 
     /// True if another point is available.
-    bool HasNext() const { return !heap_.empty(); }
+    bool HasNext() const { return !heap_->empty(); }
 
     /// Returns the next nearest point index; fills *dist if non-null.
     int Next(double* dist = nullptr);
@@ -83,8 +85,12 @@ class KdTree {
     };
     const KdTree& tree_;
     Point2 q_;
-    std::priority_queue<Entry> heap_;
+    // Leased binary heap driven by std::push_heap/pop_heap — identical
+    // ordering to the std::priority_queue it replaces.
+    util::ScratchVec<Entry> heap_;
     void PushNode(int node);
+    void Push(Entry e);
+    Entry Pop();
   };
 
  private:

@@ -1,0 +1,29 @@
+// Allocation-counting hook for the zero-allocation query-path guarantees:
+// linking in this translation unit (by referencing AllocationCount())
+// replaces the global operator new/delete with malloc/free wrappers that
+// bump a process-wide counter. The hot-path tests and bench_query_hotpath
+// snapshot the counter around a query to assert / report allocations per
+// steady-state query.
+//
+// The override lives in alloc_hook.cc and is pulled from the static
+// library only when a binary references a symbol from it, so ordinary
+// binaries keep the default allocator untouched.
+
+#ifndef PNN_UTIL_ALLOC_HOOK_H_
+#define PNN_UTIL_ALLOC_HOOK_H_
+
+#include <cstdint>
+
+namespace pnn {
+namespace util {
+
+/// Number of global operator new / new[] invocations in this process so
+/// far (all threads; relaxed counter). Only meaningful in binaries that
+/// reference this function — referencing it is what links the counting
+/// operator new override in.
+int64_t AllocationCount();
+
+}  // namespace util
+}  // namespace pnn
+
+#endif  // PNN_UTIL_ALLOC_HOOK_H_

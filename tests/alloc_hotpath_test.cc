@@ -1,0 +1,142 @@
+// Zero-allocation guarantees of the steady-state query hot path: with warm
+// caches (bucket Monte-Carlo rounds, tail samples, the shard router's
+// combined view) and a warm per-thread scratch arena, QuantifyInto on the
+// spiral and Monte-Carlo paths of both the dynamic engine and the shard
+// router performs zero heap allocations. Referencing
+// util::AllocationCount() links in the counting operator new override
+// (util/alloc_hook.cc), so the assertions see every allocation in the
+// process.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/dyn/dynamic_engine.h"
+#include "src/shard/sharded_engine.h"
+#include "src/util/alloc_hook.h"
+#include "src/util/rng.h"
+
+namespace pnn {
+namespace {
+
+UncertainPoint SmallDiscrete(Rng* rng) {
+  int k = static_cast<int>(rng->UniformInt(1, 3));
+  std::vector<Point2> locs(k);
+  std::vector<double> w(k);
+  double total = 0;
+  for (int s = 0; s < k; ++s) {
+    locs[s] = {rng->Uniform(-40, 40), rng->Uniform(-40, 40)};
+    w[s] = rng->Uniform(0.2, 1.0);
+    total += w[s];
+  }
+  for (int s = 0; s < k; ++s) w[s] /= total;
+  return UncertainPoint::Discrete(std::move(locs), std::move(w));
+}
+
+// Engines are built with churn so the structure has several buckets, live
+// tombstone masks and a non-empty tail — the worst steady-state shape.
+template <typename EngineT>
+void Churn(EngineT* engine, Rng* rng, int n) {
+  for (int i = 0; i < n; ++i) engine->Insert(SmallDiscrete(rng));
+  for (int i = 0; i < n / 4; ++i) {
+    engine->Erase(static_cast<dyn::Id>(i * 3 % n));
+    engine->Insert(SmallDiscrete(rng));
+  }
+}
+
+// Warm with the exact query set (settles caches and every scratch/output
+// capacity), then assert the same queries allocate nothing.
+template <typename EngineT>
+void ExpectZeroAllocQueries(EngineT* engine, const std::vector<Point2>& queries,
+                            double eps) {
+  std::vector<Quantification> out;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (Point2 q : queries) engine->QuantifyInto(q, eps, &out);
+  }
+  for (Point2 q : queries) {
+    int64_t before = util::AllocationCount();
+    engine->QuantifyInto(q, eps, &out);
+    int64_t delta = util::AllocationCount() - before;
+    EXPECT_EQ(delta, 0) << "allocations in a warm query at (" << q.x << ", " << q.y
+                        << ")";
+    EXPECT_FALSE(out.empty());
+  }
+}
+
+std::vector<Point2> TestQueries(Rng* rng, int count) {
+  std::vector<Point2> qs(count);
+  for (auto& q : qs) q = {rng->Uniform(-45, 45), rng->Uniform(-45, 45)};
+  return qs;
+}
+
+dyn::Options DynOptions(bool monte_carlo) {
+  dyn::Options opt;
+  opt.engine.seed = 99;
+  if (monte_carlo) {
+    opt.engine.spiral_budget_fraction = 1e-9;  // Force the MC plan.
+    opt.engine.mc_rounds_override = 24;
+  }
+  return opt;
+}
+
+TEST(AllocHotpath, DynamicSpiralQueriesAllocateNothing) {
+  Rng rng(501);
+  dyn::DynamicEngine engine(DynOptions(false));
+  Churn(&engine, &rng, 300);
+  ASSERT_EQ(engine.PlanForQuantify(0.1), QuantifyPlan::kSpiral);
+  ExpectZeroAllocQueries(&engine, TestQueries(&rng, 8), 0.1);
+}
+
+TEST(AllocHotpath, DynamicMonteCarloQueriesAllocateNothing) {
+  Rng rng(503);
+  dyn::DynamicEngine engine(DynOptions(true));
+  Churn(&engine, &rng, 300);
+  ASSERT_EQ(engine.PlanForQuantify(0.1), QuantifyPlan::kMonteCarlo);
+  ASSERT_GT(engine.tail_size(), 0u);  // The tail-sample cache is exercised.
+  ExpectZeroAllocQueries(&engine, TestQueries(&rng, 8), 0.1);
+}
+
+TEST(AllocHotpath, ShardedSpiralQueriesAllocateNothing) {
+  Rng rng(505);
+  shard::Options sopt;
+  sopt.num_shards = 3;
+  sopt.shard = DynOptions(false);
+  shard::ShardedEngine engine(sopt);
+  Churn(&engine, &rng, 300);
+  ASSERT_EQ(engine.PlanForQuantify(0.1), QuantifyPlan::kSpiral);
+  shard::SnapshotCacheStats before = engine.snapshot_cache_stats();
+  ExpectZeroAllocQueries(&engine, TestQueries(&rng, 8), 0.1);
+  // The warm queries all hit the combined-snapshot cache.
+  shard::SnapshotCacheStats after = engine.snapshot_cache_stats();
+  EXPECT_GT(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+}
+
+TEST(AllocHotpath, ShardedMonteCarloQueriesAllocateNothing) {
+  Rng rng(507);
+  shard::Options sopt;
+  sopt.num_shards = 3;
+  sopt.shard = DynOptions(true);
+  shard::ShardedEngine engine(sopt);
+  Churn(&engine, &rng, 300);
+  ASSERT_EQ(engine.PlanForQuantify(0.1), QuantifyPlan::kMonteCarlo);
+  ExpectZeroAllocQueries(&engine, TestQueries(&rng, 8), 0.1);
+}
+
+TEST(AllocHotpath, UpdatesInvalidateThenQueriesRewarm) {
+  // After an update the first query may allocate (view + tail cache
+  // rebuild); the steady state after it must return to zero.
+  Rng rng(509);
+  shard::Options sopt;
+  sopt.num_shards = 3;
+  sopt.shard = DynOptions(true);
+  shard::ShardedEngine engine(sopt);
+  Churn(&engine, &rng, 200);
+  std::vector<Point2> queries = TestQueries(&rng, 4);
+  ExpectZeroAllocQueries(&engine, queries, 0.1);
+  engine.Insert(SmallDiscrete(&rng));
+  ExpectZeroAllocQueries(&engine, queries, 0.1);
+}
+
+}  // namespace
+}  // namespace pnn

@@ -303,6 +303,74 @@ TEST(DynamicEngineDeath, InsertWithIdRejectsLiveId) {
   EXPECT_DEATH(engine.InsertWithId(-1, Disk(1, 1)), "nonnegative");
 }
 
+TEST(DynamicEngine, TailSampleCacheRepeatsBitIdentically) {
+  // Repeated Monte-Carlo quantifications against one snapshot go through
+  // the tail-sample cache after the first; the answers must not move, and
+  // must survive a rounds extension (a tighter eps on the same snapshot).
+  Options opt;
+  opt.engine.spiral_budget_fraction = 1e-9;  // Force the MC plan.
+  opt.engine.mc_rounds_override = 0;         // Rounds scale with eps.
+  opt.tail_limit = 64;                       // Keep everything in the tail.
+  DynamicEngine engine(opt);
+  for (int i = 0; i < 12; ++i) engine.Insert(Loc(i, i % 3));
+  ASSERT_GT(engine.tail_size(), 0u);
+  ASSERT_EQ(engine.PlanForQuantify(0.2), QuantifyPlan::kMonteCarlo);
+
+  Point2 q{2, 1};
+  std::vector<Quantification> cold = engine.Quantify(q, 0.2);
+  for (int rep = 0; rep < 3; ++rep) {
+    std::vector<Quantification> warm = engine.Quantify(q, 0.2);
+    ASSERT_EQ(warm.size(), cold.size());
+    for (size_t i = 0; i < warm.size(); ++i) {
+      EXPECT_EQ(warm[i].index, cold[i].index);
+      EXPECT_EQ(warm[i].probability, cold[i].probability);
+    }
+  }
+  // Tighter eps: more rounds, the cache extends in place; the tighter
+  // answers must agree with a fresh engine fed the same set.
+  std::vector<Quantification> tight = engine.Quantify(q, 0.1);
+  DynamicEngine fresh(engine.LiveSet(), opt);
+  // fresh holds one bucket, engine holds a pure tail: both decompose to
+  // the same id-keyed sample streams.
+  std::vector<Quantification> want = fresh.Quantify(q, 0.1);
+  ASSERT_EQ(tight.size(), want.size());
+  for (size_t i = 0; i < tight.size(); ++i) {
+    EXPECT_EQ(tight[i].index, want[i].index);
+    EXPECT_EQ(tight[i].probability, want[i].probability);
+  }
+}
+
+TEST(DynamicEngine, PrewarmAfterBuildKeepsAnswersIdentical) {
+  // prewarm_after_build only moves construction work into the maintenance
+  // job; every answer must match an engine without it, op for op.
+  Options warm_opt;
+  warm_opt.engine.spiral_budget_fraction = 1e-9;
+  warm_opt.engine.mc_rounds_override = 24;
+  warm_opt.tail_limit = 8;
+  warm_opt.prewarm_after_build = true;
+  Options cold_opt = warm_opt;
+  cold_opt.prewarm_after_build = false;
+
+  DynamicEngine warm(warm_opt), cold(cold_opt);
+  Rng rng(661);
+  for (int i = 0; i < 60; ++i) {
+    UncertainPoint p = Loc(rng.Uniform(-20, 20), rng.Uniform(-20, 20));
+    ASSERT_EQ(warm.Insert(p), cold.Insert(p));
+    if (i % 5 == 4) {
+      Point2 q{rng.Uniform(-20, 20), rng.Uniform(-20, 20)};
+      std::vector<Quantification> a = warm.Quantify(q, 0.15);
+      std::vector<Quantification> b = cold.Quantify(q, 0.15);
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t j = 0; j < a.size(); ++j) {
+        EXPECT_EQ(a[j].index, b[j].index);
+        EXPECT_EQ(a[j].probability, b[j].probability);
+      }
+    }
+  }
+  warm.WaitForMaintenance();
+  ASSERT_GE(warm.num_buckets(), 1u);
+}
+
 }  // namespace
 }  // namespace dyn
 }  // namespace pnn

@@ -136,6 +136,93 @@ TEST(ShardRace, SpatialWithAutoRebalance) {
 
 TEST(ShardRace, HashWithAutoRebalance) { RunRace(PlacementKind::kHashById, true, 7007); }
 
+TEST(ShardRace, SnapshotCachePublishRacesUpdaters) {
+  // Concurrent updaters race the combined-view cache publish while
+  // queriers validate / rebuild it (every query routes through View now):
+  // quantify-heavy queriers maximize cache traffic, an updater invalidates
+  // continuously, auto-rebalance adds the epoch-bumping multi-shard
+  // mutation, and pinned views taken mid-race must keep answering from a
+  // consistent gather (ascending ids, bounded probabilities).
+  exec::ThreadPool pool(3);
+  Options sopt;
+  sopt.num_shards = 4;
+  sopt.placement = PlacementKind::kSpatialKdMedian;
+  sopt.pool = &pool;
+  sopt.auto_rebalance = true;
+  sopt.rebalance_min_points = 48;
+  sopt.rebalance_max_imbalance = 1.5;
+  sopt.shard.tail_limit = 8;
+  sopt.shard.engine.mc_rounds_override = 24;
+  ShardedEngine engine(sopt);
+  Rng seed_rng(8101);
+  for (int i = 0; i < 64; ++i) engine.Insert(RacePoint(&seed_rng));
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  threads.emplace_back([&] {
+    Rng rng(8102);
+    std::vector<Id> mine;
+    for (int op = 0; op < 400; ++op) {
+      if (mine.empty() || rng.Bernoulli(0.55)) {
+        mine.push_back(engine.Insert(RacePoint(&rng)));
+      } else {
+        size_t pick = static_cast<size_t>(rng.UniformInt(0, mine.size() - 1));
+        EXPECT_TRUE(engine.Erase(mine[pick]));
+        mine.erase(mine.begin() + static_cast<long>(pick));
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(8110 + static_cast<uint64_t>(t));
+      std::vector<Quantification> out;
+      while (!done.load(std::memory_order_acquire)) {
+        Point2 q{rng.Uniform(-35, 35), rng.Uniform(-35, 35)};
+        // Alternate the cached entry point and an explicitly pinned view.
+        if (rng.Bernoulli(0.5)) {
+          engine.QuantifyInto(q, 0.25, &out);
+        } else {
+          auto view = engine.View();
+          out = engine.Quantify(*view, q, 0.25);
+          // The pinned view must re-answer identically (it is immutable).
+          std::vector<Quantification> again = engine.Quantify(*view, q, 0.25);
+          ASSERT_EQ(again.size(), out.size());
+          for (size_t i = 0; i < out.size(); ++i) {
+            EXPECT_EQ(again[i].index, out[i].index);
+            EXPECT_EQ(again[i].probability, out[i].probability);
+          }
+        }
+        for (size_t i = 0; i < out.size(); ++i) {
+          if (i > 0) {
+            EXPECT_LT(out[i - 1].index, out[i].index);
+          }
+          EXPECT_GE(out[i].probability, 0.0);
+          EXPECT_LE(out[i].probability, 1.0 + 1e-9);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  engine.WaitForMaintenance();
+
+  // Post-race reconciliation through the (now stable) cache.
+  std::vector<Id> ids;
+  UncertainSet live = engine.LiveSet(&ids);
+  Engine reference(live, engine.ReferenceEngineOptions());
+  Rng rng(8999);
+  for (int t = 0; t < 5; ++t) {
+    Point2 q{rng.Uniform(-35, 35), rng.Uniform(-35, 35)};
+    std::vector<Quantification> got = engine.Quantify(q, 0.2);
+    std::vector<Quantification> want = reference.Quantify(q, 0.2);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].index, ids[static_cast<size_t>(want[i].index)]);
+      EXPECT_EQ(got[i].probability, want[i].probability);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace shard
 }  // namespace pnn

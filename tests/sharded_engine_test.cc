@@ -349,6 +349,90 @@ TEST(ShardedEngine, SpatialRouterSplitRelabelsRegion) {
   EXPECT_EQ(router.Route({-5, 5}), left);
 }
 
+TEST(ShardedSnapshotCache, HotColdInvalidatedStayBitIdenticalToStaticEngine) {
+  // The combined-snapshot cache must be invisible: across epochs separated
+  // by insert / erase / rebalance (each of which invalidates the cached
+  // view), a cold query (first after the update) and hot repeats (cache
+  // hits) must all equal a fresh static Engine over the live set,
+  // bit-for-bit, on every quantify mode.
+  Rng rng(777);
+  Options sopt;
+  sopt.num_shards = 3;
+  sopt.placement = PlacementKind::kSpatialKdMedian;
+  sopt.shard.engine.seed = 31;
+  sopt.shard.engine.mc_rounds_override = 40;
+  sopt.shard.tail_limit = 8;
+  sopt.rebalance_min_points = 16;
+  sopt.rebalance_max_imbalance = 1.5;
+  ShardedEngine engine(sopt);
+
+  std::vector<Id> live;
+  for (int i = 0; i < 96; ++i) live.push_back(engine.Insert(RandomDiscretePoint(&rng)));
+
+  uint64_t expected_misses = engine.snapshot_cache_stats().misses;
+  for (int epoch = 0; epoch < 12; ++epoch) {
+    // Mutate: cycle through the three invalidation sources.
+    if (epoch % 3 == 0) {
+      live.push_back(engine.Insert(RandomDiscretePoint(&rng)));
+    } else if (epoch % 3 == 1) {
+      size_t pick = static_cast<size_t>(rng.UniformInt(0, live.size() - 1));
+      EXPECT_TRUE(engine.Erase(live[pick]));
+      live.erase(live.begin() + static_cast<long>(pick));
+    } else {
+      engine.RebalanceNow();
+    }
+
+    std::vector<Id> ids;
+    UncertainSet live_set = engine.LiveSet(&ids);  // Warms the view once.
+    Engine reference(live_set, engine.ReferenceEngineOptions());
+
+    SnapshotCacheStats before = engine.snapshot_cache_stats();
+    if (epoch % 3 != 2) {
+      // Insert/erase published a new shard snapshot, so the LiveSet()
+      // gather above must have rebuilt the view (RebalanceNow may no-op).
+      EXPECT_GT(before.misses, expected_misses);
+    }
+    expected_misses = before.misses;
+    for (int pass = 0; pass < 3; ++pass) {  // pass 0 warms, 1-2 must hit.
+      Point2 q{rng.Uniform(-35, 35), rng.Uniform(-35, 35)};
+      for (int rep = 0; rep < 2; ++rep) {
+        std::vector<Quantification> got = engine.Quantify(q, 0.1);
+        std::vector<Quantification> want = reference.Quantify(q, 0.1);
+        ASSERT_EQ(got.size(), want.size());
+        for (size_t i = 0; i < got.size(); ++i) {
+          EXPECT_EQ(got[i].index, ids[want[i].index]);
+          EXPECT_EQ(got[i].probability, want[i].probability);
+        }
+        EXPECT_EQ(engine.MostLikelyNN(q, 0.1),
+                  want.empty() ? -1 : ids[pnn::MostLikelyNN(want)]);
+      }
+    }
+    SnapshotCacheStats after = engine.snapshot_cache_stats();
+    EXPECT_EQ(after.misses, before.misses);  // No update: hits only.
+    EXPECT_GT(after.hits, before.hits);
+  }
+}
+
+TEST(ShardedSnapshotCache, ViewPinsConsistentStateAcrossUpdates) {
+  // A view grabbed before updates keeps answering from its gather: the
+  // batch executor relies on this to thread one view through a batch.
+  Rng rng(778);
+  Options sopt;
+  sopt.num_shards = 2;
+  sopt.shard.engine.mc_rounds_override = 32;
+  ShardedEngine engine(sopt);
+  for (int i = 0; i < 40; ++i) engine.Insert(RandomDiscretePoint(&rng));
+
+  auto view = engine.View();
+  Point2 q{0, 0};
+  std::vector<Quantification> before = engine.Quantify(*view, q, 0.1);
+  for (int i = 0; i < 20; ++i) engine.Insert(RandomDiscretePoint(&rng));
+  // The pinned view still answers as of the gather...
+  ExpectBitIdentical(engine.Quantify(*view, q, 0.1), before);
+  // ...while a fresh view sees the inserts.
+  EXPECT_EQ(engine.View()->combined->live_count, 60u);
+}
+
 TEST(ShardedBatch, MixedBatchMatchesDynamicBackend) {
   // The same mixed op stream through a ShardedEngine-backed BatchEngine
   // and a DynamicEngine-backed one must produce identical results.
