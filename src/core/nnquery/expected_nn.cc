@@ -8,22 +8,26 @@
 
 namespace pnn {
 
-ExpectedNNIndex::ExpectedNNIndex(const UncertainSet* points)
-    : points_(points), centroid_tree_([&] {
-        PNN_CHECK_MSG(points != nullptr && !points->empty(),
-                      "ExpectedNNIndex needs points");
-        std::vector<Point2> centroids(points->size());
-        for (size_t i = 0; i < points->size(); ++i) {
-          centroids[i] = (*points)[i].Centroid();
-        }
-        return centroids;
-      }()) {
+ExpectedNNIndex::ExpectedNNIndex(const UncertainSet* points,
+                                 const KdBuildOptions& build)
+    : points_(points), centroid_tree_(
+                           [&] {
+                             PNN_CHECK_MSG(points != nullptr && !points->empty(),
+                                           "ExpectedNNIndex needs points");
+                             std::vector<Point2> centroids(points->size());
+                             for (size_t i = 0; i < points->size(); ++i) {
+                               centroids[i] = (*points)[i].Centroid();
+                             }
+                             return centroids;
+                           }(),
+                           std::vector<double>(), Metric::kEuclidean, build) {
   // Upper bounds E[d(q,P)] <= d(q,c) + E[d(c,P)] are also available via the
-  // triangle inequality; precompute E[d(c_i, P_i)] once.
+  // triangle inequality; precompute E[d(c_i, P_i)] once. Entries are
+  // index-determined, so the pool fan-out cannot change them.
   mean_spread_.resize(points_->size());
-  for (size_t i = 0; i < points_->size(); ++i) {
+  exec::MaybeParallelFor(build.pool, points_->size(), [&](size_t i) {
     mean_spread_[i] = (*points_)[i].ExpectedDistance((*points_)[i].Centroid());
-  }
+  });
 }
 
 double ExpectedNNIndex::ExpectedDistance(Point2 q, int i) const {

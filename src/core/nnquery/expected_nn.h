@@ -23,7 +23,11 @@ namespace pnn {
 /// Exact expected-distance NN / top-k queries over uncertain points.
 class ExpectedNNIndex {
  public:
-  explicit ExpectedNNIndex(const UncertainSet* points);
+  /// `build.pool` fans the per-point mean-spread precomputation (cached
+  /// quadrature for continuous points) out across the pool, and the
+  /// centroid kd build per-subtree; the index is identical either way.
+  explicit ExpectedNNIndex(const UncertainSet* points,
+                           const KdBuildOptions& build = KdBuildOptions());
 
   /// Index minimizing E[d(q, P_i)].
   int Nearest(Point2 q) const;

@@ -4,11 +4,13 @@
 #include <limits>
 
 #include "src/geometry/hull.h"
+#include "src/util/arena.h"
 #include "src/util/check.h"
 
 namespace pnn {
 
-NonzeroNNIndex::NonzeroNNIndex(const std::vector<Circle>& disks)
+NonzeroNNIndex::NonzeroNNIndex(const std::vector<Circle>& disks,
+                               const KdBuildOptions& build)
     : tree_(
           [&] {
             std::vector<Point2> centers(disks.size());
@@ -19,7 +21,8 @@ NonzeroNNIndex::NonzeroNNIndex(const std::vector<Circle>& disks)
             std::vector<double> radii(disks.size());
             for (size_t i = 0; i < disks.size(); ++i) radii[i] = disks[i].radius;
             return radii;
-          }()) {
+          }(),
+          Metric::kEuclidean, build) {
   PNN_CHECK_MSG(!disks.empty(), "NonzeroNNIndex needs at least one disk");
 }
 
@@ -33,14 +36,22 @@ std::vector<int> NonzeroNNIndex::Query(Point2 q) const {
 
 std::vector<int> NonzeroNNIndex::QueryWithin(Point2 q, double bound,
                                              const std::vector<char>* skip) const {
-  std::vector<int> out = tree_.ReportSubtractiveLess(q, bound);
-  if (skip != nullptr) {
-    out.erase(std::remove_if(out.begin(), out.end(),
-                             [&](int i) { return (*skip)[i] != 0; }),
-              out.end());
-  }
-  std::sort(out.begin(), out.end());
+  std::vector<int> out;
+  QueryWithinInto(q, bound, skip, &out);
   return out;
+}
+
+void NonzeroNNIndex::QueryWithinInto(Point2 q, double bound,
+                                     const std::vector<char>* skip,
+                                     std::vector<int>* out) const {
+  out->clear();
+  tree_.ReportSubtractiveLessInto(q, bound, out);
+  if (skip != nullptr) {
+    out->erase(std::remove_if(out->begin(), out->end(),
+                              [&](int i) { return (*skip)[i] != 0; }),
+               out->end());
+  }
+  std::sort(out->begin(), out->end());
 }
 
 LinfNonzeroNNIndex::LinfNonzeroNNIndex(std::vector<Point2> centers,
@@ -60,7 +71,7 @@ std::vector<int> LinfNonzeroNNIndex::Query(Point2 q) const {
 }
 
 DiscreteNonzeroNNIndex::DiscreteNonzeroNNIndex(
-    const std::vector<std::vector<Point2>>& points)
+    const std::vector<std::vector<Point2>>& points, const KdBuildOptions& build)
     : hulls_([&] {
         std::vector<std::vector<Point2>> hulls(points.size());
         for (size_t i = 0; i < points.size(); ++i) {
@@ -69,25 +80,46 @@ DiscreteNonzeroNNIndex::DiscreteNonzeroNNIndex(
         }
         return hulls;
       }()),
-      centroid_tree_([&] {
-        std::vector<Point2> centroids(points.size());
-        for (size_t i = 0; i < points.size(); ++i) {
-          Point2 c{0, 0};
-          for (Point2 p : points[i]) c = c + p;
-          centroids[i] = c / static_cast<double>(points[i].size());
-        }
-        return centroids;
-      }()),
-      location_tree_([&] {
-        std::vector<Point2> all;
-        for (const auto& locs : points) {
-          all.insert(all.end(), locs.begin(), locs.end());
-        }
-        return all;
-      }()) {
+      centroid_tree_(
+          [&] {
+            std::vector<Point2> centroids(points.size());
+            for (size_t i = 0; i < points.size(); ++i) {
+              Point2 c{0, 0};
+              for (Point2 p : points[i]) c = c + p;
+              centroids[i] = c / static_cast<double>(points[i].size());
+            }
+            return centroids;
+          }(),
+          std::vector<double>(), Metric::kEuclidean, build),
+      location_tree_(
+          [&] {
+            std::vector<Point2> all;
+            for (const auto& locs : points) {
+              all.insert(all.end(), locs.begin(), locs.end());
+            }
+            return all;
+          }(),
+          std::vector<double>(), Metric::kEuclidean, build) {
   for (size_t i = 0; i < points.size(); ++i) {
     owners_.insert(owners_.end(), points[i].size(), static_cast<int>(i));
   }
+}
+
+DiscreteNonzeroNNIndex::DiscreteNonzeroNNIndex(std::vector<std::vector<Point2>> hulls,
+                                               std::vector<Point2> centroids,
+                                               std::vector<Point2> locations,
+                                               std::vector<int> owners,
+                                               const KdBuildOptions& build)
+    : hulls_(std::move(hulls)),
+      centroid_tree_(std::move(centroids), std::vector<double>(), Metric::kEuclidean,
+                     build),
+      location_tree_(std::move(locations), std::vector<double>(), Metric::kEuclidean,
+                     build),
+      owners_(std::move(owners)) {
+  PNN_CHECK_MSG(hulls_.size() == centroid_tree_.size(),
+                "hulls must parallel centroids");
+  PNN_CHECK_MSG(owners_.size() == location_tree_.size(),
+                "owners must parallel locations");
 }
 
 double DiscreteNonzeroNNIndex::Delta(Point2 q, const std::vector<char>* skip) const {
@@ -114,16 +146,26 @@ std::vector<int> DiscreteNonzeroNNIndex::Query(Point2 q) const {
 
 std::vector<int> DiscreteNonzeroNNIndex::QueryWithin(
     Point2 q, double bound, const std::vector<char>* skip) const {
-  // Report all locations strictly within `bound` and deduplicate owners.
-  std::vector<int> hits = location_tree_.ReportWithin(q, bound);
   std::vector<int> out;
+  QueryWithinInto(q, bound, skip, &out);
+  return out;
+}
+
+void DiscreteNonzeroNNIndex::QueryWithinInto(Point2 q, double bound,
+                                             const std::vector<char>* skip,
+                                             std::vector<int>* out) const {
+  // Report all locations strictly within `bound` and deduplicate owners.
+  util::ScratchVec<int> hits_lease;
+  std::vector<int>& hits = *hits_lease;
+  hits.clear();
+  location_tree_.ReportWithinInto(q, bound, &hits);
+  out->clear();
   for (int h : hits) {
     if (skip != nullptr && (*skip)[owners_[h]]) continue;
-    if (Distance(q, location_tree_.points()[h]) < bound) out.push_back(owners_[h]);
+    if (Distance(q, location_tree_.points()[h]) < bound) out->push_back(owners_[h]);
   }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
 }
 
 }  // namespace pnn

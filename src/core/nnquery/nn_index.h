@@ -30,7 +30,8 @@ namespace pnn {
 /// output-sensitive queries.
 class NonzeroNNIndex {
  public:
-  explicit NonzeroNNIndex(const std::vector<Circle>& disks);
+  explicit NonzeroNNIndex(const std::vector<Circle>& disks,
+                          const KdBuildOptions& build = KdBuildOptions());
 
   /// Delta(q) = min_i (d(q, c_i) + r_i). Disks with skip[i] != 0 are
   /// ignored (the dynamic engine's tombstone masks); +inf if all skipped.
@@ -44,6 +45,11 @@ class NonzeroNNIndex {
   /// Delta over all buckets, which is at most this bucket's own Delta.
   std::vector<int> QueryWithin(Point2 q, double bound,
                                const std::vector<char>* skip = nullptr) const;
+
+  /// QueryWithin writing into `out` (cleared first) — with a warm scratch
+  /// arena and a warm output buffer this allocates nothing.
+  void QueryWithinInto(Point2 q, double bound, const std::vector<char>* skip,
+                       std::vector<int>* out) const;
 
   size_t size() const { return tree_.size(); }
 
@@ -75,7 +81,19 @@ class LinfNonzeroNNIndex {
 /// (N = sum of description complexities), empirically sublinear queries.
 class DiscreteNonzeroNNIndex {
  public:
-  explicit DiscreteNonzeroNNIndex(const std::vector<std::vector<Point2>>& points);
+  explicit DiscreteNonzeroNNIndex(const std::vector<std::vector<Point2>>& points,
+                                  const KdBuildOptions& build = KdBuildOptions());
+
+  /// Assembly from precomputed parts — the staged EngineBuilder path,
+  /// which gathers hulls/centroids/locations in bounded chunks and then
+  /// pays only the two kd builds here (both fanning out per-subtree on
+  /// build.pool). `hulls`/`centroids` are parallel to the uncertain
+  /// points; `locations`/`owners` are the flattened location list in point
+  /// order. Produces exactly the index the scanning constructor builds.
+  DiscreteNonzeroNNIndex(std::vector<std::vector<Point2>> hulls,
+                         std::vector<Point2> centroids,
+                         std::vector<Point2> locations, std::vector<int> owners,
+                         const KdBuildOptions& build);
 
   /// Delta(q) = min_i max_j d(q, p_ij), ignoring uncertain points with
   /// skip[i] != 0; +inf if all are skipped.
@@ -88,6 +106,11 @@ class DiscreteNonzeroNNIndex {
   /// against an externally supplied bound; see NonzeroNNIndex::QueryWithin).
   std::vector<int> QueryWithin(Point2 q, double bound,
                                const std::vector<char>* skip = nullptr) const;
+
+  /// QueryWithin writing into `out` (cleared first); the location-hit
+  /// buffer is a scratch lease, so warm calls allocate nothing.
+  void QueryWithinInto(Point2 q, double bound, const std::vector<char>* skip,
+                       std::vector<int>* out) const;
 
   size_t num_points() const { return hulls_.size(); }
   size_t num_locations() const { return owners_.size(); }

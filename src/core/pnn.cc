@@ -4,12 +4,23 @@
 #include <cmath>
 #include <limits>
 
+#include "src/geometry/hull.h"
 #include "src/util/check.h"
 
 namespace pnn {
 
-Engine::Engine(UncertainSet points, Options options)
-    : points_(std::move(points)), options_(std::move(options)) {
+Engine::Engine(UncertainSet points, Options options) {
+  // One construction path for everyone: the monolithic constructor is the
+  // staged builder run to completion in place (chunk 0 = one pass per
+  // stage), so the sliced maintenance builds cannot drift from it.
+  EngineBuilder builder(std::move(points), std::move(options), 0);
+  while (!builder.done()) builder.Step();
+  builder.FinishInto(this);
+}
+
+EngineBuilder::EngineBuilder(UncertainSet points, Engine::Options options,
+                             size_t chunk)
+    : chunk_(chunk), points_(std::move(points)), options_(std::move(options)) {
   PNN_CHECK_MSG(!points_.empty(), "Engine needs at least one uncertain point");
   PNN_CHECK_MSG(options_.default_eps > 0 && options_.default_eps < 1,
                 "Options::default_eps must be in (0,1)");
@@ -21,22 +32,131 @@ Engine::Engine(UncertainSet points, Options options)
   PNN_CHECK_MSG(
       options_.mc_stream_ids.empty() || options_.mc_stream_ids.size() == points_.size(),
       "Options::mc_stream_ids must be empty or have one id per point");
-  for (const auto& p : points_) {
-    all_discrete_ = all_discrete_ && p.is_discrete();
-    all_continuous_ = all_continuous_ && !p.is_discrete();
-    total_complexity_ += p.DescriptionComplexity();
+}
+
+EngineBuilder::~EngineBuilder() = default;
+
+size_t EngineBuilder::ChunkEnd() const {
+  return chunk_ == 0 ? points_.size() : std::min(points_.size(), cursor_ + chunk_);
+}
+
+void EngineBuilder::Step() {
+  PNN_CHECK_MSG(stage_ != Stage::kReady, "Step() after done()");
+  KdBuildOptions kd_build{options_.build_pool, options_.build_parallel_cutoff};
+  switch (stage_) {
+    case Stage::kScan: {
+      for (size_t end = ChunkEnd(); cursor_ < end; ++cursor_) {
+        const UncertainPoint& p = points_[cursor_];
+        all_discrete_ = all_discrete_ && p.is_discrete();
+        all_continuous_ = all_continuous_ && !p.is_discrete();
+        total_complexity_ += p.DescriptionComplexity();
+      }
+      if (cursor_ == points_.size()) {
+        cursor_ = 0;
+        if (all_continuous_) {
+          disks_.reserve(points_.size());
+          stage_ = Stage::kGatherContinuous;
+        } else if (all_discrete_) {
+          // Reserve the final sizes up front: the gathered arrays ARE the
+          // structures' storage, so growth never doubles mid-build and the
+          // transient overhead stays one chunk of hull scratch.
+          hulls_.reserve(points_.size());
+          centroids_.reserve(points_.size());
+          counts_.reserve(points_.size());
+          locations_.reserve(total_complexity_);
+          owners_.reserve(total_complexity_);
+          spiral_locations_.reserve(total_complexity_);
+          spiral_owners_.reserve(total_complexity_);
+          spiral_weights_.reserve(total_complexity_);
+          stage_ = Stage::kGatherDiscrete;
+        } else {
+          stage_ = Stage::kReady;  // Mixed inputs: brute-force queries.
+        }
+      }
+      break;
+    }
+    case Stage::kGatherContinuous: {
+      for (size_t end = ChunkEnd(); cursor_ < end; ++cursor_) {
+        disks_.push_back(points_[cursor_].disk().support);
+      }
+      if (cursor_ == points_.size()) {
+        cursor_ = 0;
+        stage_ = Stage::kBuildDiskIndex;
+      }
+      break;
+    }
+    case Stage::kBuildDiskIndex: {
+      disk_index_ = std::make_unique<NonzeroNNIndex>(disks_, kd_build);
+      std::vector<Circle>().swap(disks_);
+      stage_ = Stage::kReady;
+      break;
+    }
+    case Stage::kGatherDiscrete: {
+      for (size_t end = ChunkEnd(); cursor_ < end; ++cursor_) {
+        const auto& d = points_[cursor_].discrete();
+        PNN_CHECK_MSG(!d.locations.empty(), "uncertain point with no locations");
+        // Same arithmetic (and order) as the scanning constructors of
+        // DiscreteNonzeroNNIndex and SpiralSearchPNN, so the assembled
+        // structures are bit-identical to theirs.
+        hulls_.push_back(ConvexHull(d.locations));
+        Point2 c{0, 0};
+        for (Point2 p : d.locations) c = c + p;
+        centroids_.push_back(c / static_cast<double>(d.locations.size()));
+        max_k_ = std::max(max_k_, d.locations.size());
+        counts_.push_back(static_cast<int>(d.locations.size()));
+        int owner = static_cast<int>(cursor_);
+        for (size_t s = 0; s < d.locations.size(); ++s) {
+          locations_.push_back(d.locations[s]);
+          owners_.push_back(owner);
+          spiral_locations_.push_back(d.locations[s]);
+          spiral_owners_.push_back(owner);
+          spiral_weights_.push_back(d.weights[s]);
+          wmin_ = std::min(wmin_, d.weights[s]);
+          wmax_ = std::max(wmax_, d.weights[s]);
+        }
+      }
+      if (cursor_ == points_.size()) {
+        cursor_ = 0;
+        stage_ = Stage::kBuildDiscreteIndex;
+      }
+      break;
+    }
+    case Stage::kBuildDiscreteIndex: {
+      discrete_index_ = std::make_unique<DiscreteNonzeroNNIndex>(
+          std::move(hulls_), std::move(centroids_), std::move(locations_),
+          std::move(owners_), kd_build);
+      stage_ = Stage::kBuildSpiral;
+      break;
+    }
+    case Stage::kBuildSpiral: {
+      spiral_ = std::make_unique<SpiralSearchPNN>(
+          std::move(spiral_locations_), std::move(spiral_owners_),
+          std::move(spiral_weights_), std::move(counts_), max_k_, wmax_ / wmin_,
+          kd_build);
+      stage_ = Stage::kReady;
+      break;
+    }
+    case Stage::kReady:
+      break;
   }
-  if (all_continuous_) {
-    std::vector<Circle> disks;
-    for (const auto& p : points_) disks.push_back(p.disk().support);
-    disk_index_ = std::make_unique<NonzeroNNIndex>(disks);
-  }
-  if (all_discrete_) {
-    std::vector<std::vector<Point2>> locs;
-    for (const auto& p : points_) locs.push_back(p.discrete().locations);
-    discrete_index_ = std::make_unique<DiscreteNonzeroNNIndex>(locs);
-    spiral_ = std::make_unique<SpiralSearchPNN>(points_);
-  }
+}
+
+void EngineBuilder::FinishInto(Engine* e) {
+  PNN_CHECK_MSG(done(), "FinishInto before the build finished");
+  e->points_ = std::move(points_);
+  e->options_ = std::move(options_);
+  e->all_discrete_ = all_discrete_;
+  e->all_continuous_ = all_continuous_;
+  e->total_complexity_ = total_complexity_;
+  e->disk_index_ = std::move(disk_index_);
+  e->discrete_index_ = std::move(discrete_index_);
+  e->spiral_ = std::move(spiral_);
+}
+
+std::unique_ptr<Engine> EngineBuilder::Finish() {
+  std::unique_ptr<Engine> e(new Engine());
+  FinishInto(e.get());
+  return e;
 }
 
 double Engine::ResolveEps(std::optional<double> eps_opt) const {
@@ -64,14 +184,27 @@ double Engine::NonzeroDelta(Point2 q, const std::vector<char>* skip) const {
 
 std::vector<int> Engine::NonzeroNNWithin(Point2 q, double bound,
                                          const std::vector<char>* skip) const {
-  if (disk_index_) return disk_index_->QueryWithin(q, bound, skip);
-  if (discrete_index_) return discrete_index_->QueryWithin(q, bound, skip);
   std::vector<int> out;
+  NonzeroNNWithinInto(q, bound, skip, &out);
+  return out;
+}
+
+void Engine::NonzeroNNWithinInto(Point2 q, double bound,
+                                 const std::vector<char>* skip,
+                                 std::vector<int>* out) const {
+  if (disk_index_) {
+    disk_index_->QueryWithinInto(q, bound, skip, out);
+    return;
+  }
+  if (discrete_index_) {
+    discrete_index_->QueryWithinInto(q, bound, skip, out);
+    return;
+  }
+  out->clear();
   for (size_t i = 0; i < points_.size(); ++i) {
     if (skip != nullptr && (*skip)[i]) continue;
-    if (points_[i].MinDistance(q) < bound) out.push_back(static_cast<int>(i));
+    if (points_[i].MinDistance(q) < bound) out->push_back(static_cast<int>(i));
   }
-  return out;
 }
 
 QuantifyPlan Engine::PlanForQuantify(std::optional<double> eps_opt) const {
@@ -101,6 +234,7 @@ std::shared_ptr<const MonteCarloPNN> Engine::EnsureMonteCarlo(double eps) const 
     mco.seed = options_.seed;
     mco.rounds_override = options_.mc_rounds_override;
     mco.stream_ids = options_.mc_stream_ids;
+    mco.build_pool = options_.build_pool;
     cur = std::make_shared<const MonteCarloPNN>(points_, mco);
     std::atomic_store_explicit(&monte_carlo_, cur, std::memory_order_release);
   }
@@ -114,7 +248,9 @@ std::shared_ptr<const ExpectedNNIndex> Engine::EnsureExpectedNN() const {
   std::lock_guard<std::mutex> lock(lazy_mu_);
   cur = std::atomic_load_explicit(&expected_nn_, std::memory_order_acquire);
   if (!cur) {
-    cur = std::make_shared<const ExpectedNNIndex>(&points_);
+    cur = std::make_shared<const ExpectedNNIndex>(
+        &points_,
+        KdBuildOptions{options_.build_pool, options_.build_parallel_cutoff});
     std::atomic_store_explicit(&expected_nn_, cur, std::memory_order_release);
   }
   return cur;

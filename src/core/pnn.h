@@ -59,6 +59,16 @@ class Engine {
     /// Per-point Monte-Carlo sample streams (see
     /// MonteCarloPNN::Options::stream_ids). Empty, or one id per point.
     std::vector<uint64_t> mc_stream_ids;
+    /// When set, every structure build fans out across this pool: the
+    /// constructor's kd builds recurse per-subtree (KdBuildOptions), the
+    /// lazy Monte-Carlo build parallelizes per round, and the expected-NN
+    /// precomputation per point. Results are bit-identical to the serial
+    /// build at any pool size (tests/build_determinism_test.cc). The pool
+    /// must outlive the engine. Queries are unaffected.
+    exec::ThreadPool* build_pool = nullptr;
+    /// Subtree size at or below which a pooled kd build stops forking
+    /// (KdBuildOptions::parallel_cutoff).
+    int build_parallel_cutoff = 4096;
   };
 
   /// Construction validates Options (aborts with a message on default_eps
@@ -80,6 +90,13 @@ class Engine {
   /// engine passes the global bound over all buckets instead.
   std::vector<int> NonzeroNNWithin(Point2 q, double bound,
                                    const std::vector<char>* skip = nullptr) const;
+
+  /// NonzeroNNWithin writing into `out` (cleared first) — with a warm
+  /// scratch arena and a warm output buffer this allocates nothing, which
+  /// is what keeps the dynamic/shard NonzeroNN path at zero allocations
+  /// per warm query (tests/alloc_hotpath_test.cc).
+  void NonzeroNNWithinInto(Point2 q, double bound, const std::vector<char>* skip,
+                           std::vector<int>* out) const;
 
   /// Estimates of all positive pi_i(q) within additive eps.
   std::vector<Quantification> Quantify(Point2 q,
@@ -123,6 +140,10 @@ class Engine {
   const SpiralSearchPNN* spiral() const { return spiral_.get(); }
 
  private:
+  friend class EngineBuilder;
+  /// Shell for EngineBuilder::Finish/FinishInto to assemble into.
+  Engine() = default;
+
   double ResolveEps(std::optional<double> eps) const;
   /// Snapshot of the Monte-Carlo structure for eps, building (or
   /// rebuilding at a tighter eps) under lazy_mu_. Returns a shared_ptr so
@@ -147,6 +168,89 @@ class Engine {
   // invalidating snapshots held by concurrent queries.
   mutable std::shared_ptr<const MonteCarloPNN> monte_carlo_;
   mutable std::shared_ptr<const ExpectedNNIndex> expected_nn_;
+};
+
+/// Staged Engine construction for the dynamic layer's sliced maintenance
+/// builds: performs exactly the work of the Engine constructor, but split
+/// into bounded Step() calls so a background build can yield between
+/// chunks (the caller hops through its pool lane) instead of holding a
+/// worker for the whole build. Stages: one pass over the points in
+/// `chunk`-sized units (aggregates, then per-point gathering — hulls,
+/// centroids, flattened locations), then one Step per index kd build,
+/// each fanning out per-subtree on options.build_pool. The finished
+/// engine is indistinguishable from Engine(points, options) — the Engine
+/// constructor itself routes through a run-to-completion builder.
+///
+/// Transient memory: the staged arrays are the final structure's own
+/// storage (reserved once, moved into the indexes), so a build's overhead
+/// beyond the finished structure stays bounded by one chunk of gathering
+/// plus kd scratch — not a second copy of the set (asserted with the
+/// alloc-hook peak counter in bench_build_latency).
+///
+/// Not thread-safe; drive Step() from one thread (or lane) at a time.
+class EngineBuilder {
+ public:
+  /// `chunk` caps the points processed per scanning/gathering Step; 0
+  /// means unbounded (each stage completes in one Step).
+  EngineBuilder(UncertainSet points, Engine::Options options, size_t chunk = 0);
+  ~EngineBuilder();
+
+  EngineBuilder(const EngineBuilder&) = delete;
+  EngineBuilder& operator=(const EngineBuilder&) = delete;
+
+  /// True once every construction stage has run; Step() must not be
+  /// called afterwards.
+  bool done() const { return stage_ == Stage::kReady; }
+
+  /// Performs one bounded unit of construction work.
+  void Step();
+
+  /// Moves the finished engine out (requires done()).
+  std::unique_ptr<Engine> Finish();
+
+ private:
+  enum class Stage {
+    kScan,                // Aggregate flags / complexity, chunked.
+    kGatherContinuous,    // Disk list, chunked.
+    kBuildDiskIndex,      // One kd build (pool-parallel).
+    kGatherDiscrete,      // Hulls, centroids, flattened locations, chunked.
+    kBuildDiscreteIndex,  // Two kd builds (pool-parallel).
+    kBuildSpiral,         // One kd build (pool-parallel).
+    kReady,
+  };
+
+  void FinishInto(Engine* e);
+  size_t ChunkEnd() const;
+
+  friend class Engine;  // Engine's own constructor runs a builder inline.
+
+  Stage stage_ = Stage::kScan;
+  size_t cursor_ = 0;
+  size_t chunk_ = 0;
+  UncertainSet points_;
+  Engine::Options options_;
+
+  bool all_discrete_ = true;
+  bool all_continuous_ = true;
+  size_t total_complexity_ = 0;
+
+  // Staging for the index parts (moved into the structures when built).
+  std::vector<Circle> disks_;
+  std::vector<std::vector<Point2>> hulls_;
+  std::vector<Point2> centroids_;
+  std::vector<Point2> locations_;        // DiscreteNonzeroNNIndex's copy.
+  std::vector<int> owners_;
+  std::vector<Point2> spiral_locations_; // SpiralSearchPNN's copy.
+  std::vector<int> spiral_owners_;
+  std::vector<double> spiral_weights_;
+  std::vector<int> counts_;
+  size_t max_k_ = 1;
+  double wmin_ = 1.0;
+  double wmax_ = 0.0;
+
+  std::unique_ptr<NonzeroNNIndex> disk_index_;
+  std::unique_ptr<DiscreteNonzeroNNIndex> discrete_index_;
+  std::unique_ptr<SpiralSearchPNN> spiral_;
 };
 
 }  // namespace pnn

@@ -38,11 +38,17 @@ MonteCarloPNN::MonteCarloPNN(const UncertainSet& points, const Options& options)
   // sequential stream: each instantiation depends only on (seed, r), so
   // structures are bit-identical no matter which thread builds them or in
   // what order — the property the parallel batch executor relies on for
-  // reproducible Monte-Carlo results. With stream_ids, the round stream is
+  // reproducible Monte-Carlo results, and what makes the round-indexed
+  // parallel build below exact. With stream_ids, the round stream is
   // split once more per point (see Options::stream_ids).
-  std::vector<Point2> instance(n_);
-  for (size_t r = 0; r < rounds_; ++r) {
+  if (backend_ == Backend::kDelaunay) {
+    delaunay_.resize(rounds_);
+  } else {
+    kd_.resize(rounds_);
+  }
+  auto build_round = [&](size_t r) {
     Rng rng = MakeStreamRng(options.seed, r);
+    std::vector<Point2> instance(n_);
     if (options.stream_ids.empty()) {
       for (size_t i = 0; i < n_; ++i) instance[i] = points[i].Sample(&rng);
     } else {
@@ -53,11 +59,12 @@ MonteCarloPNN::MonteCarloPNN(const UncertainSet& points, const Options& options)
       }
     }
     if (backend_ == Backend::kDelaunay) {
-      delaunay_.push_back(std::make_unique<Delaunay>(instance, rng.engine()()));
+      delaunay_[r] = std::make_unique<Delaunay>(instance, rng.engine()());
     } else {
-      kd_.push_back(std::make_unique<KdTree>(instance));
+      kd_[r] = std::make_unique<KdTree>(std::move(instance));
     }
-  }
+  };
+  exec::MaybeParallelFor(options.build_pool, rounds_, build_round);
 }
 
 std::vector<Quantification> MonteCarloPNN::Query(Point2 q) const {

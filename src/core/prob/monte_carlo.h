@@ -14,6 +14,7 @@
 
 #include "src/core/prob/quantify.h"
 #include "src/delaunay/delaunay.h"
+#include "src/exec/thread_pool.h"
 #include "src/spatial/kdtree.h"
 #include "src/uncertain/uncertain_point.h"
 
@@ -39,6 +40,10 @@ class MonteCarloPNN {
     /// structures reproduce this structure's samples exactly under
     /// arbitrary insert/erase histories.
     std::vector<uint64_t> stream_ids;
+    /// When set, round structures build in parallel across the pool.
+    /// Every round's samples and structure depend only on (seed, r), so
+    /// the result is bit-identical to the sequential build.
+    exec::ThreadPool* build_pool = nullptr;
   };
 
   MonteCarloPNN(const UncertainSet& points, const Options& options);

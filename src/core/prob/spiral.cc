@@ -8,16 +8,21 @@
 
 namespace pnn {
 
-SpiralSearchPNN::SpiralSearchPNN(const UncertainSet& points)
-    : n_(points.size()), tree_([&] {
-        std::vector<Point2> all;
-        for (const auto& p : points) {
-          PNN_CHECK_MSG(p.is_discrete(), "SpiralSearchPNN needs discrete points");
-          const auto& d = p.discrete();
-          all.insert(all.end(), d.locations.begin(), d.locations.end());
-        }
-        return all;
-      }()) {
+SpiralSearchPNN::SpiralSearchPNN(const UncertainSet& points,
+                                 const KdBuildOptions& build)
+    : n_(points.size()), tree_(
+                             [&] {
+                               std::vector<Point2> all;
+                               for (const auto& p : points) {
+                                 PNN_CHECK_MSG(p.is_discrete(),
+                                               "SpiralSearchPNN needs discrete points");
+                                 const auto& d = p.discrete();
+                                 all.insert(all.end(), d.locations.begin(),
+                                            d.locations.end());
+                               }
+                               return all;
+                             }(),
+                             std::vector<double>(), Metric::kEuclidean, build) {
   double wmin = 1.0, wmax = 0.0;
   counts_.resize(points.size());
   for (size_t i = 0; i < points.size(); ++i) {
@@ -32,6 +37,21 @@ SpiralSearchPNN::SpiralSearchPNN(const UncertainSet& points)
     }
   }
   rho_ = wmax / wmin;
+}
+
+SpiralSearchPNN::SpiralSearchPNN(std::vector<Point2> locations,
+                                 std::vector<int> owners, std::vector<double> weights,
+                                 std::vector<int> counts, size_t max_k, double rho,
+                                 const KdBuildOptions& build)
+    : n_(counts.size()),
+      max_k_(max_k),
+      rho_(rho),
+      tree_(std::move(locations), std::vector<double>(), Metric::kEuclidean, build),
+      owners_(std::move(owners)),
+      weights_(std::move(weights)),
+      counts_(std::move(counts)) {
+  PNN_CHECK_MSG(owners_.size() == tree_.size() && weights_.size() == tree_.size(),
+                "owners/weights must parallel locations");
 }
 
 size_t SpiralSearchPNN::RetrievalBound(double eps) const {

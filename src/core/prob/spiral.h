@@ -20,7 +20,19 @@ namespace pnn {
 /// Spiral-search PNN structure over discrete uncertain points.
 class SpiralSearchPNN {
  public:
-  explicit SpiralSearchPNN(const UncertainSet& points);
+  explicit SpiralSearchPNN(const UncertainSet& points,
+                           const KdBuildOptions& build = KdBuildOptions());
+
+  /// Assembly from precomputed parts — the staged EngineBuilder path.
+  /// `locations`/`owners`/`weights` are the flattened location list in
+  /// point order, `counts` the per-point location counts; `max_k` and
+  /// `rho` must equal what a scan would derive (seeded 1 and wmax/wmin
+  /// with wmin <= 1, wmax >= 0 seeds). Produces exactly the structure the
+  /// scanning constructor builds; only the kd build is paid here (fanning
+  /// out per-subtree on build.pool).
+  SpiralSearchPNN(std::vector<Point2> locations, std::vector<int> owners,
+                  std::vector<double> weights, std::vector<int> counts,
+                  size_t max_k, double rho, const KdBuildOptions& build);
 
   /// Estimates pi_i(q) within additive eps: pi_hat <= pi <= pi_hat + eps
   /// (Lemma 4.6). Only nonzero estimates are reported, sorted by index.

@@ -24,10 +24,29 @@ Engine::Options BucketEngineOptions(Engine::Options options) {
 Bucket::Bucket(std::vector<Id> ids, UncertainSet points, Engine::Options options)
     : ids_(std::move(ids)),
       seed_(options.seed),
-      engine_(std::move(points), BucketEngineOptions(std::move(options))) {
-  PNN_CHECK_MSG(ids_.size() == engine_.points().size(),
+      engine_(std::make_unique<Engine>(std::move(points),
+                                       BucketEngineOptions(std::move(options)))) {
+  PNN_CHECK_MSG(ids_.size() == engine_->points().size(),
                 "bucket ids/points size mismatch");
   PNN_CHECK_MSG(std::is_sorted(ids_.begin(), ids_.end()), "bucket ids must ascend");
+}
+
+Bucket::Bucket(std::vector<Id> ids, std::unique_ptr<Engine> engine)
+    : ids_(std::move(ids)),
+      seed_(engine->options().seed),
+      engine_(std::move(engine)) {
+  PNN_CHECK_MSG(ids_.size() == engine_->points().size(),
+                "bucket ids/points size mismatch");
+  PNN_CHECK_MSG(std::is_sorted(ids_.begin(), ids_.end()), "bucket ids must ascend");
+}
+
+SlicedBucketBuilder::SlicedBucketBuilder(std::vector<Id> ids, UncertainSet points,
+                                         Engine::Options options, size_t chunk)
+    : ids_(std::move(ids)),
+      builder_(std::move(points), BucketEngineOptions(std::move(options)), chunk) {}
+
+std::shared_ptr<const Bucket> SlicedBucketBuilder::Finish() {
+  return std::make_shared<const Bucket>(std::move(ids_), builder_.Finish());
 }
 
 int Bucket::LocalIndex(Id id) const {
@@ -48,7 +67,7 @@ std::shared_ptr<const McRounds> Bucket::EnsureRounds(size_t rounds,
   if (cur) next->trees = cur->trees;  // Share the already-built prefix.
   size_t from = next->trees.size();
   next->trees.resize(rounds);
-  const UncertainSet& pts = engine_.points();
+  const UncertainSet& pts = engine_->points();
   auto build_round = [&](size_t r) {
     uint64_t round_seed = SplitSeed(seed_, r);
     std::vector<Point2> samples(pts.size());
@@ -58,11 +77,7 @@ std::shared_ptr<const McRounds> Bucket::EnsureRounds(size_t rounds,
     }
     next->trees[r] = std::make_shared<const KdTree>(std::move(samples));
   };
-  if (pool != nullptr && rounds - from > 1) {
-    pool->ParallelFor(rounds - from, [&](size_t i) { build_round(from + i); });
-  } else {
-    for (size_t r = from; r < rounds; ++r) build_round(r);
-  }
+  exec::MaybeParallelFor(pool, rounds - from, [&](size_t i) { build_round(from + i); });
   std::atomic_store_explicit(&mc_, std::shared_ptr<const McRounds>(next),
                              std::memory_order_release);
   return next;

@@ -42,9 +42,13 @@ class Bucket {
   /// Monte-Carlo path is unused).
   Bucket(std::vector<Id> ids, UncertainSet points, Engine::Options options);
 
+  /// Adoption form for SlicedBucketBuilder: wraps an engine built
+  /// elsewhere (in bounded steps) without re-running construction.
+  Bucket(std::vector<Id> ids, std::unique_ptr<Engine> engine);
+
   const std::vector<Id>& ids() const { return ids_; }
-  const UncertainSet& points() const { return engine_.points(); }
-  const Engine& engine() const { return engine_; }
+  const UncertainSet& points() const { return engine_->points(); }
+  const Engine& engine() const { return *engine_; }
   size_t size() const { return ids_.size(); }
 
   /// Local index of `id`, or -1 (binary search; ids are ascending).
@@ -60,12 +64,33 @@ class Bucket {
  private:
   std::vector<Id> ids_;
   uint64_t seed_;
-  Engine engine_;
+  std::unique_ptr<Engine> engine_;  // Never null.
 
   mutable std::mutex mc_mu_;  // Serializes round-cache extensions.
   // Accessed with std::atomic_load/atomic_store (the Engine snapshot
   // pattern): readers are lock-free once enough rounds exist.
   mutable std::shared_ptr<const McRounds> mc_;
+};
+
+/// Builds a Bucket in bounded steps — the sliced-compaction unit of the
+/// dynamic engine's maintenance. Wraps EngineBuilder (each Step is at most
+/// ~chunk points of gathering, or one kd build fanning out per-subtree on
+/// the engine options' build_pool) and assembles the Bucket at Finish.
+/// The produced bucket is identical to Bucket(ids, points, options).
+class SlicedBucketBuilder {
+ public:
+  /// Same preconditions as the Bucket constructor. chunk = 0 builds in
+  /// one Step per stage.
+  SlicedBucketBuilder(std::vector<Id> ids, UncertainSet points,
+                      Engine::Options options, size_t chunk);
+
+  bool done() const { return builder_.done(); }
+  void Step() { builder_.Step(); }
+  std::shared_ptr<const Bucket> Finish();
+
+ private:
+  std::vector<Id> ids_;
+  EngineBuilder builder_;
 };
 
 }  // namespace dyn

@@ -11,7 +11,7 @@
 namespace pnn {
 namespace dyn {
 
-// What one maintenance step will build: either a tail merge (the frozen
+// What one maintenance round will build: either a tail merge (the frozen
 // tail plus every bucket the doubling rule absorbs) or a full compaction
 // (everything live). Members are snapshotted under the lock; the bucket is
 // built outside it.
@@ -23,12 +23,30 @@ struct DynamicEngine::MaintenancePlan {
   UncertainSet points;           // Parallel to ids.
 };
 
+// One in-flight maintenance build, advanced a bounded step at a time by
+// MaintenanceStep: the gathered plan, the sliced bucket builder consuming
+// it, then the built bucket and its pre-splice prewarm progress.
+struct DynamicEngine::BuildJob {
+  MaintenancePlan plan;  // points are moved into the builder at creation.
+  std::unique_ptr<SlicedBucketBuilder> builder;
+  std::shared_ptr<const Bucket> built;
+  size_t prewarm_rounds = 0;  // Monte-Carlo rounds to warm pre-splice.
+  size_t prewarm_done = 0;
+};
+
 DynamicEngine::DynamicEngine(Options options) : options_(std::move(options)) {
   PNN_CHECK_MSG(options_.engine.mc_stream_ids.empty(),
                 "dyn::Options::engine.mc_stream_ids is managed internally");
   PNN_CHECK_MSG(options_.tail_limit >= 1, "tail_limit must be >= 1");
   PNN_CHECK_MSG(options_.max_dead_fraction > 0 && options_.max_dead_fraction < 1,
                 "max_dead_fraction must be in (0,1)");
+  PNN_CHECK_MSG(options_.maintenance_lane == nullptr || options_.pool != nullptr,
+                "maintenance_lane requires a pool");
+  // Bucket kd builds fork per-subtree across the maintenance pool unless
+  // the caller picked a dedicated build pool.
+  if (options_.engine.build_pool == nullptr) {
+    options_.engine.build_pool = options_.pool;
+  }
   // Validate the shared engine options eagerly (Engine would only check
   // them at the first bucket build).
   PNN_CHECK_MSG(options_.engine.default_eps > 0 && options_.engine.default_eps < 1,
@@ -212,11 +230,28 @@ void DynamicEngine::MaybeStartMaintenanceLocked(std::unique_lock<std::mutex>& lo
   if (maintenance_running_ || !MaintenanceNeededLocked()) return;
   maintenance_running_ = true;
   if (options_.pool != nullptr) {
-    options_.pool->Submit([this] { MaintenanceLoop(); });
+    ScheduleMaintenanceHop();
   } else {
     lock.unlock();
     MaintenanceLoop();
   }
+}
+
+void DynamicEngine::ScheduleMaintenanceHop() {
+  if (options_.maintenance_lane != nullptr) {
+    options_.maintenance_lane->Submit([this] { MaintenanceChain(); });
+  } else {
+    options_.pool->Submit([this] { MaintenanceChain(); });
+  }
+}
+
+void DynamicEngine::MaintenanceChain() {
+  // One bounded step per hop: between steps the job goes back through the
+  // lane (or pool) queues, so queries fanning out on the pool and other
+  // engines' maintenance interleave with a long build instead of waiting
+  // out a monolithic one. When the step below returns false the engine
+  // may be destroyed by a racing destructor — touch nothing after it.
+  if (MaintenanceStep()) ScheduleMaintenanceHop();
 }
 
 DynamicEngine::MaintenancePlan DynamicEngine::DecidePlanLocked() {
@@ -321,52 +356,89 @@ void DynamicEngine::SpliceLocked(const MaintenancePlan& plan,
 }
 
 void DynamicEngine::MaintenanceLoop() {
-  for (;;) {
-    MaintenancePlan plan;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      plan = DecidePlanLocked();
-      if (!plan.any) {
-        maintenance_running_ = false;
-        cv_.notify_all();
-        return;
-      }
+  while (MaintenanceStep()) {
+  }
+}
+
+bool DynamicEngine::MaintenanceStep() {
+  if (job_ == nullptr) {
+    // Decide (or finish): cheap, under the lock.
+    std::lock_guard<std::mutex> lock(mu_);
+    MaintenancePlan plan = DecidePlanLocked();
+    if (!plan.any) {
+      maintenance_running_ = false;
+      cv_.notify_all();
+      return false;
     }
+    job_ = std::make_unique<BuildJob>();
+    job_->plan = std::move(plan);
+    if (!job_->plan.ids.empty()) {
+      // The gathered ids and points move into the builder, whose staging
+      // arrays become the finished structures' own storage — transient
+      // build memory stays (gathered live set + one chunk), not a second
+      // copy. The splice only reads plan.absorbed/frozen_tail.
+      job_->builder = std::make_unique<SlicedBucketBuilder>(
+          std::move(job_->plan.ids), std::move(job_->plan.points), options_.engine,
+          options_.build_chunk);
+    }
+    return true;
+  }
+
+  BuildJob& job = *job_;
+  if (job.builder != nullptr && !job.builder->done()) {
     // Build outside the lock: updates and queries proceed against the old
-    // snapshot; erases landing meanwhile are logged and folded in below.
-    std::shared_ptr<const Bucket> built;
-    if (!plan.ids.empty()) {
-      built = std::make_shared<const Bucket>(plan.ids, std::move(plan.points),
-                                             options_.engine);
-    }
-    if (built != nullptr && options_.prewarm_after_build) {
+    // snapshot; erases landing meanwhile are logged and folded in at the
+    // splice.
+    job.builder->Step();
+    return true;
+  }
+  if (job.builder != nullptr) {
+    job.built = job.builder->Finish();
+    job.builder.reset();
+    if (options_.prewarm_after_build) {
       // Warm the new bucket before it is published, so the first query
       // against it never pays the lazy Monte-Carlo construction. A merge
       // preserves the live set, so the pre-splice aggregates give the same
       // plan and round count the post-splice snapshot will.
       auto snap = Snap();
       double eps = options_.engine.default_eps;
-      if (snap->live_count > 0 &&
-          PlanFor(*snap, eps) == QuantifyPlan::kMonteCarlo) {
-        built->EnsureRounds(RoundsFor(*snap, eps), options_.pool);
+      if (snap->live_count > 0 && PlanFor(*snap, eps) == QuantifyPlan::kMonteCarlo) {
+        job.prewarm_rounds = RoundsFor(*snap, eps);
       }
     }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      SpliceLocked(plan, std::move(built));
+    return true;
+  }
+  if (job.built != nullptr && job.prewarm_done < job.prewarm_rounds) {
+    // Chunked prewarm: each step extends the round cache by about one
+    // build_chunk's worth of sampled points (EnsureRounds shares the
+    // already-built prefix, so batching costs nothing).
+    size_t per = job.prewarm_rounds;
+    if (options_.build_chunk > 0) {
+      per = std::max<size_t>(
+          1, options_.build_chunk / std::max<size_t>(1, job.built->size()));
     }
-    if (options_.prewarm_after_build) {
-      // The splice published a fresh snapshot (and a fresh tail cache):
-      // warm the tail samples too, so the whole post-build query path is
-      // construction-free.
-      auto snap = Snap();
-      double eps = options_.engine.default_eps;
-      if (snap->live_count > 0 && snap->tail_mc != nullptr &&
-          PlanFor(*snap, eps) == QuantifyPlan::kMonteCarlo) {
-        snap->tail_mc->Ensure(*snap, RoundsFor(*snap, eps), options_.engine.seed);
-      }
+    job.prewarm_done = std::min(job.prewarm_rounds, job.prewarm_done + per);
+    job.built->EnsureRounds(job.prewarm_done, options_.pool);
+    return true;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SpliceLocked(job.plan, std::move(job.built));
+  }
+  job_.reset();
+  if (options_.prewarm_after_build) {
+    // The splice published a fresh snapshot (and a fresh tail cache):
+    // warm the tail samples too, so the whole post-build query path is
+    // construction-free.
+    auto snap = Snap();
+    double eps = options_.engine.default_eps;
+    if (snap->live_count > 0 && snap->tail_mc != nullptr &&
+        PlanFor(*snap, eps) == QuantifyPlan::kMonteCarlo) {
+      snap->tail_mc->Ensure(*snap, RoundsFor(*snap, eps), options_.engine.seed);
     }
   }
+  return true;  // Re-check the predicate: more work may have accumulated.
 }
 
 void DynamicEngine::WaitForMaintenance() const {
@@ -433,6 +505,16 @@ std::vector<Id> DynamicEngine::NonzeroNN(Point2 q) const {
 
 std::vector<Id> DynamicEngine::NonzeroNN(const Snapshot& snap, Point2 q) const {
   return MergedNonzeroNN(snap, q);
+}
+
+void DynamicEngine::NonzeroNNInto(Point2 q, std::vector<Id>* out) const {
+  auto snap = Snap();
+  NonzeroNNInto(*snap, q, out);
+}
+
+void DynamicEngine::NonzeroNNInto(const Snapshot& snap, Point2 q,
+                                  std::vector<Id>* out) const {
+  MergedNonzeroNNInto(snap, q, out);
 }
 
 std::vector<Quantification> DynamicEngine::Quantify(Point2 q,

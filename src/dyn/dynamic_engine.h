@@ -64,13 +64,33 @@ struct Options {
   double max_dead_fraction = 0.25;
   /// When set, merges/compactions run as background jobs here and
   /// Monte-Carlo round work fans out across it. When null, maintenance
-  /// runs inline in the update that triggered it.
+  /// runs inline in the update that triggered it. Unless
+  /// engine.build_pool is set explicitly, it defaults to this pool, so
+  /// bucket kd builds fork per-subtree across the same workers.
   exec::ThreadPool* pool = nullptr;
+  /// Serial lane for this engine's maintenance steps (requires `pool`;
+  /// the lane must be built over it and outlive the engine). With a lane,
+  /// a merge/compaction runs as a chain of bounded steps that hop through
+  /// the lane — so one engine's long build occupies at most one worker at
+  /// a time between its parallel sections, and several engines sharing a
+  /// pool (the shard router) interleave their maintenance instead of one
+  /// compaction starving the others' merges. Null = chain directly
+  /// through the pool.
+  exec::Lane* maintenance_lane = nullptr;
+  /// Points per sliced-build step: a maintenance build gathers the live
+  /// set once, then constructs the replacement bucket in units of ~this
+  /// many points (per-subtree kd construction inside each unit), yielding
+  /// between units. Bounds the transient build memory to the gathered
+  /// live set plus one unit and keeps concurrent pool work flowing. 0 =
+  /// monolithic single-pass build. The published structure is identical
+  /// either way.
+  size_t build_chunk = 8192;
   /// Prewarm as part of maintenance: when the Monte-Carlo plan is active
   /// at default_eps, a merge/compaction builds the new bucket's per-round
   /// structures before publishing it (and the published snapshot's tail
   /// samples right after), so the first query after a bucket build doesn't
-  /// pay the lazy construction inside its latency.
+  /// pay the lazy construction inside its latency. Round construction is
+  /// chunked by build_chunk like the bucket build itself.
   bool prewarm_after_build = false;
 };
 
@@ -169,6 +189,12 @@ class DynamicEngine {
   /// snapshot per batch instead of per query).
   std::vector<Id> NonzeroNN(const Snapshot& snap, Point2 q) const;
 
+  /// NonzeroNN writing into `out` (cleared first) — with a warm scratch
+  /// arena and a warm output buffer a steady-state call performs zero
+  /// heap allocations (tests/alloc_hotpath_test.cc).
+  void NonzeroNNInto(Point2 q, std::vector<Id>* out) const;
+  void NonzeroNNInto(const Snapshot& snap, Point2 q, std::vector<Id>* out) const;
+
   /// Estimates of all positive pi_i(q) within additive eps; Quantification
   /// indices are point ids, ascending.
   std::vector<Quantification> Quantify(Point2 q,
@@ -235,6 +261,7 @@ class DynamicEngine {
 
  private:
   struct MaintenancePlan;
+  struct BuildJob;
 
   std::shared_ptr<const Snapshot> Snap() const {
     return std::atomic_load_explicit(&snapshot_, std::memory_order_acquire);
@@ -253,7 +280,16 @@ class DynamicEngine {
   MaintenancePlan DecidePlanLocked();
   void SpliceLocked(const MaintenancePlan& plan,
                     std::shared_ptr<const Bucket> built);
+  /// One bounded unit of maintenance (plan decision, a build slice, a
+  /// prewarm batch, or the splice). Returns false once maintenance is
+  /// finished (and maintenance_running_ has been cleared).
+  bool MaintenanceStep();
+  /// Inline driver: steps back-to-back on the calling thread.
   void MaintenanceLoop();
+  /// Background driver: runs one step, then re-submits itself through the
+  /// lane (or pool) — the cooperative yield between slices.
+  void MaintenanceChain();
+  void ScheduleMaintenanceHop();
 
   Options options_;
 
@@ -279,6 +315,11 @@ class DynamicEngine {
   bool maintenance_running_ = false;
   bool building_ = false;
   std::vector<Id> erased_during_build_;
+
+  // Owned by the maintenance driver (a single logical thread: the inline
+  // loop, or the chained lane/pool hops, which never overlap); not
+  // guarded by mu_.
+  std::unique_ptr<BuildJob> job_;
 };
 
 /// The spiral-vs-Monte-Carlo routing rule over a snapshot's aggregates —

@@ -38,10 +38,13 @@ double SnapshotNonzeroDelta(const Snapshot& snap, Point2 q) {
 
 void AppendNonzeroNNWithin(const Snapshot& snap, Point2 q, double bound, bool mixed,
                            std::vector<Id>* out) {
+  util::ScratchVec<int> locals_lease;
+  std::vector<int>& locals = *locals_lease;
   for (const auto& bref : snap.buckets) {
     if (bref.live_count == 0) continue;
     const Bucket& b = *bref.bucket;
-    for (int local : b.engine().NonzeroNNWithin(q, bound, bref.dead.get())) {
+    b.engine().NonzeroNNWithinInto(q, bound, bref.dead.get(), &locals);
+    for (int local : locals) {
       // A mixed live set's reference engine compares the clamped
       // MinDistance (brute-force path), which only differs from the disk
       // index's unclamped d - r when both are negative — re-filter to
@@ -61,13 +64,18 @@ void AppendNonzeroNNWithin(const Snapshot& snap, Point2 q, double bound, bool mi
 }
 
 std::vector<Id> MergedNonzeroNN(const Snapshot& snap, Point2 q) {
-  if (snap.live_count == 0) return {};
+  std::vector<Id> out;
+  MergedNonzeroNNInto(snap, q, &out);
+  return out;
+}
+
+void MergedNonzeroNNInto(const Snapshot& snap, Point2 q, std::vector<Id>* out) {
+  out->clear();
+  if (snap.live_count == 0) return;
   double bound = SnapshotNonzeroDelta(snap, q);
   bool mixed = snap.discrete_count > 0 && snap.continuous_count > 0;
-  std::vector<Id> out;
-  AppendNonzeroNNWithin(snap, q, bound, mixed, &out);
-  std::sort(out.begin(), out.end());
-  return out;
+  AppendNonzeroNNWithin(snap, q, bound, mixed, out);
+  std::sort(out->begin(), out->end());
 }
 
 UncertainSet SnapshotLiveSet(const Snapshot& snap, std::vector<Id>* ids) {
@@ -356,11 +364,7 @@ void MergedMonteCarloQuantifyInto(const Snapshot& snap, Point2 q, size_t rounds,
     }
     winners[r] = best;
   };
-  if (pool != nullptr && rounds > 1) {
-    pool->ParallelFor(rounds, body);
-  } else {
-    for (size_t r = 0; r < rounds; ++r) body(r);
-  }
+  exec::MaybeParallelFor(pool, rounds, body);
 
   // Winner histogram without a node-based map: sort a scratch copy and
   // run-length encode (ascending ids — the same order std::map iterated).
@@ -433,6 +437,28 @@ std::vector<Quantification> MergedQuantifyExact(const Snapshot& snap, Point2 q) 
     if (v > 0) out.push_back({id, v});
   }
   return out;
+}
+
+void PrewarmWorkerScratch(size_t points_hint, size_t rounds_hint) {
+  size_t cap = std::max(points_hint, rounds_hint);
+  // Kd DFS stacks and best-first heaps (several can nest: one stream per
+  // bucket in the k-way merge, a stage-2 report inside a stage-1 walk).
+  // int also covers Id winners/labels/counts and the quantify sweep's
+  // seen/touched buffers.
+  KdTree::PrewarmScratch(cap);
+  // Spiral-merge bookkeeping (MergedSpiralQuantifyInto).
+  util::ScratchVec<SourceLoc>::Prewarm(2, cap);
+  util::ScratchVec<Source>::Prewarm(1, 16);
+  util::ScratchVec<std::pair<double, size_t>>::Prewarm(1, 16);
+  util::ScratchVec<WeightedLocation>::Prewarm(1, cap);
+  // Monte-Carlo recombination (MergedMonteCarloQuantifyInto).
+  util::ScratchVec<std::shared_ptr<const McRounds>>::Prewarm(1, 16);
+  util::ScratchVec<const TailEntry*>::Prewarm(1, 256);
+  // Quantify sweep accumulators (QuantifyPrefixSweepInto) and the shard
+  // router's per-shard delta table.
+  util::ScratchVec<double>::Prewarm(3, cap);
+  util::ScratchVec<size_t>::Prewarm(1, 16);
+  util::ScratchVec<std::vector<Id>>::Prewarm(1, 16);
 }
 
 }  // namespace dyn

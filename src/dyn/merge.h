@@ -25,6 +25,11 @@ namespace dyn {
 /// reporting. Ascending ids.
 std::vector<Id> MergedNonzeroNN(const Snapshot& snap, Point2 q);
 
+/// MergedNonzeroNN writing into `out` (cleared first). Per-part reports
+/// land in scratch-arena buffers (Engine::NonzeroNNWithinInto), so with a
+/// warm arena and a warm output buffer this allocates nothing.
+void MergedNonzeroNNInto(const Snapshot& snap, Point2 q, std::vector<Id>* out);
+
 /// Stage 1 of MergedNonzeroNN on its own: this snapshot's contribution to
 /// the Lemma 2.1 pruning bound, min over its live parts (+inf when every
 /// part is dead). The shard router min-reduces this across shards.
@@ -79,6 +84,17 @@ void MergedMonteCarloQuantifyInto(const Snapshot& snap, Point2 q, size_t rounds,
 /// using QuantifyPartDiscrete per part (mathematically exact; float
 /// reassociation keeps it within ~1e-12 of the monolithic sweep).
 std::vector<Quantification> MergedQuantifyExact(const Snapshot& snap, Point2 q);
+
+/// Pre-sizes the calling thread's scratch pools for every buffer the
+/// query recombinations above (and the kd/quantify layers under them)
+/// lease, so the thread's first queries skip the pool-growing
+/// allocations. Intended as a ThreadPool worker_init hook:
+///   exec::ThreadPool::Options po;
+///   po.worker_init = [] { dyn::PrewarmWorkerScratch(n_hint, rounds_hint); };
+/// `points_hint` ~ live points served per query (sizes stacks, heaps and
+/// report buffers), `rounds_hint` ~ Monte-Carlo rounds (sizes winner
+/// tables).
+void PrewarmWorkerScratch(size_t points_hint, size_t rounds_hint);
 
 }  // namespace dyn
 }  // namespace pnn

@@ -13,9 +13,12 @@ thread_local const ThreadPool* tls_pool = nullptr;
 thread_local size_t tls_worker_index = 0;
 }  // namespace
 
-ThreadPool::ThreadPool(size_t num_threads) {
-  size_t n = num_threads > 0 ? num_threads
-                             : std::max<size_t>(1, std::thread::hardware_concurrency());
+ThreadPool::ThreadPool(size_t num_threads) : ThreadPool(Options{num_threads, {}}) {}
+
+ThreadPool::ThreadPool(Options options) : options_(std::move(options)) {
+  size_t n = options_.num_threads > 0
+                 ? options_.num_threads
+                 : std::max<size_t>(1, std::thread::hardware_concurrency());
   queues_.reserve(n);
   for (size_t i = 0; i < n; ++i) queues_.push_back(std::make_unique<WorkQueue>());
   workers_.reserve(n);
@@ -71,6 +74,7 @@ std::function<void()> ThreadPool::NextTask(size_t self) {
 void ThreadPool::WorkerLoop(size_t self) {
   tls_pool = this;
   tls_worker_index = self;
+  if (options_.worker_init) options_.worker_init();
   for (;;) {
     std::function<void()> task = NextTask(self);
     if (task) {
@@ -100,37 +104,78 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) 
     for (size_t i = 0; i < n; ++i) body(i);
     return;
   }
-  // Shared state outlives this frame only through the runner tasks, which
-  // all finish before the final wait returns.
+  // The wait below is on COMPLETED ITERATIONS, not on finished runner
+  // tasks. Every claimed iteration is actively executing on some thread,
+  // so completion never depends on a queued-but-unstarted runner — which
+  // is what lets a nested call simply wait instead of help-draining
+  // arbitrary stolen tasks. (Help-draining here used to run unrelated
+  // tasks on this thread mid-call; a caller holding a lock — the lazy
+  // Monte-Carlo/expected-NN builds, a bucket's round-cache extension —
+  // could then re-enter itself via a stolen task and self-deadlock.)
+  //
+  // A runner task that starts only after this frame returned claims an
+  // index >= n and exits without ever touching `body` (whose reference
+  // would be dangling by then); it reads only the shared_ptr-held
+  // counters, so lingering queued runners are harmless no-ops.
   auto next = std::make_shared<std::atomic<size_t>>(0);
-  auto done = std::make_shared<std::atomic<size_t>>(0);
+  auto completed = std::make_shared<std::atomic<size_t>>(0);
   auto done_mu = std::make_shared<std::mutex>();
   auto done_cv = std::make_shared<std::condition_variable>();
-  size_t total = runners + 1;  // Pool runners + the calling thread.
-  auto runner = [next, done, done_mu, done_cv, total, n, &body] {
-    for (size_t i = next->fetch_add(1); i < n; i = next->fetch_add(1)) body(i);
-    if (done->fetch_add(1) + 1 == total) {
+  auto runner = [next, completed, done_mu, done_cv, n, &body] {
+    size_t local = 0;
+    for (size_t i = next->fetch_add(1); i < n; i = next->fetch_add(1)) {
+      body(i);
+      ++local;
+    }
+    if (local > 0 && completed->fetch_add(local) + local == n) {
       std::lock_guard<std::mutex> lock(*done_mu);
       done_cv->notify_all();
     }
   };
   for (size_t r = 0; r < runners; ++r) Submit(runner);
   runner();  // The caller participates instead of blocking idle.
-  if (tls_pool == this) {
-    // Nested call from one of our own workers: blocking would starve the
-    // runner tasks we just queued, so help-drain until they all finish.
-    while (done->load() != total) {
-      std::function<void()> task = NextTask(tls_worker_index);
-      if (task) {
-        task();
-      } else {
-        std::this_thread::yield();
-      }
-    }
-    return;
-  }
   std::unique_lock<std::mutex> lock(*done_mu);
-  done_cv->wait(lock, [&] { return done->load() == total; });
+  done_cv->wait(lock, [&] { return completed->load() == n; });
+}
+
+Lane::Lane(ThreadPool* pool) : pool_(pool) {}
+
+Lane::~Lane() { Drain(); }
+
+void Lane::Submit(std::function<void()> task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tasks_.push_back(std::move(task));
+  if (!running_) {
+    running_ = true;
+    pool_->Submit([this] { RunOne(); });
+  }
+}
+
+void Lane::RunOne() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task = std::move(tasks_.front());
+    tasks_.pop_front();
+  }
+  task();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tasks_.empty()) {
+    // Clear the flag before notifying: Drain observes (!running_ && empty)
+    // under mu_, so nothing can slip between.
+    running_ = false;
+    cv_.notify_all();
+  } else {
+    // Hop through the pool between tasks instead of draining in place —
+    // this is the cooperative yield that lets other pool work (queries,
+    // sibling lanes) interleave with a long chain of build slices.
+    pool_->Submit([this] { RunOne(); });
+  }
+}
+
+void Lane::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !running_ && tasks_.empty(); });
 }
 
 }  // namespace exec

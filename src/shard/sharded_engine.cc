@@ -65,6 +65,8 @@ ShardedEngine::ShardedEngine(const UncertainSet& initial, Options options)
                 "set shard::Options::pool; the per-shard pool is managed here");
   PNN_CHECK_MSG(options_.rebalance_max_imbalance > 1,
                 "rebalance_max_imbalance must exceed 1");
+  PNN_CHECK_MSG(options_.shard.maintenance_lane == nullptr,
+                "per-shard maintenance lanes are managed here");
   dyn::Options per_shard = options_.shard;
   per_shard.pool = options_.pool;
 
@@ -85,13 +87,29 @@ ShardedEngine::ShardedEngine(const UncertainSet& initial, Options options)
   }
   next_id_ = static_cast<Id>(initial.size());
 
-  shards_.reserve(options_.num_shards);
-  for (uint32_t s = 0; s < options_.num_shards; ++s) {
-    shards_.push_back(points_of[s].empty()
-                          ? std::make_unique<dyn::DynamicEngine>(per_shard)
-                          : std::make_unique<dyn::DynamicEngine>(
-                                std::move(ids_of[s]), points_of[s], per_shard));
+  if (options_.pool != nullptr) {
+    // A dedicated maintenance lane per shard: sliced build steps hop
+    // through it, so one shard's compaction never monopolizes the pool's
+    // workers while another shard's merge waits.
+    lanes_.reserve(options_.num_shards);
+    for (uint32_t s = 0; s < options_.num_shards; ++s) {
+      lanes_.push_back(std::make_unique<exec::Lane>(options_.pool));
+    }
   }
+
+  // Bootstrap the shard engines in parallel: each builds its initial
+  // bucket through the same staged builder maintenance uses, with the kd
+  // builds forking per-subtree on the shared pool.
+  shards_.resize(options_.num_shards);
+  auto build_shard = [&](size_t s) {
+    dyn::Options opts = per_shard;
+    if (!lanes_.empty()) opts.maintenance_lane = lanes_[s].get();
+    shards_[s] = points_of[s].empty()
+                     ? std::make_unique<dyn::DynamicEngine>(opts)
+                     : std::make_unique<dyn::DynamicEngine>(std::move(ids_of[s]),
+                                                            points_of[s], opts);
+  };
+  exec::MaybeParallelFor(options_.pool, options_.num_shards, build_shard);
 }
 
 ShardedEngine::~ShardedEngine() { WaitForMaintenance(); }
@@ -195,9 +213,21 @@ std::vector<Id> ShardedEngine::NonzeroNN(Point2 q) const {
 }
 
 std::vector<Id> ShardedEngine::NonzeroNN(const CombinedView& view, Point2 q) const {
+  std::vector<Id> out;
+  NonzeroNNInto(view, q, &out);
+  return out;
+}
+
+void ShardedEngine::NonzeroNNInto(Point2 q, std::vector<Id>* out) const {
+  NonzeroNNInto(*View(), q, out);
+}
+
+void ShardedEngine::NonzeroNNInto(const CombinedView& view, Point2 q,
+                                  std::vector<Id>* out) const {
   const auto& parts = view.parts;
   const dyn::Snapshot& u = *view.combined;
-  if (u.live_count == 0) return {};
+  out->clear();
+  if (u.live_count == 0) return;
 
   // Skip empty shards before scheduling pool work: an empty shard
   // contributes +inf to stage 1 and nothing to stage 2, so fanning it out
@@ -243,10 +273,10 @@ std::vector<Id> ShardedEngine::NonzeroNN(const CombinedView& view, Point2 q) con
   } else {
     for (size_t i = 0; i < n; ++i) stage2(i);
   }
-  std::vector<Id> out;
-  for (size_t i = 0; i < n; ++i) out.insert(out.end(), found[i].begin(), found[i].end());
-  std::sort(out.begin(), out.end());
-  return out;
+  for (size_t i = 0; i < n; ++i) {
+    out->insert(out->end(), found[i].begin(), found[i].end());
+  }
+  std::sort(out->begin(), out->end());
 }
 
 std::vector<Quantification> ShardedEngine::Quantify(Point2 q,

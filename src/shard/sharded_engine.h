@@ -78,12 +78,16 @@ struct Options {
   /// recombination); its pool must be null — set `pool` below instead.
   dyn::Options shard;
   /// When set: per-shard maintenance runs here, NonzeroNN fans out across
-  /// shards, Monte-Carlo rounds fan out, and auto_rebalance may schedule
-  /// background moves. Must outlive the engine. When null, everything runs
-  /// inline on the calling thread. Query fan-out shares the pool with
-  /// maintenance and rebalance jobs; work stealing plus caller
-  /// participation keeps queries progressing while a long job occupies a
-  /// worker (a single-worker pool skips fan-out entirely).
+  /// shards, Monte-Carlo rounds fan out, structure builds fork
+  /// per-subtree, and auto_rebalance may schedule background moves. Must
+  /// outlive the engine. When null, everything runs inline on the calling
+  /// thread. Query fan-out shares the pool with maintenance and rebalance
+  /// jobs; each shard's maintenance runs as sliced steps on its own
+  /// dedicated lane (see exec::Lane), so one shard's compaction occupies
+  /// at most one worker between parallel sections and cannot starve
+  /// another shard's merges; work stealing plus caller participation
+  /// keeps queries progressing alongside (a single-worker pool skips
+  /// query fan-out entirely).
   exec::ThreadPool* pool = nullptr;
 
   // Rebalance policy:
@@ -149,6 +153,12 @@ class ShardedEngine {
   /// NN!=0(q) over the union, ascending ids (Lemma 2.1 semantics).
   std::vector<Id> NonzeroNN(Point2 q) const;
   std::vector<Id> NonzeroNN(const CombinedView& view, Point2 q) const;
+
+  /// NonzeroNN writing into `out` (cleared first) — with a warm view and
+  /// a warm scratch arena a steady-state call performs zero heap
+  /// allocations (tests/alloc_hotpath_test.cc).
+  void NonzeroNNInto(Point2 q, std::vector<Id>* out) const;
+  void NonzeroNNInto(const CombinedView& view, Point2 q, std::vector<Id>* out) const;
 
   /// Estimates of all positive pi_i(q) within additive eps; indices are
   /// global ids, ascending.
@@ -232,6 +242,10 @@ class ShardedEngine {
   void RebalanceLoop();
 
   Options options_;
+  /// One maintenance lane per shard (pool mode only). Declared before
+  /// shards_ so it outlives them during destruction: a shard's destructor
+  /// waits out maintenance steps that hop through its lane.
+  std::vector<std::unique_ptr<exec::Lane>> lanes_;
   std::vector<std::unique_ptr<dyn::DynamicEngine>> shards_;
 
   mutable std::mutex mu_;  // Serializes updates, placement and rebalance.

@@ -13,6 +13,17 @@ namespace pnn {
 namespace {
 constexpr int kLeafSize = 8;
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Node count of the subtree over n points. The split point of a range
+// [begin, begin + n) is begin + n/2 regardless of begin, so the subtree
+// shape — and with it every preorder node id — is a pure function of the
+// subtree sizes. This is what lets the parallel build place each subtree's
+// nodes into a precomputed id range with no cross-task coordination.
+int SubtreeNodes(int n) {
+  if (n <= kLeafSize) return 1;
+  int left = n / 2;
+  return 1 + SubtreeNodes(left) + SubtreeNodes(n - left);
+}
 }  // namespace
 
 double KdTree::PointDist(Point2 a, Point2 b) const {
@@ -27,16 +38,25 @@ double KdTree::BoxDist(const Box2& box, Point2 p) const {
   return std::sqrt(box.SquaredDistanceTo(p));
 }
 
-KdTree::KdTree(std::vector<Point2> points, std::vector<double> weights, Metric metric)
+KdTree::KdTree(std::vector<Point2> points, std::vector<double> weights, Metric metric,
+               const BuildOptions& build)
     : metric_(metric), points_(std::move(points)), weights_(std::move(weights)) {
   if (weights_.empty()) weights_.assign(points_.size(), 0.0);
   PNN_CHECK(weights_.size() == points_.size());
   order_.resize(points_.size());
   std::iota(order_.begin(), order_.end(), 0);
-  if (!points_.empty()) root_ = Build(0, static_cast<int>(points_.size()));
+  if (!points_.empty()) {
+    int n = static_cast<int>(points_.size());
+    // Preallocating against the precomputed node count lets BuildRange
+    // write each subtree's nodes into its own id range — no push_back, no
+    // shared cursor, hence no cross-task ordering effects.
+    nodes_.resize(static_cast<size_t>(SubtreeNodes(n)));
+    root_ = 0;
+    BuildRange(0, n, root_, build);
+  }
 }
 
-int KdTree::Build(int begin, int end) {
+void KdTree::BuildRange(int begin, int end, int id, const BuildOptions& build) {
   Node node;
   node.begin = begin;
   node.end = end;
@@ -49,22 +69,68 @@ int KdTree::Build(int begin, int end) {
     node.min_w = std::min(node.min_w, weights_[order_[i]]);
     node.max_w = std::max(node.max_w, weights_[order_[i]]);
   }
-  int id = static_cast<int>(nodes_.size());
-  nodes_.push_back(node);
-  if (end - begin > kLeafSize) {
+  int n = end - begin;
+  if (n > kLeafSize) {
     bool split_x = node.box.Width() >= node.box.Height();
     int mid = (begin + end) / 2;
+    // The partition runs before the children fork, on this task's own
+    // disjoint range — every root-to-leaf call sequence therefore sees
+    // exactly the element order the serial build saw.
     std::nth_element(order_.begin() + begin, order_.begin() + mid, order_.begin() + end,
                      [&](int a, int b) {
                        return split_x ? points_[a].x < points_[b].x
                                       : points_[a].y < points_[b].y;
                      });
-    int l = Build(begin, mid);
-    int r = Build(mid, end);
-    nodes_[id].left = l;
-    nodes_[id].right = r;
+    node.left = id + 1;  // Preorder: left subtree follows its parent.
+    node.right = id + 1 + SubtreeNodes(mid - begin);
+    nodes_[id] = node;
+    if (build.pool != nullptr && n > build.parallel_cutoff) {
+      int left_id = node.left, right_id = node.right;
+      build.pool->ParallelFor(2, [&](size_t child) {
+        if (child == 0) {
+          BuildRange(begin, mid, left_id, build);
+        } else {
+          BuildRange(mid, end, right_id, build);
+        }
+      });
+    } else {
+      BuildRange(begin, mid, node.left, build);
+      BuildRange(mid, end, node.right, build);
+    }
+  } else {
+    nodes_[id] = node;
   }
-  return id;
+}
+
+bool KdTree::SameStructure(const KdTree& other) const {
+  if (metric_ != other.metric_ || root_ != other.root_ ||
+      points_.size() != other.points_.size() || order_ != other.order_ ||
+      weights_ != other.weights_ || nodes_.size() != other.nodes_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].x != other.points_[i].x || points_[i].y != other.points_[i].y) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& a = nodes_[i];
+    const Node& b = other.nodes_[i];
+    if (a.left != b.left || a.right != b.right || a.begin != b.begin ||
+        a.end != b.end || a.min_w != b.min_w || a.max_w != b.max_w ||
+        a.box.xmin != b.box.xmin || a.box.ymin != b.box.ymin ||
+        a.box.xmax != b.box.xmax || a.box.ymax != b.box.ymax) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void KdTree::PrewarmScratch(size_t capacity) {
+  // Several DFS stacks / heaps can be live at once on one thread (nested
+  // streams in the k-way merge, a stage-2 report inside a stage-1 walk).
+  util::ScratchVec<int>::Prewarm(4, capacity);
+  util::ScratchVec<Incremental::Entry>::Prewarm(4, capacity);
 }
 
 int KdTree::Nearest(Point2 q, double* out_dist, const std::vector<char>* skip) const {
@@ -117,7 +183,12 @@ std::vector<int> KdTree::KNearest(Point2 q, int k) const {
 
 std::vector<int> KdTree::ReportWithin(Point2 q, double r) const {
   std::vector<int> out;
-  if (root_ < 0) return out;
+  ReportWithinInto(q, r, &out);
+  return out;
+}
+
+void KdTree::ReportWithinInto(Point2 q, double r, std::vector<int>* out) const {
+  if (root_ < 0) return;
   util::ScratchVec<int> lease;
   std::vector<int>& stack = *lease;
   stack.clear();
@@ -129,14 +200,13 @@ std::vector<int> KdTree::ReportWithin(Point2 q, double r) const {
     if (BoxDist(n.box, q) > r) continue;
     if (n.left < 0) {
       for (int i = n.begin; i < n.end; ++i) {
-        if (PointDist(q, points_[order_[i]]) <= r) out.push_back(order_[i]);
+        if (PointDist(q, points_[order_[i]]) <= r) out->push_back(order_[i]);
       }
       continue;
     }
     stack.push_back(n.left);
     stack.push_back(n.right);
   }
-  return out;
 }
 
 double KdTree::MinAdditivelyWeighted(Point2 q, int* arg,
@@ -183,7 +253,13 @@ double KdTree::MinAdditivelyWeighted(Point2 q, int* arg,
 
 std::vector<int> KdTree::ReportSubtractiveLess(Point2 q, double bound) const {
   std::vector<int> out;
-  if (root_ < 0) return out;
+  ReportSubtractiveLessInto(q, bound, &out);
+  return out;
+}
+
+void KdTree::ReportSubtractiveLessInto(Point2 q, double bound,
+                                       std::vector<int>* out) const {
+  if (root_ < 0) return;
   util::ScratchVec<int> lease;
   std::vector<int>& stack = *lease;
   stack.clear();
@@ -198,14 +274,13 @@ std::vector<int> KdTree::ReportSubtractiveLess(Point2 q, double bound) const {
     if (n.left < 0) {
       for (int i = n.begin; i < n.end; ++i) {
         int idx = order_[i];
-        if (PointDist(q, points_[idx]) - weights_[idx] < bound) out.push_back(idx);
+        if (PointDist(q, points_[idx]) - weights_[idx] < bound) out->push_back(idx);
       }
       continue;
     }
     stack.push_back(n.left);
     stack.push_back(n.right);
   }
-  return out;
 }
 
 KdTree::Incremental::Incremental(const KdTree& tree, Point2 q) : tree_(tree), q_(q) {

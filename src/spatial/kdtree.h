@@ -10,12 +10,20 @@
 //
 // The weighted modes prune with per-subtree min/max weights, which is what
 // makes the two-stage query output-sensitive in practice.
+//
+// Construction can fan out per-subtree on an exec::ThreadPool (see
+// BuildOptions): node indices are assigned from precomputed subtree sizes,
+// and every task partitions only its own disjoint order_ range, so the
+// parallel-built tree is bit-identical to the serial one — same split
+// choices, same node ids, same leaf order (asserted node-for-node by
+// tests/build_determinism_test.cc).
 
 #ifndef PNN_SPATIAL_KDTREE_H_
 #define PNN_SPATIAL_KDTREE_H_
 
 #include <vector>
 
+#include "src/exec/thread_pool.h"
 #include "src/geometry/box2.h"
 #include "src/geometry/point2.h"
 #include "src/util/arena.h"
@@ -29,12 +37,29 @@ enum class Metric {
   kChebyshev,
 };
 
+/// How to run a kd-tree construction. The produced tree is bit-identical
+/// regardless of pool presence, pool size, or cutoff. (Namespace-scope —
+/// not nested in KdTree — so it can serve as a defaulted parameter of
+/// KdTree's own constructor.)
+struct KdBuildOptions {
+  /// When set, subtrees larger than `parallel_cutoff` fork their two
+  /// children onto the pool; at or below it construction stays sequential
+  /// on the building thread (forking leaf-sized tasks would be all
+  /// scheduling overhead). Any cutoff >= 0 is valid — 0 forks at every
+  /// internal node.
+  exec::ThreadPool* pool = nullptr;
+  int parallel_cutoff = 4096;
+};
+
 /// Static kd-tree over a fixed point set, with optional per-point weights.
 class KdTree {
  public:
+  using BuildOptions = KdBuildOptions;
+
   /// Builds the tree. If `weights` is empty all weights are 0.
   explicit KdTree(std::vector<Point2> points, std::vector<double> weights = {},
-                  Metric metric = Metric::kEuclidean);
+                  Metric metric = Metric::kEuclidean,
+                  const BuildOptions& build = BuildOptions());
 
   size_t size() const { return points_.size(); }
   const std::vector<Point2>& points() const { return points_; }
@@ -52,6 +77,10 @@ class KdTree {
   /// All indices with d(q, p_i) <= r (closed disk).
   std::vector<int> ReportWithin(Point2 q, double r) const;
 
+  /// ReportWithin appending into `out` (not cleared) — the allocation-free
+  /// form for callers holding a scratch or reused buffer.
+  void ReportWithinInto(Point2 q, double r, std::vector<int>* out) const;
+
   /// min_i d(q, p_i) + w_i; sets *arg to the minimizing index. Points with
   /// skip[i] != 0 are ignored (+inf / -1 if all are skipped).
   double MinAdditivelyWeighted(Point2 q, int* arg = nullptr,
@@ -59,6 +88,19 @@ class KdTree {
 
   /// All indices with d(q, p_i) - w_i < bound (strict).
   std::vector<int> ReportSubtractiveLess(Point2 q, double bound) const;
+
+  /// ReportSubtractiveLess appending into `out` (not cleared).
+  void ReportSubtractiveLessInto(Point2 q, double bound, std::vector<int>* out) const;
+
+  /// Exact structural equality — points, weights, leaf order and every
+  /// node field — certifying that two build schedules produced the same
+  /// tree node-for-node (the parallel-build determinism tests).
+  bool SameStructure(const KdTree& other) const;
+
+  /// Pre-sizes the calling thread's scratch pools for this file's query
+  /// paths (DFS stacks, best-first heaps) to `capacity` entries. Part of
+  /// the worker warmup chain (exec::ThreadPool::Options::worker_init).
+  static void PrewarmScratch(size_t capacity);
 
   /// Best-first enumeration of points in ascending distance from a query;
   /// each Next() costs O(log n) amortized. Used by the spiral-search
@@ -77,6 +119,7 @@ class KdTree {
     int Next(double* dist = nullptr);
 
    private:
+    friend class KdTree;  // PrewarmScratch pre-sizes the Entry pool.
     struct Entry {
       double key;     // Lower bound on distance (exact for points).
       int node;       // Internal node id, or -1 when `point` is valid.
@@ -104,7 +147,10 @@ class KdTree {
     double max_w = 0;
   };
 
-  int Build(int begin, int end);
+  /// Builds the subtree over order_[begin, end) into the preassigned slot
+  /// nodes_[id] (and the id-contiguous slots after it), forking the two
+  /// children onto build.pool above the cutoff.
+  void BuildRange(int begin, int end, int id, const BuildOptions& build);
   double PointDist(Point2 a, Point2 b) const;
   double BoxDist(const Box2& box, Point2 p) const;
 

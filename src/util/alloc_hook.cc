@@ -1,6 +1,8 @@
 #include "src/util/alloc_hook.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cstddef>
 #include <cstdlib>
 #include <new>
 
@@ -9,32 +11,99 @@ namespace util {
 
 namespace {
 std::atomic<int64_t> g_alloc_count{0};
+std::atomic<int64_t> g_live_bytes{0};
+std::atomic<int64_t> g_peak_bytes{0};
+
+// Every allocation is prefixed by a header that records the requested
+// size, so the delete side can subtract it from the live-byte counter
+// without a side table. The header is at least max_align_t-sized (keeps
+// the user pointer suitably aligned for plain new) and at least the
+// requested alignment for the align_val_t overloads; the size itself is
+// always stored in the word immediately before the user pointer, which
+// both free paths can read uniformly.
+constexpr std::size_t kHeader = alignof(std::max_align_t) < sizeof(std::size_t)
+                                    ? sizeof(std::size_t)
+                                    : alignof(std::max_align_t);
+
+void RecordAlloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  int64_t now =
+      g_live_bytes.fetch_add(static_cast<int64_t>(size), std::memory_order_relaxed) +
+      static_cast<int64_t>(size);
+  int64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !g_peak_bytes.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void StampSize(void* user, std::size_t size) {
+  *(reinterpret_cast<std::size_t*>(user) - 1) = size;
+}
 
 void* CountedAlloc(std::size_t size) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  // malloc(0) may return null; operator new must not.
-  void* p = std::malloc(size > 0 ? size : 1);
-  if (p == nullptr) throw std::bad_alloc();
-  return p;
+  // The header addition must not wrap: operator new of a size that
+  // overflowed (e.g. a huge new[] count, where the ABI passes SIZE_MAX)
+  // has to surface as bad_alloc, not as a tiny wrapped malloc.
+  if (size > SIZE_MAX - kHeader) throw std::bad_alloc();
+  void* base = std::malloc(size + kHeader);
+  if (base == nullptr) throw std::bad_alloc();
+  void* user = static_cast<char*>(base) + kHeader;
+  StampSize(user, size);
+  RecordAlloc(size);
+  return user;
+}
+
+void CountedFree(void* user) {
+  if (user == nullptr) return;
+  std::size_t size = *(reinterpret_cast<std::size_t*>(user) - 1);
+  g_live_bytes.fetch_sub(static_cast<int64_t>(size), std::memory_order_relaxed);
+  std::free(static_cast<char*>(user) - kHeader);
+}
+
+// Header size for over-aligned allocations: a multiple of the alignment
+// that fits kHeader, so base + header stays `align`-aligned.
+std::size_t AlignedHeader(std::size_t align) {
+  return (std::max(kHeader, align) + align - 1) / align * align;
 }
 
 void* CountedAllocAligned(std::size_t size, std::size_t align) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  // aligned_alloc requires the size to be a multiple of the alignment.
-  std::size_t rounded = (size + align - 1) / align * align;
-  void* p = std::aligned_alloc(align, rounded > 0 ? rounded : align);
-  if (p == nullptr) throw std::bad_alloc();
-  return p;
+  std::size_t header = AlignedHeader(align);
+  if (size > SIZE_MAX - header - align) throw std::bad_alloc();
+  // aligned_alloc requires the total size to be a multiple of the alignment.
+  std::size_t total = (size + header + align - 1) / align * align;
+  void* base = std::aligned_alloc(align, total);
+  if (base == nullptr) throw std::bad_alloc();
+  void* user = static_cast<char*>(base) + header;
+  StampSize(user, size);
+  RecordAlloc(size);
+  return user;
+}
+
+void CountedFreeAligned(void* user, std::size_t align) {
+  if (user == nullptr) return;
+  std::size_t size = *(reinterpret_cast<std::size_t*>(user) - 1);
+  g_live_bytes.fetch_sub(static_cast<int64_t>(size), std::memory_order_relaxed);
+  std::free(static_cast<char*>(user) - AlignedHeader(align));
 }
 }  // namespace
 
 int64_t AllocationCount() { return g_alloc_count.load(std::memory_order_relaxed); }
 
+int64_t LiveAllocatedBytes() { return g_live_bytes.load(std::memory_order_relaxed); }
+
+int64_t PeakAllocatedBytes() { return g_peak_bytes.load(std::memory_order_relaxed); }
+
+void ResetPeakAllocatedBytes() {
+  g_peak_bytes.store(g_live_bytes.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
+
 }  // namespace util
 }  // namespace pnn
 
 // Global replacements (dormant unless this TU is linked in; see header).
-// Every form forwards to malloc/free so the whole family stays consistent.
+// Every form forwards to the counted malloc/free wrappers so the whole
+// family stays consistent.
 void* operator new(std::size_t size) { return pnn::util::CountedAlloc(size); }
 void* operator new[](std::size_t size) { return pnn::util::CountedAlloc(size); }
 void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
@@ -58,13 +127,25 @@ void* operator new[](std::size_t size, std::align_val_t align) {
   return pnn::util::CountedAllocAligned(size, static_cast<std::size_t>(align));
 }
 
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
-void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
-void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p) noexcept { pnn::util::CountedFree(p); }
+void operator delete[](void* p) noexcept { pnn::util::CountedFree(p); }
+void operator delete(void* p, std::size_t) noexcept { pnn::util::CountedFree(p); }
+void operator delete[](void* p, std::size_t) noexcept { pnn::util::CountedFree(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  pnn::util::CountedFree(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  pnn::util::CountedFree(p);
+}
+void operator delete(void* p, std::align_val_t align) noexcept {
+  pnn::util::CountedFreeAligned(p, static_cast<std::size_t>(align));
+}
+void operator delete[](void* p, std::align_val_t align) noexcept {
+  pnn::util::CountedFreeAligned(p, static_cast<std::size_t>(align));
+}
+void operator delete(void* p, std::size_t, std::align_val_t align) noexcept {
+  pnn::util::CountedFreeAligned(p, static_cast<std::size_t>(align));
+}
+void operator delete[](void* p, std::size_t, std::align_val_t align) noexcept {
+  pnn::util::CountedFreeAligned(p, static_cast<std::size_t>(align));
+}

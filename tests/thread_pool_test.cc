@@ -86,6 +86,110 @@ TEST(ThreadPool, SingleWorkerStillCompletes) {
   EXPECT_EQ(total.load(), 100);
 }
 
+TEST(ThreadPool, ParallelForUnderHeldLockNeverSelfDeadlocks) {
+  // Tasks lock a shared mutex and run ParallelFor while holding it — the
+  // shape of the lazy structure builds (EnsureMonteCarlo, EnsureRounds).
+  // ParallelFor must never execute unrelated stolen tasks on the calling
+  // thread mid-wait, or a stolen sibling would re-lock the held mutex on
+  // the same thread and self-deadlock.
+  ThreadPool pool(2);
+  std::mutex m;
+  std::atomic<int> done{0};
+  for (int t = 0; t < 8; ++t) {
+    pool.Submit([&] {
+      std::lock_guard<std::mutex> lock(m);
+      pool.ParallelFor(16, [](size_t) { std::this_thread::yield(); });
+      done.fetch_add(1);
+    });
+  }
+  while (done.load() < 8) std::this_thread::yield();
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPool, WorkerInitRunsOncePerWorkerBeforeTasks) {
+  static thread_local bool initialized = false;
+  std::atomic<int> inits{0};
+  ThreadPool::Options opts;
+  opts.num_threads = 3;
+  opts.worker_init = [&] {
+    initialized = true;
+    inits.fetch_add(1);
+  };
+  ThreadPool pool(opts);
+  // Every task must observe its worker's init already done, however the
+  // tasks are spread over the workers.
+  std::atomic<int> seen{0};
+  std::atomic<int> uninitialized{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([&] {
+      if (!initialized) uninitialized.fetch_add(1);
+      seen.fetch_add(1);
+    });
+  }
+  while (seen.load() < 32) std::this_thread::yield();
+  EXPECT_EQ(uninitialized.load(), 0);
+  // All three workers ran the init exactly once (threads spawn at
+  // construction, so all inits have run by the time their tasks finish —
+  // wait for the stragglers that may not have received a task).
+  while (inits.load() < 3) std::this_thread::yield();
+  EXPECT_EQ(inits.load(), 3);
+}
+
+TEST(Lane, RunsTasksInSubmissionOrderSerially) {
+  ThreadPool pool(4);
+  Lane lane(&pool);
+  std::vector<int> order;
+  std::atomic<int> concurrent{0};
+  std::atomic<int> max_concurrent{0};
+  std::mutex mu;
+  for (int i = 0; i < 50; ++i) {
+    lane.Submit([&, i] {
+      int now = concurrent.fetch_add(1) + 1;
+      int prev = max_concurrent.load();
+      while (now > prev && !max_concurrent.compare_exchange_weak(prev, now)) {
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        order.push_back(i);
+      }
+      std::this_thread::yield();
+      concurrent.fetch_sub(1);
+    });
+  }
+  lane.Drain();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);  // FIFO.
+  EXPECT_EQ(max_concurrent.load(), 1);  // Never two lane tasks at once.
+}
+
+TEST(Lane, InterleavesWithPoolWorkAndSiblingLanes) {
+  ThreadPool pool(2);
+  Lane a(&pool);
+  Lane b(&pool);
+  std::atomic<int> a_done{0}, b_done{0};
+  for (int i = 0; i < 20; ++i) {
+    a.Submit([&] { a_done.fetch_add(1); });
+    b.Submit([&] { b_done.fetch_add(1); });
+  }
+  a.Drain();
+  b.Drain();
+  EXPECT_EQ(a_done.load(), 20);
+  EXPECT_EQ(b_done.load(), 20);
+}
+
+TEST(Lane, SubmitFromInsideLaneTaskContinuesChain) {
+  ThreadPool pool(2);
+  Lane lane(&pool);
+  std::atomic<int> hops{0};
+  std::function<void()> chain = [&] {
+    if (hops.fetch_add(1) + 1 < 10) lane.Submit(chain);
+  };
+  lane.Submit(chain);
+  while (hops.load() < 10) std::this_thread::yield();
+  lane.Drain();
+  EXPECT_EQ(hops.load(), 10);
+}
+
 }  // namespace
 }  // namespace exec
 }  // namespace pnn
