@@ -6,7 +6,9 @@
 // dispatch by probability, not by stale point estimates.
 //
 // The fleet churns every tick (fresh fixes shrink a unit's disk, staleness
-// grows the others), so the tracker runs on pnn::dyn::DynamicEngine:
+// grows the others), so the tracker runs on pnn::dyn::DynamicEngine —
+// addressed through the unified pnn::api request/response surface, the
+// same QueryRequests a pnn::serve deployment would receive over the wire:
 // per-tick updates are erase+reinsert pairs at microsecond cost instead of
 // a full engine rebuild, and query latency is reported next to update
 // latency to show both sides of the live workload.
@@ -16,6 +18,8 @@
 #include <cstdio>
 #include <vector>
 
+#include "src/api/engine_ref.h"
+#include "src/api/query.h"
 #include "src/core/v0/nonzero_voronoi.h"
 #include "src/dyn/dynamic_engine.h"
 #include "src/util/rng.h"
@@ -40,6 +44,7 @@ int main() {
   dyn::Options dopt;
   dopt.engine.mc_rounds_override = 4000;  // Quantification backend for disks.
   dyn::DynamicEngine engine(dopt);
+  api::EngineRef ref(&engine);
   for (int i = 0; i < 12; ++i) {
     Unit u{{rng.Uniform(-40, 40), rng.Uniform(-40, 40)}, rng.Uniform(0, 60)};
     u.id = engine.Insert(UncertainPoint::UniformDisk(u.last_fix, radius_of(u)));
@@ -55,7 +60,8 @@ int main() {
 
   for (int tick = 0; tick < 5; ++tick) {
     // Advance the fleet: every unit's disk changes, so every unit is an
-    // erase+reinsert pair against the dynamic engine.
+    // erase+reinsert pair — the same api::QueryRequests a serving client
+    // would put on the wire.
     Timer update_timer;
     int moved = 0;
     for (Unit& u : units) {
@@ -67,15 +73,17 @@ int main() {
       } else {
         u.staleness += 5;
       }
-      engine.Erase(u.id);
-      u.id = engine.Insert(UncertainPoint::UniformDisk(u.last_fix, radius_of(u)));
+      ref.Call(api::QueryRequest::Erase(u.id));
+      api::QueryResponse ins = ref.Call(api::QueryRequest::Insert(
+          UncertainPoint::UniformDisk(u.last_fix, radius_of(u))));
+      u.id = ins.id;
     }
     double update_ms = update_timer.Millis();
 
     Point2 q{rng.Uniform(-45, 45), rng.Uniform(-45, 45)};
     Timer query_timer;
-    auto candidates = engine.NonzeroNN(q);
-    auto probs = engine.Quantify(q, 0.05);
+    api::QueryResponse candidates = ref.Call(api::QueryRequest::NonzeroNN(q));
+    api::QueryResponse probs = ref.Call(api::QueryRequest::Quantify(q, 0.05));
     double query_ms = query_timer.Millis();
 
     std::printf("tick #%d: %d fresh fixes; incident at (%.1f, %.1f)\n", tick, moved,
@@ -85,8 +93,8 @@ int main() {
                 update_ms, units.size(), 1000.0 * update_ms / (2 * units.size()),
                 query_ms);
 
-    std::printf("  %zu unit(s) could be closest:", candidates.size());
-    for (dyn::Id id : candidates) {
+    std::printf("  %zu unit(s) could be closest:", candidates.ids.size());
+    for (dyn::Id id : candidates.ids) {
       for (size_t i = 0; i < units.size(); ++i) {
         if (units[i].id == id) std::printf(" U%zu", i);
       }
@@ -94,14 +102,14 @@ int main() {
     std::printf("\n");
 
     // Dispatch decision: the most probably-nearest unit, with its odds.
-    dyn::Id best = MostLikelyNN(probs);
+    api::QueryResponse best = ref.Call(api::QueryRequest::MostLikelyNN(q, 0.05));
     double best_p = 0;
     size_t best_unit = 0;
-    for (const auto& e : probs) {
-      if (e.index == best) best_p = e.probability;
+    for (const auto& e : probs.quants) {
+      if (e.index == best.id) best_p = e.probability;
     }
     for (size_t i = 0; i < units.size(); ++i) {
-      if (units[i].id == best) best_unit = i;
+      if (units[i].id == best.id) best_unit = i;
     }
     std::printf("  dispatch U%zu (P[nearest] ~ %.2f)\n", best_unit, best_p);
   }

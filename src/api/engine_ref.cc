@@ -1,0 +1,172 @@
+#include "src/api/engine_ref.h"
+
+#include <utility>
+
+namespace pnn {
+namespace api {
+
+namespace {
+
+/// QuantifyExact supports all-discrete or all-continuous sets; the direct
+/// methods PNN_CHECK on mixed input, the api answers a status instead.
+constexpr const char* kMixedExactMessage =
+    "QuantifyExact needs an all-discrete or all-continuous set";
+
+}  // namespace
+
+EngineRef::Pin EngineRef::Capture() const {
+  Pin pin;
+  if (dyn_ != nullptr) {
+    pin.snap = dyn_->snapshot();
+  } else if (sharded_ != nullptr) {
+    pin.view = sharded_->View();
+  }
+  return pin;
+}
+
+QueryResponse EngineRef::Call(const QueryRequest& request) const {
+  return Dispatch(request, nullptr);
+}
+
+QueryResponse EngineRef::Call(const QueryRequest& request, const Pin& pin) const {
+  return Dispatch(request, &pin);
+}
+
+QueryResponse EngineRef::Dispatch(const QueryRequest& request, const Pin* pin) const {
+  QueryResponse r;
+  r.kind = request.kind;
+  if (!valid()) {
+    return QueryResponse::Error(StatusCode::kInternal, request.kind,
+                                "EngineRef has no backend");
+  }
+  std::string detail;
+  StatusCode valid_status = Validate(request, &detail);
+  if (valid_status != StatusCode::kOk) {
+    return QueryResponse::Error(valid_status, request.kind, std::move(detail));
+  }
+
+  // Resolve the pinned state once: queries below answer as of `snap`/
+  // `view` on the mutable backends (identical to the snapshot overloads
+  // the batch executor already used), the static Engine needs no pin.
+  std::shared_ptr<const dyn::Snapshot> snap;
+  std::shared_ptr<const shard::CombinedView> view;
+  if (!request.is_update()) {
+    if (dyn_ != nullptr) {
+      snap = (pin != nullptr && pin->snap != nullptr) ? pin->snap : dyn_->snapshot();
+    } else if (sharded_ != nullptr) {
+      view = (pin != nullptr && pin->view != nullptr) ? pin->view : sharded_->View();
+    }
+  }
+
+  switch (request.kind) {
+    case QueryKind::kNonzeroNN:
+      if (engine_ != nullptr) {
+        r.ids = engine_->NonzeroNN(request.q);
+      } else if (dyn_ != nullptr) {
+        r.ids = dyn_->NonzeroNN(*snap, request.q);
+      } else {
+        r.ids = sharded_->NonzeroNN(*view, request.q);
+      }
+      break;
+    case QueryKind::kQuantify:
+      if (engine_ != nullptr) {
+        r.quants = engine_->Quantify(request.q, request.eps);
+      } else if (dyn_ != nullptr) {
+        r.quants = dyn_->Quantify(*snap, request.q, request.eps);
+      } else {
+        r.quants = sharded_->Quantify(*view, request.q, request.eps);
+      }
+      break;
+    case QueryKind::kQuantifyExact: {
+      // Pre-check what the direct call would abort on.
+      bool empty, mixed;
+      if (engine_ != nullptr) {
+        empty = engine_->points().empty();
+        mixed = !engine_->all_discrete() && !engine_->all_continuous();
+      } else {
+        const dyn::Snapshot& s = dyn_ != nullptr ? *snap : *view->combined;
+        empty = s.live_count == 0;
+        mixed = !empty && !s.all_discrete() && !s.all_continuous();
+      }
+      if (mixed) {
+        return QueryResponse::Error(StatusCode::kUnimplemented, request.kind,
+                                    kMixedExactMessage);
+      }
+      if (!empty) {
+        if (engine_ != nullptr) {
+          r.quants = engine_->QuantifyExact(request.q);
+        } else if (dyn_ != nullptr) {
+          r.quants = dyn_->QuantifyExact(*snap, request.q);
+        } else {
+          r.quants = sharded_->QuantifyExact(*view, request.q);
+        }
+      }
+      break;
+    }
+    case QueryKind::kThresholdNN:
+      if (engine_ != nullptr) {
+        r.quants = engine_->ThresholdNN(request.q, request.tau, request.eps);
+      } else if (dyn_ != nullptr) {
+        r.quants = dyn_->ThresholdNN(*snap, request.q, request.tau, request.eps);
+      } else {
+        r.quants = sharded_->ThresholdNN(*view, request.q, request.tau, request.eps);
+      }
+      break;
+    case QueryKind::kMostLikelyNN:
+      if (engine_ != nullptr) {
+        r.id = engine_->MostLikelyNN(request.q, request.eps);
+      } else if (dyn_ != nullptr) {
+        r.id = dyn_->MostLikelyNN(*snap, request.q, request.eps);
+      } else {
+        r.id = sharded_->MostLikelyNN(*view, request.q, request.eps);
+      }
+      break;
+    case QueryKind::kInsert:
+      if (dyn_ != nullptr) {
+        r.id = dyn_->Insert(*request.point);
+      } else if (sharded_ != nullptr) {
+        r.id = sharded_->Insert(*request.point);
+      } else {
+        return QueryResponse::Error(StatusCode::kUnimplemented, request.kind,
+                                    "static Engine backends are immutable");
+      }
+      break;
+    case QueryKind::kErase:
+      if (dyn_ != nullptr) {
+        r.id = dyn_->Erase(request.id) ? request.id : -1;
+      } else if (sharded_ != nullptr) {
+        r.id = sharded_->Erase(request.id) ? request.id : -1;
+      } else {
+        return QueryResponse::Error(StatusCode::kUnimplemented, request.kind,
+                                    "static Engine backends are immutable");
+      }
+      break;
+  }
+  return r;
+}
+
+void EngineRef::Prewarm(std::optional<double> eps) const {
+  if (engine_ != nullptr) {
+    engine_->Prewarm(eps);
+  } else if (dyn_ != nullptr) {
+    dyn_->Prewarm(eps);
+  } else if (sharded_ != nullptr) {
+    sharded_->Prewarm(eps);
+  }
+}
+
+QuantifyPlan EngineRef::PlanForQuantify(std::optional<double> eps) const {
+  if (engine_ != nullptr) return engine_->PlanForQuantify(eps);
+  if (dyn_ != nullptr) return dyn_->PlanForQuantify(eps);
+  return sharded_->PlanForQuantify(eps);
+}
+
+size_t EngineRef::live_size() const {
+  if (engine_ != nullptr) return engine_->points().size();
+  if (dyn_ != nullptr) return dyn_->live_size();
+  if (sharded_ != nullptr) return sharded_->live_size();
+  return 0;
+}
+
+}  // namespace api
+}  // namespace pnn

@@ -1,0 +1,139 @@
+#include "src/api/query.h"
+
+#include <cmath>
+#include <utility>
+
+namespace pnn {
+namespace api {
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kNonzeroNN: return "NonzeroNN";
+    case QueryKind::kQuantify: return "Quantify";
+    case QueryKind::kQuantifyExact: return "QuantifyExact";
+    case QueryKind::kThresholdNN: return "ThresholdNN";
+    case QueryKind::kMostLikelyNN: return "MostLikelyNN";
+    case QueryKind::kInsert: return "Insert";
+    case QueryKind::kErase: return "Erase";
+  }
+  return "UnknownKind";
+}
+
+const char* StatusCodeName(StatusCode status) {
+  switch (status) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kOverloaded: return "OVERLOADED";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN_STATUS";
+}
+
+QueryRequest QueryRequest::NonzeroNN(Point2 q) {
+  QueryRequest r;
+  r.kind = QueryKind::kNonzeroNN;
+  r.q = q;
+  return r;
+}
+
+QueryRequest QueryRequest::Quantify(Point2 q, std::optional<double> eps) {
+  QueryRequest r;
+  r.kind = QueryKind::kQuantify;
+  r.q = q;
+  r.eps = eps;
+  return r;
+}
+
+QueryRequest QueryRequest::QuantifyExact(Point2 q) {
+  QueryRequest r;
+  r.kind = QueryKind::kQuantifyExact;
+  r.q = q;
+  return r;
+}
+
+QueryRequest QueryRequest::ThresholdNN(Point2 q, double tau,
+                                       std::optional<double> eps) {
+  QueryRequest r;
+  r.kind = QueryKind::kThresholdNN;
+  r.q = q;
+  r.tau = tau;
+  r.eps = eps;
+  return r;
+}
+
+QueryRequest QueryRequest::MostLikelyNN(Point2 q, std::optional<double> eps) {
+  QueryRequest r;
+  r.kind = QueryKind::kMostLikelyNN;
+  r.q = q;
+  r.eps = eps;
+  return r;
+}
+
+QueryRequest QueryRequest::Insert(UncertainPoint point) {
+  QueryRequest r;
+  r.kind = QueryKind::kInsert;
+  r.point = std::move(point);
+  return r;
+}
+
+QueryRequest QueryRequest::Erase(Id id) {
+  QueryRequest r;
+  r.kind = QueryKind::kErase;
+  r.id = id;
+  return r;
+}
+
+namespace {
+
+StatusCode Fail(std::string* detail, const char* message) {
+  if (detail != nullptr) *detail = message;
+  return StatusCode::kInvalidArgument;
+}
+
+bool FiniteQ(Point2 q) { return std::isfinite(q.x) && std::isfinite(q.y); }
+
+}  // namespace
+
+StatusCode Validate(const QueryRequest& request, std::string* detail) {
+  switch (request.kind) {
+    case QueryKind::kNonzeroNN:
+    case QueryKind::kQuantifyExact:
+      break;
+    case QueryKind::kQuantify:
+    case QueryKind::kMostLikelyNN:
+    case QueryKind::kThresholdNN:
+      if (request.eps.has_value() &&
+          !(*request.eps > 0.0 && *request.eps < 1.0)) {
+        return Fail(detail, "eps must be in (0, 1)");
+      }
+      if (request.kind == QueryKind::kThresholdNN &&
+          !(request.tau >= 0.0 && request.tau <= 1.0)) {
+        return Fail(detail, "tau must be in [0, 1]");
+      }
+      break;
+    case QueryKind::kInsert:
+      if (!request.point.has_value()) return Fail(detail, "Insert needs a point");
+      return StatusCode::kOk;  // No query location involved.
+    case QueryKind::kErase:
+      if (request.id < 0) return Fail(detail, "Erase needs a nonnegative id");
+      return StatusCode::kOk;
+    default:
+      return Fail(detail, "unknown query kind");
+  }
+  if (!FiniteQ(request.q)) return Fail(detail, "query point must be finite");
+  return StatusCode::kOk;
+}
+
+QueryResponse QueryResponse::Error(StatusCode status, QueryKind kind,
+                                   std::string message) {
+  QueryResponse r;
+  r.status = status;
+  r.kind = kind;
+  r.message = std::move(message);
+  return r;
+}
+
+}  // namespace api
+}  // namespace pnn

@@ -552,15 +552,20 @@ void DynamicEngine::QuantifyInto(const Snapshot& snap, Point2 q,
 
 std::vector<Quantification> DynamicEngine::QuantifyExact(Point2 q) const {
   auto snap = Snap();
-  if (snap->live_count == 0) return {};
-  if (snap->all_discrete()) return MergedQuantifyExact(*snap, q);
-  PNN_CHECK_MSG(snap->all_continuous(),
+  return QuantifyExact(*snap, q);
+}
+
+std::vector<Quantification> DynamicEngine::QuantifyExact(const Snapshot& snap,
+                                                         Point2 q) const {
+  if (snap.live_count == 0) return {};
+  if (snap.all_discrete()) return MergedQuantifyExact(snap, q);
+  PNN_CHECK_MSG(snap.all_continuous(),
                 "QuantifyExact supports all-discrete or all-continuous inputs");
   // Gather from the snapshot, not the mutable live set: a concurrent
   // insert must not leak into (or invalidate the all-continuous check of)
   // this query's view.
   std::vector<Id> ids;
-  UncertainSet live = SnapshotLiveSet(*snap, &ids);
+  UncertainSet live = SnapshotLiveSet(snap, &ids);
   std::vector<Quantification> out = QuantifyNumericContinuous(live, q, 1e-8);
   for (auto& e : out) e.index = ids[e.index];
   return out;
@@ -581,6 +586,11 @@ std::vector<Quantification> DynamicEngine::ThresholdNN(
 
 Id DynamicEngine::MostLikelyNN(Point2 q, std::optional<double> eps) const {
   return pnn::MostLikelyNN(Quantify(q, eps));
+}
+
+Id DynamicEngine::MostLikelyNN(const Snapshot& snap, Point2 q,
+                               std::optional<double> eps) const {
+  return pnn::MostLikelyNN(Quantify(snap, q, eps));
 }
 
 size_t DynamicEngine::live_size() const { return Snap()->live_count; }

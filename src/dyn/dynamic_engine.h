@@ -216,6 +216,10 @@ class DynamicEngine {
   /// continuous: quadrature over the gathered live set).
   std::vector<Quantification> QuantifyExact(Point2 q) const;
 
+  /// QuantifyExact over an explicit snapshot (the api::EngineRef pinned
+  /// dispatch path).
+  std::vector<Quantification> QuantifyExact(const Snapshot& snap, Point2 q) const;
+
   /// Points with pi_i(q) > tau; tau must be in [0, 1] (checked).
   std::vector<Quantification> ThresholdNN(Point2 q, double tau,
                                           std::optional<double> eps = std::nullopt) const;
@@ -227,6 +231,10 @@ class DynamicEngine {
   /// Id with the largest estimated quantification probability (-1 when the
   /// live set is empty).
   Id MostLikelyNN(Point2 q, std::optional<double> eps = std::nullopt) const;
+
+  /// MostLikelyNN over an explicit snapshot.
+  Id MostLikelyNN(const Snapshot& snap, Point2 q,
+                  std::optional<double> eps = std::nullopt) const;
 
   /// The plan Quantify() will pick at this eps, by the same rule a fresh
   /// static Engine over the live set applies.

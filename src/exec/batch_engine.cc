@@ -10,11 +10,25 @@
 namespace pnn {
 namespace exec {
 
-BatchEngine::BatchEngine(const Engine* engine, dyn::DynamicEngine* dyn,
-                         shard::ShardedEngine* sharded, BatchOptions options)
-    : engine_(engine), dyn_(dyn), sharded_(sharded), options_(options) {
-  PNN_CHECK_MSG(engine != nullptr || dyn != nullptr || sharded != nullptr,
-                "BatchEngine needs an engine");
+api::QueryRequest MixedOp::ToRequest(std::optional<double> eps) const {
+  switch (kind) {
+    case Kind::kInsert:
+      return api::QueryRequest::Insert(*point);
+    case Kind::kErase:
+      return api::QueryRequest::Erase(id);
+    case Kind::kNonzeroNN:
+      return api::QueryRequest::NonzeroNN(q);
+    case Kind::kQuantify:
+      return api::QueryRequest::Quantify(q, eps);
+    case Kind::kThresholdNN:
+      return api::QueryRequest::ThresholdNN(q, tau, eps);
+  }
+  return api::QueryRequest::NonzeroNN(q);
+}
+
+BatchEngine::BatchEngine(api::EngineRef ref, BatchOptions options)
+    : ref_(ref), options_(options) {
+  PNN_CHECK_MSG(ref_.valid(), "BatchEngine needs an engine");
   size_t threads = options_.num_threads > 0
                        ? options_.num_threads
                        : std::max<size_t>(1, std::thread::hardware_concurrency());
@@ -24,52 +38,30 @@ BatchEngine::BatchEngine(const Engine* engine, dyn::DynamicEngine* dyn,
 }
 
 BatchEngine::BatchEngine(const Engine* engine, BatchOptions options)
-    : BatchEngine(engine, nullptr, nullptr, options) {}
+    : BatchEngine(api::EngineRef(engine), options) {}
 
 BatchEngine::BatchEngine(dyn::DynamicEngine* engine, BatchOptions options)
-    : BatchEngine(nullptr, engine, nullptr, options) {}
+    : BatchEngine(api::EngineRef(engine), options) {}
 
 BatchEngine::BatchEngine(shard::ShardedEngine* engine, BatchOptions options)
-    : BatchEngine(nullptr, nullptr, engine, options) {}
+    : BatchEngine(api::EngineRef(engine), options) {}
 
 const Engine& BatchEngine::engine() const {
-  PNN_CHECK_MSG(engine_ != nullptr, "engine() needs a static-Engine backend");
-  return *engine_;
+  PNN_CHECK_MSG(ref_.static_engine() != nullptr,
+                "engine() needs a static-Engine backend");
+  return *ref_.static_engine();
 }
 
 dyn::DynamicEngine& BatchEngine::dynamic_engine() const {
-  PNN_CHECK_MSG(dyn_ != nullptr, "dynamic_engine() needs a DynamicEngine backend");
-  return *dyn_;
+  PNN_CHECK_MSG(ref_.dynamic_engine() != nullptr,
+                "dynamic_engine() needs a DynamicEngine backend");
+  return *ref_.dynamic_engine();
 }
 
 shard::ShardedEngine& BatchEngine::sharded_engine() const {
-  PNN_CHECK_MSG(sharded_ != nullptr, "sharded_engine() needs a ShardedEngine backend");
-  return *sharded_;
-}
-
-void BatchEngine::PrewarmBackend(std::optional<double> eps) const {
-  if (engine_ != nullptr) {
-    engine_->Prewarm(eps);
-  } else if (dyn_ != nullptr) {
-    dyn_->Prewarm(eps);
-  } else {
-    sharded_->Prewarm(eps);
-  }
-}
-
-QuantifyPlan BatchEngine::BackendPlan(std::optional<double> eps) const {
-  if (engine_ != nullptr) return engine_->PlanForQuantify(eps);
-  if (dyn_ != nullptr) return dyn_->PlanForQuantify(eps);
-  return sharded_->PlanForQuantify(eps);
-}
-
-void BatchEngine::GrabBackend(std::shared_ptr<const dyn::Snapshot>* snap,
-                              std::shared_ptr<const shard::CombinedView>* view) const {
-  if (dyn_ != nullptr) {
-    *snap = dyn_->snapshot();
-  } else if (sharded_ != nullptr) {
-    *view = sharded_->View();
-  }
+  PNN_CHECK_MSG(ref_.sharded_engine() != nullptr,
+                "sharded_engine() needs a ShardedEngine backend");
+  return *ref_.sharded_engine();
 }
 
 template <typename T, typename Fn>
@@ -99,138 +91,135 @@ BatchResult<T> BatchEngine::Run(size_t n, const Fn& answer_one) const {
   return out;
 }
 
-void BatchEngine::FillPlanStats(std::optional<double> eps, size_t n,
-                                BatchStats* stats) const {
+void BatchEngine::CountPlans(std::optional<double> eps, size_t n,
+                             BatchStats* stats) const {
   // The plan rule is query-independent (it depends on eps and the point
   // set only), so a run of n queries shares one plan. Accumulating (rather
-  // than assigning) lets MixedBatch sample the rule once per query run.
-  if (BackendPlan(eps) == QuantifyPlan::kSpiral) {
+  // than assigning) lets mixed streams sample the rule once per query run.
+  if (ref_.PlanForQuantify(eps) == QuantifyPlan::kSpiral) {
     stats->spiral_plans += n;
   } else {
     stats->monte_carlo_plans += n;
   }
 }
 
+void BatchEngine::FillPlanStats(const std::vector<api::QueryRequest>& requests,
+                                size_t begin, size_t end, BatchStats* stats) const {
+  // Requests in one run usually share an eps; memoize the (cheap but not
+  // free) plan-rule evaluation per distinct eps.
+  std::optional<double> last_eps;
+  bool have_last = false;
+  size_t pending = 0;
+  for (size_t i = begin; i < end; ++i) {
+    if (!requests[i].is_quantify_like()) continue;
+    if (api::Validate(requests[i]) != api::StatusCode::kOk) continue;
+    if (!have_last || requests[i].eps != last_eps) {
+      if (pending > 0) CountPlans(last_eps, pending, stats);
+      last_eps = requests[i].eps;
+      have_last = true;
+      pending = 0;
+    }
+    ++pending;
+  }
+  if (pending > 0) CountPlans(last_eps, pending, stats);
+}
+
+void BatchEngine::PrewarmForRange(const std::vector<api::QueryRequest>& requests,
+                                  size_t begin, size_t end) const {
+  // Build the Monte-Carlo structures outside the fan-out, once per
+  // distinct eps the run quantifies at (almost always one).
+  std::vector<std::optional<double>> seen;
+  for (size_t i = begin; i < end; ++i) {
+    if (!requests[i].is_quantify_like()) continue;
+    // Invalid requests (e.g. out-of-range eps) answer kInvalidArgument at
+    // dispatch; prewarming them would abort inside the engine.
+    if (api::Validate(requests[i]) != api::StatusCode::kOk) continue;
+    if (std::find(seen.begin(), seen.end(), requests[i].eps) != seen.end()) continue;
+    seen.push_back(requests[i].eps);
+    ref_.Prewarm(requests[i].eps);
+  }
+}
+
 BatchResult<std::vector<int>> BatchEngine::NonzeroNNBatch(
     const std::vector<Point2>& queries) const {
-  // One backend snapshot/view per batch: grabbing (and cache-validating)
-  // per query is wasted work when the whole batch runs against one live
-  // set, and a pinned view keeps the batch consistent under concurrent
-  // maintenance (which preserves answers bit-for-bit anyway).
-  std::shared_ptr<const dyn::Snapshot> snap;
-  std::shared_ptr<const shard::CombinedView> view;
-  GrabBackend(&snap, &view);
+  // One backend pin per batch: capturing (and cache-validating) per query
+  // is wasted work when the whole batch runs against one live set, and a
+  // pinned view keeps the batch consistent under concurrent maintenance
+  // (which preserves answers bit-for-bit anyway).
+  api::EngineRef::Pin pin = ref_.Capture();
   return Run<std::vector<int>>(queries.size(), [&](size_t i) {
-    if (engine_ != nullptr) return engine_->NonzeroNN(queries[i]);
-    if (dyn_ != nullptr) return dyn_->NonzeroNN(*snap, queries[i]);
-    return sharded_->NonzeroNN(*view, queries[i]);
+    api::QueryResponse r = ref_.Call(api::QueryRequest::NonzeroNN(queries[i]), pin);
+    return std::move(r.ids);
   });
 }
 
 BatchResult<std::vector<Quantification>> BatchEngine::QuantifyBatch(
     const std::vector<Point2>& queries, std::optional<double> eps) const {
-  PrewarmBackend(eps);  // Build the Monte-Carlo structures outside the fan-out.
-  std::shared_ptr<const dyn::Snapshot> snap;
-  std::shared_ptr<const shard::CombinedView> view;
-  GrabBackend(&snap, &view);
+  ref_.Prewarm(eps);
+  api::EngineRef::Pin pin = ref_.Capture();
   auto out = Run<std::vector<Quantification>>(queries.size(), [&](size_t i) {
-    if (engine_ != nullptr) return engine_->Quantify(queries[i], eps);
-    if (dyn_ != nullptr) return dyn_->Quantify(*snap, queries[i], eps);
-    return sharded_->Quantify(*view, queries[i], eps);
+    api::QueryResponse r = ref_.Call(api::QueryRequest::Quantify(queries[i], eps), pin);
+    return std::move(r.quants);
   });
-  FillPlanStats(eps, queries.size(), &out.stats);
+  CountPlans(eps, queries.size(), &out.stats);
   return out;
 }
 
 BatchResult<std::vector<Quantification>> BatchEngine::ThresholdNNBatch(
     const std::vector<Point2>& queries, double tau, std::optional<double> eps) const {
-  PrewarmBackend(eps);
-  std::shared_ptr<const dyn::Snapshot> snap;
-  std::shared_ptr<const shard::CombinedView> view;
-  GrabBackend(&snap, &view);
+  ref_.Prewarm(eps);
+  api::EngineRef::Pin pin = ref_.Capture();
   auto out = Run<std::vector<Quantification>>(queries.size(), [&](size_t i) {
-    if (engine_ != nullptr) return engine_->ThresholdNN(queries[i], tau, eps);
-    if (dyn_ != nullptr) return dyn_->ThresholdNN(*snap, queries[i], tau, eps);
-    return sharded_->ThresholdNN(*view, queries[i], tau, eps);
+    api::QueryResponse r =
+        ref_.Call(api::QueryRequest::ThresholdNN(queries[i], tau, eps), pin);
+    return std::move(r.quants);
   });
-  FillPlanStats(eps, queries.size(), &out.stats);
+  CountPlans(eps, queries.size(), &out.stats);
   return out;
 }
 
-BatchResult<MixedResult> BatchEngine::MixedBatch(const std::vector<MixedOp>& ops,
-                                                 std::optional<double> eps) const {
-  PNN_CHECK_MSG(dyn_ != nullptr || sharded_ != nullptr,
-                "MixedBatch needs a DynamicEngine or ShardedEngine backend");
-  size_t n = ops.size();
-  BatchResult<MixedResult> out;
+BatchResult<api::QueryResponse> BatchEngine::RequestBatch(
+    const std::vector<api::QueryRequest>& requests) const {
+  size_t n = requests.size();
+  BatchResult<api::QueryResponse> out;
   out.values.resize(n);
   std::vector<double> query_lat, update_lat;
   bool parallel_used = false;
   Timer wall;
 
-  // The snapshot/view each query run answers against: grabbed once at the
-  // start of the run (updates between runs invalidate it), threaded
-  // through every query in the run instead of re-grabbing per query.
-  std::shared_ptr<const dyn::Snapshot> run_snap;
-  std::shared_ptr<const shard::CombinedView> run_view;
+  // The pin each query run answers against: captured once at the start of
+  // the run (updates between runs invalidate it), threaded through every
+  // query in the run instead of re-capturing per query.
+  api::EngineRef::Pin run_pin;
   auto answer_query = [&](size_t i, double* lat) {
     Timer t;
-    const MixedOp& op = ops[i];
-    MixedResult& r = out.values[i];
-    switch (op.kind) {
-      case MixedOp::Kind::kNonzeroNN:
-        r.nonzero = dyn_ != nullptr ? dyn_->NonzeroNN(*run_snap, op.q)
-                                    : sharded_->NonzeroNN(*run_view, op.q);
-        break;
-      case MixedOp::Kind::kQuantify:
-        r.quant = dyn_ != nullptr ? dyn_->Quantify(*run_snap, op.q, eps)
-                                  : sharded_->Quantify(*run_view, op.q, eps);
-        break;
-      case MixedOp::Kind::kThresholdNN:
-        r.quant = dyn_ != nullptr
-                      ? dyn_->ThresholdNN(*run_snap, op.q, op.tau, eps)
-                      : sharded_->ThresholdNN(*run_view, op.q, op.tau, eps);
-        break;
-      default:
-        break;
-    }
+    out.values[i] = ref_.Call(requests[i], run_pin);
     *lat = t.Micros();
+    out.values[i].server_micros = *lat;
   };
 
   size_t i = 0;
   while (i < n) {
-    if (ops[i].is_update()) {
+    if (requests[i].is_update()) {
       Timer t;
-      MixedResult& r = out.values[i];
-      if (ops[i].kind == MixedOp::Kind::kInsert) {
-        r.id = dyn_ != nullptr ? dyn_->Insert(*ops[i].point)
-                               : sharded_->Insert(*ops[i].point);
-      } else if (dyn_ != nullptr) {
-        r.id = dyn_->Erase(ops[i].id) ? ops[i].id : -1;
-      } else {
-        r.id = sharded_->Erase(ops[i].id) ? ops[i].id : -1;
-      }
-      update_lat.push_back(t.Micros());
+      out.values[i] = ref_.Call(requests[i]);
+      double micros = t.Micros();
+      out.values[i].server_micros = micros;
+      update_lat.push_back(micros);
       ++i;
       continue;
     }
     // Maximal run of consecutive queries: fan out when it pays.
     size_t j = i;
-    size_t run_quantify = 0;
-    while (j < n && !ops[j].is_update()) {
-      if (ops[j].kind != MixedOp::Kind::kNonzeroNN) ++run_quantify;
-      ++j;
-    }
+    while (j < n && !requests[j].is_update()) ++j;
+    PrewarmForRange(requests, i, j);
+    // Plan stats are sampled per run: interleaved updates can flip the
+    // spiral-vs-Monte-Carlo rule mid-stream.
+    FillPlanStats(requests, i, j, &out.stats);
+    run_pin = ref_.Capture();
     size_t run = j - i;
     size_t lat_base = query_lat.size();
     query_lat.resize(lat_base + run);
-    if (run_quantify > 0) {
-      PrewarmBackend(eps);
-      // Plan stats are sampled per run: interleaved updates can flip the
-      // spiral-vs-Monte-Carlo rule mid-stream.
-      FillPlanStats(eps, run_quantify, &out.stats);
-    }
-    GrabBackend(&run_snap, &run_view);
     if (pool_ && run >= options_.min_parallel_batch) {
       pool_->ParallelFor(
           run, [&](size_t k) { answer_query(i + k, &query_lat[lat_base + k]); });
@@ -253,6 +242,38 @@ BatchResult<MixedResult> BatchEngine::MixedBatch(const std::vector<MixedOp>& ops
   s.p99_micros = Percentile(&query_lat, 99.0);
   s.update_p50_micros = Percentile(&update_lat, 50.0);
   s.update_p99_micros = Percentile(&update_lat, 99.0);
+  return out;
+}
+
+BatchResult<MixedResult> BatchEngine::MixedBatch(const std::vector<MixedOp>& ops,
+                                                 std::optional<double> eps) const {
+  PNN_CHECK_MSG(ref_.supports_updates(),
+                "MixedBatch needs a DynamicEngine or ShardedEngine backend");
+  std::vector<api::QueryRequest> requests;
+  requests.reserve(ops.size());
+  for (const MixedOp& op : ops) requests.push_back(op.ToRequest(eps));
+  BatchResult<api::QueryResponse> api_out = RequestBatch(requests);
+
+  BatchResult<MixedResult> out;
+  out.stats = api_out.stats;
+  out.values.resize(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    api::QueryResponse& r = api_out.values[i];
+    MixedResult& m = out.values[i];
+    switch (ops[i].kind) {
+      case MixedOp::Kind::kInsert:
+      case MixedOp::Kind::kErase:
+        m.id = r.id;
+        break;
+      case MixedOp::Kind::kNonzeroNN:
+        m.nonzero = std::move(r.ids);
+        break;
+      case MixedOp::Kind::kQuantify:
+      case MixedOp::Kind::kThresholdNN:
+        m.quant = std::move(r.quants);
+        break;
+    }
+  }
   return out;
 }
 

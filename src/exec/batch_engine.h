@@ -1,7 +1,14 @@
-// Parallel batch query executor over pnn::Engine — the in-process
+// Parallel batch query executor over any pnn backend — the in-process
 // equivalent of a pod-style request fan-out: one shared read-only set of
 // structures (kd-trees, spiral quantifier, Monte-Carlo instantiations),
 // many queries answered concurrently on a work-stealing pool.
+//
+// Since the api redesign the executor speaks api::QueryRequest /
+// api::QueryResponse through one api::EngineRef instead of mirroring each
+// backend's method quintet: RequestBatch() is the primitive (the serving
+// layer's network batches land there), and the typed batch methods plus
+// MixedBatch are thin shims over it with their historical signatures and
+// bit-identical outputs.
 //
 // Determinism contract: every batch method returns results bit-identical
 // to answering the queries one by one on a single thread, at any thread
@@ -26,6 +33,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/api/engine_ref.h"
+#include "src/api/query.h"
 #include "src/core/pnn.h"
 #include "src/dyn/dynamic_engine.h"
 #include "src/exec/thread_pool.h"
@@ -70,7 +79,9 @@ struct BatchResult {
 };
 
 /// One operation of a mixed update/query stream (dynamic and sharded
-/// backends).
+/// backends). Retained as a convenience façade; it converts 1:1 into
+/// api::QueryRequest (ToRequest) and MixedBatch routes through
+/// RequestBatch.
 struct MixedOp {
   enum class Kind { kInsert, kErase, kNonzeroNN, kQuantify, kThresholdNN };
 
@@ -108,6 +119,10 @@ struct MixedOp {
 
   bool is_update() const { return kind == Kind::kInsert || kind == Kind::kErase; }
 
+  /// The api::QueryRequest this op denotes (`eps` applies to the
+  /// quantification kinds, matching MixedBatch's batch-level eps).
+  api::QueryRequest ToRequest(std::optional<double> eps) const;
+
   Kind kind = Kind::kNonzeroNN;
   std::optional<UncertainPoint> point;  // kInsert.
   dyn::Id id = -1;                      // kErase.
@@ -122,12 +137,16 @@ struct MixedResult {
   std::vector<Quantification> quant;  // kQuantify / kThresholdNN.
 };
 
-/// Answers vectors of queries in parallel against a shared Engine or
-/// dyn::DynamicEngine. The backend must outlive the BatchEngine; the
+/// Answers vectors of queries in parallel against a shared backend behind
+/// an api::EngineRef. The backend must outlive the BatchEngine; the
 /// BatchEngine itself is thread-compatible (use one per batching thread, or
 /// serialize calls).
 class BatchEngine {
  public:
+  /// Any backend through the type-erased handle (the serving layer's
+  /// constructor).
+  explicit BatchEngine(api::EngineRef ref, BatchOptions options = {});
+
   explicit BatchEngine(const Engine* engine, BatchOptions options = {});
 
   /// Dynamic backend: query batches fan out exactly like the static
@@ -139,6 +158,17 @@ class BatchEngine {
   /// over a shard::ShardedEngine — queries fan out across this batch pool
   /// while each query recombines across the shards.
   explicit BatchEngine(shard::ShardedEngine* engine, BatchOptions options = {});
+
+  /// The primitive every other batch method shims onto: applies a mixed
+  /// stream of api::QueryRequests in order. Updates run sequentially at
+  /// their stream positions; maximal runs of consecutive queries pin the
+  /// backend state once (EngineRef::Capture) and fan out over the pool.
+  /// Results are identical to a fully sequential replay at any thread
+  /// count; per-request errors come back as response statuses, never
+  /// aborts. Deadlines are NOT enforced here — serve::Server sheds expired
+  /// requests before batches reach this point.
+  BatchResult<api::QueryResponse> RequestBatch(
+      const std::vector<api::QueryRequest>& requests) const;
 
   /// NN!=0(q) for every query (Lemma 2.1 semantics).
   BatchResult<std::vector<int>> NonzeroNNBatch(const std::vector<Point2>& queries) const;
@@ -155,15 +185,12 @@ class BatchEngine {
       std::optional<double> eps = std::nullopt) const;
 
   /// Applies a mixed update/query stream in order (dynamic and sharded
-  /// backends): updates run sequentially at their stream positions;
-  /// maximal runs of consecutive queries fan out over the pool. Results
-  /// are identical to a fully sequential replay at any thread count
-  /// (updates are ordered and backend queries are snapshot-deterministic),
-  /// and the stats report query and update latency percentiles side by
-  /// side.
+  /// backends); see RequestBatch, which this converts into.
   BatchResult<MixedResult> MixedBatch(const std::vector<MixedOp>& ops,
                                       std::optional<double> eps = std::nullopt) const;
 
+  /// The type-erased backend handle.
+  const api::EngineRef& ref() const { return ref_; }
   /// The static backend (aborts unless constructed over an Engine).
   const Engine& engine() const;
   /// The dynamic backend (aborts unless constructed over a DynamicEngine).
@@ -173,23 +200,22 @@ class BatchEngine {
   size_t num_threads() const { return pool_ ? pool_->size() + 1 : 1; }
 
  private:
-  BatchEngine(const Engine* engine, dyn::DynamicEngine* dyn,
-              shard::ShardedEngine* sharded, BatchOptions options);
-
   template <typename T, typename Fn>
   BatchResult<T> Run(size_t n, const Fn& answer_one) const;
-  void FillPlanStats(std::optional<double> eps, size_t n, BatchStats* stats) const;
-  void PrewarmBackend(std::optional<double> eps) const;
-  QuantifyPlan BackendPlan(std::optional<double> eps) const;
-  /// Pins the backend state one batch (or one query run) answers against:
-  /// the dynamic engine's snapshot or the shard router's combined view
-  /// (whichever backend is set; no-op for the static engine).
-  void GrabBackend(std::shared_ptr<const dyn::Snapshot>* snap,
-                   std::shared_ptr<const shard::CombinedView>* view) const;
+  /// Counts n queries against the plan rule at this eps (typed batches:
+  /// one eps for the whole batch).
+  void CountPlans(std::optional<double> eps, size_t n, BatchStats* stats) const;
+  /// Counts request i's plan (spiral vs Monte Carlo at its eps) into
+  /// `stats` for every quantification-kind request in [begin, end).
+  void FillPlanStats(const std::vector<api::QueryRequest>& requests, size_t begin,
+                     size_t end, BatchStats* stats) const;
+  /// Prewarms the backend for every distinct eps the quantification
+  /// requests in [begin, end) use, so the fan-out never contends on lazy
+  /// structure construction.
+  void PrewarmForRange(const std::vector<api::QueryRequest>& requests, size_t begin,
+                       size_t end) const;
 
-  const Engine* engine_ = nullptr;           // Static backend (exactly one is set).
-  dyn::DynamicEngine* dyn_ = nullptr;        // Dynamic backend.
-  shard::ShardedEngine* sharded_ = nullptr;  // Sharded backend.
+  api::EngineRef ref_;
   BatchOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // Null when num_threads == 1.
 };

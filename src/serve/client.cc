@@ -1,0 +1,110 @@
+#include "src/serve/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace pnn {
+namespace serve {
+
+Client::Client(ClientOptions options)
+    : options_(options), rx_(options.max_frame_bytes) {}
+
+Client::~Client() { Close(); }
+
+bool Client::Connect(uint16_t port) {
+  Close();
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return false;
+  int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (options_.recv_timeout_ms > 0) {
+    timeval tv;
+    tv.tv_sec = options_.recv_timeout_ms / 1000;
+    tv.tv_usec = (options_.recv_timeout_ms % 1000) * 1000;
+    setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Close();
+    return false;
+  }
+  return true;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<uint64_t> Client::Send(const api::QueryRequest& request) {
+  if (fd_ < 0) return std::nullopt;
+  uint64_t id = next_request_id_.fetch_add(1);
+  std::string frame;
+  AppendRequestFrame(id, request, &frame);
+  std::lock_guard<std::mutex> lock(send_mu_);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    ssize_t w = write(fd_, frame.data() + sent, frame.size() - sent);
+    if (w > 0) {
+      sent += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return std::nullopt;
+  }
+  return id;
+}
+
+std::optional<ResponseFrame> Client::Receive() {
+  if (fd_ < 0) return std::nullopt;
+  std::lock_guard<std::mutex> lock(recv_mu_);
+  char buf[16384];
+  for (;;) {
+    FrameBuffer::Result res = rx_.Next(&scratch_);
+    if (res == FrameBuffer::Result::kFrame) {
+      ResponseFrame frame;
+      if (!DecodeResponsePayload(scratch_.data(), scratch_.size(), &frame)) {
+        return std::nullopt;
+      }
+      return frame;
+    }
+    if (res == FrameBuffer::Result::kTooLarge) return std::nullopt;
+    ssize_t r = read(fd_, buf, sizeof(buf));
+    if (r > 0) {
+      rx_.Append(buf, static_cast<size_t>(r));
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return std::nullopt;  // EOF, timeout, or hard error.
+  }
+}
+
+std::optional<api::QueryResponse> Client::Call(const api::QueryRequest& request) {
+  std::optional<uint64_t> id = Send(request);
+  if (!id) return std::nullopt;
+  // Under pipelining another thread may consume our response; Call() is
+  // meant for the simple one-caller case, where the next response frame
+  // with our id is ours. Skip frames for other ids defensively.
+  for (int spins = 0; spins < 1024; ++spins) {
+    std::optional<ResponseFrame> frame = Receive();
+    if (!frame) return std::nullopt;
+    if (frame->request_id == *id) return std::move(frame->response);
+  }
+  return std::nullopt;
+}
+
+}  // namespace serve
+}  // namespace pnn

@@ -1,0 +1,68 @@
+// pnn::serve::Client — a blocking TCP client for the serve protocol.
+//
+// Call() is the simple RPC: send one request, wait for its response.
+// Send()/Receive() expose the pipelined form the load generator uses: one
+// thread streams requests while another drains responses, matching them by
+// request id (the server may answer out of order — sheds overtake queued
+// work). Send and Receive take separate locks, so one sender thread and
+// one receiver thread can run concurrently; multiple senders (or multiple
+// receivers) serialize on their lock.
+
+#ifndef PNN_SERVE_CLIENT_H_
+#define PNN_SERVE_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "src/api/query.h"
+#include "src/serve/protocol.h"
+
+namespace pnn {
+namespace serve {
+
+struct ClientOptions {
+  /// Receive timeout (SO_RCVTIMEO) in milliseconds; 0 blocks forever.
+  int recv_timeout_ms = 5000;
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+class Client {
+ public:
+  explicit Client(ClientOptions options = ClientOptions());
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to 127.0.0.1:port. False on refusal/timeouts.
+  bool Connect(uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// One blocking round trip. Returns nullopt on transport failure
+  /// (disconnect, timeout, malformed response) — never on an application
+  /// error, which arrives as a response with a non-kOk status.
+  std::optional<api::QueryResponse> Call(const api::QueryRequest& request);
+
+  /// Pipelined half-calls. Send() writes one frame and returns its
+  /// request id; Receive() blocks for the next response frame (any id).
+  std::optional<uint64_t> Send(const api::QueryRequest& request);
+  std::optional<ResponseFrame> Receive();
+
+ private:
+  ClientOptions options_;
+  int fd_ = -1;
+  std::atomic<uint64_t> next_request_id_{1};
+  std::mutex send_mu_;
+  std::mutex recv_mu_;
+  FrameBuffer rx_;
+  std::string scratch_;  // Receive()'s payload buffer (guarded by recv_mu_).
+};
+
+}  // namespace serve
+}  // namespace pnn
+
+#endif  // PNN_SERVE_CLIENT_H_

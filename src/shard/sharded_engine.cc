@@ -313,8 +313,12 @@ void ShardedEngine::QuantifyInto(const CombinedView& view, Point2 q,
 }
 
 std::vector<Quantification> ShardedEngine::QuantifyExact(Point2 q) const {
-  auto view = View();
-  const dyn::Snapshot& snap = *view->combined;
+  return QuantifyExact(*View(), q);
+}
+
+std::vector<Quantification> ShardedEngine::QuantifyExact(const CombinedView& view,
+                                                         Point2 q) const {
+  const dyn::Snapshot& snap = *view.combined;
   if (snap.live_count == 0) return {};
   if (snap.all_discrete()) return dyn::MergedQuantifyExact(snap, q);
   PNN_CHECK_MSG(snap.all_continuous(),
@@ -340,6 +344,11 @@ std::vector<Quantification> ShardedEngine::ThresholdNN(const CombinedView& view,
 
 Id ShardedEngine::MostLikelyNN(Point2 q, std::optional<double> eps) const {
   return pnn::MostLikelyNN(Quantify(q, eps));
+}
+
+Id ShardedEngine::MostLikelyNN(const CombinedView& view, Point2 q,
+                               std::optional<double> eps) const {
+  return pnn::MostLikelyNN(Quantify(view, q, eps));
 }
 
 QuantifyPlan ShardedEngine::PlanForQuantify(std::optional<double> eps_opt) const {

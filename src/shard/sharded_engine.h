@@ -179,6 +179,10 @@ class ShardedEngine {
   /// shard's parts; continuous: quadrature over the gathered union).
   std::vector<Quantification> QuantifyExact(Point2 q) const;
 
+  /// QuantifyExact over an explicit view (the api::EngineRef pinned
+  /// dispatch path).
+  std::vector<Quantification> QuantifyExact(const CombinedView& view, Point2 q) const;
+
   /// Points with pi_i(q) > tau; tau must be in [0, 1] (checked).
   std::vector<Quantification> ThresholdNN(Point2 q, double tau,
                                           std::optional<double> eps = std::nullopt) const;
@@ -189,6 +193,10 @@ class ShardedEngine {
   /// Id with the largest estimated quantification probability (-1 when the
   /// live set is empty).
   Id MostLikelyNN(Point2 q, std::optional<double> eps = std::nullopt) const;
+
+  /// MostLikelyNN over an explicit view.
+  Id MostLikelyNN(const CombinedView& view, Point2 q,
+                  std::optional<double> eps = std::nullopt) const;
 
   /// The plan Quantify() will pick at this eps — the single-engine rule
   /// over the union's aggregates.
