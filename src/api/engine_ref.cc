@@ -16,10 +16,10 @@ constexpr const char* kMixedExactMessage =
 
 EngineRef::Pin EngineRef::Capture() const {
   Pin pin;
-  if (dyn_ != nullptr) {
-    pin.snap = dyn_->snapshot();
-  } else if (sharded_ != nullptr) {
-    pin.view = sharded_->View();
+  if (dyn_view() != nullptr) {
+    pin.snap = dyn_view()->snapshot();
+  } else if (sharded_view() != nullptr) {
+    pin.view = sharded_view()->View();
   }
   return pin;
 }
@@ -48,13 +48,15 @@ QueryResponse EngineRef::Dispatch(const QueryRequest& request, const Pin* pin) c
   // Resolve the pinned state once: queries below answer as of `snap`/
   // `view` on the mutable backends (identical to the snapshot overloads
   // the batch executor already used), the static Engine needs no pin.
+  const dyn::DynamicEngine* dv = dyn_view();
+  const shard::ShardedEngine* sv = sharded_view();
   std::shared_ptr<const dyn::Snapshot> snap;
   std::shared_ptr<const shard::CombinedView> view;
   if (!request.is_update()) {
-    if (dyn_ != nullptr) {
-      snap = (pin != nullptr && pin->snap != nullptr) ? pin->snap : dyn_->snapshot();
-    } else if (sharded_ != nullptr) {
-      view = (pin != nullptr && pin->view != nullptr) ? pin->view : sharded_->View();
+    if (dv != nullptr) {
+      snap = (pin != nullptr && pin->snap != nullptr) ? pin->snap : dv->snapshot();
+    } else if (sv != nullptr) {
+      view = (pin != nullptr && pin->view != nullptr) ? pin->view : sv->View();
     }
   }
 
@@ -62,19 +64,19 @@ QueryResponse EngineRef::Dispatch(const QueryRequest& request, const Pin* pin) c
     case QueryKind::kNonzeroNN:
       if (engine_ != nullptr) {
         r.ids = engine_->NonzeroNN(request.q);
-      } else if (dyn_ != nullptr) {
-        r.ids = dyn_->NonzeroNN(*snap, request.q);
+      } else if (dv != nullptr) {
+        r.ids = dv->NonzeroNN(*snap, request.q);
       } else {
-        r.ids = sharded_->NonzeroNN(*view, request.q);
+        r.ids = sv->NonzeroNN(*view, request.q);
       }
       break;
     case QueryKind::kQuantify:
       if (engine_ != nullptr) {
         r.quants = engine_->Quantify(request.q, request.eps);
-      } else if (dyn_ != nullptr) {
-        r.quants = dyn_->Quantify(*snap, request.q, request.eps);
+      } else if (dv != nullptr) {
+        r.quants = dv->Quantify(*snap, request.q, request.eps);
       } else {
-        r.quants = sharded_->Quantify(*view, request.q, request.eps);
+        r.quants = sv->Quantify(*view, request.q, request.eps);
       }
       break;
     case QueryKind::kQuantifyExact: {
@@ -84,7 +86,7 @@ QueryResponse EngineRef::Dispatch(const QueryRequest& request, const Pin* pin) c
         empty = engine_->points().empty();
         mixed = !engine_->all_discrete() && !engine_->all_continuous();
       } else {
-        const dyn::Snapshot& s = dyn_ != nullptr ? *snap : *view->combined;
+        const dyn::Snapshot& s = dv != nullptr ? *snap : *view->combined;
         empty = s.live_count == 0;
         mixed = !empty && !s.all_discrete() && !s.all_continuous();
       }
@@ -95,10 +97,10 @@ QueryResponse EngineRef::Dispatch(const QueryRequest& request, const Pin* pin) c
       if (!empty) {
         if (engine_ != nullptr) {
           r.quants = engine_->QuantifyExact(request.q);
-        } else if (dyn_ != nullptr) {
-          r.quants = dyn_->QuantifyExact(*snap, request.q);
+        } else if (dv != nullptr) {
+          r.quants = dv->QuantifyExact(*snap, request.q);
         } else {
-          r.quants = sharded_->QuantifyExact(*view, request.q);
+          r.quants = sv->QuantifyExact(*view, request.q);
         }
       }
       break;
@@ -106,23 +108,27 @@ QueryResponse EngineRef::Dispatch(const QueryRequest& request, const Pin* pin) c
     case QueryKind::kThresholdNN:
       if (engine_ != nullptr) {
         r.quants = engine_->ThresholdNN(request.q, request.tau, request.eps);
-      } else if (dyn_ != nullptr) {
-        r.quants = dyn_->ThresholdNN(*snap, request.q, request.tau, request.eps);
+      } else if (dv != nullptr) {
+        r.quants = dv->ThresholdNN(*snap, request.q, request.tau, request.eps);
       } else {
-        r.quants = sharded_->ThresholdNN(*view, request.q, request.tau, request.eps);
+        r.quants = sv->ThresholdNN(*view, request.q, request.tau, request.eps);
       }
       break;
     case QueryKind::kMostLikelyNN:
       if (engine_ != nullptr) {
         r.id = engine_->MostLikelyNN(request.q, request.eps);
-      } else if (dyn_ != nullptr) {
-        r.id = dyn_->MostLikelyNN(*snap, request.q, request.eps);
+      } else if (dv != nullptr) {
+        r.id = dv->MostLikelyNN(*snap, request.q, request.eps);
       } else {
-        r.id = sharded_->MostLikelyNN(*view, request.q, request.eps);
+        r.id = sv->MostLikelyNN(*view, request.q, request.eps);
       }
       break;
     case QueryKind::kInsert:
-      if (dyn_ != nullptr) {
+      if (store_ != nullptr) {
+        r.id = store_->Insert(*request.point);
+      } else if (sharded_store_ != nullptr) {
+        r.id = sharded_store_->Insert(*request.point);
+      } else if (dyn_ != nullptr) {
         r.id = dyn_->Insert(*request.point);
       } else if (sharded_ != nullptr) {
         r.id = sharded_->Insert(*request.point);
@@ -132,7 +138,11 @@ QueryResponse EngineRef::Dispatch(const QueryRequest& request, const Pin* pin) c
       }
       break;
     case QueryKind::kErase:
-      if (dyn_ != nullptr) {
+      if (store_ != nullptr) {
+        r.id = store_->Erase(request.id) ? request.id : -1;
+      } else if (sharded_store_ != nullptr) {
+        r.id = sharded_store_->Erase(request.id) ? request.id : -1;
+      } else if (dyn_ != nullptr) {
         r.id = dyn_->Erase(request.id) ? request.id : -1;
       } else if (sharded_ != nullptr) {
         r.id = sharded_->Erase(request.id) ? request.id : -1;
@@ -148,23 +158,23 @@ QueryResponse EngineRef::Dispatch(const QueryRequest& request, const Pin* pin) c
 void EngineRef::Prewarm(std::optional<double> eps) const {
   if (engine_ != nullptr) {
     engine_->Prewarm(eps);
-  } else if (dyn_ != nullptr) {
-    dyn_->Prewarm(eps);
-  } else if (sharded_ != nullptr) {
-    sharded_->Prewarm(eps);
+  } else if (dyn_view() != nullptr) {
+    dyn_view()->Prewarm(eps);
+  } else if (sharded_view() != nullptr) {
+    sharded_view()->Prewarm(eps);
   }
 }
 
 QuantifyPlan EngineRef::PlanForQuantify(std::optional<double> eps) const {
   if (engine_ != nullptr) return engine_->PlanForQuantify(eps);
-  if (dyn_ != nullptr) return dyn_->PlanForQuantify(eps);
-  return sharded_->PlanForQuantify(eps);
+  if (dyn_view() != nullptr) return dyn_view()->PlanForQuantify(eps);
+  return sharded_view()->PlanForQuantify(eps);
 }
 
 size_t EngineRef::live_size() const {
   if (engine_ != nullptr) return engine_->points().size();
-  if (dyn_ != nullptr) return dyn_->live_size();
-  if (sharded_ != nullptr) return sharded_->live_size();
+  if (dyn_view() != nullptr) return dyn_view()->live_size();
+  if (sharded_view() != nullptr) return sharded_view()->live_size();
   return 0;
 }
 

@@ -1,6 +1,7 @@
-// pnn::api::EngineRef — a type-erased, non-owning handle over the three
-// query backends (static Engine, dyn::DynamicEngine, shard::ShardedEngine)
-// that dispatches api::QueryRequest.
+// pnn::api::EngineRef — a type-erased, non-owning handle over the query
+// backends (static Engine, dyn::DynamicEngine, shard::ShardedEngine, and
+// their durable wrappers store::Store / store::ShardedStore) that
+// dispatches api::QueryRequest.
 //
 // This is the seam the serving layer and the batch executor stand on: the
 // server decodes wire frames into QueryRequests and calls one EngineRef;
@@ -31,6 +32,8 @@
 #include "src/core/pnn.h"
 #include "src/dyn/dynamic_engine.h"
 #include "src/shard/sharded_engine.h"
+#include "src/store/sharded_store.h"
+#include "src/store/store.h"
 
 namespace pnn {
 namespace api {
@@ -38,7 +41,7 @@ namespace api {
 class EngineRef {
  public:
   /// Which backend a ref points at (mostly for logs and tests).
-  enum class Backend { kNone, kStatic, kDynamic, kSharded };
+  enum class Backend { kNone, kStatic, kDynamic, kSharded, kStore, kShardedStore };
 
   EngineRef() = default;
   /// Static backend: the five query kinds; Insert/Erase answer
@@ -46,16 +49,27 @@ class EngineRef {
   explicit EngineRef(const Engine* engine) : engine_(engine) {}
   explicit EngineRef(dyn::DynamicEngine* engine) : dyn_(engine) {}
   explicit EngineRef(shard::ShardedEngine* engine) : sharded_(engine) {}
+  /// Durable backends: queries run against the store's live engine
+  /// exactly like the in-memory refs; Insert/Erase route through the
+  /// store so they are logged (and synced) before they apply.
+  explicit EngineRef(store::Store* store) : store_(store) {}
+  explicit EngineRef(store::ShardedStore* store) : sharded_store_(store) {}
 
   Backend backend() const {
     if (engine_ != nullptr) return Backend::kStatic;
     if (dyn_ != nullptr) return Backend::kDynamic;
     if (sharded_ != nullptr) return Backend::kSharded;
+    if (store_ != nullptr) return Backend::kStore;
+    if (sharded_store_ != nullptr) return Backend::kShardedStore;
     return Backend::kNone;
   }
   bool valid() const { return backend() != Backend::kNone; }
-  /// True when Insert/Erase are available (dynamic and sharded backends).
-  bool supports_updates() const { return dyn_ != nullptr || sharded_ != nullptr; }
+  /// True when Insert/Erase are available (every backend but the static
+  /// Engine).
+  bool supports_updates() const {
+    return dyn_ != nullptr || sharded_ != nullptr || store_ != nullptr ||
+           sharded_store_ != nullptr;
+  }
 
   /// The backend's immutable state for pinned calls. Holding a Pin keeps
   /// the captured structures alive; an empty Pin (static backend, or
@@ -89,13 +103,26 @@ class EngineRef {
   const Engine* static_engine() const { return engine_; }
   dyn::DynamicEngine* dynamic_engine() const { return dyn_; }
   shard::ShardedEngine* sharded_engine() const { return sharded_; }
+  store::Store* store() const { return store_; }
+  store::ShardedStore* sharded_store() const { return sharded_store_; }
 
  private:
   QueryResponse Dispatch(const QueryRequest& request, const Pin* pin) const;
+  /// The dynamic engine queries read from (the store's live engine for
+  /// the durable backend); null when this ref is not dynamic-shaped.
+  const dyn::DynamicEngine* dyn_view() const {
+    return store_ != nullptr ? &store_->engine() : dyn_;
+  }
+  /// The shard router queries read from; null unless sharded-shaped.
+  const shard::ShardedEngine* sharded_view() const {
+    return sharded_store_ != nullptr ? &sharded_store_->engine() : sharded_;
+  }
 
   const Engine* engine_ = nullptr;
   dyn::DynamicEngine* dyn_ = nullptr;
   shard::ShardedEngine* sharded_ = nullptr;
+  store::Store* store_ = nullptr;
+  store::ShardedStore* sharded_store_ = nullptr;
 };
 
 }  // namespace api

@@ -26,6 +26,10 @@ NonzeroNNIndex::NonzeroNNIndex(const std::vector<Circle>& disks,
   PNN_CHECK_MSG(!disks.empty(), "NonzeroNNIndex needs at least one disk");
 }
 
+NonzeroNNIndex::NonzeroNNIndex(KdTree tree) : tree_(std::move(tree)) {
+  PNN_CHECK_MSG(tree_.size() > 0, "NonzeroNNIndex needs at least one disk");
+}
+
 double NonzeroNNIndex::Delta(Point2 q, const std::vector<char>* skip) const {
   return tree_.MinAdditivelyWeighted(q, nullptr, skip);
 }
@@ -120,6 +124,24 @@ DiscreteNonzeroNNIndex::DiscreteNonzeroNNIndex(std::vector<std::vector<Point2>> 
                 "hulls must parallel centroids");
   PNN_CHECK_MSG(owners_.size() == location_tree_.size(),
                 "owners must parallel locations");
+}
+
+DiscreteNonzeroNNIndex::DiscreteNonzeroNNIndex(std::vector<std::vector<Point2>> hulls,
+                                               KdTree centroid_tree,
+                                               KdTree location_tree,
+                                               std::vector<int> owners)
+    : hulls_(std::move(hulls)),
+      centroid_tree_(std::move(centroid_tree)),
+      location_tree_(std::move(location_tree)),
+      owners_(std::move(owners)) {
+  PNN_CHECK_MSG(hulls_.size() == centroid_tree_.size(),
+                "hulls must parallel centroids");
+  PNN_CHECK_MSG(owners_.size() == location_tree_.size(),
+                "owners must parallel locations");
+  for (int o : owners_) {
+    PNN_CHECK_MSG(o >= 0 && o < static_cast<int>(hulls_.size()),
+                  "adopted owner out of range");
+  }
 }
 
 double DiscreteNonzeroNNIndex::Delta(Point2 q, const std::vector<char>* skip) const {

@@ -33,6 +33,11 @@ class NonzeroNNIndex {
   explicit NonzeroNNIndex(const std::vector<Circle>& disks,
                           const KdBuildOptions& build = KdBuildOptions());
 
+  /// Adoption from a serialized layout (the durable store's recovery
+  /// path): `tree` must be the exported centers-weighted-by-radii tree of
+  /// an index built over the same disks.
+  explicit NonzeroNNIndex(KdTree tree);
+
   /// Delta(q) = min_i (d(q, c_i) + r_i). Disks with skip[i] != 0 are
   /// ignored (the dynamic engine's tombstone masks); +inf if all skipped.
   double Delta(Point2 q, const std::vector<char>* skip = nullptr) const;
@@ -52,6 +57,9 @@ class NonzeroNNIndex {
                        std::vector<int>* out) const;
 
   size_t size() const { return tree_.size(); }
+
+  /// Layout export for serialization.
+  const KdTree& tree() const { return tree_; }
 
  private:
   KdTree tree_;  // Centers weighted by radii.
@@ -95,6 +103,13 @@ class DiscreteNonzeroNNIndex {
                          std::vector<Point2> locations, std::vector<int> owners,
                          const KdBuildOptions& build);
 
+  /// Adoption from serialized layouts (the durable store's recovery path):
+  /// both trees must be the exports of an index built over the same
+  /// points, so no kd construction runs here.
+  DiscreteNonzeroNNIndex(std::vector<std::vector<Point2>> hulls,
+                         KdTree centroid_tree, KdTree location_tree,
+                         std::vector<int> owners);
+
   /// Delta(q) = min_i max_j d(q, p_ij), ignoring uncertain points with
   /// skip[i] != 0; +inf if all are skipped.
   double Delta(Point2 q, const std::vector<char>* skip = nullptr) const;
@@ -114,6 +129,13 @@ class DiscreteNonzeroNNIndex {
 
   size_t num_points() const { return hulls_.size(); }
   size_t num_locations() const { return owners_.size(); }
+
+  /// Layout export for serialization (parallel to the adoption
+  /// constructor's parameters).
+  const std::vector<std::vector<Point2>>& hulls() const { return hulls_; }
+  const KdTree& centroid_tree() const { return centroid_tree_; }
+  const KdTree& location_tree() const { return location_tree_; }
+  const std::vector<int>& owners() const { return owners_; }
 
  private:
   std::vector<std::vector<Point2>> hulls_;  // Convex hull per uncertain point.

@@ -18,6 +18,53 @@ Engine::Engine(UncertainSet points, Options options) {
   builder.FinishInto(this);
 }
 
+std::unique_ptr<Engine> Engine::FromParts(UncertainSet points, Options options,
+                                          Parts parts) {
+  PNN_CHECK_MSG(!points.empty(), "Engine needs at least one uncertain point");
+  PNN_CHECK_MSG(!(parts.all_discrete && parts.all_continuous),
+                "a non-empty set cannot be both all-discrete and all-continuous");
+  if (parts.all_continuous) {
+    PNN_CHECK_MSG(parts.disk_index != nullptr && parts.disk_index->size() ==
+                      points.size(),
+                  "all-continuous parts need a disk index over the points");
+    PNN_CHECK_MSG(parts.discrete_index == nullptr && parts.spiral == nullptr,
+                  "all-continuous parts must not carry discrete structures");
+  } else if (parts.all_discrete) {
+    PNN_CHECK_MSG(parts.discrete_index != nullptr &&
+                      parts.discrete_index->num_points() == points.size(),
+                  "all-discrete parts need a discrete index over the points");
+    PNN_CHECK_MSG(parts.spiral != nullptr, "all-discrete parts need a spiral index");
+    PNN_CHECK_MSG(parts.disk_index == nullptr,
+                  "all-discrete parts must not carry a disk index");
+  } else {
+    PNN_CHECK_MSG(parts.disk_index == nullptr && parts.discrete_index == nullptr &&
+                      parts.spiral == nullptr,
+                  "mixed-input parts carry no indexes (brute-force queries)");
+  }
+  // Route the option validation through the builder (on a trivial set), so
+  // FromParts rejects exactly what the building constructor rejects.
+  {
+    Engine::Options check = options;
+    check.mc_stream_ids.clear();
+    UncertainSet probe;
+    probe.push_back(points.front());
+    EngineBuilder validate(std::move(probe), std::move(check), 0);
+  }
+  PNN_CHECK_MSG(
+      options.mc_stream_ids.empty() || options.mc_stream_ids.size() == points.size(),
+      "Options::mc_stream_ids must be empty or have one id per point");
+  std::unique_ptr<Engine> e(new Engine());
+  e->points_ = std::move(points);
+  e->options_ = std::move(options);
+  e->all_discrete_ = parts.all_discrete;
+  e->all_continuous_ = parts.all_continuous;
+  e->total_complexity_ = parts.total_complexity;
+  e->disk_index_ = std::move(parts.disk_index);
+  e->discrete_index_ = std::move(parts.discrete_index);
+  e->spiral_ = std::move(parts.spiral);
+  return e;
+}
+
 EngineBuilder::EngineBuilder(UncertainSet points, Engine::Options options,
                              size_t chunk)
     : chunk_(chunk), points_(std::move(points)), options_(std::move(options)) {

@@ -77,6 +77,30 @@ class Engine {
   explicit Engine(UncertainSet points) : Engine(std::move(points), Options()) {}
   Engine(UncertainSet points, Options options);
 
+  /// Prebuilt index structures for FromParts — the durable store's
+  /// recovery path (src/store/segment.cc), which deserializes each index's
+  /// kd layout and adopts it instead of re-running construction. The flags
+  /// and counts must equal what a scan of the points would derive; which
+  /// pointers must be set follows the constructor's rule (disk_index iff
+  /// all continuous, discrete_index + spiral iff all discrete, none for
+  /// mixed inputs).
+  struct Parts {
+    bool all_discrete = true;
+    bool all_continuous = true;
+    size_t total_complexity = 0;
+    std::unique_ptr<NonzeroNNIndex> disk_index;
+    std::unique_ptr<DiscreteNonzeroNNIndex> discrete_index;
+    std::unique_ptr<SpiralSearchPNN> spiral;
+  };
+
+  /// Assembles an engine around prebuilt structures. Validates options and
+  /// the flag/part pairing; the parts' internal consistency with `points`
+  /// is the serializer's contract (checksummed together on disk, certified
+  /// by round-trip tests). The result is indistinguishable from
+  /// Engine(points, options) when the parts came from one.
+  static std::unique_ptr<Engine> FromParts(UncertainSet points, Options options,
+                                           Parts parts);
+
   /// NN!=0(q), sorted indices (Lemma 2.1 semantics).
   std::vector<int> NonzeroNN(Point2 q) const;
 
@@ -138,6 +162,13 @@ class Engine {
   /// The spiral-search structure (null unless all points are discrete).
   /// Exposed for the dynamic engine's per-bucket location streams.
   const SpiralSearchPNN* spiral() const { return spiral_.get(); }
+
+  /// The NN!=0 indexes, for the store's layout export (null when the
+  /// constructor's presence rule says so; see Parts).
+  const NonzeroNNIndex* disk_index() const { return disk_index_.get(); }
+  const DiscreteNonzeroNNIndex* discrete_index() const {
+    return discrete_index_.get();
+  }
 
  private:
   friend class EngineBuilder;

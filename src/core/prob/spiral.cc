@@ -54,6 +54,23 @@ SpiralSearchPNN::SpiralSearchPNN(std::vector<Point2> locations,
                 "owners/weights must parallel locations");
 }
 
+SpiralSearchPNN::SpiralSearchPNN(KdTree tree, std::vector<int> owners,
+                                 std::vector<double> weights, std::vector<int> counts,
+                                 size_t max_k, double rho)
+    : n_(counts.size()),
+      max_k_(max_k),
+      rho_(rho),
+      tree_(std::move(tree)),
+      owners_(std::move(owners)),
+      weights_(std::move(weights)),
+      counts_(std::move(counts)) {
+  PNN_CHECK_MSG(owners_.size() == tree_.size() && weights_.size() == tree_.size(),
+                "owners/weights must parallel locations");
+  for (int o : owners_) {
+    PNN_CHECK_MSG(o >= 0 && o < static_cast<int>(n_), "adopted owner out of range");
+  }
+}
+
 size_t SpiralSearchPNN::RetrievalBound(double eps) const {
   return RetrievalBoundFor(rho_, max_k_, eps);
 }

@@ -34,6 +34,12 @@ class SpiralSearchPNN {
                   std::vector<double> weights, std::vector<int> counts,
                   size_t max_k, double rho, const KdBuildOptions& build);
 
+  /// Adoption from a serialized layout (the durable store's recovery
+  /// path): `tree` is the exported location tree of a structure built over
+  /// the same points, so no kd construction runs here.
+  SpiralSearchPNN(KdTree tree, std::vector<int> owners, std::vector<double> weights,
+                  std::vector<int> counts, size_t max_k, double rho);
+
   /// Estimates pi_i(q) within additive eps: pi_hat <= pi <= pi_hat + eps
   /// (Lemma 4.6). Only nonzero estimates are reported, sorted by index.
   std::vector<Quantification> Query(Point2 q, double eps) const;
@@ -55,6 +61,13 @@ class SpiralSearchPNN {
 
   /// Total location count of owner i.
   int count(int owner) const { return counts_[owner]; }
+
+  /// Layout export for serialization (parallel to the adoption
+  /// constructor's parameters).
+  const KdTree& tree() const { return tree_; }
+  const std::vector<int>& owners() const { return owners_; }
+  const std::vector<double>& location_weights() const { return weights_; }
+  const std::vector<int>& counts() const { return counts_; }
 
   /// Best-first stream of this structure's locations in ascending distance
   /// from q, as (dist, owner, weight) triples. Owners with

@@ -93,7 +93,78 @@ DynamicEngine::DynamicEngine(std::vector<Id> ids, const UncertainSet& points,
   PublishLocked();
 }
 
+DynamicEngine::DynamicEngine(std::vector<RecoveredBucket> recovered,
+                             Id next_id_floor, Options options)
+    : DynamicEngine(std::move(options)) {
+  PNN_CHECK_MSG(next_id_floor >= 0, "next_id_floor must be nonnegative");
+  std::unique_lock<std::mutex> lock(mu_);
+  // Aggregates are bulk-built below: element-wise multiset inserts
+  // (AddAggregatesLocked) are the recovery bottleneck at scale, while
+  // range-constructing from a sorted vector is linear.
+  std::vector<double> all_weights;
+  std::vector<size_t> all_ks;
+  for (RecoveredBucket& rb : recovered) {
+    PNN_CHECK_MSG(rb.bucket != nullptr, "recovered bucket must not be null");
+    const std::vector<Id>& ids = rb.bucket->ids();
+    const UncertainSet& pts = rb.bucket->points();
+    PNN_CHECK_MSG(rb.dead.empty() || rb.dead.size() == ids.size(),
+                  "recovered dead mask must parallel the bucket");
+    size_t live = 0;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (!rb.dead.empty() && rb.dead[i]) continue;
+      // Hinted: segment ids ascend, so append is amortized O(1); the
+      // size delta still catches duplicate ids across buckets.
+      size_t before = live_.size();
+      live_.emplace_hint(live_.end(), ids[i], pts[i]);
+      PNN_CHECK_MSG(live_.size() == before + 1,
+                    "recovered buckets hold a duplicate live id");
+      const UncertainPoint& p = pts[i];
+      if (p.is_discrete()) {
+        ++discrete_count_;
+        const auto& d = p.discrete();
+        all_weights.insert(all_weights.end(), d.weights.begin(),
+                           d.weights.end());
+      } else {
+        ++continuous_count_;
+      }
+      total_complexity_ += p.DescriptionComplexity();
+      all_ks.push_back(std::max<size_t>(p.DescriptionComplexity(), 1));
+      ++live;
+      if (ids[i] >= next_id_) next_id_ = ids[i] + 1;
+    }
+    Snapshot::BucketRef ref;
+    ref.bucket = std::move(rb.bucket);
+    ref.dead = rb.dead.empty()
+                   ? nullptr
+                   : std::make_shared<const std::vector<char>>(std::move(rb.dead));
+    ref.live_count = live;
+    buckets_.push_back(std::move(ref));
+  }
+  std::sort(all_weights.begin(), all_weights.end());
+  live_weights_ = std::multiset<double>(all_weights.begin(), all_weights.end());
+  std::sort(all_ks.begin(), all_ks.end());
+  live_ks_ = std::multiset<size_t>(all_ks.begin(), all_ks.end());
+  if (next_id_floor > next_id_) next_id_ = next_id_floor;
+  PublishLocked();
+}
+
 DynamicEngine::~DynamicEngine() { WaitForMaintenance(); }
+
+SnapshotIntrospection Introspect(const Snapshot& snap) {
+  SnapshotIntrospection out;
+  out.buckets.reserve(snap.buckets.size());
+  for (const Snapshot::BucketRef& bref : snap.buckets) {
+    SnapshotIntrospection::BucketView view;
+    view.bucket = bref.bucket.get();
+    view.dead = bref.dead.get();
+    view.live_count = bref.live_count;
+    out.buckets.push_back(view);
+  }
+  out.tail = snap.tail.get();
+  out.tail_dead = snap.tail_dead.get();
+  out.live_count = snap.live_count;
+  return out;
+}
 
 void DynamicEngine::PublishLocked() {
   auto s = std::make_shared<Snapshot>();
@@ -169,6 +240,11 @@ void DynamicEngine::InsertEntryLocked(Id id, UncertainPoint point) {
   tail_.push_back({id, point});
   tail_dead_mask_.push_back(0);
   live_.emplace(id, std::move(point));
+}
+
+bool DynamicEngine::IsLive(Id id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_.count(id) != 0;
 }
 
 bool DynamicEngine::Erase(Id id) {

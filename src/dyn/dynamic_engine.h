@@ -150,6 +150,35 @@ struct Snapshot {
   }
 };
 
+/// One recovered bucket for the recovery constructor: the adopted bucket
+/// (rebuilt from a mapped segment by store::LoadSegment) plus the
+/// tombstone mask its store's log prescribed. An empty mask means fully
+/// alive.
+struct RecoveredBucket {
+  std::shared_ptr<const Bucket> bucket;
+  std::vector<char> dead;
+};
+
+/// Read-only enumeration of a snapshot's frozen state — what the durable
+/// store serializes. Views borrow from the snapshot they were taken over;
+/// the caller keeps that snapshot alive while using them. This is the
+/// supported checkpointing surface: the serializer consumes exactly these
+/// spans instead of poking at engine internals.
+struct SnapshotIntrospection {
+  struct BucketView {
+    const Bucket* bucket = nullptr;       // ids() / points() / engine().
+    const std::vector<char>* dead = nullptr;  // Null when fully alive.
+    size_t live_count = 0;
+  };
+  std::vector<BucketView> buckets;
+  const std::vector<TailEntry>* tail = nullptr;   // Insertion order.
+  const std::vector<char>* tail_dead = nullptr;   // Null when fully alive.
+  size_t live_count = 0;                          // Buckets + tail, live only.
+};
+
+/// Introspects one snapshot (grab it with DynamicEngine::snapshot()).
+SnapshotIntrospection Introspect(const Snapshot& snap);
+
 /// Thread safety: all query methods are const and may run concurrently
 /// with each other, with updates, and with background maintenance. Updates
 /// (Insert/Erase) serialize on an internal mutex and are safe to call from
@@ -163,6 +192,14 @@ class DynamicEngine {
   /// `points`): the shard router's per-shard bootstrap. Subsequent
   /// Insert() ids continue after the largest initial id.
   DynamicEngine(std::vector<Id> ids, const UncertainSet& points,
+                Options options = Options());
+  /// Recovery: adopts already-built buckets with their tombstone masks
+  /// (the durable store's segment + mask replay), instead of rebuilding
+  /// from points. Live ids across the buckets must be unique; next_id
+  /// continues from max(next_id_floor, largest recovered id + 1). The log
+  /// tail's op records are then replayed through the normal
+  /// InsertWithId/Erase path on top.
+  DynamicEngine(std::vector<RecoveredBucket> recovered, Id next_id_floor,
                 Options options = Options());
   ~DynamicEngine();
 
@@ -181,6 +218,11 @@ class DynamicEngine {
 
   /// Removes a point; false if the id is unknown or already erased.
   bool Erase(Id id);
+
+  /// True while `id` is live. The store's log replay uses this to make
+  /// duplicated records idempotent (a replayed insert of a live id / erase
+  /// of a dead one is skipped, not an abort).
+  bool IsLive(Id id) const;
 
   /// NN!=0(q) over the live set, ascending ids (Lemma 2.1 semantics).
   std::vector<Id> NonzeroNN(Point2 q) const;

@@ -12,6 +12,14 @@
 // and trailing bytes are malformed, and the declared-length check happens
 // before any allocation sized from the wire — a hostile frame can cost at
 // most max_frame_bytes of buffering (tests/serve_protocol_test.cc).
+//
+// Frames carry no checksum today: TCP's checksum covers transport and the
+// strict decoder rejects structural garbage, which is enough for the
+// trusted-network deployments this targets. When frames start crossing
+// untrusted relays (or get persisted), add a util::Crc32c over the payload
+// next to the length prefix — the store's segment/op-log framing
+// (src/store/format.h) already uses exactly that checksum, so the follow-on
+// is a version bump plus 4 bytes, not a new dependency.
 
 #ifndef PNN_SERVE_PROTOCOL_H_
 #define PNN_SERVE_PROTOCOL_H_

@@ -112,6 +112,72 @@ ShardedEngine::ShardedEngine(const UncertainSet& initial, Options options)
   exec::MaybeParallelFor(options_.pool, options_.num_shards, build_shard);
 }
 
+ShardedEngine::ShardedEngine(std::vector<std::vector<dyn::RecoveredBucket>> recovered,
+                             Options options)
+    : options_(std::move(options)) {
+  PNN_CHECK_MSG(options_.num_shards >= 1, "num_shards must be >= 1");
+  PNN_CHECK_MSG(recovered.size() == options_.num_shards,
+                "one recovered-bucket list per shard");
+  PNN_CHECK_MSG(options_.shard.pool == nullptr,
+                "set shard::Options::pool; the per-shard pool is managed here");
+  PNN_CHECK_MSG(options_.shard.maintenance_lane == nullptr,
+                "per-shard maintenance lanes are managed here");
+  dyn::Options per_shard = options_.shard;
+  per_shard.pool = options_.pool;
+  if (options_.placement == PlacementKind::kSpatialKdMedian) {
+    // Placeholder partition; FinishRecovery reseeds it from the live set.
+    spatial_ = std::make_unique<SpatialRouter>(options_.num_shards);
+  }
+  if (options_.pool != nullptr) {
+    lanes_.reserve(options_.num_shards);
+    for (uint32_t s = 0; s < options_.num_shards; ++s) {
+      lanes_.push_back(std::make_unique<exec::Lane>(options_.pool));
+    }
+  }
+  shards_.resize(options_.num_shards);
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    dyn::Options opts = per_shard;
+    if (!lanes_.empty()) opts.maintenance_lane = lanes_[s].get();
+    // next_id floor 0 per shard: FinishRecovery sets the global counter.
+    shards_[s] = std::make_unique<dyn::DynamicEngine>(std::move(recovered[s]),
+                                                      /*next_id_floor=*/0, opts);
+  }
+}
+
+bool ShardedEngine::RecoverInsert(uint32_t shard, Id id, UncertainPoint point) {
+  if (shards_[shard]->IsLive(id)) return false;
+  shards_[shard]->InsertWithId(id, std::move(point));
+  return true;
+}
+
+bool ShardedEngine::RecoverErase(uint32_t shard, Id id) {
+  return shards_[shard]->Erase(id);
+}
+
+void ShardedEngine::FinishRecovery(Id next_id_floor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Id max_id = -1;
+  UncertainSet all_live;
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    std::vector<Id> ids;
+    UncertainSet pts = shards_[s]->LiveSet(&ids);
+    for (Id id : ids) {
+      bool inserted = shard_of_.emplace(id, s).second;
+      PNN_CHECK_MSG(inserted, "FinishRecovery: id live on two shards — the "
+                              "caller must resolve mid-move duplicates (by "
+                              "move_seq) before sealing");
+      max_id = std::max(max_id, id);
+    }
+    if (options_.placement == PlacementKind::kSpatialKdMedian) {
+      all_live.insert(all_live.end(), pts.begin(), pts.end());
+    }
+  }
+  next_id_ = std::max(next_id_floor, max_id + 1);
+  if (options_.placement == PlacementKind::kSpatialKdMedian && !all_live.empty()) {
+    spatial_ = std::make_unique<SpatialRouter>(options_.num_shards, all_live);
+  }
+}
+
 ShardedEngine::~ShardedEngine() { WaitForMaintenance(); }
 
 uint32_t ShardedEngine::PlaceLocked(Id id, const UncertainPoint& point) const {
@@ -127,7 +193,10 @@ Id ShardedEngine::Insert(UncertainPoint point) {
   Id id = next_id_++;
   uint32_t s = PlaceLocked(id, point);
   shard_of_.emplace(id, s);
+  // Write-ahead: the listener persists the op before any state changes.
+  if (options_.listener != nullptr) options_.listener->OnInsert(s, id, point);
   shards_[s]->InsertWithId(id, std::move(point));
+  if (options_.listener != nullptr) options_.listener->OnApplied(s);
   MaybeScheduleRebalanceLocked();
   return id;
 }
@@ -136,9 +205,12 @@ bool ShardedEngine::Erase(Id id) {
   std::unique_lock<std::mutex> lock(mu_);
   auto it = shard_of_.find(id);
   if (it == shard_of_.end()) return false;
-  bool erased = shards_[it->second]->Erase(id);
+  uint32_t s = it->second;
+  if (options_.listener != nullptr) options_.listener->OnErase(s, id);
+  bool erased = shards_[s]->Erase(id);
   PNN_CHECK_MSG(erased, "id->shard map out of sync with shard live set");
   shard_of_.erase(it);
+  if (options_.listener != nullptr) options_.listener->OnApplied(s);
   MaybeScheduleRebalanceLocked();
   return true;
 }
@@ -504,6 +576,11 @@ bool ShardedEngine::RebalanceOnceLocked(std::unique_lock<std::mutex>* lock) {
     // Erased (or already migrated) by an update that slipped in between
     // point moves; skip.
     if (it == shard_of_.end() || it->second != src) continue;
+    // Write-ahead: both shards' logs record the move (destination first,
+    // inside the listener) before either engine changes.
+    if (options_.listener != nullptr) {
+      options_.listener->OnMove(src, dst, id, pts[idx]);
+    }
     // The only multi-shard mutation: bump the seqlock epoch around the
     // erase+reinsert so no query observes the point 0 or 2 times.
     epoch_.fetch_add(1, std::memory_order_acq_rel);
@@ -512,6 +589,10 @@ bool ShardedEngine::RebalanceOnceLocked(std::unique_lock<std::mutex>* lock) {
     shards_[dst]->InsertWithId(id, pts[idx]);
     it->second = dst;
     epoch_.fetch_add(1, std::memory_order_release);
+    if (options_.listener != nullptr) {
+      options_.listener->OnApplied(src);
+      options_.listener->OnApplied(dst);
+    }
     ++moved;
     // Let queued updates through between moves.
     lock->unlock();

@@ -69,6 +69,25 @@ enum class PlacementKind {
   kSpatialKdMedian  // Kd decision tree over point centroids.
 };
 
+/// Write-ahead hook for durable stores (store::ShardedStore): the router
+/// invokes OnInsert/OnErase/OnMove BEFORE applying the mutation to any
+/// shard engine — the listener persists the op, and only then does the
+/// state change — and OnApplied(shard) after the apply, where the listener
+/// may rotate that shard's log against its fresh snapshot. All four run
+/// under the router's update mutex, so for a given shard the persisted op
+/// order equals the applied order, with no rotation interleaving between
+/// an op's append and its apply. A move invokes OnMove once (destination
+/// first is the listener's concern), then OnApplied for both shards.
+class UpdateListener {
+ public:
+  virtual ~UpdateListener() = default;
+  virtual void OnInsert(uint32_t shard, Id id, const UncertainPoint& point) = 0;
+  virtual void OnErase(uint32_t shard, Id id) = 0;
+  virtual void OnMove(uint32_t src, uint32_t dst, Id id,
+                      const UncertainPoint& point) = 0;
+  virtual void OnApplied(uint32_t shard) = 0;
+};
+
 struct Options {
   /// Number of DynamicEngine shards; >= 1.
   uint32_t num_shards = 4;
@@ -98,6 +117,10 @@ struct Options {
   size_t rebalance_min_points = 128;
   /// Schedule background rebalance passes on `pool` after updates.
   bool auto_rebalance = false;
+  /// When set, every mutation is announced to this listener before it
+  /// applies (the durable store's write-ahead hook; see UpdateListener).
+  /// Must outlive the engine.
+  UpdateListener* listener = nullptr;
 };
 
 struct RebalanceStats {
@@ -133,6 +156,15 @@ class ShardedEngine {
   /// Bulk load: ids 0..n-1, routed by placement (the spatial router builds
   /// its kd-median partition from `initial` first), one bucket per shard.
   explicit ShardedEngine(const UncertainSet& initial, Options options = Options());
+  /// Recovery bootstrap (store::ShardedStore): shard s adopts
+  /// `recovered[s]`'s segment-loaded buckets and masks instead of building
+  /// from points (recovered.size() must equal num_shards). The id->shard
+  /// map is NOT populated yet — the caller replays its per-shard logs
+  /// through RecoverInsert/RecoverErase and then seals the engine with
+  /// FinishRecovery; no other method may run before that, and recovery is
+  /// single-threaded.
+  ShardedEngine(std::vector<std::vector<dyn::RecoveredBucket>> recovered,
+                Options options);
   ~ShardedEngine();
 
   ShardedEngine(const ShardedEngine&) = delete;
@@ -143,6 +175,30 @@ class ShardedEngine {
 
   /// Removes a point; false if the id is unknown or already erased.
   bool Erase(Id id);
+
+  // Recovery replay surface (between the recovery constructor and
+  // FinishRecovery only; bypasses placement, the listener and the
+  // id->shard map — the log already fixed all three):
+  /// Replays an insert into shard `shard`; false (skipped) if the id is
+  /// already live there — idempotent against duplicated log records.
+  bool RecoverInsert(uint32_t shard, Id id, UncertainPoint point);
+  /// Replays an erase; false if the id is not live on that shard.
+  bool RecoverErase(uint32_t shard, Id id);
+  /// Seals recovery: builds the id->shard map from the shards' live sets
+  /// (aborting on an id live in two shards — the caller resolves
+  /// cross-shard duplicates from mid-move crashes FIRST, by move_seq),
+  /// sets the id counter to max(next_id_floor, max live id + 1), and —
+  /// for spatial placement — rebuilds the router's partition from the
+  /// recovered live set (a heuristic reseed: past SplitShard refinements
+  /// are not persisted; the map stays authoritative, so only future
+  /// insert locality is affected).
+  void FinishRecovery(Id next_id_floor);
+
+  /// Shard `s`'s current snapshot (the durable store checkpoints against
+  /// it inside UpdateListener::OnApplied).
+  std::shared_ptr<const dyn::Snapshot> ShardSnapshot(uint32_t s) const {
+    return shards_[s]->snapshot();
+  }
 
   /// The current combined view. Cache hit: a handful of atomic loads and
   /// pointer compares, no allocation; miss: one seqlock gather plus the

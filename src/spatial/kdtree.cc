@@ -56,6 +56,41 @@ KdTree::KdTree(std::vector<Point2> points, std::vector<double> weights, Metric m
   }
 }
 
+KdTree::KdTree(std::vector<Point2> points, std::vector<double> weights, Metric metric,
+               std::vector<int> order, std::vector<Node> nodes, int root)
+    : metric_(metric),
+      points_(std::move(points)),
+      weights_(std::move(weights)),
+      order_(std::move(order)),
+      nodes_(std::move(nodes)),
+      root_(root) {
+  // Shape checks only: the adopted layout is covered by the store's
+  // checksum, and a fully structural validation would cost as much as the
+  // build this constructor exists to skip. What is checked here is exactly
+  // what later array accesses index with.
+  int n = static_cast<int>(points_.size());
+  PNN_CHECK_MSG(weights_.size() == points_.size(), "weights must parallel points");
+  PNN_CHECK_MSG(order_.size() == points_.size(), "order must parallel points");
+  if (n == 0) {
+    PNN_CHECK_MSG(root_ == -1 && nodes_.empty(), "empty tree must have no nodes");
+    return;
+  }
+  int node_count = static_cast<int>(nodes_.size());
+  PNN_CHECK_MSG(root_ >= 0 && root_ < node_count, "adopted root out of range");
+  for (int idx : order_) {
+    PNN_CHECK_MSG(idx >= 0 && idx < n, "adopted order entry out of range");
+  }
+  for (const Node& node : nodes_) {
+    PNN_CHECK_MSG(node.left >= -1 && node.left < node_count &&
+                      node.right >= -1 && node.right < node_count,
+                  "adopted node child out of range");
+    PNN_CHECK_MSG((node.left < 0) == (node.right < 0),
+                  "adopted node must be leaf or have both children");
+    PNN_CHECK_MSG(node.begin >= 0 && node.begin <= node.end && node.end <= n,
+                  "adopted node range out of bounds");
+  }
+}
+
 void KdTree::BuildRange(int begin, int end, int id, const BuildOptions& build) {
   Node node;
   node.begin = begin;

@@ -56,13 +56,44 @@ class KdTree {
  public:
   using BuildOptions = KdBuildOptions;
 
+  /// One node of the tree layout. Public (with the layout accessors below)
+  /// so the durable store can serialize a built tree and adopt it back on
+  /// recovery without re-running construction — see src/store/segment.cc.
+  struct Node {
+    Box2 box;
+    int left = -1;    // Internal children, or -1 for leaves.
+    int right = -1;
+    int begin = 0;    // Range in order_ covered by this node.
+    int end = 0;
+    double min_w = 0; // Subtree weight bounds for the weighted queries.
+    double max_w = 0;
+  };
+
   /// Builds the tree. If `weights` is empty all weights are 0.
   explicit KdTree(std::vector<Point2> points, std::vector<double> weights = {},
                   Metric metric = Metric::kEuclidean,
                   const BuildOptions& build = BuildOptions());
 
+  /// Adopts a previously exported layout instead of building: `order`,
+  /// `nodes` and `root` must come from a tree constructed over the same
+  /// points/weights/metric (the store checksums them together). Only
+  /// O(nodes) bounds checks are paid here — SameStructure against a fresh
+  /// build certifies the round trip in tests. `weights` must be explicit
+  /// (one per point; the building constructor's empty-means-zeros
+  /// shorthand is resolved before export).
+  KdTree(std::vector<Point2> points, std::vector<double> weights, Metric metric,
+         std::vector<int> order, std::vector<Node> nodes, int root);
+
   size_t size() const { return points_.size(); }
   const std::vector<Point2>& points() const { return points_; }
+
+  /// Layout export for serialization (parallel to the adoption
+  /// constructor's parameters).
+  const std::vector<double>& weights() const { return weights_; }
+  Metric metric() const { return metric_; }
+  const std::vector<int>& order() const { return order_; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  int root() const { return root_; }
 
   /// Index of the nearest point to q (ties broken arbitrarily); n must be
   /// >= 1. If out_dist is non-null it receives the distance. When `skip` is
@@ -137,16 +168,6 @@ class KdTree {
   };
 
  private:
-  struct Node {
-    Box2 box;
-    int left = -1;    // Internal children, or -1 for leaves.
-    int right = -1;
-    int begin = 0;    // Range in order_ covered by this node.
-    int end = 0;
-    double min_w = 0; // Subtree weight bounds for the weighted queries.
-    double max_w = 0;
-  };
-
   /// Builds the subtree over order_[begin, end) into the preassigned slot
   /// nodes_[id] (and the id-contiguous slots after it), forking the two
   /// children onto build.pool above the cutoff.

@@ -1,0 +1,224 @@
+#include "src/store/io.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace pnn {
+namespace store {
+
+namespace {
+
+int OpenOrAbort(const std::string& path, int flags) {
+  int fd;
+  do {
+    fd = ::open(path.c_str(), flags, 0644);
+  } while (fd < 0 && errno == EINTR);
+  PNN_CHECK_MSG(fd >= 0, "store: open failed");
+  return fd;
+}
+
+void WriteAllOrAbort(int fd, const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    ssize_t n = ::write(fd, p, size);
+    if (n < 0) {
+      PNN_CHECK_MSG(errno == EINTR, "store: write failed");
+      continue;
+    }
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+}
+
+void FdatasyncOrAbort(int fd) {
+  int rc;
+  do {
+    rc = ::fdatasync(fd);
+  } while (rc != 0 && errno == EINTR);
+  PNN_CHECK_MSG(rc == 0, "store: fdatasync failed");
+}
+
+}  // namespace
+
+File::File(File&& other) noexcept : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+File::~File() { Close(); }
+
+File File::Create(const std::string& path) {
+  File f;
+  f.fd_ = OpenOrAbort(path, O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC);
+  f.path_ = path;
+  return f;
+}
+
+File File::OpenAppend(const std::string& path) {
+  File f;
+  f.fd_ = OpenOrAbort(path, O_CREAT | O_APPEND | O_WRONLY | O_CLOEXEC);
+  f.path_ = path;
+  return f;
+}
+
+void File::Append(const void* data, size_t size) {
+  PNN_CHECK_MSG(fd_ >= 0, "store: append on closed file");
+  WriteAllOrAbort(fd_, data, size);
+}
+
+void File::Sync() {
+  PNN_CHECK_MSG(fd_ >= 0, "store: sync on closed file");
+  FdatasyncOrAbort(fd_);
+}
+
+uint64_t File::Size() const {
+  PNN_CHECK_MSG(fd_ >= 0, "store: size on closed file");
+  struct stat st;
+  PNN_CHECK_MSG(::fstat(fd_, &st) == 0, "store: fstat failed");
+  return static_cast<uint64_t>(st.st_size);
+}
+
+void File::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Unmap();
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() { Unmap(); }
+
+bool MappedFile::Map(const std::string& path) {
+  Unmap();
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return false;
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    data_ = nullptr;
+    size_ = 0;
+    return true;
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (addr == MAP_FAILED) return false;
+  data_ = static_cast<const uint8_t*>(addr);
+  size_ = size;
+  return true;
+}
+
+void MappedFile::Unmap() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+void EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0) return;
+  PNN_CHECK_MSG(errno == EEXIST, "store: mkdir failed");
+}
+
+void SyncDir(const std::string& dir) {
+  int fd = OpenOrAbort(dir, O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  // fsync (not fdatasync): directory entries are metadata.
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  ::close(fd);
+  PNN_CHECK_MSG(rc == 0, "store: directory fsync failed");
+}
+
+void AtomicWriteFile(const std::string& path, const std::string& contents) {
+  std::string tmp = path + ".tmp";
+  {
+    File f = File::Create(tmp);
+    f.Append(contents.data(), contents.size());
+    f.Sync();
+  }
+  PNN_CHECK_MSG(::rename(tmp.c_str(), path.c_str()) == 0, "store: rename failed");
+  size_t slash = path.find_last_of('/');
+  SyncDir(slash == std::string::npos ? "." : path.substr(0, slash));
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  MappedFile m;
+  if (!m.Map(path)) return false;
+  out->assign(reinterpret_cast<const char*>(m.data()), m.size());
+  return true;
+}
+
+std::vector<std::string> ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  PNN_CHECK_MSG(d != nullptr, "store: opendir failed");
+  std::vector<std::string> out;
+  while (struct dirent* e = ::readdir(d)) {
+    std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    out.push_back(std::move(name));
+  }
+  ::closedir(d);
+  return out;
+}
+
+void RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) == 0) return;
+  PNN_CHECK_MSG(errno == ENOENT, "store: unlink failed");
+}
+
+void TruncateFile(const std::string& path, uint64_t size) {
+  int rc;
+  do {
+    rc = ::truncate(path.c_str(), static_cast<off_t>(size));
+  } while (rc != 0 && errno == EINTR);
+  PNN_CHECK_MSG(rc == 0, "store: truncate failed");
+}
+
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace store
+}  // namespace pnn

@@ -1,0 +1,106 @@
+// POSIX file plumbing for the durable store: RAII fds, read-only memory
+// maps, atomic whole-file replacement and directory fsyncs. Failures on
+// the write path abort via PNN_CHECK — a store that cannot persist must
+// not ack — while the read path distinguishes "absent" (a fresh store)
+// from "present but unreadable" (real corruption, the caller decides).
+
+#ifndef PNN_STORE_IO_H_
+#define PNN_STORE_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pnn {
+namespace store {
+
+/// Append-oriented RAII file descriptor (the op log and segment writer).
+class File {
+ public:
+  File() = default;
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+  ~File();
+
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  /// Creates (truncating) / opens for appending. Abort on failure.
+  static File Create(const std::string& path);
+  static File OpenAppend(const std::string& path);
+
+  bool open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  /// Appends exactly `size` bytes (short writes retried; abort on error).
+  void Append(const void* data, size_t size);
+
+  /// Flushes file data to stable storage (fdatasync). Abort on failure.
+  void Sync();
+
+  /// Current size in bytes.
+  uint64_t Size() const;
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Read-only memory map of a whole file. Unmapped on destruction.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path`; false if the file does not exist or cannot be mapped.
+  /// A zero-length file maps successfully with size() == 0.
+  bool Map(const std::string& path);
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+  void Unmap();
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Creates `dir` if absent (single level). Abort on failure.
+void EnsureDir(const std::string& dir);
+
+/// fsyncs a directory so renames/creates/unlinks inside it are durable.
+void SyncDir(const std::string& dir);
+
+/// Atomically replaces `path` with `contents`: write to a sibling temp
+/// file, fsync it, rename over `path`, fsync the directory. A crash at any
+/// point leaves either the old file or the new one, never a mix.
+void AtomicWriteFile(const std::string& path, const std::string& contents);
+
+/// Reads a whole file; false if it does not exist.
+bool ReadFile(const std::string& path, std::string* out);
+
+/// Entry names in `dir` (no "." / ".."). Abort if the dir is unreadable.
+std::vector<std::string> ListDir(const std::string& dir);
+
+/// Removes a file if present. Abort on any failure other than ENOENT.
+void RemoveFileIfExists(const std::string& path);
+
+/// Truncates `path` to `size` bytes (discarding a torn log tail).
+void TruncateFile(const std::string& path, uint64_t size);
+
+/// True if `path` exists.
+bool PathExists(const std::string& path);
+
+}  // namespace store
+}  // namespace pnn
+
+#endif  // PNN_STORE_IO_H_

@@ -1,0 +1,146 @@
+#include "src/store/log.h"
+
+#include <utility>
+
+#include "src/store/format.h"
+#include "src/util/check.h"
+#include "src/util/crc32.h"
+
+namespace pnn {
+namespace store {
+
+namespace {
+
+// Frames larger than this are treated as garbage lengths (a torn length
+// field can claim gigabytes); real records are tiny — the largest is an
+// insert of a many-location discrete point.
+constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+void EncodePayload(const LogRecord& rec, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(rec.type));
+  PutU64(out, rec.seqno);
+  switch (rec.type) {
+    case LogRecordType::kCheckpoint:
+      PutU64(out, rec.generation);
+      PutI64(out, rec.next_id);
+      PutU64(out, rec.delta_count);
+      break;
+    case LogRecordType::kMask:
+      PutU64(out, rec.segment_ordinal);
+      PutU64(out, rec.local_index);
+      break;
+    case LogRecordType::kInsert:
+      PutI64(out, rec.id);
+      PNN_CHECK_MSG(rec.point.has_value(), "log: insert record without point");
+      EncodePoint(*rec.point, out);
+      break;
+    case LogRecordType::kErase:
+      PutI64(out, rec.id);
+      break;
+    case LogRecordType::kMoveIn:
+      PutI64(out, rec.id);
+      PutU64(out, rec.move_seq);
+      PNN_CHECK_MSG(rec.point.has_value(), "log: move-in record without point");
+      EncodePoint(*rec.point, out);
+      break;
+    case LogRecordType::kMoveOut:
+      PutI64(out, rec.id);
+      PutU64(out, rec.move_seq);
+      break;
+  }
+}
+
+/// Decodes one payload; false on a bad type tag, truncation, or trailing
+/// bytes (a frame must contain exactly one record).
+bool DecodePayload(const uint8_t* data, size_t size, LogRecord* out) {
+  Reader r(data, size);
+  uint8_t type = r.U8();
+  out->seqno = r.U64();
+  if (!r.ok()) return false;
+  switch (type) {
+    case static_cast<uint8_t>(LogRecordType::kCheckpoint):
+      out->type = LogRecordType::kCheckpoint;
+      out->generation = r.U64();
+      out->next_id = r.I64();
+      out->delta_count = r.U64();
+      break;
+    case static_cast<uint8_t>(LogRecordType::kMask):
+      out->type = LogRecordType::kMask;
+      out->segment_ordinal = r.U64();
+      out->local_index = r.U64();
+      break;
+    case static_cast<uint8_t>(LogRecordType::kInsert): {
+      out->type = LogRecordType::kInsert;
+      out->id = r.I64();
+      std::optional<UncertainPoint> p = DecodePoint(&r);
+      if (!p.has_value()) return false;
+      out->point = std::move(p);
+      break;
+    }
+    case static_cast<uint8_t>(LogRecordType::kErase):
+      out->type = LogRecordType::kErase;
+      out->id = r.I64();
+      break;
+    case static_cast<uint8_t>(LogRecordType::kMoveIn): {
+      out->type = LogRecordType::kMoveIn;
+      out->id = r.I64();
+      out->move_seq = r.U64();
+      std::optional<UncertainPoint> p = DecodePoint(&r);
+      if (!p.has_value()) return false;
+      out->point = std::move(p);
+      break;
+    }
+    case static_cast<uint8_t>(LogRecordType::kMoveOut):
+      out->type = LogRecordType::kMoveOut;
+      out->id = r.I64();
+      out->move_seq = r.U64();
+      break;
+    default:
+      return false;
+  }
+  return r.ok() && r.remaining() == 0;
+}
+
+}  // namespace
+
+void AppendLogRecord(const LogRecord& rec, std::string* out) {
+  std::string payload;
+  EncodePayload(rec, &payload);
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU32(out, util::Crc32c(payload.data(), payload.size()));
+  out->append(payload);
+}
+
+LogReplay ReadLog(const std::string& path) {
+  LogReplay replay;
+  MappedFile m;
+  if (!m.Map(path)) return replay;
+  const uint8_t* data = m.data();
+  size_t size = m.size();
+  size_t pos = 0;
+  uint64_t last_seqno = 0;
+  while (pos < size) {
+    if (size - pos < 8) break;  // Torn frame header.
+    Reader header(data + pos, 8);
+    uint32_t len = header.U32();
+    uint32_t crc = header.U32();
+    if (len > kMaxFrameBytes || len > size - pos - 8) break;  // Torn/garbage length.
+    const uint8_t* payload = data + pos + 8;
+    if (util::Crc32c(payload, len) != crc) break;  // Bit rot or torn payload.
+    LogRecord rec;
+    if (!DecodePayload(payload, len, &rec)) break;
+    // Seqnos are strictly increasing within a generation; a regression
+    // means the frame, though internally consistent, is not the log's
+    // continuation (e.g. recycled bytes) — stop before it.
+    if (!replay.records.empty() && rec.seqno <= last_seqno) break;
+    last_seqno = rec.seqno;
+    replay.records.push_back(std::move(rec));
+    pos += 8 + len;
+  }
+  replay.valid_bytes = pos;
+  replay.truncated = pos < size;
+  return replay;
+}
+
+}  // namespace store
+}  // namespace pnn

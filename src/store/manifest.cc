@@ -1,0 +1,63 @@
+#include "src/store/manifest.h"
+
+#include "src/store/format.h"
+#include "src/store/io.h"
+#include "src/util/check.h"
+#include "src/util/crc32.h"
+
+namespace pnn {
+namespace store {
+
+namespace {
+constexpr uint32_t kManifestMagic = 0x464E4D50;  // "PMNF", little-endian.
+constexpr uint32_t kManifestVersion = 1;
+}  // namespace
+
+std::string EncodeManifest(const Manifest& m) {
+  std::string body;
+  PutU32(&body, kManifestMagic);
+  PutU32(&body, kManifestVersion);
+  PutU64(&body, m.generation);
+  PutI64(&body, m.next_id);
+  PutU64(&body, m.move_seq);
+  PutU64(&body, m.engine_seed);
+  PutU64(&body, m.segments.size());
+  for (uint64_t s : m.segments) PutU64(&body, s);
+  PutU32(&body, util::Crc32c(body.data(), body.size()));
+  return body;
+}
+
+void WriteManifest(const std::string& path, const Manifest& m) {
+  AtomicWriteFile(path, EncodeManifest(m));
+}
+
+bool ReadManifest(const std::string& path, Manifest* out) {
+  std::string body;
+  if (!ReadFile(path, &body)) return false;
+  PNN_CHECK_MSG(body.size() >= 4, "manifest: impossibly short");
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(body.data());
+  uint32_t stored_crc = 0;
+  {
+    Reader tail(data + body.size() - 4, 4);
+    stored_crc = tail.U32();
+  }
+  PNN_CHECK_MSG(util::Crc32c(data, body.size() - 4) == stored_crc,
+                "manifest: checksum mismatch (disk corruption — the manifest "
+                "is atomically replaced and never torn by a crash)");
+  Reader r(data, body.size() - 4);
+  PNN_CHECK_MSG(r.U32() == kManifestMagic, "manifest: bad magic");
+  PNN_CHECK_MSG(r.U32() == kManifestVersion, "manifest: unsupported version");
+  out->generation = r.U64();
+  out->next_id = r.I64();
+  out->move_seq = r.U64();
+  out->engine_seed = r.U64();
+  uint64_t count = r.U64();
+  PNN_CHECK_MSG(r.ok() && r.Fits(count, 8), "manifest: bad segment count");
+  out->segments.resize(count);
+  for (uint64_t i = 0; i < count; ++i) out->segments[i] = r.U64();
+  PNN_CHECK_MSG(r.ok() && r.remaining() == 0, "manifest: trailing bytes");
+  return true;
+}
+
+}  // namespace store
+}  // namespace pnn

@@ -1,0 +1,248 @@
+#include "src/store/sharded_store.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "src/store/io.h"
+#include "src/util/check.h"
+
+namespace pnn {
+namespace store {
+
+namespace {
+
+/// The move_seq that last placed `id` on a shard; 0 = plain insert or
+/// segment-resident (its placing record was checkpointed away — any live
+/// kMoveIn elsewhere is necessarily newer).
+uint64_t PlacedSeq(const std::unordered_map<dyn::Id, uint64_t>& m, dyn::Id id) {
+  auto it = m.find(id);
+  return it == m.end() ? 0 : it->second;
+}
+
+}  // namespace
+
+ShardedStore::ShardedStore(const std::string& dir, Options options)
+    : dir_(dir), options_(std::move(options)) {
+  PNN_CHECK_MSG(options_.sharded.num_shards >= 1, "num_shards must be >= 1");
+  options_.sharded.listener = this;
+  EnsureDir(dir_);
+  Engine::Options engine_options = options_.sharded.shard.engine;
+  engine_options.mc_stream_ids.clear();
+  cores_.reserve(options_.sharded.num_shards);
+  for (uint32_t s = 0; s < options_.sharded.num_shards; ++s) {
+    cores_.push_back(std::make_unique<StoreCore>(
+        dir_ + "/shard-" + std::to_string(s), engine_options, options_.fsync));
+  }
+}
+
+ShardedStore::~ShardedStore() = default;
+
+std::unique_ptr<ShardedStore> ShardedStore::Open(const std::string& dir,
+                                                 Options options) {
+  std::unique_ptr<ShardedStore> store(
+      new ShardedStore(dir, std::move(options)));
+  store->Recover();
+  return store;
+}
+
+void ShardedStore::Recover() {
+  const uint32_t n = num_shards();
+  std::vector<StoreCore::OpenResult> results;
+  results.reserve(n);
+  for (auto& core : cores_) results.push_back(core->Open());
+
+  std::vector<std::vector<dyn::RecoveredBucket>> recovered(n);
+  int64_t floor = 0;  // Ids on disk are i64; live ids fit dyn::Id (checked).
+  uint64_t next_move_seq = 1;
+  for (uint32_t s = 0; s < n; ++s) {
+    recovered[s] = std::move(results[s].recovered);
+    if (!results[s].fresh) {
+      floor = std::max(floor, results[s].manifest.next_id);
+      next_move_seq = std::max(next_move_seq, results[s].manifest.move_seq);
+    }
+  }
+  engine_ = std::make_unique<shard::ShardedEngine>(std::move(recovered),
+                                                   options_.sharded);
+
+  // Replay each shard's log tail through the router's recovery surface
+  // (idempotent: duplicated records are skipped), tracking per shard the
+  // move_seq that last placed each live id there.
+  std::vector<std::unordered_map<dyn::Id, uint64_t>> placed_seq(n);
+  for (uint32_t s = 0; s < n; ++s) {
+    uint64_t replayed = 0;
+    uint64_t skipped = 0;
+    for (const LogRecord& rec : results[s].ops) {
+      switch (rec.type) {
+        case LogRecordType::kInsert:
+        case LogRecordType::kMoveIn: {
+          PNN_CHECK_MSG(rec.point.has_value(),
+                        "sharded store: insert/move-in record without a point");
+          floor = std::max(floor, rec.id + 1);
+          uint64_t seq = 0;
+          if (rec.type == LogRecordType::kMoveIn) {
+            seq = rec.move_seq;
+            next_move_seq = std::max(next_move_seq, rec.move_seq + 1);
+          }
+          if (engine_->RecoverInsert(s, static_cast<dyn::Id>(rec.id),
+                                     *rec.point)) {
+            placed_seq[s][rec.id] = seq;
+            ++replayed;
+          } else {
+            ++skipped;
+          }
+          break;
+        }
+        case LogRecordType::kErase:
+        case LogRecordType::kMoveOut: {
+          if (rec.type == LogRecordType::kMoveOut) {
+            next_move_seq = std::max(next_move_seq, rec.move_seq + 1);
+          }
+          if (engine_->RecoverErase(s, static_cast<dyn::Id>(rec.id))) {
+            placed_seq[s].erase(rec.id);
+            ++replayed;
+          } else {
+            ++skipped;
+          }
+          break;
+        }
+        default:
+          PNN_CHECK_MSG(false, "sharded store: unexpected record type in "
+                               "replay ops (checkpoint/mask are folded by "
+                               "StoreCore::Open)");
+      }
+    }
+    cores_[s]->NoteRecoveredOps(replayed, skipped);
+  }
+
+  // Resolve mid-move duplicates: a crash between the destination's
+  // kMoveIn and the apply leaves the id live on both shards' logged
+  // state. The shard whose placement move_seq is highest keeps it — the
+  // destination's kMoveIn is strictly newer than whatever last placed the
+  // id on the source — and the loser gets a durable erase so the next
+  // recovery agrees without re-deciding.
+  std::unordered_map<dyn::Id, uint32_t> owner;
+  dyn::Id max_live = -1;
+  for (uint32_t s = 0; s < n; ++s) {
+    std::shared_ptr<const dyn::Snapshot> snap = engine_->ShardSnapshot(s);
+    dyn::SnapshotIntrospection in = dyn::Introspect(*snap);
+    std::vector<dyn::Id> live;
+    for (const dyn::SnapshotIntrospection::BucketView& bv : in.buckets) {
+      const std::vector<dyn::Id>& ids = bv.bucket->ids();
+      for (size_t i = 0; i < ids.size(); ++i) {
+        if (bv.dead == nullptr || (*bv.dead)[i] == 0) live.push_back(ids[i]);
+      }
+    }
+    for (size_t i = 0; i < in.tail->size(); ++i) {
+      if (in.tail_dead == nullptr || (*in.tail_dead)[i] == 0) {
+        live.push_back((*in.tail)[i].id);
+      }
+    }
+    for (dyn::Id id : live) {
+      max_live = std::max(max_live, id);
+      auto emplaced = owner.emplace(id, s);
+      if (emplaced.second) continue;
+      uint32_t other = emplaced.first->second;
+      uint64_t seq_here = PlacedSeq(placed_seq[s], id);
+      uint64_t seq_other = PlacedSeq(placed_seq[other], id);
+      PNN_CHECK_MSG(seq_here != seq_other,
+                    "sharded store: id live on two shards with equal "
+                    "placement seq — logs are inconsistent beyond a "
+                    "single torn move");
+      uint32_t loser = seq_here > seq_other ? other : s;
+      if (loser == other) emplaced.first->second = s;
+      PNN_CHECK(engine_->RecoverErase(loser, id));
+      LogRecord rec;
+      rec.type = LogRecordType::kErase;
+      rec.id = id;
+      cores_[loser]->Append(std::move(rec), /*sync=*/true);
+    }
+  }
+
+  engine_->FinishRecovery(static_cast<dyn::Id>(floor));
+  // == the router's counter after FinishRecovery.
+  next_id_ = static_cast<dyn::Id>(
+      std::max<int64_t>(floor, static_cast<int64_t>(max_live) + 1));
+  next_move_seq_ = next_move_seq;
+
+  // Fold recovered logs forward: if replay's inserts triggered merges (or
+  // a segment-described bucket set no longer matches), rotate now so the
+  // next crash replays from segments instead of the whole tail again.
+  engine_->WaitForMaintenance();
+  for (uint32_t s = 0; s < n; ++s) {
+    cores_[s]->MaybeCheckpoint(*engine_->ShardSnapshot(s), next_id_,
+                               next_move_seq_);
+  }
+}
+
+dyn::Id ShardedStore::Insert(UncertainPoint point) {
+  return engine_->Insert(std::move(point));
+}
+
+bool ShardedStore::Erase(dyn::Id id) { return engine_->Erase(id); }
+
+void ShardedStore::Checkpoint() {
+  engine_->WaitForMaintenance();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    cores_[s]->Checkpoint(*engine_->ShardSnapshot(s), next_id_,
+                          next_move_seq_);
+  }
+}
+
+std::vector<Stats> ShardedStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Stats> out;
+  out.reserve(cores_.size());
+  for (const auto& core : cores_) out.push_back(core->stats());
+  return out;
+}
+
+void ShardedStore::OnInsert(uint32_t shard, dyn::Id id,
+                            const UncertainPoint& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_id_ = std::max(next_id_, id + 1);
+  LogRecord rec;
+  rec.type = LogRecordType::kInsert;
+  rec.id = id;
+  rec.point = point;
+  cores_[shard]->Append(std::move(rec), /*sync=*/true);
+}
+
+void ShardedStore::OnErase(uint32_t shard, dyn::Id id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LogRecord rec;
+  rec.type = LogRecordType::kErase;
+  rec.id = id;
+  cores_[shard]->Append(std::move(rec), /*sync=*/true);
+}
+
+void ShardedStore::OnMove(uint32_t src, uint32_t dst, dyn::Id id,
+                          const UncertainPoint& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t seq = next_move_seq_++;
+  // Destination first: if we crash between the two appends, the id is
+  // live on both logs and recovery keeps the destination (higher seq).
+  // The reverse order could durably lose the point (logged out of the
+  // source, never into the destination).
+  LogRecord in;
+  in.type = LogRecordType::kMoveIn;
+  in.id = id;
+  in.move_seq = seq;
+  in.point = point;
+  cores_[dst]->Append(std::move(in), /*sync=*/true);
+  LogRecord out;
+  out.type = LogRecordType::kMoveOut;
+  out.id = id;
+  out.move_seq = seq;
+  cores_[src]->Append(std::move(out), /*sync=*/true);
+}
+
+void ShardedStore::OnApplied(uint32_t shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cores_[shard]->MaybeCheckpoint(*engine_->ShardSnapshot(shard), next_id_,
+                                 next_move_seq_);
+}
+
+}  // namespace store
+}  // namespace pnn

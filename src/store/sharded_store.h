@@ -1,0 +1,105 @@
+// Durable N-shard store: one StoreCore (segments + op log + manifest) per
+// shard under <dir>/shard-<i>/, wired into shard::ShardedEngine through
+// its UpdateListener write-ahead hook — every acked Insert/Erase/move is
+// appended (and by default fdatasync'd) to the owning shard's log BEFORE
+// the router applies it.
+//
+// Rebalance moves are the cross-shard case: OnMove logs the move as an
+// (id, point, move_seq) delta on BOTH shards — kMoveIn on the destination
+// first, then kMoveOut on the source, each synced before the engines
+// change. A crash between the two leaves the id live in both shards'
+// logged state; recovery resolves the duplicate toward the highest
+// move_seq (the destination's kMoveIn always carries a newer seq than
+// whatever last placed the id on the source) and durably erases the loser,
+// so a mid-move crash recovers to a consistent single placement.
+
+#ifndef PNN_STORE_SHARDED_STORE_H_
+#define PNN_STORE_SHARDED_STORE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/shard/sharded_engine.h"
+#include "src/store/store.h"
+
+namespace pnn {
+namespace store {
+
+/// Thread safety matches ShardedEngine: queries through engine() are
+/// lock-free and concurrent; mutations serialize on the router's update
+/// mutex, with the listener's log work under a nested store mutex.
+class ShardedStore : public shard::UpdateListener {
+ public:
+  struct Options {
+    /// Router configuration. `sharded.listener` is overwritten (the store
+    /// is the listener); the per-shard engine seed is pinned into every
+    /// shard's manifest and must match on reopen.
+    shard::Options sharded;
+    /// Fdatasync each shard's log before the mutation applies.
+    bool fsync = true;
+  };
+
+  /// Opens or initializes <dir>/shard-<i>/ for every shard, recovers each
+  /// (segments + log replay), resolves mid-move cross-shard duplicates by
+  /// move_seq, and seals the router. Corruption beyond a torn log tail
+  /// aborts.
+  static std::unique_ptr<ShardedStore> Open(const std::string& dir,
+                                            Options options);
+
+  ~ShardedStore() override;
+
+  /// Logs to the owning shard, syncs, applies, acks (the router invokes
+  /// the write-ahead listener internally).
+  dyn::Id Insert(UncertainPoint point);
+
+  /// False (nothing logged) if `id` is not live.
+  bool Erase(dyn::Id id);
+
+  /// Forces a log rotation on every shard. Requires external quiescence:
+  /// no concurrent mutations or rebalance (a rotation between another
+  /// op's log append and its apply would drop that op from the new
+  /// generation).
+  void Checkpoint();
+
+  /// The live router. Mutating it directly is safe — the listener is
+  /// wired in, so even engine().Insert() is durable — but prefer the
+  /// store's methods.
+  const shard::ShardedEngine& engine() const { return *engine_; }
+  shard::ShardedEngine& engine() { return *engine_; }
+
+  uint32_t num_shards() const { return static_cast<uint32_t>(cores_.size()); }
+  std::vector<Stats> stats() const;  // One entry per shard.
+  const std::string& dir() const { return dir_; }
+
+  // shard::UpdateListener — invoked by the router under its update mutex,
+  // before (On*) / after (OnApplied) each mutation applies:
+  void OnInsert(uint32_t shard, dyn::Id id, const UncertainPoint& point) override;
+  void OnErase(uint32_t shard, dyn::Id id) override;
+  void OnMove(uint32_t src, uint32_t dst, dyn::Id id,
+              const UncertainPoint& point) override;
+  void OnApplied(uint32_t shard) override;
+
+ private:
+  ShardedStore(const std::string& dir, Options options);
+  void Recover();
+
+  std::string dir_;
+  Options options_;
+  /// Guards cores_ and the counters. Lock order: router mutex -> mu_
+  /// (listener callbacks); Checkpoint/stats take mu_ alone.
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<StoreCore>> cores_;
+  dyn::Id next_id_ = 0;          // Mirrors the router's id counter.
+  uint64_t next_move_seq_ = 1;   // Monotone across all shards' moves.
+  /// Declared last: destroyed first, so background rebalance quiesces
+  /// (via the router's destructor) while the listener and cores are
+  /// still alive.
+  std::unique_ptr<shard::ShardedEngine> engine_;
+};
+
+}  // namespace store
+}  // namespace pnn
+
+#endif  // PNN_STORE_SHARDED_STORE_H_

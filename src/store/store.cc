@@ -1,0 +1,454 @@
+#include "src/store/store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+
+#include "src/store/segment.h"
+#include "src/util/check.h"
+
+namespace pnn {
+namespace store {
+
+namespace {
+
+constexpr char kManifestName[] = "MANIFEST";
+
+std::string FormatU64(const char* prefix, uint64_t v, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%llu%s", prefix,
+                static_cast<unsigned long long>(v), suffix);
+  return buf;
+}
+
+}  // namespace
+
+// --- StoreCore ------------------------------------------------------------
+
+StoreCore::StoreCore(std::string dir, Engine::Options engine_options, bool fsync)
+    : dir_(std::move(dir)), engine_options_(std::move(engine_options)),
+      fsync_(fsync) {}
+
+std::string StoreCore::SegmentPath(uint64_t file_id) const {
+  return dir_ + "/" + FormatU64("seg-", file_id, ".seg");
+}
+
+std::string StoreCore::LogPath(uint64_t generation) const {
+  return dir_ + "/" + FormatU64("oplog-", generation, "");
+}
+
+void StoreCore::InitFresh() {
+  generation_ = 1;
+  std::string head;
+  LogRecord cp;
+  cp.type = LogRecordType::kCheckpoint;
+  cp.seqno = seqno_++;
+  cp.generation = generation_;
+  cp.next_id = 0;
+  cp.delta_count = 0;
+  AppendLogRecord(cp, &head);
+  {
+    File f = File::Create(LogPath(generation_));
+    f.Append(head.data(), head.size());
+    f.Sync();
+    log_ = std::move(f);
+  }
+  SyncDir(dir_);  // The log's direntry, before the manifest references it.
+  Manifest m;
+  m.generation = generation_;
+  m.next_id = 0;
+  m.move_seq = 0;
+  m.engine_seed = engine_options_.seed;
+  WriteManifest(dir_ + "/" + kManifestName, m);
+}
+
+StoreCore::OpenResult StoreCore::Open() {
+  EnsureDir(dir_);
+  OpenResult result;
+  Manifest m;
+  if (!ReadManifest(dir_ + "/" + kManifestName, &m)) {
+    InitFresh();
+    result.fresh = true;
+    result.manifest.generation = generation_;
+    result.manifest.engine_seed = engine_options_.seed;
+    CleanupOrphans({});
+    return result;
+  }
+  PNN_CHECK_MSG(m.engine_seed == engine_options_.seed,
+                "store: engine seed does not match the manifest's (segments "
+                "were cut under a different seed)");
+  result.manifest = m;
+  generation_ = m.generation;
+
+  // Map and adopt every live segment, one thread per segment (the decode
+  // is CPU-bound and the buckets are independent; Bentley-Saxe sizes mean
+  // the largest bucket bounds the wall clock). A manifest-referenced
+  // segment was fully fsynced before the manifest was installed, so
+  // failure here is disk corruption, not a crash artifact.
+  result.recovered.resize(m.segments.size());
+  {
+    std::vector<std::thread> loaders;
+    loaders.reserve(m.segments.size());
+    for (size_t i = 0; i < m.segments.size(); ++i) {
+      loaders.emplace_back([this, &result, &m, i] {
+        std::string error;
+        result.recovered[i].bucket =
+            LoadSegment(SegmentPath(m.segments[i]), engine_options_, &error);
+      });
+    }
+    for (std::thread& t : loaders) t.join();
+  }
+  for (size_t i = 0; i < m.segments.size(); ++i) {
+    PNN_CHECK_MSG(result.recovered[i].bucket != nullptr,
+                  "store: manifest-referenced segment failed to load (disk "
+                  "corruption)");
+    next_file_id_ = std::max(next_file_id_, m.segments[i] + 1);
+  }
+  stats_.recovered_buckets = m.segments.size();
+
+  // Replay the live log generation up to the first bad frame.
+  const std::string log_path = LogPath(generation_);
+  LogReplay replay = ReadLog(log_path);
+  PNN_CHECK_MSG(!replay.records.empty() &&
+                    replay.records[0].type == LogRecordType::kCheckpoint &&
+                    replay.records[0].generation == generation_,
+                "store: live log lacks its checkpoint head (the head was "
+                "fsynced before the manifest — disk corruption)");
+  const uint64_t delta_count = replay.records[0].delta_count;
+  // The delta region (masks + tail re-description) was durable before the
+  // manifest pointed at this generation; a tear inside it cannot be a
+  // crash.
+  PNN_CHECK_MSG(replay.records.size() >= 1 + delta_count,
+                "store: checkpoint delta torn (disk corruption)");
+
+  for (size_t i = 1; i < replay.records.size(); ++i) {
+    LogRecord& rec = replay.records[i];
+    if (rec.type == LogRecordType::kMask) {
+      PNN_CHECK_MSG(i < 1 + delta_count,
+                    "store: mask record outside the checkpoint delta");
+      PNN_CHECK_MSG(rec.segment_ordinal < result.recovered.size(),
+                    "store: mask names a segment the manifest does not");
+      dyn::RecoveredBucket& rb = result.recovered[rec.segment_ordinal];
+      rb.dead.resize(rb.bucket->size(), 0);
+      PNN_CHECK_MSG(rec.local_index < rb.dead.size(),
+                    "store: mask index outside its bucket");
+      rb.dead[rec.local_index] = 1;
+    } else {
+      result.ops.push_back(std::move(rec));
+    }
+  }
+
+  if (replay.truncated) {
+    // Normal crash shape: a torn append past the delta region. Discard it
+    // so future appends extend a clean prefix.
+    stats_.truncated_log_bytes =
+        static_cast<uint64_t>(File::OpenAppend(log_path).Size()) -
+        replay.valid_bytes;
+    TruncateFile(log_path, replay.valid_bytes);
+  }
+  log_ = File::OpenAppend(log_path);
+  seqno_ = replay.records.back().seqno + 1;
+
+  // tracked_ pairs the recovered buckets with their segment files, so the
+  // first post-recovery checkpoint only writes buckets that changed.
+  tracked_.clear();
+  for (size_t i = 0; i < result.recovered.size(); ++i) {
+    tracked_.emplace_back(result.recovered[i].bucket, m.segments[i]);
+  }
+  CleanupOrphans(m.segments);
+  return result;
+}
+
+void StoreCore::CleanupOrphans(const std::vector<uint64_t>& live_segments) {
+  for (const std::string& name : ListDir(dir_)) {
+    unsigned long long v = 0;
+    if (std::sscanf(name.c_str(), "seg-%llu.seg", &v) == 1) {
+      if (std::find(live_segments.begin(), live_segments.end(),
+                    static_cast<uint64_t>(v)) == live_segments.end()) {
+        RemoveFileIfExists(dir_ + "/" + name);
+      }
+    } else if (std::sscanf(name.c_str(), "oplog-%llu", &v) == 1) {
+      if (v != generation_) RemoveFileIfExists(dir_ + "/" + name);
+    } else if (name.size() > 4 &&
+               name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      RemoveFileIfExists(dir_ + "/" + name);
+    }
+  }
+}
+
+void StoreCore::Append(LogRecord rec, bool sync) {
+  rec.seqno = seqno_++;
+  std::string frame;
+  AppendLogRecord(rec, &frame);
+  log_.Append(frame.data(), frame.size());
+  dirty_ = true;
+  ++stats_.log_appends;
+  if (sync) Sync();
+}
+
+void StoreCore::Sync() {
+  if (!dirty_) return;
+  if (fsync_) {
+    log_.Sync();
+    ++stats_.log_syncs;
+  }
+  dirty_ = false;
+}
+
+void StoreCore::MaybeCheckpoint(const dyn::Snapshot& snap, int64_t next_id,
+                                uint64_t move_seq) {
+  bool same = snap.buckets.size() == tracked_.size();
+  for (size_t i = 0; same && i < tracked_.size(); ++i) {
+    same = snap.buckets[i].bucket.get() == tracked_[i].first.get();
+  }
+  if (!same) Checkpoint(snap, next_id, move_seq);
+}
+
+void StoreCore::Checkpoint(const dyn::Snapshot& snap, int64_t next_id,
+                           uint64_t move_seq) {
+  // 1. Segments for buckets this core has not serialized yet. Data is
+  // fsynced per file; one directory fsync below covers the new entries.
+  std::vector<std::pair<std::shared_ptr<const dyn::Bucket>, uint64_t>> tracked;
+  std::vector<uint64_t> segments;
+  for (const dyn::Snapshot::BucketRef& ref : snap.buckets) {
+    uint64_t file_id = 0;
+    bool found = false;
+    for (const auto& [bucket, id] : tracked_) {
+      if (bucket.get() == ref.bucket.get()) {
+        file_id = id;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      file_id = next_file_id_++;
+      WriteSegmentFile(SegmentPath(file_id), *ref.bucket);
+      ++stats_.segments_written;
+    } else {
+      ++stats_.segments_reused;
+    }
+    tracked.emplace_back(ref.bucket, file_id);
+    segments.push_back(file_id);
+  }
+
+  // 2. The next log generation: checkpoint head + delta records that
+  // re-describe the snapshot's non-segment state (tombstone masks, live
+  // tail). Everything the masks/tail reference is positional against
+  // `segments`, so the log is self-contained given the manifest.
+  dyn::SnapshotIntrospection intro = Introspect(snap);
+  uint64_t delta_count = 0;
+  for (const auto& bv : intro.buckets) {
+    if (bv.dead != nullptr) {
+      for (char d : *bv.dead) delta_count += d != 0 ? 1 : 0;
+    }
+  }
+  if (intro.tail != nullptr) {
+    for (size_t i = 0; i < intro.tail->size(); ++i) {
+      if (intro.tail_dead == nullptr || (*intro.tail_dead)[i] == 0) ++delta_count;
+    }
+  }
+
+  const uint64_t next_generation = generation_ + 1;
+  std::string head;
+  LogRecord cp;
+  cp.type = LogRecordType::kCheckpoint;
+  cp.seqno = seqno_++;
+  cp.generation = next_generation;
+  cp.next_id = next_id;
+  cp.delta_count = delta_count;
+  AppendLogRecord(cp, &head);
+  for (size_t b = 0; b < intro.buckets.size(); ++b) {
+    const auto& bv = intro.buckets[b];
+    if (bv.dead == nullptr) continue;
+    for (size_t j = 0; j < bv.dead->size(); ++j) {
+      if ((*bv.dead)[j] == 0) continue;
+      LogRecord mask;
+      mask.type = LogRecordType::kMask;
+      mask.seqno = seqno_++;
+      mask.segment_ordinal = b;
+      mask.local_index = j;
+      AppendLogRecord(mask, &head);
+    }
+  }
+  if (intro.tail != nullptr) {
+    for (size_t i = 0; i < intro.tail->size(); ++i) {
+      if (intro.tail_dead != nullptr && (*intro.tail_dead)[i] != 0) continue;
+      LogRecord ins;
+      ins.type = LogRecordType::kInsert;
+      ins.seqno = seqno_++;
+      ins.id = (*intro.tail)[i].id;
+      ins.point = (*intro.tail)[i].point;
+      AppendLogRecord(ins, &head);
+    }
+  }
+
+  File next_log = File::Create(LogPath(next_generation));
+  next_log.Append(head.data(), head.size());
+  next_log.Sync();
+  // One directory fsync makes the new log's (and any new segments')
+  // direntries durable BEFORE the manifest can reference them — the
+  // ordering invariant recovery's aborts rely on.
+  SyncDir(dir_);
+
+  // 3. Atomically switch the root pointer.
+  Manifest m;
+  m.generation = next_generation;
+  m.next_id = next_id;
+  m.move_seq = move_seq;
+  m.engine_seed = engine_options_.seed;
+  m.segments = segments;
+  WriteManifest(dir_ + "/" + kManifestName, m);
+
+  // 4. The old generation is unreachable now; reclaim it.
+  std::string old_log = LogPath(generation_);
+  for (const auto& [bucket, id] : tracked_) {
+    if (std::find(segments.begin(), segments.end(), id) == segments.end()) {
+      RemoveFileIfExists(SegmentPath(id));
+    }
+  }
+  log_ = std::move(next_log);
+  dirty_ = false;
+  generation_ = next_generation;
+  tracked_ = std::move(tracked);
+  RemoveFileIfExists(old_log);
+  ++stats_.checkpoints;
+}
+
+void StoreCore::NoteRecoveredOps(uint64_t replayed, uint64_t skipped) {
+  stats_.recovered_ops = replayed;
+  stats_.skipped_duplicate_ops = skipped;
+}
+
+// --- Store ----------------------------------------------------------------
+
+Store::Store(const std::string& dir, Options options)
+    : options_(std::move(options)),
+      core_(dir,
+            [&] {
+              Engine::Options eo = options_.dynamic.engine;
+              eo.mc_stream_ids.clear();
+              return eo;
+            }(),
+            options_.fsync) {}
+
+Store::~Store() {
+  if (engine_ != nullptr) engine_->WaitForMaintenance();
+}
+
+std::unique_ptr<Store> Store::Open(const std::string& dir, Options options) {
+  std::unique_ptr<Store> store(new Store(dir, std::move(options)));
+  std::lock_guard<std::mutex> lock(store->mu_);
+  store->RecoverLocked(store->core_.Open());
+  return store;
+}
+
+void Store::RecoverLocked(StoreCore::OpenResult result) {
+  if (result.fresh) {
+    engine_ = std::make_unique<dyn::DynamicEngine>(options_.dynamic);
+    next_id_ = 0;
+    return;
+  }
+  dyn::Id floor = static_cast<dyn::Id>(result.manifest.next_id);
+  engine_ = std::make_unique<dyn::DynamicEngine>(std::move(result.recovered),
+                                                 floor, options_.dynamic);
+  // Replay the op tail through the normal mutation path. Tolerant of
+  // duplicated records (a re-sent frame, or overlap between the delta and
+  // a pre-crash rotation): an insert of a live id / erase of a dead one is
+  // skipped, never an abort — idempotent replay is what makes "recovered
+  // state = some logged prefix ⊇ acked prefix" hold unconditionally.
+  uint64_t replayed = 0, skipped = 0;
+  for (LogRecord& rec : result.ops) {
+    switch (rec.type) {
+      case LogRecordType::kInsert:
+      case LogRecordType::kMoveIn: {
+        dyn::Id id = static_cast<dyn::Id>(rec.id);
+        if (engine_->IsLive(id)) {
+          ++skipped;
+        } else {
+          engine_->InsertWithId(id, std::move(*rec.point));
+          ++replayed;
+        }
+        floor = std::max(floor, id + 1);
+        break;
+      }
+      case LogRecordType::kErase:
+      case LogRecordType::kMoveOut: {
+        if (engine_->Erase(static_cast<dyn::Id>(rec.id))) {
+          ++replayed;
+        } else {
+          ++skipped;
+        }
+        break;
+      }
+      case LogRecordType::kCheckpoint:
+      case LogRecordType::kMask:
+        PNN_CHECK_MSG(false, "store: unexpected record type in op tail");
+    }
+  }
+  core_.NoteRecoveredOps(replayed, skipped);
+  next_id_ = floor;
+  // Replay may have spliced buckets (a merge mid-replay); fold that into a
+  // fresh generation now so the log shrinks back to the tail.
+  engine_->WaitForMaintenance();
+  core_.MaybeCheckpoint(*engine_->snapshot(), next_id_, 0);
+}
+
+dyn::Id Store::Insert(UncertainPoint point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dyn::Id id = next_id_++;
+  LogRecord rec;
+  rec.type = LogRecordType::kInsert;
+  rec.id = id;
+  rec.point = point;
+  core_.Append(std::move(rec));  // Logged + synced before applied: WAL.
+  engine_->InsertWithId(id, std::move(point));
+  core_.MaybeCheckpoint(*engine_->snapshot(), next_id_, 0);
+  return id;
+}
+
+std::vector<dyn::Id> Store::InsertBatch(std::vector<UncertainPoint> points) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<dyn::Id> ids;
+  ids.reserve(points.size());
+  for (const UncertainPoint& p : points) {
+    dyn::Id id = next_id_++;
+    ids.push_back(id);
+    LogRecord rec;
+    rec.type = LogRecordType::kInsert;
+    rec.id = id;
+    rec.point = p;
+    core_.Append(std::move(rec), /*sync=*/false);
+  }
+  core_.Sync();  // One group fdatasync for the whole batch.
+  for (size_t i = 0; i < points.size(); ++i) {
+    engine_->InsertWithId(ids[i], std::move(points[i]));
+  }
+  core_.MaybeCheckpoint(*engine_->snapshot(), next_id_, 0);
+  return ids;
+}
+
+bool Store::Erase(dyn::Id id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!engine_->IsLive(id)) return false;  // No-op erases are not logged.
+  LogRecord rec;
+  rec.type = LogRecordType::kErase;
+  rec.id = id;
+  core_.Append(std::move(rec));
+  PNN_CHECK(engine_->Erase(id));
+  core_.MaybeCheckpoint(*engine_->snapshot(), next_id_, 0);
+  return true;
+}
+
+void Store::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  engine_->WaitForMaintenance();
+  core_.Checkpoint(*engine_->snapshot(), next_id_, 0);
+}
+
+Stats Store::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return core_.stats();
+}
+
+}  // namespace store
+}  // namespace pnn

@@ -1,0 +1,193 @@
+// pnn::store — durable bucket snapshots + append-only op log with crash
+// recovery.
+//
+// A Store wraps a dyn::DynamicEngine with write-ahead durability:
+//   * every acked Insert/Erase is appended to the op log (CRC-framed) and —
+//     by default — fdatasync'd BEFORE the engine applies it and the call
+//     returns, so an acked op is never lost;
+//   * whenever maintenance changes the bucket set (merge/compaction), the
+//     next mutation rotates the log: new buckets are serialized to
+//     checksummed segment files, a fresh log generation re-describes the
+//     tombstone masks and live tail, and the manifest is atomically swapped
+//     to point at them — keeping the log proportional to the brute-force
+//     tail instead of the history;
+//   * Open() recovers by mapping the manifest's segments (adopting their
+//     kd layouts — no rebuilds), replaying the log tail through the normal
+//     insert/erase path, and truncating a torn final record. A corrupt
+//     frame is never accepted; recovered answers are bit-identical to a
+//     fresh static Engine over exactly the acked live set
+//     (tests/store_recovery_test.cc).
+//
+// Ordering invariant behind all of it: segment data and directory entries
+// are fsynced before the log that references them, and the log before the
+// manifest that references both — so a durable manifest implies a durable,
+// internally consistent store image. See docs/persistence.md.
+
+#ifndef PNN_STORE_STORE_H_
+#define PNN_STORE_STORE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/dyn/dynamic_engine.h"
+#include "src/store/io.h"
+#include "src/store/log.h"
+#include "src/store/manifest.h"
+
+namespace pnn {
+namespace store {
+
+/// Counters for tests, benchmarks and ops visibility.
+struct Stats {
+  uint64_t log_appends = 0;
+  uint64_t log_syncs = 0;
+  uint64_t checkpoints = 0;
+  uint64_t segments_written = 0;
+  uint64_t segments_reused = 0;
+  // Recovery (set once by Open):
+  uint64_t recovered_buckets = 0;
+  uint64_t recovered_ops = 0;           // Log records replayed into the engine.
+  uint64_t skipped_duplicate_ops = 0;   // Replayed records that were no-ops.
+  uint64_t truncated_log_bytes = 0;     // Torn tail discarded by recovery.
+};
+
+/// Log/segment/manifest bookkeeping for one directory — the reusable guts
+/// shared by Store (one engine) and ShardedStore (one core per shard).
+/// Not thread-safe; the owner serializes all calls (Store's mutex, or the
+/// sharded engine's update lock via its listener).
+class StoreCore {
+ public:
+  /// What Open() recovered, for the owner to build its engine from.
+  struct OpenResult {
+    bool fresh = false;                 // No manifest: initialized empty.
+    Manifest manifest;                  // Valid when !fresh.
+    /// Buckets loaded from segments with their log-prescribed masks, in
+    /// snapshot order. Feed to DynamicEngine's recovery constructor.
+    std::vector<dyn::RecoveredBucket> recovered;
+    /// Op records to replay on top (the checkpoint's tail re-description
+    /// followed by post-checkpoint mutations), in log order. kMask records
+    /// are already folded into `recovered` and do not appear here.
+    std::vector<LogRecord> ops;
+  };
+
+  /// `engine_options` must carry the seed the store's segments were cut
+  /// under (checked against both manifest and segments). `fsync` false
+  /// trades durability of the last few ops for speed — frames are still
+  /// CRC-gated, so recovery never accepts garbage, it just may lose
+  /// unsynced acks (the bench's comparison mode).
+  StoreCore(std::string dir, Engine::Options engine_options, bool fsync);
+
+  /// Opens or initializes the directory; leaves the live log open for
+  /// appends. Aborts on disk corruption (bad manifest, unloadable segment,
+  /// a checkpoint whose pre-manifest delta records are missing); tolerates
+  /// and truncates a torn log tail.
+  OpenResult Open();
+
+  /// Frames and appends one record (seqno assigned here). `sync` false
+  /// defers the fdatasync for group commit — call Sync() before acking.
+  void Append(LogRecord rec, bool sync = true);
+
+  /// Flushes deferred appends (no-op when fsync is disabled).
+  void Sync();
+
+  /// Rotates iff `snap`'s bucket pointer set differs from the one the
+  /// current log generation describes. Call after applying a mutation.
+  void MaybeCheckpoint(const dyn::Snapshot& snap, int64_t next_id,
+                       uint64_t move_seq);
+
+  /// Unconditional rotation against `snap`: writes segments for unseen
+  /// buckets, starts generation+1 with mask/tail delta records, atomically
+  /// installs the manifest, then deletes the old generation's log and any
+  /// dropped segments.
+  void Checkpoint(const dyn::Snapshot& snap, int64_t next_id, uint64_t move_seq);
+
+  /// Marks recovery complete for bookkeeping done by the owner.
+  void NoteRecoveredOps(uint64_t replayed, uint64_t skipped);
+
+  const std::string& dir() const { return dir_; }
+  uint64_t generation() const { return generation_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void InitFresh();
+  void CleanupOrphans(const std::vector<uint64_t>& live_segments);
+  std::string SegmentPath(uint64_t file_id) const;
+  std::string LogPath(uint64_t generation) const;
+
+  std::string dir_;
+  Engine::Options engine_options_;
+  bool fsync_ = true;
+
+  File log_;
+  uint64_t generation_ = 0;
+  uint64_t seqno_ = 1;
+  uint64_t next_file_id_ = 1;
+  bool dirty_ = false;  // Appends since the last Sync().
+  /// Buckets the current generation's manifest covers, with their segment
+  /// file ids. Keyed by bucket pointer identity (shared_ptrs keep the
+  /// address from being recycled): buckets are immutable, so pointer
+  /// equality is version equality.
+  std::vector<std::pair<std::shared_ptr<const dyn::Bucket>, uint64_t>> tracked_;
+  Stats stats_;
+};
+
+/// Durable single-engine store. Thread safety matches DynamicEngine:
+/// queries (through engine()) are lock-free and concurrent; mutations
+/// serialize on an internal mutex.
+class Store {
+ public:
+  struct Options {
+    /// Engine configuration. engine.engine.seed is pinned into the
+    /// manifest on first open and must match on every later one.
+    dyn::Options dynamic;
+    /// Fdatasync the log before acking each mutation (the durability
+    /// contract). Disable only to measure its cost.
+    bool fsync = true;
+  };
+
+  /// Opens an existing store (recovering if it crashed) or initializes an
+  /// empty one. Never returns a partially recovered store: corruption
+  /// beyond a torn log tail aborts.
+  static std::unique_ptr<Store> Open(const std::string& dir, Options options);
+
+  ~Store();
+
+  /// Logs, syncs, applies, acks. The returned id is durable: a crash after
+  /// return replays it.
+  dyn::Id Insert(UncertainPoint point);
+
+  /// Group commit: one fdatasync for the whole batch, then all applies.
+  std::vector<dyn::Id> InsertBatch(std::vector<UncertainPoint> points);
+
+  /// False (nothing logged) if `id` is not live.
+  bool Erase(dyn::Id id);
+
+  /// Forces a log rotation against the current snapshot.
+  void Checkpoint();
+
+  /// The live engine; all its const query methods are safe to call
+  /// concurrently with mutations on this store.
+  const dyn::DynamicEngine& engine() const { return *engine_; }
+
+  Stats stats() const;
+  const std::string& dir() const { return core_.dir(); }
+
+ private:
+  Store(const std::string& dir, Options options);
+  void RecoverLocked(StoreCore::OpenResult result);
+
+  Options options_;
+  mutable std::mutex mu_;  // Serializes mutations and checkpoints.
+  StoreCore core_;
+  std::unique_ptr<dyn::DynamicEngine> engine_;
+  dyn::Id next_id_ = 0;  // Mirror of the engine's id counter (WAL needs
+                         // the id before the engine assigns it).
+};
+
+}  // namespace store
+}  // namespace pnn
+
+#endif  // PNN_STORE_STORE_H_

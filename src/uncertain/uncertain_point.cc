@@ -90,6 +90,33 @@ UncertainPoint UncertainPoint::Discrete(std::vector<Point2> locations,
   return p;
 }
 
+UncertainPoint UncertainPoint::DiscreteFromNormalized(std::vector<Point2> locations,
+                                                      std::vector<double> weights) {
+  PNN_CHECK_MSG(!locations.empty(), "discrete distribution needs >= 1 location");
+  PNN_CHECK_MSG(locations.size() == weights.size(), "locations/weights size mismatch");
+  double total = 0.0;
+  for (double w : weights) {
+    PNN_CHECK_MSG(w > 0, "location probabilities must be positive");
+    total += w;
+  }
+  PNN_CHECK_MSG(std::abs(total - 1.0) < 1e-6, "location probabilities must sum to 1");
+  UncertainPoint p;
+  p.is_discrete_ = true;
+  p.discrete_.locations = std::move(locations);
+  p.discrete_.weights = std::move(weights);
+  p.discrete_.cumulative.resize(p.discrete_.weights.size());
+  // Same accumulation as Discrete() minus the renormalizing division:
+  // applied to weights Discrete() produced, this regenerates the exact
+  // cumulative table it built.
+  double acc = 0.0;
+  for (size_t i = 0; i < p.discrete_.weights.size(); ++i) {
+    acc += p.discrete_.weights[i];
+    p.discrete_.cumulative[i] = acc;
+  }
+  p.discrete_.cumulative.back() = 1.0;
+  return p;
+}
+
 const DiskDistribution& UncertainPoint::disk() const {
   PNN_CHECK(!is_discrete_);
   return disk_;

@@ -56,6 +56,16 @@ class UncertainPoint {
   static UncertainPoint Discrete(std::vector<Point2> locations,
                                  std::vector<double> weights);
 
+  /// Rehydration form for already-normalized weights (the durable store's
+  /// recovery path): Discrete() divides every weight by the observed sum,
+  /// so feeding a point's own weights back through it would perturb their
+  /// low bits and break the store's bit-identity contract. This factory
+  /// trusts the weights verbatim and rebuilds the cumulative table with
+  /// the same accumulation loop, so a serialize/rehydrate round trip is
+  /// exact. Weights must be positive and sum to 1 within 1e-6 (checked).
+  static UncertainPoint DiscreteFromNormalized(std::vector<Point2> locations,
+                                               std::vector<double> weights);
+
   bool is_discrete() const { return is_discrete_; }
   const DiskDistribution& disk() const;
   const DiscreteDistribution& discrete() const;

@@ -1,0 +1,71 @@
+#include "src/util/crc32.h"
+
+#include <array>
+
+namespace pnn {
+namespace util {
+
+namespace {
+
+// Reflected Castagnoli polynomial.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+// Slice-by-8 tables: table[0] is the classic byte-at-a-time table, and
+// table[k][b] is the CRC of byte b followed by k zero bytes, which lets the
+// hot loop fold 8 input bytes per iteration with eight independent loads.
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = t[0][i];
+      for (size_t k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xFF] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables kTables;
+  return kTables;
+}
+
+uint32_t Update(uint32_t crc, const uint8_t* p, size_t n) {
+  const Tables& tb = tables();
+  while (n >= 8) {
+    // Fold the current CRC into the first 4 bytes, then process 8 bytes
+    // through the 8 tables. Byte-wise combination keeps this endianness-
+    // independent (no unaligned 64-bit loads).
+    uint32_t lo = crc ^ (static_cast<uint32_t>(p[0]) |
+                         (static_cast<uint32_t>(p[1]) << 8) |
+                         (static_cast<uint32_t>(p[2]) << 16) |
+                         (static_cast<uint32_t>(p[3]) << 24));
+    crc = tb.t[7][lo & 0xFF] ^ tb.t[6][(lo >> 8) & 0xFF] ^
+          tb.t[5][(lo >> 16) & 0xFF] ^ tb.t[4][(lo >> 24) & 0xFF] ^
+          tb.t[3][p[4]] ^ tb.t[2][p[5]] ^ tb.t[1][p[6]] ^ tb.t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) crc = tb.t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+  return crc;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size) {
+  return Update(0xFFFFFFFFu, static_cast<const uint8_t*>(data), size) ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size) {
+  return Update(crc ^ 0xFFFFFFFFu, static_cast<const uint8_t*>(data), size) ^
+         0xFFFFFFFFu;
+}
+
+}  // namespace util
+}  // namespace pnn

@@ -1,0 +1,84 @@
+// CRC-32C against published vectors, the incremental-extension identity,
+// and the property the store leans on: any single bit flip changes the
+// checksum (guaranteed for CRCs over messages far shorter than 2^31 bits).
+
+#include "src/util/crc32.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace pnn {
+namespace {
+
+TEST(Crc32cTest, PublishedVectors) {
+  // RFC 3720 appendix B.4 / the canonical Castagnoli check value.
+  EXPECT_EQ(util::Crc32c("123456789", 9), 0xE3069283u);
+
+  std::vector<uint8_t> zeros(32, 0);
+  EXPECT_EQ(util::Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+
+  std::vector<uint8_t> ones(32, 0xFF);
+  EXPECT_EQ(util::Crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+
+  std::vector<uint8_t> ascending(32);
+  for (size_t i = 0; i < ascending.size(); ++i) ascending[i] = static_cast<uint8_t>(i);
+  EXPECT_EQ(util::Crc32c(ascending.data(), ascending.size()), 0x46DD794Eu);
+}
+
+TEST(Crc32cTest, EmptyInput) {
+  EXPECT_EQ(util::Crc32c("", 0), 0u);
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  Rng rng(7);
+  std::vector<uint8_t> data(1000);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  uint32_t whole = util::Crc32c(data.data(), data.size());
+  // Every split point of the buffer must chain to the same value,
+  // including the degenerate empty-prefix and empty-suffix splits.
+  for (size_t split : {size_t{0}, size_t{1}, size_t{7}, size_t{8}, size_t{9},
+                       size_t{500}, size_t{999}, size_t{1000}}) {
+    uint32_t prefix = util::Crc32c(data.data(), split);
+    uint32_t chained =
+        util::Crc32cExtend(prefix, data.data() + split, data.size() - split);
+    EXPECT_EQ(chained, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, UnalignedStartsAgree) {
+  // The slice-by-8 loop must not depend on buffer alignment.
+  std::vector<uint8_t> buf(64 + 8);
+  Rng rng(11);
+  for (auto& b : buf) b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  uint32_t base = util::Crc32c(buf.data(), 64);
+  for (size_t off = 1; off < 8; ++off) {
+    std::vector<uint8_t> copy(buf.begin() + off, buf.begin() + off + 64);
+    std::memmove(buf.data() + off, copy.data(), 64);
+    EXPECT_EQ(util::Crc32c(buf.data() + off, 64), util::Crc32c(copy.data(), 64));
+  }
+  (void)base;
+}
+
+TEST(Crc32cTest, DetectsEverySingleBitFlip) {
+  Rng rng(3);
+  std::vector<uint8_t> data(128);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  uint32_t clean = util::Crc32c(data.data(), data.size());
+  for (size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<uint8_t>(1u << bit);
+      EXPECT_NE(util::Crc32c(data.data(), data.size()), clean)
+          << "bit " << bit << " of byte " << byte;
+      data[byte] ^= static_cast<uint8_t>(1u << bit);
+    }
+  }
+  EXPECT_EQ(util::Crc32c(data.data(), data.size()), clean);
+}
+
+}  // namespace
+}  // namespace pnn
