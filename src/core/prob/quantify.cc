@@ -6,9 +6,16 @@
 
 #include "src/util/arena.h"
 #include "src/util/check.h"
+#include "src/util/simd.h"
 
 namespace pnn {
 namespace {
+
+// Below this many touched owners the survival product stays on the exact
+// sequential loop (bit-identical to the pre-SIMD code in every dispatch
+// mode); at or above it, the gather + simd::Product path takes over and
+// the 1e-9 reassociation contract applies.
+constexpr size_t kProductKernelMin = 16;
 
 // Adaptive Simpson (shared with uncertain_point.cc's internal copy; small
 // enough to keep local).
@@ -182,12 +189,13 @@ void QuantifyPrefixSweepInto(const std::vector<WeightedLocation>& locs,
   // in spiral.cc: the dynamic engine merges per-bucket streams into the
   // identical global distance order and must reproduce identical doubles.
   size_t n = counts.size();
-  util::ScratchVec<double> pi_lease, cum_lease, survival_lease;
+  util::ScratchVec<double> pi_lease, cum_lease, survival_lease, gather_lease;
   util::ScratchVec<int> seen_lease, touched_lease;
   std::vector<double>& pi = *pi_lease;
   std::vector<double>& cum = *cum_lease;
   // Survival factors with zero tracking (small n per query: direct scan).
   std::vector<double>& survival = *survival_lease;
+  std::vector<double>& gather = *gather_lease;
   std::vector<int>& seen = *seen_lease;
   std::vector<int>& touched = *touched_lease;
   pi.assign(n, 0.0);
@@ -209,11 +217,27 @@ void QuantifyPrefixSweepInto(const std::vector<WeightedLocation>& locs,
     }
     for (size_t k = idx; k < end; ++k) {
       int o = locs[k].owner;
-      double prod = 1.0;
-      for (int j : touched) {
-        if (j == o) continue;
-        prod *= survival[j];
-        if (prod == 0.0) break;
+      double prod;
+      if (touched.size() < kProductKernelMin) {
+        // Sequential product: this is the bit-exact historical path, kept
+        // for the short prefixes where kernel setup outweighs the scan.
+        prod = 1.0;
+        for (int j : touched) {
+          if (j == o) continue;
+          prod *= survival[j];
+          if (prod == 0.0) break;
+        }
+      } else {
+        // Gather the touched survivals (skipping the owner) into a dense
+        // SoA buffer and let the product kernel reduce it. The kernel may
+        // reassociate — the 1e-9 differential contract in docs/simd.md;
+        // dropping the early zero-exit is value-neutral (factors live in
+        // [0, 1], and 0 annihilates exactly).
+        gather.clear();
+        for (int j : touched) {
+          if (j != o) gather.push_back(survival[j]);
+        }
+        prod = simd::Product(gather.data(), gather.size());
       }
       pi[o] += locs[k].weight * prod;
     }

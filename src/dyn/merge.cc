@@ -11,6 +11,7 @@
 #include "src/util/arena.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
+#include "src/util/simd.h"
 
 namespace pnn {
 namespace dyn {
@@ -328,36 +329,40 @@ void MergedMonteCarloQuantifyInto(const Snapshot& snap, Point2 q, size_t rounds,
   std::vector<Id>& winners = *winners_lease;
   winners.assign(rounds, -1);
   const TailSamples* ts = tail_samples.get();
+  // The whole round runs in the squared-distance domain (no sqrt anywhere:
+  // comparisons are monotone, only the winner id survives) — the same
+  // domain Delaunay::Nearest compares in, so dyn-vs-static winners stay
+  // bit-identical, and the tail row collapses to one fused argmin kernel.
   auto body = [&](size_t r) {
-    double best_d = kInf;
+    double best_sq = kInf;
     Id best = -1;
     for (size_t b = 0; b < snap.buckets.size(); ++b) {
       const auto& bref = snap.buckets[b];
       if (bref.live_count == 0) continue;
-      double d;
-      int li = mc[b]->trees[r]->Nearest(q, &d, bref.dead.get());
-      if (li >= 0 && d < best_d) {
-        best_d = d;
+      double sq;
+      int li = mc[b]->trees[r]->NearestSquared(q, &sq, bref.dead.get());
+      if (li >= 0 && sq < best_sq) {
+        best_sq = sq;
         best = bref.bucket->ids()[li];
       }
     }
     if (ts != nullptr) {
       size_t m = ts->ids.size();
-      const Point2* row = ts->samples.data() + r * m;
-      for (size_t j = 0; j < m; ++j) {
-        double d = Distance(q, row[j]);
-        if (d < best_d) {
-          best_d = d;
-          best = ts->ids[j];
-        }
+      double row_sq;
+      ptrdiff_t j = simd::ArgminSquaredDist(ts->xs.data() + r * m,
+                                            ts->ys.data() + r * m, m, q.x, q.y,
+                                            &row_sq);
+      if (j >= 0 && row_sq < best_sq) {
+        best_sq = row_sq;
+        best = ts->ids[j];
       }
     } else {
       uint64_t round_seed = SplitSeed(seed, r);
       for (const TailEntry* e : tail_live) {
         Rng rng = MakeStreamRng(round_seed, static_cast<uint64_t>(e->id));
-        double d = Distance(q, e->point.Sample(&rng));
-        if (d < best_d) {
-          best_d = d;
+        double sq = SquaredDistance(q, e->point.Sample(&rng));
+        if (sq < best_sq) {
+          best_sq = sq;
           best = e->id;
         }
       }
@@ -454,9 +459,9 @@ void PrewarmWorkerScratch(size_t points_hint, size_t rounds_hint) {
   // Monte-Carlo recombination (MergedMonteCarloQuantifyInto).
   util::ScratchVec<std::shared_ptr<const McRounds>>::Prewarm(1, 16);
   util::ScratchVec<const TailEntry*>::Prewarm(1, 256);
-  // Quantify sweep accumulators (QuantifyPrefixSweepInto) and the shard
-  // router's per-shard delta table.
-  util::ScratchVec<double>::Prewarm(3, cap);
+  // Quantify sweep accumulators + survival gather buffer
+  // (QuantifyPrefixSweepInto) and the shard router's per-shard delta table.
+  util::ScratchVec<double>::Prewarm(4, cap);
   util::ScratchVec<size_t>::Prewarm(1, 16);
   util::ScratchVec<std::vector<Id>>::Prewarm(1, 16);
 }

@@ -24,7 +24,8 @@ std::shared_ptr<const TailSamples> TailMcCache::Ensure(const Snapshot& snap,
     // is identical — it is a property of the snapshot).
     next->ids = cur->ids;
     next->tail_index = cur->tail_index;
-    next->samples = cur->samples;
+    next->xs = cur->xs;
+    next->ys = cur->ys;
     next->rounds = cur->rounds;
   } else {
     for (size_t i = 0; i < tail.size(); ++i) {
@@ -34,13 +35,17 @@ std::shared_ptr<const TailSamples> TailMcCache::Ensure(const Snapshot& snap,
     }
   }
   size_t m = next->ids.size();
-  next->samples.resize(rounds * m);
+  next->xs.resize(rounds * m);
+  next->ys.resize(rounds * m);
   for (size_t r = next->rounds; r < rounds; ++r) {
     uint64_t round_seed = SplitSeed(seed, r);
-    Point2* row = next->samples.data() + r * m;
+    double* row_x = next->xs.data() + r * m;
+    double* row_y = next->ys.data() + r * m;
     for (size_t j = 0; j < m; ++j) {
       Rng rng = MakeStreamRng(round_seed, static_cast<uint64_t>(next->ids[j]));
-      row[j] = tail[next->tail_index[j]].point.Sample(&rng);
+      Point2 p = tail[next->tail_index[j]].point.Sample(&rng);
+      row_x[j] = p.x;
+      row_y[j] = p.y;
     }
   }
   next->rounds = rounds;

@@ -26,14 +26,16 @@
 namespace pnn {
 namespace dyn {
 
-/// One immutable generation of tail samples. `samples` is round-major:
-/// samples[r * ids.size() + j] is live entry j's round-r instantiation.
+/// One immutable generation of tail samples, stored SoA so the per-round
+/// winner scan in MergedMonteCarloQuantify runs a simd kernel over the
+/// row. Round-major: xs[r * ids.size() + j] / ys[r * ids.size() + j] are
+/// live entry j's round-r instantiation.
 struct TailSamples {
   uint64_t seed = 0;
   size_t rounds = 0;
   std::vector<Id> ids;               // Live tail ids, tail order.
   std::vector<uint32_t> tail_index;  // Position of ids[j] in the snapshot tail.
-  std::vector<Point2> samples;
+  std::vector<double> xs, ys;
 };
 
 class TailMcCache {

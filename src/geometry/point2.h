@@ -31,7 +31,14 @@ inline double Dot(Vec2 a, Vec2 b) { return a.x * b.x + a.y * b.y; }
 inline double Cross(Vec2 a, Vec2 b) { return a.x * b.y - a.y * b.x; }
 
 inline double SquaredNorm(Vec2 a) { return a.x * a.x + a.y * a.y; }
-inline double Norm(Vec2 a) { return std::hypot(a.x, a.y); }
+
+/// sqrt of the squared norm, NOT std::hypot: every rounding step (mul, add,
+/// sqrt) is an IEEE correctly-rounded operation, so the vectorized distance
+/// kernels in util/simd.h reproduce this value bit-for-bit lane by lane —
+/// hypot's internal scaling has no such per-lane equivalent. The cost is the
+/// usual overflow/underflow caveat for |a| near 1e154, far outside the
+/// coordinate ranges this engine handles.
+inline double Norm(Vec2 a) { return std::sqrt(SquaredNorm(a)); }
 
 inline double SquaredDistance(Point2 a, Point2 b) { return SquaredNorm(a - b); }
 inline double Distance(Point2 a, Point2 b) { return Norm(a - b); }

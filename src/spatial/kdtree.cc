@@ -7,11 +7,16 @@
 
 #include "src/util/arena.h"
 #include "src/util/check.h"
+#include "src/util/simd.h"
 
 namespace pnn {
 
 namespace {
 constexpr int kLeafSize = 8;
+// Stack-buffer chunk for leaf distance scans. Built leaves hold at most
+// kLeafSize points, but adopted layouts are only shape-checked, so the
+// scan loops chunk defensively instead of assuming a bound.
+constexpr int kScanChunk = 64;
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 // Node count of the subtree over n points. The split point of a range
@@ -26,11 +31,31 @@ int SubtreeNodes(int n) {
 }
 }  // namespace
 
-double KdTree::PointDist(Point2 a, Point2 b) const {
-  if (metric_ == Metric::kChebyshev) {
-    return std::max(std::abs(a.x - b.x), std::abs(a.y - b.y));
+void KdTree::BuildScanArrays() {
+  size_t n = order_.size();
+  sx_.resize(n);
+  sy_.resize(n);
+  sw_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    int idx = order_[i];
+    sx_[i] = points_[idx].x;
+    sy_[i] = points_[idx].y;
+    sw_[i] = weights_[idx];
   }
-  return Distance(a, b);
+}
+
+void KdTree::ScanDists(int first, int cnt, Point2 q, double* out) const {
+  if (metric_ == Metric::kEuclidean) {
+    // Bit-identical to Distance(q, p): sqrt(dx^2 + dy^2) (point2.h) is
+    // exactly the kernel's per-element contract.
+    simd::DistScan(sx_.data() + first, sy_.data() + first,
+                   static_cast<size_t>(cnt), q.x, q.y, out);
+    return;
+  }
+  for (int k = 0; k < cnt; ++k) {
+    out[k] = std::max(std::abs(sx_[first + k] - q.x),
+                      std::abs(sy_[first + k] - q.y));
+  }
 }
 
 double KdTree::BoxDist(const Box2& box, Point2 p) const {
@@ -54,6 +79,7 @@ KdTree::KdTree(std::vector<Point2> points, std::vector<double> weights, Metric m
     root_ = 0;
     BuildRange(0, n, root_, build);
   }
+  BuildScanArrays();
 }
 
 KdTree::KdTree(std::vector<Point2> points, std::vector<double> weights, Metric metric,
@@ -89,6 +115,9 @@ KdTree::KdTree(std::vector<Point2> points, std::vector<double> weights, Metric m
     PNN_CHECK_MSG(node.begin >= 0 && node.begin <= node.end && node.end <= n,
                   "adopted node range out of bounds");
   }
+  // Derived on load, not serialized: recovered segments keep their
+  // pre-refactor format and still get SoA scan buffers.
+  BuildScanArrays();
 }
 
 void KdTree::BuildRange(int begin, int end, int id, const BuildOptions& build) {
@@ -185,12 +214,16 @@ int KdTree::Nearest(Point2 q, double* out_dist, const std::vector<char>* skip) c
     const Node& n = nodes_[id];
     if (BoxDist(n.box, q) >= best) continue;
     if (n.left < 0) {
-      for (int i = n.begin; i < n.end; ++i) {
-        if (skip != nullptr && (*skip)[order_[i]]) continue;
-        double d = PointDist(q, points_[order_[i]]);
-        if (d < best) {
-          best = d;
-          best_idx = order_[i];
+      double d[kScanChunk];
+      for (int i = n.begin; i < n.end; i += kScanChunk) {
+        int cnt = std::min(n.end - i, kScanChunk);
+        ScanDists(i, cnt, q, d);
+        for (int k = 0; k < cnt; ++k) {
+          if (skip != nullptr && (*skip)[order_[i + k]]) continue;
+          if (d[k] < best) {
+            best = d[k];
+            best_idx = order_[i + k];
+          }
         }
       }
       continue;
@@ -206,6 +239,65 @@ int KdTree::Nearest(Point2 q, double* out_dist, const std::vector<char>* skip) c
     }
   }
   if (out_dist != nullptr) *out_dist = best;
+  return best_idx;
+}
+
+int KdTree::NearestSquared(Point2 q, double* out_sq,
+                           const std::vector<char>* skip) const {
+  PNN_CHECK_MSG(metric_ == Metric::kEuclidean,
+                "NearestSquared requires the Euclidean metric");
+  PNN_CHECK_MSG(!points_.empty(), "NearestSquared on empty tree");
+  double best = kInf;
+  int best_idx = -1;
+  util::ScratchVec<int> lease;
+  std::vector<int>& stack = *lease;
+  stack.clear();
+  stack.push_back(root_);
+  while (!stack.empty()) {
+    int id = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[id];
+    // Pruning and child ordering compare squared box distances — the same
+    // predicates Nearest evaluates post-sqrt, minus the sqrt.
+    if (n.box.SquaredDistanceTo(q) >= best) continue;
+    if (n.left < 0) {
+      if (skip == nullptr) {
+        double leaf_min;
+        ptrdiff_t rel = simd::ArgminSquaredDist(
+            sx_.data() + n.begin, sy_.data() + n.begin,
+            static_cast<size_t>(n.end - n.begin), q.x, q.y, &leaf_min);
+        if (rel >= 0 && leaf_min < best) {
+          best = leaf_min;
+          best_idx = order_[n.begin + static_cast<int>(rel)];
+        }
+      } else {
+        double d[kScanChunk];
+        for (int i = n.begin; i < n.end; i += kScanChunk) {
+          int cnt = std::min(n.end - i, kScanChunk);
+          simd::SquaredDistScan(sx_.data() + i, sy_.data() + i,
+                                static_cast<size_t>(cnt), q.x, q.y, d);
+          for (int k = 0; k < cnt; ++k) {
+            if ((*skip)[order_[i + k]]) continue;
+            if (d[k] < best) {
+              best = d[k];
+              best_idx = order_[i + k];
+            }
+          }
+        }
+      }
+      continue;
+    }
+    double dl = nodes_[n.left].box.SquaredDistanceTo(q);
+    double dr = nodes_[n.right].box.SquaredDistanceTo(q);
+    if (dl < dr) {
+      stack.push_back(n.right);
+      stack.push_back(n.left);
+    } else {
+      stack.push_back(n.left);
+      stack.push_back(n.right);
+    }
+  }
+  if (out_sq != nullptr) *out_sq = best;
   return best_idx;
 }
 
@@ -234,8 +326,13 @@ void KdTree::ReportWithinInto(Point2 q, double r, std::vector<int>* out) const {
     const Node& n = nodes_[id];
     if (BoxDist(n.box, q) > r) continue;
     if (n.left < 0) {
-      for (int i = n.begin; i < n.end; ++i) {
-        if (PointDist(q, points_[order_[i]]) <= r) out->push_back(order_[i]);
+      double d[kScanChunk];
+      for (int i = n.begin; i < n.end; i += kScanChunk) {
+        int cnt = std::min(n.end - i, kScanChunk);
+        ScanDists(i, cnt, q, d);
+        for (int k = 0; k < cnt; ++k) {
+          if (d[k] <= r) out->push_back(order_[i + k]);
+        }
       }
       continue;
     }
@@ -261,13 +358,18 @@ double KdTree::MinAdditivelyWeighted(Point2 q, int* arg,
     double lb = BoxDist(n.box, q) + n.min_w;
     if (lb >= best) continue;
     if (n.left < 0) {
-      for (int i = n.begin; i < n.end; ++i) {
-        int idx = order_[i];
-        if (skip != nullptr && (*skip)[idx]) continue;
-        double v = PointDist(q, points_[idx]) + weights_[idx];
-        if (v < best) {
-          best = v;
-          best_idx = idx;
+      double d[kScanChunk];
+      for (int i = n.begin; i < n.end; i += kScanChunk) {
+        int cnt = std::min(n.end - i, kScanChunk);
+        ScanDists(i, cnt, q, d);
+        for (int k = 0; k < cnt; ++k) {
+          int idx = order_[i + k];
+          if (skip != nullptr && (*skip)[idx]) continue;
+          double v = d[k] + sw_[i + k];
+          if (v < best) {
+            best = v;
+            best_idx = idx;
+          }
         }
       }
       continue;
@@ -307,9 +409,13 @@ void KdTree::ReportSubtractiveLessInto(Point2 q, double bound,
     double lb = BoxDist(n.box, q) - n.max_w;
     if (lb >= bound) continue;
     if (n.left < 0) {
-      for (int i = n.begin; i < n.end; ++i) {
-        int idx = order_[i];
-        if (PointDist(q, points_[idx]) - weights_[idx] < bound) out->push_back(idx);
+      double d[kScanChunk];
+      for (int i = n.begin; i < n.end; i += kScanChunk) {
+        int cnt = std::min(n.end - i, kScanChunk);
+        ScanDists(i, cnt, q, d);
+        for (int k = 0; k < cnt; ++k) {
+          if (d[k] - sw_[i + k] < bound) out->push_back(order_[i + k]);
+        }
       }
       continue;
     }
@@ -349,9 +455,13 @@ int KdTree::Incremental::Next(double* dist) {
     }
     const Node& n = tree_.nodes_[top.node];
     if (n.left < 0) {
-      for (int i = n.begin; i < n.end; ++i) {
-        int idx = tree_.order_[i];
-        Push({tree_.PointDist(q_, tree_.points_[idx]), -1, idx});
+      double d[kScanChunk];
+      for (int i = n.begin; i < n.end; i += kScanChunk) {
+        int cnt = std::min(n.end - i, kScanChunk);
+        tree_.ScanDists(i, cnt, q_, d);
+        for (int k = 0; k < cnt; ++k) {
+          Push({d[k], -1, tree_.order_[i + k]});
+        }
       }
     } else {
       PushNode(n.left);

@@ -102,6 +102,17 @@ class KdTree {
   int Nearest(Point2 q, double* out_dist = nullptr,
               const std::vector<char>* skip = nullptr) const;
 
+  /// Nearest in the SQUARED-distance domain (Euclidean metric only): same
+  /// winner rule as Nearest but every comparison — leaf argmin, box
+  /// pruning, child ordering — runs on fl(dx^2)+fl(dy^2) with no sqrt, so
+  /// leaves go through the fused simd::ArgminSquaredDist kernel. This is
+  /// the dynamic engine's per-round Monte-Carlo scan; it compares in the
+  /// same domain as Delaunay::Nearest, keeping dyn-vs-static winners
+  /// bit-identical. *out_sq receives the squared distance (+inf when all
+  /// points are skipped).
+  int NearestSquared(Point2 q, double* out_sq = nullptr,
+                     const std::vector<char>* skip = nullptr) const;
+
   /// The k nearest points, ascending by distance. Returns fewer if k > n.
   std::vector<int> KNearest(Point2 q, int k) const;
 
@@ -172,13 +183,26 @@ class KdTree {
   /// nodes_[id] (and the id-contiguous slots after it), forking the two
   /// children onto build.pool above the cutoff.
   void BuildRange(int begin, int end, int id, const BuildOptions& build);
-  double PointDist(Point2 a, Point2 b) const;
   double BoxDist(const Box2& box, Point2 p) const;
+
+  /// Fills sx_/sy_/sw_ from points_/weights_ through order_. Called by
+  /// both constructors — the adoption path derives the scan arrays on
+  /// load, so the store's serialized segment format is unchanged.
+  void BuildScanArrays();
+
+  /// out[0..cnt) = metric distance from q to leaf-order entries
+  /// [first, first + cnt) — the simd::DistScan call for Euclidean trees,
+  /// a scalar max/abs loop for Chebyshev.
+  void ScanDists(int first, int cnt, Point2 q, double* out) const;
 
   Metric metric_ = Metric::kEuclidean;
   std::vector<Point2> points_;
   std::vector<double> weights_;
   std::vector<int> order_;   // Permutation of point indices, leaf-contiguous.
+  // SoA mirrors of points_/weights_ in leaf (order_) order:
+  // sx_[i] = points_[order_[i]].x etc. Leaf scans read these contiguous
+  // buffers through the util/simd kernels instead of gathering Point2s.
+  std::vector<double> sx_, sy_, sw_;
   std::vector<Node> nodes_;
   int root_ = -1;
 

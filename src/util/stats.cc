@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace pnn {
 
@@ -88,6 +89,18 @@ std::vector<double> Percentiles(std::vector<double>* values,
                  : at_lo;
   }
   return out;
+}
+
+size_t MinIndex(const double* v, size_t n) {
+  double best = std::numeric_limits<double>::infinity();
+  size_t best_i = n;
+  for (size_t i = 0; i < n; ++i) {
+    if (v[i] < best) {
+      best = v[i];
+      best_i = i;
+    }
+  }
+  return best_i;
 }
 
 }  // namespace pnn

@@ -48,6 +48,15 @@ double Percentile(std::vector<double>* values, double pct);
 std::vector<double> Percentiles(std::vector<double>* values,
                                 const std::vector<double>& pcts);
 
+/// Index of the minimum of v[0, n) — THE argmin tie-break contract for the
+/// engine, stated once and reproduced by every simd kernel (util/simd.h):
+/// the scan runs in index order updating on strict `<`, so
+///   * equal values keep the EARLIEST index,
+///   * NaN never wins (NaN < best is false), and
+///   * the return is n when no element compares below +inf (n == 0,
+///     all-NaN, or all +inf).
+size_t MinIndex(const double* v, size_t n);
+
 }  // namespace pnn
 
 #endif  // PNN_UTIL_STATS_H_
