@@ -36,6 +36,7 @@
 
 #include "src/store/io.h"
 #include "src/store/store.h"
+#include "src/util/check.h"
 #include "src/util/bench_json.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
@@ -97,18 +98,20 @@ struct ChurnSim {
 
 int RunChurn(const std::string& dir, uint64_t seed) {
   auto db = store::Store::Open(dir, ChurnStoreOptions());
-  store::File acked = store::File::OpenAppend(dir + ".acked");
+  auto acked_or = store::File::OpenAppend(dir + ".acked");
+  store::File acked = std::move(acked_or.value());
   ChurnSim sim(seed);
   // 2M ops ~ forever at fsync speed; the harness SIGKILLs long before.
   for (long i = 0; i < 2000000; ++i) {
     ChurnSim::Op op = sim.Next();
     if (op.is_insert) {
-      db->Insert(std::move(*op.point));
+      db->Insert(std::move(*op.point)).value();
     } else {
-      db->Erase(op.erase_id);
+      db->Erase(op.erase_id).value();
     }
-    acked.Append(".", 1);  // One byte per acked op, durably.
-    acked.Sync();
+    // One byte per acked op, durably.
+    PNN_CHECK_MSG(acked.Append(".", 1).ok(), "acked side-file append failed");
+    PNN_CHECK_MSG(acked.Sync().ok(), "acked side-file sync failed");
   }
   return 0;
 }
@@ -211,11 +214,11 @@ int RunBench(int n, int latency_ops, const char* json_path, bool gate) {
     for (int i = 0; i < n; ++i) {
       batch.push_back(ChurnPoint(&rng));
       if (batch.size() == 4096 || i + 1 == n) {
-        db->InsertBatch(std::move(batch));
+        db->InsertBatch(std::move(batch)).value();
         batch.clear();
       }
     }
-    db->Checkpoint();
+    PNN_CHECK_MSG(db->Checkpoint().ok(), "fill checkpoint failed");
     fill_seconds = t.Seconds();
   }
 
@@ -283,7 +286,7 @@ int RunBench(int n, int latency_ops, const char* json_path, bool gate) {
     for (int i = 0; i < latency_ops; ++i) {
       UncertainPoint p = ChurnPoint(&lrng);
       Timer t;
-      ldb->Insert(std::move(p));
+      ldb->Insert(std::move(p)).value();
       micros.push_back(t.Seconds() * 1e6);
     }
     std::vector<double> cuts = Percentiles(&micros, {50, 99});

@@ -124,10 +124,23 @@ QueryResponse EngineRef::Dispatch(const QueryRequest& request, const Pin* pin) c
       }
       break;
     case QueryKind::kInsert:
+      // A degraded durable store refuses mutations with kUnavailable: the
+      // op was NOT applied and a retry after its disk heals will succeed.
+      // Queries above never take this path — they keep answering kOk.
       if (store_ != nullptr) {
-        r.id = store_->Insert(*request.point);
+        util::StatusOr<dyn::Id> id = store_->Insert(*request.point);
+        if (!id.ok()) {
+          return QueryResponse::Error(StatusCode::kUnavailable, request.kind,
+                                      id.status().ToString());
+        }
+        r.id = *id;
       } else if (sharded_store_ != nullptr) {
-        r.id = sharded_store_->Insert(*request.point);
+        util::StatusOr<dyn::Id> id = sharded_store_->Insert(*request.point);
+        if (!id.ok()) {
+          return QueryResponse::Error(StatusCode::kUnavailable, request.kind,
+                                      id.status().ToString());
+        }
+        r.id = *id;
       } else if (dyn_ != nullptr) {
         r.id = dyn_->Insert(*request.point);
       } else if (sharded_ != nullptr) {
@@ -139,9 +152,19 @@ QueryResponse EngineRef::Dispatch(const QueryRequest& request, const Pin* pin) c
       break;
     case QueryKind::kErase:
       if (store_ != nullptr) {
-        r.id = store_->Erase(request.id) ? request.id : -1;
+        util::StatusOr<bool> erased = store_->Erase(request.id);
+        if (!erased.ok()) {
+          return QueryResponse::Error(StatusCode::kUnavailable, request.kind,
+                                      erased.status().ToString());
+        }
+        r.id = *erased ? request.id : -1;
       } else if (sharded_store_ != nullptr) {
-        r.id = sharded_store_->Erase(request.id) ? request.id : -1;
+        util::StatusOr<bool> erased = sharded_store_->Erase(request.id);
+        if (!erased.ok()) {
+          return QueryResponse::Error(StatusCode::kUnavailable, request.kind,
+                                      erased.status().ToString());
+        }
+        r.id = *erased ? request.id : -1;
       } else if (dyn_ != nullptr) {
         r.id = dyn_->Erase(request.id) ? request.id : -1;
       } else if (sharded_ != nullptr) {

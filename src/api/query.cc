@@ -27,6 +27,7 @@ const char* StatusCodeName(StatusCode status) {
     case StatusCode::kOverloaded: return "OVERLOADED";
     case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
   }
   return "UNKNOWN_STATUS";
 }

@@ -67,6 +67,10 @@ enum class StatusCode : uint8_t {
   kUnimplemented = 4,
   /// Server-side failure (decode of a result, internal inconsistency).
   kInternal = 5,
+  /// The backend exists but temporarily refuses this operation — a
+  /// degraded read-only store vetoing mutations until its disk heals.
+  /// Retryable: the op was NOT applied. Queries keep answering kOk.
+  kUnavailable = 6,
 };
 
 const char* StatusCodeName(StatusCode status);

@@ -1,0 +1,183 @@
+#include "src/fault/fault.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace pnn {
+namespace fault {
+
+namespace {
+
+/// Process-wide count of armed sites. Fire()'s fast path reads only this:
+/// zero means no site anywhere is armed, so the per-site lock is never
+/// taken in a production process.
+std::atomic<int> g_armed_count{0};
+
+/// Registry of every constructed FailPoint. Sites register from static
+/// initializers, so the registry is a Meyers singleton (constructed on
+/// first use, never destroyed — FailPoints are static too and may be
+/// consulted during shutdown).
+class Registry {
+ public:
+  static Registry& Instance() {
+    static Registry* r = new Registry();
+    return *r;
+  }
+
+  void Register(FailPoint* fp) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (FailPoint* existing : sites_) {
+      PNN_CHECK_MSG(std::string(existing->name()) != fp->name(),
+                    "fault: duplicate failpoint name");
+    }
+    sites_.push_back(fp);
+  }
+
+  FailPoint* Find(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (FailPoint* fp : sites_) {
+      if (name == fp->name()) return fp;
+    }
+    return nullptr;
+  }
+
+  std::vector<std::string> Names() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    out.reserve(sites_.size());
+    for (FailPoint* fp : sites_) out.push_back(fp->name());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::vector<FailPoint*> All() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sites_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<FailPoint*> sites_;
+};
+
+}  // namespace
+
+Schedule AlwaysFail(int error_code) {
+  Schedule s;
+  s.mode = Schedule::Mode::kAlways;
+  s.error_code = error_code;
+  return s;
+}
+
+Schedule FireOnNth(uint64_t nth, int error_code) {
+  PNN_CHECK_MSG(nth >= 1, "fault: FireOnNth is 1-based");
+  Schedule s;
+  s.mode = Schedule::Mode::kNth;
+  s.n = nth;
+  s.error_code = error_code;
+  return s;
+}
+
+Schedule FireTimesThenHeal(uint64_t times, int error_code) {
+  Schedule s;
+  s.mode = Schedule::Mode::kTimes;
+  s.n = times;
+  s.error_code = error_code;
+  return s;
+}
+
+Schedule FireWithProbability(double p, uint64_t seed, int error_code) {
+  PNN_CHECK_MSG(p >= 0.0 && p <= 1.0, "fault: probability outside [0, 1]");
+  Schedule s;
+  s.mode = Schedule::Mode::kProbability;
+  s.p = p;
+  s.seed = seed;
+  s.error_code = error_code;
+  return s;
+}
+
+FailPoint::FailPoint(const char* name) : name_(name) {
+  Registry::Instance().Register(this);
+}
+
+int FailPoint::Fire() {
+  if (g_armed_count.load(std::memory_order_relaxed) == 0) return 0;
+  return FireSlow();
+}
+
+int FailPoint::FireSlow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (schedule_.mode == Schedule::Mode::kNever) return 0;
+  ++stats_.calls;
+  ++calls_in_arm_;
+  bool fire = false;
+  switch (schedule_.mode) {
+    case Schedule::Mode::kNever:
+      break;
+    case Schedule::Mode::kAlways:
+      fire = true;
+      break;
+    case Schedule::Mode::kNth:
+      fire = calls_in_arm_ == schedule_.n;
+      break;
+    case Schedule::Mode::kTimes:
+      fire = calls_in_arm_ <= schedule_.n;
+      break;
+    case Schedule::Mode::kProbability: {
+      std::uniform_real_distribution<double> uniform(0.0, 1.0);
+      fire = uniform(rng_) < schedule_.p;
+      break;
+    }
+  }
+  if (fire) ++stats_.fired;
+  return fire ? schedule_.error_code : 0;
+}
+
+int FailPoint::SetSchedule(const Schedule& schedule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool was_armed = schedule_.mode != Schedule::Mode::kNever;
+  bool now_armed = schedule.mode != Schedule::Mode::kNever;
+  schedule_ = schedule;
+  calls_in_arm_ = 0;
+  if (schedule.mode == Schedule::Mode::kProbability) rng_.seed(schedule.seed);
+  return (now_armed ? 1 : 0) - (was_armed ? 1 : 0);
+}
+
+SiteStats FailPoint::stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Arm(const std::string& name, Schedule schedule) {
+  FailPoint* fp = Registry::Instance().Find(name);
+  PNN_CHECK_MSG(fp != nullptr, "fault: Arm on an unregistered failpoint");
+  g_armed_count.fetch_add(fp->SetSchedule(schedule), std::memory_order_relaxed);
+}
+
+void Disarm(const std::string& name) {
+  FailPoint* fp = Registry::Instance().Find(name);
+  PNN_CHECK_MSG(fp != nullptr, "fault: Disarm on an unregistered failpoint");
+  g_armed_count.fetch_add(fp->SetSchedule(Schedule()), std::memory_order_relaxed);
+}
+
+void DisarmAll() {
+  for (FailPoint* fp : Registry::Instance().All()) {
+    g_armed_count.fetch_add(fp->SetSchedule(Schedule()),
+                            std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::string> ListFailpoints() { return Registry::Instance().Names(); }
+
+SiteStats StatsFor(const std::string& name) {
+  FailPoint* fp = Registry::Instance().Find(name);
+  PNN_CHECK_MSG(fp != nullptr, "fault: StatsFor on an unregistered failpoint");
+  return fp->stats();
+}
+
+bool AnyArmed() { return g_armed_count.load(std::memory_order_relaxed) > 0; }
+
+}  // namespace fault
+}  // namespace pnn

@@ -1,0 +1,130 @@
+// pnn::fault — deterministic fault injection for chaos and robustness
+// tests.
+//
+// A FailPoint is a named site compiled permanently into production code
+// (the store's IO layer defines one per syscall family: "store.write",
+// "store.fdatasync", "store.rename", ...). Disarmed — the only state a
+// production process ever runs in — a site costs ONE relaxed atomic load
+// of a global counter; no locks, no per-site state is touched. Tests and
+// the chaos harness arm sites with seeded Schedules and the site then
+// reports the errno the caller should simulate.
+//
+// Schedules are deterministic: the same (schedule, call sequence) always
+// fires at the same calls, so a chaos failure reproduces from its seed.
+// Three shapes cover the useful space:
+//   * FireOnNth(n)          — healthy for n-1 calls, fail the nth, healthy
+//                             after (a single transient fault);
+//   * FireTimesThenHeal(k)  — fail the next k calls, then heal (an outage
+//                             with a measurable end — the degraded-mode
+//                             recovery driver);
+//   * FireWithProbability(p, seed) — each call fails independently with
+//                             probability p from a seeded stream (the
+//                             chaos harness's randomized schedules);
+//   * AlwaysFail()          — until disarmed.
+//
+// The registry is global and intentionally simple: sites self-register at
+// static initialization, Arm/Disarm address them by name, and
+// ListFailpoints() lets a test iterate every site so new IO calls are
+// covered automatically (tests/store_fault_test.cc arms each in turn).
+// See docs/faults.md for the full story and how to add a site.
+
+#ifndef PNN_FAULT_FAULT_H_
+#define PNN_FAULT_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace pnn {
+namespace fault {
+
+struct Schedule {
+  enum class Mode : uint8_t {
+    kNever = 0,
+    kAlways,
+    kNth,          // Fire exactly on call number `n` (1-based), then heal.
+    kTimes,        // Fire on the next `n` calls, then heal.
+    kProbability,  // Fire each call with probability `p` (seeded stream).
+  };
+  Mode mode = Mode::kNever;
+  uint64_t n = 0;
+  double p = 0.0;
+  uint64_t seed = 0;
+  /// The errno the armed site simulates (the store maps it into a
+  /// util::Status). EIO by default; ENOSPC is the other realistic choice.
+  int error_code = 5 /* EIO */;
+};
+
+Schedule AlwaysFail(int error_code = 5);
+Schedule FireOnNth(uint64_t nth, int error_code = 5);
+Schedule FireTimesThenHeal(uint64_t times, int error_code = 5);
+Schedule FireWithProbability(double p, uint64_t seed, int error_code = 5);
+
+/// Lifetime counters for one site (monotone since process start; `fired`
+/// only moves while armed).
+struct SiteStats {
+  uint64_t calls = 0;   // Fire() invocations that reached the slow path.
+  uint64_t fired = 0;   // Calls that reported a fault.
+};
+
+/// One named injection site. Define at namespace scope next to the code
+/// it guards; construction registers it (names must be unique — duplicate
+/// registration aborts).
+class FailPoint {
+ public:
+  explicit FailPoint(const char* name);
+
+  FailPoint(const FailPoint&) = delete;
+  FailPoint& operator=(const FailPoint&) = delete;
+
+  const char* name() const { return name_; }
+
+  /// 0 = proceed normally; nonzero = the errno to simulate instead of
+  /// performing the real operation. Thread-safe. When nothing is armed
+  /// anywhere in the process this is a single relaxed atomic load.
+  int Fire();
+
+  /// Registry plumbing behind Arm/Disarm/StatsFor — prefer those free
+  /// functions. Returns the process armed-count delta (-1, 0 or +1).
+  int SetSchedule(const Schedule& schedule);
+  SiteStats stats();
+
+ private:
+  int FireSlow();
+
+  const char* name_;
+  std::mutex mu_;
+  Schedule schedule_;       // Guarded by mu_.
+  uint64_t calls_in_arm_ = 0;
+  std::mt19937_64 rng_;     // kProbability stream; reseeded at Arm.
+  SiteStats stats_;
+};
+
+/// Arms the named site (replacing any schedule already armed on it).
+/// Aborts if no site with that name is registered — a misspelled name
+/// would otherwise silently test nothing.
+void Arm(const std::string& name, Schedule schedule);
+
+/// Returns the site to the zero-cost disarmed state. Unknown name aborts.
+void Disarm(const std::string& name);
+
+/// Disarms every site (test teardown).
+void DisarmAll();
+
+/// Names of every registered site, sorted. Iterate this to cover all IO
+/// sites without naming them one by one.
+std::vector<std::string> ListFailpoints();
+
+/// The named site's counters. Unknown name aborts.
+SiteStats StatsFor(const std::string& name);
+
+/// True while at least one site is armed (the global fast-path gate).
+bool AnyArmed();
+
+}  // namespace fault
+}  // namespace pnn
+
+#endif  // PNN_FAULT_FAULT_H_

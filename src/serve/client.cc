@@ -8,10 +8,24 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
+#include <random>
+#include <thread>
 
 namespace pnn {
 namespace serve {
+
+const char* TransportErrorName(TransportError error) {
+  switch (error) {
+    case TransportError::kNone: return "NONE";
+    case TransportError::kNotConnected: return "NOT_CONNECTED";
+    case TransportError::kTimeout: return "TIMEOUT";
+    case TransportError::kDisconnected: return "DISCONNECTED";
+    case TransportError::kProtocol: return "PROTOCOL";
+  }
+  return "UNKNOWN";
+}
 
 Client::Client(ClientOptions options)
     : options_(options), rx_(options.max_frame_bytes) {}
@@ -20,6 +34,7 @@ Client::~Client() { Close(); }
 
 bool Client::Connect(uint16_t port) {
   Close();
+  port_ = port;
   fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) return false;
   int one = 1;
@@ -42,68 +57,180 @@ bool Client::Connect(uint16_t port) {
   return true;
 }
 
+bool Client::Reconnect() {
+  if (port_ == 0) return false;
+  return Connect(port_);
+}
+
 void Client::Close() {
   if (fd_ >= 0) {
     close(fd_);
     fd_ = -1;
+    // A new connection is a new frame stream: drop any half-assembled
+    // frame so a resync after Reconnect() starts clean.
+    rx_.Reset();
   }
 }
 
-std::optional<uint64_t> Client::Send(const api::QueryRequest& request) {
-  if (fd_ < 0) return std::nullopt;
-  uint64_t id = next_request_id_.fetch_add(1);
+TransportError Client::Note(TransportError error) {
+  last_error_.store(error, std::memory_order_relaxed);
+  return error;
+}
+
+TransportError Client::SendFrame(uint64_t id, const api::QueryRequest& request) {
+  if (fd_ < 0) return Note(TransportError::kNotConnected);
   std::string frame;
   AppendRequestFrame(id, request, &frame);
   std::lock_guard<std::mutex> lock(send_mu_);
   size_t sent = 0;
   while (sent < frame.size()) {
-    ssize_t w = write(fd_, frame.data() + sent, frame.size() - sent);
+    // MSG_NOSIGNAL: writing to a connection the server already closed
+    // must report kDisconnected, not SIGPIPE the process — the retry
+    // loop's reconnect path hits exactly that window.
+    ssize_t w = send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
     if (w > 0) {
       sent += static_cast<size_t>(w);
       continue;
     }
     if (w < 0 && errno == EINTR) continue;
-    return std::nullopt;
+    // A partially-written frame would desync the stream; drop the
+    // connection so the server discards the torn prefix at EOF.
+    Close();
+    return Note(TransportError::kDisconnected);
   }
-  return id;
+  return Note(TransportError::kNone);
 }
 
-std::optional<ResponseFrame> Client::Receive() {
-  if (fd_ < 0) return std::nullopt;
+TransportError Client::ReceiveFrame(ResponseFrame* out) {
+  if (fd_ < 0) return Note(TransportError::kNotConnected);
   std::lock_guard<std::mutex> lock(recv_mu_);
   char buf[16384];
   for (;;) {
     FrameBuffer::Result res = rx_.Next(&scratch_);
     if (res == FrameBuffer::Result::kFrame) {
-      ResponseFrame frame;
-      if (!DecodeResponsePayload(scratch_.data(), scratch_.size(), &frame)) {
-        return std::nullopt;
+      if (!DecodeResponsePayload(scratch_.data(), scratch_.size(), out)) {
+        return Note(TransportError::kProtocol);
       }
-      return frame;
+      return Note(TransportError::kNone);
     }
-    if (res == FrameBuffer::Result::kTooLarge) return std::nullopt;
+    if (res == FrameBuffer::Result::kTooLarge) {
+      return Note(TransportError::kProtocol);
+    }
     ssize_t r = read(fd_, buf, sizeof(buf));
     if (r > 0) {
       rx_.Append(buf, static_cast<size_t>(r));
       continue;
     }
-    if (r < 0 && errno == EINTR) continue;
-    return std::nullopt;  // EOF, timeout, or hard error.
+    if (r == 0) {
+      Close();
+      return Note(TransportError::kDisconnected);  // EOF.
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // SO_RCVTIMEO expired; the connection itself is still up.
+      return Note(TransportError::kTimeout);
+    }
+    Close();
+    return Note(TransportError::kDisconnected);
   }
 }
 
-std::optional<api::QueryResponse> Client::Call(const api::QueryRequest& request) {
-  std::optional<uint64_t> id = Send(request);
-  if (!id) return std::nullopt;
+std::optional<uint64_t> Client::Send(const api::QueryRequest& request) {
+  uint64_t id = next_request_id_.fetch_add(1);
+  if (SendFrame(id, request) != TransportError::kNone) return std::nullopt;
+  return id;
+}
+
+std::optional<ResponseFrame> Client::Receive() {
+  ResponseFrame frame;
+  if (ReceiveFrame(&frame) != TransportError::kNone) return std::nullopt;
+  return frame;
+}
+
+CallResult Client::Call(const api::QueryRequest& request) {
+  uint64_t id = next_request_id_.fetch_add(1);
+  TransportError err = SendFrame(id, request);
+  if (err != TransportError::kNone) return err;
   // Under pipelining another thread may consume our response; Call() is
   // meant for the simple one-caller case, where the next response frame
   // with our id is ours. Skip frames for other ids defensively.
   for (int spins = 0; spins < 1024; ++spins) {
-    std::optional<ResponseFrame> frame = Receive();
-    if (!frame) return std::nullopt;
-    if (frame->request_id == *id) return std::move(frame->response);
+    ResponseFrame frame;
+    err = ReceiveFrame(&frame);
+    if (err != TransportError::kNone) return err;
+    if (frame.request_id == id) return std::move(frame.response);
   }
-  return std::nullopt;
+  return Note(TransportError::kProtocol);
+}
+
+CallResult Client::CallWithRetry(const api::QueryRequest& request,
+                                 const RetryPolicy& policy) {
+  // One id for every attempt: a resend after a timeout reuses it, so a
+  // late response to an earlier attempt still matches this call.
+  const uint64_t id = next_request_id_.fetch_add(1);
+  std::mt19937_64 rng(policy.jitter_seed);
+  std::uniform_real_distribution<double> jitter(0.5, 1.0);
+  const bool is_update = request.is_update();
+  std::optional<api::QueryResponse> last_response;
+  TransportError last_error = TransportError::kNotConnected;
+
+  const int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      int64_t base = policy.initial_backoff_ms;
+      for (int i = 2; i < attempt && base < policy.max_backoff_ms; ++i) base *= 2;
+      if (base > policy.max_backoff_ms) base = policy.max_backoff_ms;
+      auto sleep_ms = static_cast<int64_t>(static_cast<double>(base) * jitter(rng));
+      if (sleep_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      }
+    }
+
+    bool sent_this_attempt = false;
+    TransportError err = TransportError::kNone;
+    if (fd_ < 0 && !Reconnect()) {
+      err = Note(TransportError::kNotConnected);
+    } else {
+      err = SendFrame(id, request);
+      // kNotConnected from SendFrame means nothing hit the wire either.
+      sent_this_attempt = err != TransportError::kNotConnected;
+    }
+    if (err == TransportError::kNone) {
+      for (int spins = 0; spins < 1024; ++spins) {
+        ResponseFrame frame;
+        err = ReceiveFrame(&frame);
+        if (err != TransportError::kNone) break;
+        if (frame.request_id == id) {
+          last_response = std::move(frame.response);
+          break;
+        }
+        // A frame for another id — e.g. the answer to an abandoned call
+        // on this connection. Keep draining.
+      }
+      if (err == TransportError::kNone && !last_response.has_value()) {
+        err = Note(TransportError::kProtocol);
+      }
+    }
+
+    if (err == TransportError::kNone) {
+      const api::StatusCode status = last_response->status;
+      const bool server_side_retryable =
+          status == api::StatusCode::kUnavailable ||
+          status == api::StatusCode::kOverloaded;
+      // kUnavailable/kOverloaded mean the op was NOT applied — always
+      // safe to retry, updates included. Everything else is final.
+      if (!server_side_retryable) return std::move(*last_response);
+      continue;
+    }
+
+    last_error = err;
+    if (err == TransportError::kProtocol) return err;  // Stream untrustworthy.
+    // Timeout/disconnect after the request hit the wire: an update may
+    // have applied server-side, so only resend it under at-least-once.
+    if (is_update && sent_this_attempt && !policy.retry_updates) return err;
+  }
+  if (last_response.has_value()) return std::move(*last_response);
+  return last_error;
 }
 
 }  // namespace serve

@@ -1,6 +1,23 @@
 // pnn::serve::Client — a blocking TCP client for the serve protocol.
 //
-// Call() is the simple RPC: send one request, wait for its response.
+// Call() is the simple RPC: send one request, wait for its response. It
+// returns a CallResult that is either the response or a TransportError
+// saying HOW the transport failed — timeout (the server may still be
+// working), disconnect (the connection died; an update sent on it is
+// indeterminate), protocol damage, or never-connected. Application errors
+// (a non-kOk status like kUnavailable from a degraded store) are NOT
+// transport errors: they arrive as a normal response.
+//
+// CallWithRetry() layers a retry loop over Call for fault-tolerant
+// callers: capped exponential backoff with seeded jitter, reconnect after
+// a disconnect, and resend under the SAME request id — so a late response
+// to an earlier attempt of this call matches and is accepted instead of
+// confusing the stream. Queries (idempotent) retry on every retryable
+// failure; updates retry only where the op provably did not apply — a
+// kUnavailable/kOverloaded response, or a failure before the request hit
+// the wire — unless retry_updates opts into at-least-once (the server
+// does not dedupe, so a resent update may apply twice).
+//
 // Send()/Receive() expose the pipelined form the load generator uses: one
 // thread streams requests while another drains responses, matching them by
 // request id (the server may answer out of order — sheds overtake queued
@@ -16,17 +33,92 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "src/api/query.h"
 #include "src/serve/protocol.h"
+#include "src/util/check.h"
 
 namespace pnn {
 namespace serve {
+
+/// How a transport operation failed (kNone = it did not).
+enum class TransportError : uint8_t {
+  kNone = 0,
+  /// No connection (never connected, or reconnect refused).
+  kNotConnected,
+  /// SO_RCVTIMEO expired with the connection still up. The request may
+  /// still be executing server-side; its response may arrive later.
+  kTimeout,
+  /// The connection died (EOF, reset, send failure). Anything sent but
+  /// unanswered is indeterminate: it may or may not have been applied.
+  kDisconnected,
+  /// A frame arrived but could not be decoded (or exceeded the size
+  /// limit). Not retryable — the stream cannot be trusted.
+  kProtocol,
+};
+
+const char* TransportErrorName(TransportError error);
+
+/// Call()'s result: a response, or the TransportError explaining its
+/// absence. Mimics std::optional (operator bool / * / ->) so existing
+/// `if (resp) resp->...` call sites read unchanged, with error() as the
+/// extra channel nullopt never had.
+class CallResult {
+ public:
+  CallResult(api::QueryResponse response)  // NOLINT: implicit by design.
+      : response_(std::move(response)) {}
+  CallResult(TransportError error)  // NOLINT: implicit by design.
+      : error_(error) {
+    PNN_CHECK_MSG(error != TransportError::kNone,
+                  "CallResult error must name a failure");
+  }
+
+  bool has_value() const { return response_.has_value(); }
+  explicit operator bool() const { return has_value(); }
+
+  /// kNone when has_value().
+  TransportError error() const { return error_; }
+
+  api::QueryResponse& value() {
+    PNN_CHECK_MSG(has_value(), "CallResult::value() on a transport error");
+    return *response_;
+  }
+  const api::QueryResponse& value() const {
+    PNN_CHECK_MSG(has_value(), "CallResult::value() on a transport error");
+    return *response_;
+  }
+  api::QueryResponse& operator*() { return value(); }
+  const api::QueryResponse& operator*() const { return value(); }
+  api::QueryResponse* operator->() { return &value(); }
+  const api::QueryResponse* operator->() const { return &value(); }
+
+ private:
+  std::optional<api::QueryResponse> response_;
+  TransportError error_ = TransportError::kNone;
+};
 
 struct ClientOptions {
   /// Receive timeout (SO_RCVTIMEO) in milliseconds; 0 blocks forever.
   int recv_timeout_ms = 5000;
   uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// CallWithRetry's policy. Attempt n (n >= 1) sleeps
+/// min(initial_backoff_ms * 2^(n-1), max_backoff_ms) scaled by a jitter
+/// factor in [0.5, 1.0) drawn from a stream seeded with jitter_seed — so
+/// a chaos run's retry timing reproduces from its seed.
+struct RetryPolicy {
+  int max_attempts = 4;          // Total tries, including the first.
+  int initial_backoff_ms = 10;
+  int max_backoff_ms = 500;
+  uint64_t jitter_seed = 0;
+  /// Retry updates (Insert/Erase) after a timeout or disconnect, where
+  /// the original MAY have applied (at-least-once: the server does not
+  /// dedupe resends). Off by default; kUnavailable/kOverloaded responses
+  /// and pre-send failures retry regardless — those provably did not
+  /// apply.
+  bool retry_updates = false;
 };
 
 class Client {
@@ -37,25 +129,53 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Connects to 127.0.0.1:port. False on refusal/timeouts.
+  /// Connects to 127.0.0.1:port. False on refusal/timeouts. The port is
+  /// remembered: Reconnect() and CallWithRetry() redial it.
   bool Connect(uint16_t port);
+
+  /// Redials the last Connect() port (dropping any current connection).
+  bool Reconnect();
+
   void Close();
   bool connected() const { return fd_ >= 0; }
 
-  /// One blocking round trip. Returns nullopt on transport failure
-  /// (disconnect, timeout, malformed response) — never on an application
-  /// error, which arrives as a response with a non-kOk status.
-  std::optional<api::QueryResponse> Call(const api::QueryRequest& request);
+  /// One blocking round trip. A CallResult with error() set means the
+  /// TRANSPORT failed (see TransportError) — application errors arrive as
+  /// a response with a non-kOk status, never as a transport error.
+  CallResult Call(const api::QueryRequest& request);
+
+  /// Call + retry loop per `policy`: reconnects after disconnects, backs
+  /// off exponentially with seeded jitter, resends under the same request
+  /// id, and also retries kUnavailable/kOverloaded responses (the op was
+  /// not applied — a degraded store that heals mid-loop turns them into
+  /// success). Returns the first success, the last retryable response
+  /// when attempts run out, or the last transport error.
+  CallResult CallWithRetry(const api::QueryRequest& request,
+                           const RetryPolicy& policy = RetryPolicy());
 
   /// Pipelined half-calls. Send() writes one frame and returns its
   /// request id; Receive() blocks for the next response frame (any id).
+  /// Nullopt on any transport failure — last_transport_error()
+  /// distinguishes timeout from disconnect from protocol damage.
   std::optional<uint64_t> Send(const api::QueryRequest& request);
   std::optional<ResponseFrame> Receive();
 
+  /// The failure behind the most recent nullopt/error return from
+  /// Send/Receive/Call on this thread's last use (kNone after success).
+  TransportError last_transport_error() const {
+    return last_error_.load(std::memory_order_relaxed);
+  }
+
  private:
+  TransportError SendFrame(uint64_t id, const api::QueryRequest& request);
+  TransportError ReceiveFrame(ResponseFrame* out);
+  TransportError Note(TransportError error);  // Records + returns it.
+
   ClientOptions options_;
   int fd_ = -1;
+  uint16_t port_ = 0;  // Last Connect() target, for Reconnect().
   std::atomic<uint64_t> next_request_id_{1};
+  std::atomic<TransportError> last_error_{TransportError::kNone};
   std::mutex send_mu_;
   std::mutex recv_mu_;
   FrameBuffer rx_;

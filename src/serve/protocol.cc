@@ -347,7 +347,7 @@ bool DecodeResponsePayload(const char* data, size_t size, ResponseFrame* out) {
   uint8_t status, kind;
   double micros;
   uint32_t message_len;
-  if (!r.U8(&status) || status > static_cast<uint8_t>(api::StatusCode::kInternal)) {
+  if (!r.U8(&status) || status > static_cast<uint8_t>(api::StatusCode::kUnavailable)) {
     return false;
   }
   if (!r.U8(&kind) || kind > static_cast<uint8_t>(api::QueryKind::kErase)) {

@@ -97,6 +97,14 @@ class FrameBuffer {
 
   size_t buffered_bytes() const { return buffer_.size() - consumed_; }
 
+  /// Drops all buffered bytes. For reconnects: a new connection is a new
+  /// frame stream, so a half-assembled frame from the old one must not
+  /// prefix it.
+  void Reset() {
+    buffer_.clear();
+    consumed_ = 0;
+  }
+
  private:
   uint32_t max_payload_bytes_;
   std::string buffer_;

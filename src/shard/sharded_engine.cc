@@ -192,9 +192,14 @@ Id ShardedEngine::Insert(UncertainPoint point) {
   PNN_CHECK_MSG(next_id_ < std::numeric_limits<Id>::max(), "id space exhausted");
   Id id = next_id_++;
   uint32_t s = PlaceLocked(id, point);
+  // Write-ahead: the listener persists the op before any state changes. A
+  // veto (the durable store refused the ack) rolls the id back — it was
+  // never observable, so the next insert reuses it.
+  if (options_.listener != nullptr && !options_.listener->OnInsert(s, id, point)) {
+    --next_id_;
+    return -1;
+  }
   shard_of_.emplace(id, s);
-  // Write-ahead: the listener persists the op before any state changes.
-  if (options_.listener != nullptr) options_.listener->OnInsert(s, id, point);
   shards_[s]->InsertWithId(id, std::move(point));
   if (options_.listener != nullptr) options_.listener->OnApplied(s);
   MaybeScheduleRebalanceLocked();
@@ -206,7 +211,10 @@ bool ShardedEngine::Erase(Id id) {
   auto it = shard_of_.find(id);
   if (it == shard_of_.end()) return false;
   uint32_t s = it->second;
-  if (options_.listener != nullptr) options_.listener->OnErase(s, id);
+  // A veto leaves the point live: nothing was logged, nothing applies.
+  if (options_.listener != nullptr && !options_.listener->OnErase(s, id)) {
+    return false;
+  }
   bool erased = shards_[s]->Erase(id);
   PNN_CHECK_MSG(erased, "id->shard map out of sync with shard live set");
   shard_of_.erase(it);
@@ -570,6 +578,7 @@ bool ShardedEngine::RebalanceOnceLocked(std::unique_lock<std::mutex>* lock) {
   }
 
   size_t moved = 0;
+  bool vetoed = false;
   for (size_t idx : chosen) {
     Id id = ids[idx];
     auto it = shard_of_.find(id);
@@ -577,9 +586,13 @@ bool ShardedEngine::RebalanceOnceLocked(std::unique_lock<std::mutex>* lock) {
     // point moves; skip.
     if (it == shard_of_.end() || it->second != src) continue;
     // Write-ahead: both shards' logs record the move (destination first,
-    // inside the listener) before either engine changes.
-    if (options_.listener != nullptr) {
-      options_.listener->OnMove(src, dst, id, pts[idx]);
+    // inside the listener) before either engine changes. A veto means a
+    // shard's store is degraded — stop rebalancing; the pass retries
+    // after a mutation heals it.
+    if (options_.listener != nullptr &&
+        !options_.listener->OnMove(src, dst, id, pts[idx])) {
+      vetoed = true;
+      break;
     }
     // The only multi-shard mutation: bump the seqlock epoch around the
     // erase+reinsert so no query observes the point 0 or 2 times.
@@ -598,10 +611,11 @@ bool ShardedEngine::RebalanceOnceLocked(std::unique_lock<std::mutex>* lock) {
     lock->unlock();
     lock->lock();
   }
-  if (moved == 0) return false;
-  ++rebalance_stats_.passes;
-  rebalance_stats_.points_moved += moved;
-  return true;
+  if (moved > 0) {
+    ++rebalance_stats_.passes;
+    rebalance_stats_.points_moved += moved;
+  }
+  return moved > 0 && !vetoed;
 }
 
 void ShardedEngine::MaybeScheduleRebalanceLocked() {

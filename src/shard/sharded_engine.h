@@ -78,12 +78,19 @@ enum class PlacementKind {
 /// order equals the applied order, with no rotation interleaving between
 /// an op's append and its apply. A move invokes OnMove once (destination
 /// first is the listener's concern), then OnApplied for both shards.
+///
+/// The On* hooks return false to VETO the mutation: the listener could not
+/// persist it (a degraded store refusing the ack), so the router must not
+/// apply it either. A vetoed Insert returns -1 without consuming the id, a
+/// vetoed Erase leaves the point live and returns false, and a vetoed move
+/// skips that point and ends the rebalance pass. OnApplied has no veto —
+/// the mutation is already durable and applied by then.
 class UpdateListener {
  public:
   virtual ~UpdateListener() = default;
-  virtual void OnInsert(uint32_t shard, Id id, const UncertainPoint& point) = 0;
-  virtual void OnErase(uint32_t shard, Id id) = 0;
-  virtual void OnMove(uint32_t src, uint32_t dst, Id id,
+  virtual bool OnInsert(uint32_t shard, Id id, const UncertainPoint& point) = 0;
+  virtual bool OnErase(uint32_t shard, Id id) = 0;
+  virtual bool OnMove(uint32_t src, uint32_t dst, Id id,
                       const UncertainPoint& point) = 0;
   virtual void OnApplied(uint32_t shard) = 0;
 };
@@ -170,10 +177,14 @@ class ShardedEngine {
   ShardedEngine(const ShardedEngine&) = delete;
   ShardedEngine& operator=(const ShardedEngine&) = delete;
 
-  /// Adds a point; returns its global id (sequential from 0).
+  /// Adds a point; returns its global id (sequential from 0), or -1 when
+  /// the write-ahead listener vetoed the mutation (its durable store is
+  /// degraded) — the id is not consumed and nothing changed.
   Id Insert(UncertainPoint point);
 
-  /// Removes a point; false if the id is unknown or already erased.
+  /// Removes a point; false if the id is unknown or already erased, or if
+  /// the write-ahead listener vetoed the erase (the listener's owner can
+  /// tell the two apart — store::ShardedStore does).
   bool Erase(Id id);
 
   // Recovery replay surface (between the recovery constructor and

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <utility>
 
+#include "src/fault/fault.h"
 #include "src/util/check.h"
 
 namespace pnn {
@@ -17,34 +18,73 @@ namespace store {
 
 namespace {
 
-int OpenOrAbort(const std::string& path, int flags) {
+// One failpoint per syscall family on the write path. Disarmed (always,
+// outside chaos tests) each costs a single relaxed atomic load. The write
+// site is special: when it fires it first REALLY writes half the remaining
+// bytes, so injected failures produce the torn frames a power loss would
+// (the heal path must truncate them, not just retry).
+fault::FailPoint g_fp_open("store.open");
+fault::FailPoint g_fp_write("store.write");
+fault::FailPoint g_fp_fdatasync("store.fdatasync");
+fault::FailPoint g_fp_dirsync("store.dirsync");
+fault::FailPoint g_fp_rename("store.rename");
+fault::FailPoint g_fp_mkdir("store.mkdir");
+fault::FailPoint g_fp_truncate("store.truncate");
+fault::FailPoint g_fp_unlink("store.unlink");
+
+util::Status IoError(const char* op, const std::string& path, int err) {
+  return util::Status::IoError(std::string(op) + " " + path, err);
+}
+
+util::StatusOr<int> OpenFd(const std::string& path, int flags) {
+  if (int err = g_fp_open.Fire()) return IoError("open", path, err);
   int fd;
   do {
     fd = ::open(path.c_str(), flags, 0644);
   } while (fd < 0 && errno == EINTR);
-  PNN_CHECK_MSG(fd >= 0, "store: open failed");
+  if (fd < 0) return IoError("open", path, errno);
   return fd;
 }
 
-void WriteAllOrAbort(int fd, const void* data, size_t size) {
+util::Status WriteAll(int fd, const std::string& path, const void* data,
+                      size_t size) {
   const char* p = static_cast<const char*>(data);
   while (size > 0) {
+    if (int err = g_fp_write.Fire()) {
+      // Tear realistically: half the remaining bytes reach the file before
+      // the "device" fails. Recovery/heal must cope with the partial frame.
+      size_t partial = size / 2;
+      while (partial > 0) {
+        ssize_t n = ::write(fd, p, partial);
+        if (n <= 0) break;  // Best-effort: the injected error wins anyway.
+        p += n;
+        partial -= static_cast<size_t>(n);
+      }
+      return IoError("write", path, err);
+    }
     ssize_t n = ::write(fd, p, size);
     if (n < 0) {
-      PNN_CHECK_MSG(errno == EINTR, "store: write failed");
-      continue;
+      if (errno == EINTR) continue;
+      return IoError("write", path, errno);
     }
+    // n == 0 with size > 0 would loop forever; POSIX allows it only for
+    // zero-sized requests, so treat it as a failed device.
+    if (n == 0) return IoError("write returned 0 for", path, EIO);
+    // Short write (n < size): advance past the accepted prefix and retry.
     p += n;
     size -= static_cast<size_t>(n);
   }
+  return util::Status::Ok();
 }
 
-void FdatasyncOrAbort(int fd) {
+util::Status Fdatasync(int fd, const std::string& path) {
+  if (int err = g_fp_fdatasync.Fire()) return IoError("fdatasync", path, err);
   int rc;
   do {
     rc = ::fdatasync(fd);
   } while (rc != 0 && errno == EINTR);
-  PNN_CHECK_MSG(rc == 0, "store: fdatasync failed");
+  if (rc != 0) return IoError("fdatasync", path, errno);
+  return util::Status::Ok();
 }
 
 }  // namespace
@@ -65,28 +105,32 @@ File& File::operator=(File&& other) noexcept {
 
 File::~File() { Close(); }
 
-File File::Create(const std::string& path) {
+util::StatusOr<File> File::Create(const std::string& path) {
+  util::StatusOr<int> fd = OpenFd(path, O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC);
+  if (!fd.ok()) return fd.status();
   File f;
-  f.fd_ = OpenOrAbort(path, O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC);
+  f.fd_ = *fd;
   f.path_ = path;
   return f;
 }
 
-File File::OpenAppend(const std::string& path) {
+util::StatusOr<File> File::OpenAppend(const std::string& path) {
+  util::StatusOr<int> fd = OpenFd(path, O_CREAT | O_APPEND | O_WRONLY | O_CLOEXEC);
+  if (!fd.ok()) return fd.status();
   File f;
-  f.fd_ = OpenOrAbort(path, O_CREAT | O_APPEND | O_WRONLY | O_CLOEXEC);
+  f.fd_ = *fd;
   f.path_ = path;
   return f;
 }
 
-void File::Append(const void* data, size_t size) {
+util::Status File::Append(const void* data, size_t size) {
   PNN_CHECK_MSG(fd_ >= 0, "store: append on closed file");
-  WriteAllOrAbort(fd_, data, size);
+  return WriteAll(fd_, path_, data, size);
 }
 
-void File::Sync() {
+util::Status File::Sync() {
   PNN_CHECK_MSG(fd_ >= 0, "store: sync on closed file");
-  FdatasyncOrAbort(fd_);
+  return Fdatasync(fd_, path_);
 }
 
 uint64_t File::Size() const {
@@ -154,32 +198,42 @@ void MappedFile::Unmap() {
   }
 }
 
-void EnsureDir(const std::string& dir) {
-  if (::mkdir(dir.c_str(), 0755) == 0) return;
-  PNN_CHECK_MSG(errno == EEXIST, "store: mkdir failed");
+util::Status EnsureDir(const std::string& dir) {
+  if (int err = g_fp_mkdir.Fire()) return IoError("mkdir", dir, err);
+  if (::mkdir(dir.c_str(), 0755) == 0) return util::Status::Ok();
+  if (errno == EEXIST) return util::Status::Ok();
+  return IoError("mkdir", dir, errno);
 }
 
-void SyncDir(const std::string& dir) {
-  int fd = OpenOrAbort(dir, O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+util::Status SyncDir(const std::string& dir) {
+  if (int err = g_fp_dirsync.Fire()) return IoError("fsync dir", dir, err);
+  util::StatusOr<int> fd = OpenFd(dir, O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (!fd.ok()) return fd.status();
   // fsync (not fdatasync): directory entries are metadata.
   int rc;
   do {
-    rc = ::fsync(fd);
+    rc = ::fsync(*fd);
   } while (rc != 0 && errno == EINTR);
-  ::close(fd);
-  PNN_CHECK_MSG(rc == 0, "store: directory fsync failed");
+  int err = errno;
+  ::close(*fd);
+  if (rc != 0) return IoError("fsync dir", dir, err);
+  return util::Status::Ok();
 }
 
-void AtomicWriteFile(const std::string& path, const std::string& contents) {
+util::Status AtomicWriteFile(const std::string& path, const std::string& contents) {
   std::string tmp = path + ".tmp";
   {
-    File f = File::Create(tmp);
-    f.Append(contents.data(), contents.size());
-    f.Sync();
+    util::StatusOr<File> f = File::Create(tmp);
+    if (!f.ok()) return f.status();
+    PNN_RETURN_IF_ERROR(f->Append(contents.data(), contents.size()));
+    PNN_RETURN_IF_ERROR(f->Sync());
   }
-  PNN_CHECK_MSG(::rename(tmp.c_str(), path.c_str()) == 0, "store: rename failed");
+  if (int err = g_fp_rename.Fire()) return IoError("rename", path, err);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return IoError("rename", path, errno);
+  }
   size_t slash = path.find_last_of('/');
-  SyncDir(slash == std::string::npos ? "." : path.substr(0, slash));
+  return SyncDir(slash == std::string::npos ? "." : path.substr(0, slash));
 }
 
 bool ReadFile(const std::string& path, std::string* out) {
@@ -189,30 +243,34 @@ bool ReadFile(const std::string& path, std::string* out) {
   return true;
 }
 
-std::vector<std::string> ListDir(const std::string& dir) {
+util::Status ListDir(const std::string& dir, std::vector<std::string>* out) {
+  out->clear();
   DIR* d = ::opendir(dir.c_str());
-  PNN_CHECK_MSG(d != nullptr, "store: opendir failed");
-  std::vector<std::string> out;
+  if (d == nullptr) return IoError("opendir", dir, errno);
   while (struct dirent* e = ::readdir(d)) {
     std::string name = e->d_name;
     if (name == "." || name == "..") continue;
-    out.push_back(std::move(name));
+    out->push_back(std::move(name));
   }
   ::closedir(d);
-  return out;
+  return util::Status::Ok();
 }
 
-void RemoveFileIfExists(const std::string& path) {
-  if (::unlink(path.c_str()) == 0) return;
-  PNN_CHECK_MSG(errno == ENOENT, "store: unlink failed");
+util::Status RemoveFileIfExists(const std::string& path) {
+  if (int err = g_fp_unlink.Fire()) return IoError("unlink", path, err);
+  if (::unlink(path.c_str()) == 0) return util::Status::Ok();
+  if (errno == ENOENT) return util::Status::Ok();
+  return IoError("unlink", path, errno);
 }
 
-void TruncateFile(const std::string& path, uint64_t size) {
+util::Status TruncateFile(const std::string& path, uint64_t size) {
+  if (int err = g_fp_truncate.Fire()) return IoError("truncate", path, err);
   int rc;
   do {
     rc = ::truncate(path.c_str(), static_cast<off_t>(size));
   } while (rc != 0 && errno == EINTR);
-  PNN_CHECK_MSG(rc == 0, "store: truncate failed");
+  if (rc != 0) return IoError("truncate", path, errno);
+  return util::Status::Ok();
 }
 
 bool PathExists(const std::string& path) {

@@ -1,8 +1,17 @@
 // POSIX file plumbing for the durable store: RAII fds, read-only memory
-// maps, atomic whole-file replacement and directory fsyncs. Failures on
-// the write path abort via PNN_CHECK — a store that cannot persist must
-// not ack — while the read path distinguishes "absent" (a fresh store)
+// maps, atomic whole-file replacement and directory fsyncs.
+//
+// Every write-path operation returns util::Status instead of aborting: a
+// transient ENOSPC or EIO during an op-log append must not kill a process
+// that can still serve every read it has. The store layer above decides —
+// it refuses the ack, enters degraded read-only mode, and re-probes
+// (store.h). The read path still distinguishes "absent" (a fresh store)
 // from "present but unreadable" (real corruption, the caller decides).
+//
+// Each syscall family carries a fault::FailPoint ("store.write",
+// "store.fdatasync", ...) so chaos tests can inject deterministic
+// failures at every site; disarmed, a site costs one relaxed atomic load.
+// docs/faults.md lists the sites and their semantics.
 
 #ifndef PNN_STORE_IO_H_
 #define PNN_STORE_IO_H_
@@ -11,6 +20,8 @@
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "src/util/status.h"
 
 namespace pnn {
 namespace store {
@@ -26,20 +37,26 @@ class File {
   File(const File&) = delete;
   File& operator=(const File&) = delete;
 
-  /// Creates (truncating) / opens for appending. Abort on failure.
-  static File Create(const std::string& path);
-  static File OpenAppend(const std::string& path);
+  /// Creates (truncating) / opens for appending.
+  static util::StatusOr<File> Create(const std::string& path);
+  static util::StatusOr<File> OpenAppend(const std::string& path);
 
   bool open() const { return fd_ >= 0; }
   const std::string& path() const { return path_; }
 
-  /// Appends exactly `size` bytes (short writes retried; abort on error).
-  void Append(const void* data, size_t size);
+  /// Appends exactly `size` bytes. EINTR and short writes are retried by
+  /// advancing past the bytes the kernel accepted; a zero-byte write is an
+  /// error (it would loop forever). On failure an unknown prefix of `size`
+  /// may have reached the file — the caller owns truncating the tear
+  /// (StoreCore tracks the last healthy offset).
+  util::Status Append(const void* data, size_t size);
 
-  /// Flushes file data to stable storage (fdatasync). Abort on failure.
-  void Sync();
+  /// Flushes file data to stable storage (fdatasync). On failure the
+  /// durability of every un-synced append is unknown.
+  util::Status Sync();
 
-  /// Current size in bytes.
+  /// Current size in bytes. Abort on failure (introspection of an fd we
+  /// hold open cannot fail transiently).
   uint64_t Size() const;
 
   void Close();
@@ -74,28 +91,32 @@ class MappedFile {
   size_t size_ = 0;
 };
 
-/// Creates `dir` if absent (single level). Abort on failure.
-void EnsureDir(const std::string& dir);
+/// Creates `dir` if absent (single level).
+util::Status EnsureDir(const std::string& dir);
 
 /// fsyncs a directory so renames/creates/unlinks inside it are durable.
-void SyncDir(const std::string& dir);
+util::Status SyncDir(const std::string& dir);
 
 /// Atomically replaces `path` with `contents`: write to a sibling temp
 /// file, fsync it, rename over `path`, fsync the directory. A crash at any
-/// point leaves either the old file or the new one, never a mix.
-void AtomicWriteFile(const std::string& path, const std::string& contents);
+/// point leaves either the old file or the new one, never a mix. On a
+/// non-OK return the old file is still in place EXCEPT when the directory
+/// fsync failed after the rename — then the runtime view is the new file
+/// but its durability is unknown; callers must treat the install as failed
+/// and converge by re-installing (see StoreCore::Checkpoint).
+util::Status AtomicWriteFile(const std::string& path, const std::string& contents);
 
 /// Reads a whole file; false if it does not exist.
 bool ReadFile(const std::string& path, std::string* out);
 
-/// Entry names in `dir` (no "." / ".."). Abort if the dir is unreadable.
-std::vector<std::string> ListDir(const std::string& dir);
+/// Entry names in `dir` (no "." / "..") into `*out` (cleared first).
+util::Status ListDir(const std::string& dir, std::vector<std::string>* out);
 
-/// Removes a file if present. Abort on any failure other than ENOENT.
-void RemoveFileIfExists(const std::string& path);
+/// Removes a file if present (ENOENT is success).
+util::Status RemoveFileIfExists(const std::string& path);
 
 /// Truncates `path` to `size` bytes (discarding a torn log tail).
-void TruncateFile(const std::string& path, uint64_t size);
+util::Status TruncateFile(const std::string& path, uint64_t size);
 
 /// True if `path` exists.
 bool PathExists(const std::string& path);

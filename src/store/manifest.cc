@@ -27,8 +27,8 @@ std::string EncodeManifest(const Manifest& m) {
   return body;
 }
 
-void WriteManifest(const std::string& path, const Manifest& m) {
-  AtomicWriteFile(path, EncodeManifest(m));
+util::Status WriteManifest(const std::string& path, const Manifest& m) {
+  return AtomicWriteFile(path, EncodeManifest(m));
 }
 
 bool ReadManifest(const std::string& path, Manifest* out) {

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "src/util/status.h"
+
 namespace pnn {
 namespace store {
 
@@ -31,7 +33,11 @@ struct Manifest {
 std::string EncodeManifest(const Manifest& m);
 
 /// Installs `m` at `path` atomically (temp + fsync + rename + dir fsync).
-void WriteManifest(const std::string& path, const Manifest& m);
+/// On failure the previous manifest is still the runtime view, except for
+/// the rename-ok/dirsync-failed ambiguity documented on AtomicWriteFile —
+/// callers treat any non-OK install as "may or may not be durable" and
+/// never reuse the generation number of a failed attempt.
+util::Status WriteManifest(const std::string& path, const Manifest& m);
 
 /// False if `path` does not exist (a fresh store). Aborts on a present but
 /// corrupt manifest — see the header comment.

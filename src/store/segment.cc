@@ -185,11 +185,12 @@ std::string EncodeSegment(const dyn::Bucket& bucket) {
   return file;
 }
 
-void WriteSegmentFile(const std::string& path, const dyn::Bucket& bucket) {
+util::Status WriteSegmentFile(const std::string& path, const dyn::Bucket& bucket) {
   std::string image = EncodeSegment(bucket);
-  File f = File::Create(path);
-  f.Append(image.data(), image.size());
-  f.Sync();
+  util::StatusOr<File> f = File::Create(path);
+  if (!f.ok()) return f.status();
+  PNN_RETURN_IF_ERROR(f->Append(image.data(), image.size()));
+  return f->Sync();
 }
 
 std::shared_ptr<const dyn::Bucket> LoadSegment(const std::string& path,

@@ -19,6 +19,7 @@
 
 #include "src/core/pnn.h"
 #include "src/dyn/bucket.h"
+#include "src/util/status.h"
 
 namespace pnn {
 namespace store {
@@ -28,8 +29,10 @@ namespace store {
 std::string EncodeSegment(const dyn::Bucket& bucket);
 
 /// Writes and fsyncs a segment file (data only; the caller syncs the
-/// directory before publishing a reference to the file).
-void WriteSegmentFile(const std::string& path, const dyn::Bucket& bucket);
+/// directory before publishing a reference to the file). On failure the
+/// path may hold a partial image; the caller discards it as an orphan —
+/// nothing references a segment until the manifest that names it lands.
+util::Status WriteSegmentFile(const std::string& path, const dyn::Bucket& bucket);
 
 /// Maps, verifies and rehydrates a segment. `engine_options` is the
 /// runtime bucket-engine configuration (its seed must match the segment's

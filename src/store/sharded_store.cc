@@ -26,7 +26,7 @@ ShardedStore::ShardedStore(const std::string& dir, Options options)
     : dir_(dir), options_(std::move(options)) {
   PNN_CHECK_MSG(options_.sharded.num_shards >= 1, "num_shards must be >= 1");
   options_.sharded.listener = this;
-  EnsureDir(dir_);
+  PNN_CHECK_MSG(EnsureDir(dir_).ok(), "sharded store: cannot create root dir");
   Engine::Options engine_options = options_.sharded.shard.engine;
   engine_options.mc_stream_ids.clear();
   cores_.reserve(options_.sharded.num_shards);
@@ -155,7 +155,10 @@ void ShardedStore::Recover() {
       LogRecord rec;
       rec.type = LogRecordType::kErase;
       rec.id = id;
-      cores_[loser]->Append(std::move(rec), /*sync=*/true);
+      // Open-time, like StoreCore::Open: no acked state to protect yet, so
+      // a failure to durably resolve the duplicate is fatal.
+      PNN_CHECK_MSG(cores_[loser]->Append(std::move(rec), /*sync=*/true).ok(),
+                    "sharded store: cannot log mid-move duplicate resolution");
     }
   }
 
@@ -170,24 +173,76 @@ void ShardedStore::Recover() {
   // next crash replays from segments instead of the whole tail again.
   engine_->WaitForMaintenance();
   for (uint32_t s = 0; s < n; ++s) {
-    cores_[s]->MaybeCheckpoint(*engine_->ShardSnapshot(s), next_id_,
-                               next_move_seq_);
+    // A failed rotation just opens that shard degraded — its first
+    // mutation retries via the heal path in the listener hooks.
+    (void)cores_[s]->MaybeCheckpoint(*engine_->ShardSnapshot(s), next_id_,
+                                     next_move_seq_);
   }
 }
 
-dyn::Id ShardedStore::Insert(UncertainPoint point) {
-  return engine_->Insert(std::move(point));
+util::Status ShardedStore::EnsureShardHealthyLocked(uint32_t shard) {
+  StoreCore& core = *cores_[shard];
+  if (core.healthy()) return util::Status::Ok();
+  // No WaitForMaintenance here — the router's mutex is held (deadlock) and
+  // a rotation against the current snapshot is correct regardless.
+  return core.Heal(*engine_->ShardSnapshot(shard), next_id_, next_move_seq_);
 }
 
-bool ShardedStore::Erase(dyn::Id id) { return engine_->Erase(id); }
+bool ShardedStore::Veto(util::Status status) {
+  ++veto_count_;
+  last_veto_error_ = std::move(status);
+  return false;
+}
 
-void ShardedStore::Checkpoint() {
+util::StatusOr<dyn::Id> ShardedStore::Insert(UncertainPoint point) {
+  dyn::Id id = engine_->Insert(std::move(point));
+  if (id >= 0) return id;
+  // -1 only happens on a listener veto, which recorded its cause.
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_veto_error_;
+}
+
+util::StatusOr<bool> ShardedStore::Erase(dyn::Id id) {
+  uint64_t vetoes_before;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    vetoes_before = veto_count_;
+  }
+  if (engine_->Erase(id)) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (veto_count_ != vetoes_before) return last_veto_error_;
+  return false;  // Not live (nothing was logged).
+}
+
+util::Status ShardedStore::Checkpoint() {
   engine_->WaitForMaintenance();
   std::lock_guard<std::mutex> lock(mu_);
+  util::Status first = util::Status::Ok();
   for (uint32_t s = 0; s < num_shards(); ++s) {
-    cores_[s]->Checkpoint(*engine_->ShardSnapshot(s), next_id_,
-                          next_move_seq_);
+    util::Status st = EnsureShardHealthyLocked(s);
+    if (st.ok()) {
+      st = cores_[s]->Checkpoint(*engine_->ShardSnapshot(s), next_id_,
+                                 next_move_seq_);
+    }
+    if (!st.ok() && first.ok()) first = std::move(st);
   }
+  return first;
+}
+
+bool ShardedStore::healthy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& core : cores_) {
+    if (!core->healthy()) return false;
+  }
+  return true;
+}
+
+util::Status ShardedStore::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& core : cores_) {
+    if (!core->healthy()) return core->last_error();
+  }
+  return util::Status::Ok();
 }
 
 std::vector<Stats> ShardedStore::stats() const {
@@ -198,50 +253,76 @@ std::vector<Stats> ShardedStore::stats() const {
   return out;
 }
 
-void ShardedStore::OnInsert(uint32_t shard, dyn::Id id,
+bool ShardedStore::OnInsert(uint32_t shard, dyn::Id id,
                             const UncertainPoint& point) {
   std::lock_guard<std::mutex> lock(mu_);
+  util::Status st = EnsureShardHealthyLocked(shard);
+  if (!st.ok()) return Veto(std::move(st));
   next_id_ = std::max(next_id_, id + 1);
   LogRecord rec;
   rec.type = LogRecordType::kInsert;
   rec.id = id;
   rec.point = point;
-  cores_[shard]->Append(std::move(rec), /*sync=*/true);
+  st = cores_[shard]->Append(std::move(rec), /*sync=*/true);
+  if (!st.ok()) return Veto(std::move(st));
+  return true;
 }
 
-void ShardedStore::OnErase(uint32_t shard, dyn::Id id) {
+bool ShardedStore::OnErase(uint32_t shard, dyn::Id id) {
   std::lock_guard<std::mutex> lock(mu_);
+  util::Status st = EnsureShardHealthyLocked(shard);
+  if (!st.ok()) return Veto(std::move(st));
   LogRecord rec;
   rec.type = LogRecordType::kErase;
   rec.id = id;
-  cores_[shard]->Append(std::move(rec), /*sync=*/true);
+  st = cores_[shard]->Append(std::move(rec), /*sync=*/true);
+  if (!st.ok()) return Veto(std::move(st));
+  return true;
 }
 
-void ShardedStore::OnMove(uint32_t src, uint32_t dst, dyn::Id id,
+bool ShardedStore::OnMove(uint32_t src, uint32_t dst, dyn::Id id,
                           const UncertainPoint& point) {
   std::lock_guard<std::mutex> lock(mu_);
+  util::Status st = EnsureShardHealthyLocked(dst);
+  if (st.ok()) st = EnsureShardHealthyLocked(src);
+  if (!st.ok()) return Veto(std::move(st));
   uint64_t seq = next_move_seq_++;
   // Destination first: if we crash between the two appends, the id is
   // live on both logs and recovery keeps the destination (higher seq).
   // The reverse order could durably lose the point (logged out of the
   // source, never into the destination).
+  const uint64_t dst_mark = cores_[dst]->LogOffset();
   LogRecord in;
   in.type = LogRecordType::kMoveIn;
   in.id = id;
   in.move_seq = seq;
   in.point = point;
-  cores_[dst]->Append(std::move(in), /*sync=*/true);
+  st = cores_[dst]->Append(std::move(in), /*sync=*/true);
+  if (!st.ok()) return Veto(std::move(st));
   LogRecord out;
   out.type = LogRecordType::kMoveOut;
   out.id = id;
   out.move_seq = seq;
-  cores_[src]->Append(std::move(out), /*sync=*/true);
+  st = cores_[src]->Append(std::move(out), /*sync=*/true);
+  if (!st.ok()) {
+    // The destination's kMoveIn is durable but the move is being refused;
+    // left in place it would resurrect the id there after a crash (its
+    // move_seq outranks the source's live placement). Truncate it back
+    // out. If even the rollback fails the destination core stays failed
+    // with its ack boundary at the mark, so its next heal truncates the
+    // record anyway.
+    (void)cores_[dst]->RollbackTo(dst_mark);
+    return Veto(std::move(st));
+  }
+  return true;
 }
 
 void ShardedStore::OnApplied(uint32_t shard) {
   std::lock_guard<std::mutex> lock(mu_);
-  cores_[shard]->MaybeCheckpoint(*engine_->ShardSnapshot(shard), next_id_,
-                                 next_move_seq_);
+  // The op above is already acked; a failed rotation only degrades this
+  // shard's future mutations (healed by the next one through the hooks).
+  (void)cores_[shard]->MaybeCheckpoint(*engine_->ShardSnapshot(shard), next_id_,
+                                       next_move_seq_);
 }
 
 }  // namespace store

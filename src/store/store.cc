@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 
 #include "src/store/segment.h"
@@ -21,6 +22,16 @@ std::string FormatU64(const char* prefix, uint64_t v, const char* suffix) {
   return buf;
 }
 
+/// Open-time failures abort (see StoreCore::Open): there is no acked state
+/// to protect yet, and a store that cannot write its root files is not a
+/// store. Degraded mode exists only after a successful open.
+void OrDie(const util::Status& st, const char* what) {
+  if (st.ok()) return;
+  std::fprintf(stderr, "pnn store: fatal at open (%s): %s\n", what,
+               st.ToString().c_str());
+  std::abort();
+}
+
 }  // namespace
 
 // --- StoreCore ------------------------------------------------------------
@@ -37,8 +48,18 @@ std::string StoreCore::LogPath(uint64_t generation) const {
   return dir_ + "/" + FormatU64("oplog-", generation, "");
 }
 
+util::Status StoreCore::Fail(util::Status status) {
+  if (!failed_) {
+    failed_ = true;
+    ++stats_.degraded_entries;
+  }
+  last_error_ = status;
+  return status;
+}
+
 void StoreCore::InitFresh() {
   generation_ = 1;
+  next_generation_ = 2;
   std::string head;
   LogRecord cp;
   cp.type = LogRecordType::kCheckpoint;
@@ -48,22 +69,25 @@ void StoreCore::InitFresh() {
   cp.delta_count = 0;
   AppendLogRecord(cp, &head);
   {
-    File f = File::Create(LogPath(generation_));
-    f.Append(head.data(), head.size());
-    f.Sync();
-    log_ = std::move(f);
+    util::StatusOr<File> f = File::Create(LogPath(generation_));
+    OrDie(f.status(), "create initial log");
+    OrDie(f->Append(head.data(), head.size()), "write initial log");
+    OrDie(f->Sync(), "sync initial log");
+    log_ = std::move(*f);
   }
-  SyncDir(dir_);  // The log's direntry, before the manifest references it.
+  log_bytes_ = healthy_bytes_ = head.size();
+  // The log's direntry, before the manifest references it.
+  OrDie(SyncDir(dir_), "sync store directory");
   Manifest m;
   m.generation = generation_;
   m.next_id = 0;
   m.move_seq = 0;
   m.engine_seed = engine_options_.seed;
-  WriteManifest(dir_ + "/" + kManifestName, m);
+  OrDie(WriteManifest(dir_ + "/" + kManifestName, m), "install initial manifest");
 }
 
 StoreCore::OpenResult StoreCore::Open() {
-  EnsureDir(dir_);
+  OrDie(EnsureDir(dir_), "create store directory");
   OpenResult result;
   Manifest m;
   if (!ReadManifest(dir_ + "/" + kManifestName, &m)) {
@@ -79,6 +103,7 @@ StoreCore::OpenResult StoreCore::Open() {
                 "were cut under a different seed)");
   result.manifest = m;
   generation_ = m.generation;
+  next_generation_ = m.generation + 1;
 
   // Map and adopt every live segment, one thread per segment (the decode
   // is CPU-bound and the buckets are independent; Bentley-Saxe sizes mean
@@ -139,14 +164,22 @@ StoreCore::OpenResult StoreCore::Open() {
   }
 
   if (replay.truncated) {
-    // Normal crash shape: a torn append past the delta region. Discard it
-    // so future appends extend a clean prefix.
-    stats_.truncated_log_bytes =
-        static_cast<uint64_t>(File::OpenAppend(log_path).Size()) -
-        replay.valid_bytes;
-    TruncateFile(log_path, replay.valid_bytes);
+    // Normal crash shape: a torn append past the delta region (or frames a
+    // pre-crash degraded episode never healed). Discard it so future
+    // appends extend a clean prefix.
+    {
+      util::StatusOr<File> probe = File::OpenAppend(log_path);
+      OrDie(probe.status(), "open live log");
+      stats_.truncated_log_bytes = probe->Size() - replay.valid_bytes;
+    }
+    OrDie(TruncateFile(log_path, replay.valid_bytes), "truncate torn log tail");
   }
-  log_ = File::OpenAppend(log_path);
+  {
+    util::StatusOr<File> f = File::OpenAppend(log_path);
+    OrDie(f.status(), "open live log");
+    log_ = std::move(*f);
+  }
+  log_bytes_ = healthy_bytes_ = replay.valid_bytes;
   seqno_ = replay.records.back().seqno + 1;
 
   // tracked_ pairs the recovered buckets with their segment files, so the
@@ -160,52 +193,87 @@ StoreCore::OpenResult StoreCore::Open() {
 }
 
 void StoreCore::CleanupOrphans(const std::vector<uint64_t>& live_segments) {
-  for (const std::string& name : ListDir(dir_)) {
+  // Best-effort reclamation of files no manifest references (failed
+  // checkpoint attempts, pre-crash temp files): a failure here is retried
+  // at the next open, never surfaced.
+  std::vector<std::string> names;
+  if (!ListDir(dir_, &names).ok()) return;
+  for (const std::string& name : names) {
     unsigned long long v = 0;
     if (std::sscanf(name.c_str(), "seg-%llu.seg", &v) == 1) {
       if (std::find(live_segments.begin(), live_segments.end(),
                     static_cast<uint64_t>(v)) == live_segments.end()) {
-        RemoveFileIfExists(dir_ + "/" + name);
+        (void)RemoveFileIfExists(dir_ + "/" + name);
       }
     } else if (std::sscanf(name.c_str(), "oplog-%llu", &v) == 1) {
-      if (v != generation_) RemoveFileIfExists(dir_ + "/" + name);
+      if (v != generation_) (void)RemoveFileIfExists(dir_ + "/" + name);
     } else if (name.size() > 4 &&
                name.compare(name.size() - 4, 4, ".tmp") == 0) {
-      RemoveFileIfExists(dir_ + "/" + name);
+      (void)RemoveFileIfExists(dir_ + "/" + name);
     }
   }
 }
 
-void StoreCore::Append(LogRecord rec, bool sync) {
+util::Status StoreCore::Append(LogRecord rec, bool sync) {
+  if (failed_) {
+    return util::Status::Unavailable("store: degraded read-only (" +
+                                     last_error_.ToString() + ")");
+  }
   rec.seqno = seqno_++;
   std::string frame;
   AppendLogRecord(rec, &frame);
-  log_.Append(frame.data(), frame.size());
+  util::Status st = log_.Append(frame.data(), frame.size());
+  // On failure an unknown prefix of the frame may be in the file past
+  // log_bytes_ — a tear. healthy_bytes_ still marks the acked boundary;
+  // HealTear truncates the tear away before the next append.
+  if (!st.ok()) return Fail(std::move(st));
+  log_bytes_ += frame.size();
   dirty_ = true;
   ++stats_.log_appends;
-  if (sync) Sync();
+  if (sync) return Sync();
+  return util::Status::Ok();
 }
 
-void StoreCore::Sync() {
-  if (!dirty_) return;
+util::Status StoreCore::Sync() {
+  if (failed_) {
+    return util::Status::Unavailable("store: degraded read-only (" +
+                                     last_error_.ToString() + ")");
+  }
+  if (!dirty_) return util::Status::Ok();
   if (fsync_) {
-    log_.Sync();
+    util::Status st = log_.Sync();
+    if (!st.ok()) return Fail(std::move(st));
     ++stats_.log_syncs;
   }
   dirty_ = false;
+  healthy_bytes_ = log_bytes_;  // The ack boundary heals roll back to.
+  return util::Status::Ok();
 }
 
-void StoreCore::MaybeCheckpoint(const dyn::Snapshot& snap, int64_t next_id,
-                                uint64_t move_seq) {
+util::Status StoreCore::MaybeCheckpoint(const dyn::Snapshot& snap,
+                                        int64_t next_id, uint64_t move_seq) {
+  if (failed_) {
+    return util::Status::Unavailable("store: degraded read-only (" +
+                                     last_error_.ToString() + ")");
+  }
   bool same = snap.buckets.size() == tracked_.size();
   for (size_t i = 0; same && i < tracked_.size(); ++i) {
     same = snap.buckets[i].bucket.get() == tracked_[i].first.get();
   }
-  if (!same) Checkpoint(snap, next_id, move_seq);
+  if (!same) return Checkpoint(snap, next_id, move_seq);
+  return util::Status::Ok();
 }
 
-void StoreCore::Checkpoint(const dyn::Snapshot& snap, int64_t next_id,
-                           uint64_t move_seq) {
+util::Status StoreCore::Checkpoint(const dyn::Snapshot& snap, int64_t next_id,
+                                   uint64_t move_seq) {
+  // Transactional: no member state is committed until the manifest install
+  // returns OK, so a failed attempt leaves the old generation live and
+  // MaybeCheckpoint simply retries later. The generation number and file
+  // ids an attempt consumed are burned, never reused — a failed install
+  // may still have reached disk, and a reused oplog-N name would let a
+  // durable manifest reference a rewritten log. Abandoned files become
+  // orphans the next Open() reclaims.
+
   // 1. Segments for buckets this core has not serialized yet. Data is
   // fsynced per file; one directory fsync below covers the new entries.
   std::vector<std::pair<std::shared_ptr<const dyn::Bucket>, uint64_t>> tracked;
@@ -222,7 +290,11 @@ void StoreCore::Checkpoint(const dyn::Snapshot& snap, int64_t next_id,
     }
     if (!found) {
       file_id = next_file_id_++;
-      WriteSegmentFile(SegmentPath(file_id), *ref.bucket);
+      util::Status st = WriteSegmentFile(SegmentPath(file_id), *ref.bucket);
+      if (!st.ok()) {
+        ++stats_.checkpoint_failures;
+        return Fail(std::move(st));
+      }
       ++stats_.segments_written;
     } else {
       ++stats_.segments_reused;
@@ -234,7 +306,9 @@ void StoreCore::Checkpoint(const dyn::Snapshot& snap, int64_t next_id,
   // 2. The next log generation: checkpoint head + delta records that
   // re-describe the snapshot's non-segment state (tombstone masks, live
   // tail). Everything the masks/tail reference is positional against
-  // `segments`, so the log is self-contained given the manifest.
+  // `segments`, so the log is self-contained given the manifest. Seqnos
+  // come from a local counter committed only on success (an abandoned
+  // attempt leaves a gap, which replay allows).
   dyn::SnapshotIntrospection intro = Introspect(snap);
   uint64_t delta_count = 0;
   for (const auto& bv : intro.buckets) {
@@ -248,11 +322,12 @@ void StoreCore::Checkpoint(const dyn::Snapshot& snap, int64_t next_id,
     }
   }
 
-  const uint64_t next_generation = generation_ + 1;
+  uint64_t seq = seqno_;
+  const uint64_t next_generation = next_generation_++;
   std::string head;
   LogRecord cp;
   cp.type = LogRecordType::kCheckpoint;
-  cp.seqno = seqno_++;
+  cp.seqno = seq++;
   cp.generation = next_generation;
   cp.next_id = next_id;
   cp.delta_count = delta_count;
@@ -264,7 +339,7 @@ void StoreCore::Checkpoint(const dyn::Snapshot& snap, int64_t next_id,
       if ((*bv.dead)[j] == 0) continue;
       LogRecord mask;
       mask.type = LogRecordType::kMask;
-      mask.seqno = seqno_++;
+      mask.seqno = seq++;
       mask.segment_ordinal = b;
       mask.local_index = j;
       AppendLogRecord(mask, &head);
@@ -275,43 +350,141 @@ void StoreCore::Checkpoint(const dyn::Snapshot& snap, int64_t next_id,
       if (intro.tail_dead != nullptr && (*intro.tail_dead)[i] != 0) continue;
       LogRecord ins;
       ins.type = LogRecordType::kInsert;
-      ins.seqno = seqno_++;
+      ins.seqno = seq++;
       ins.id = (*intro.tail)[i].id;
       ins.point = (*intro.tail)[i].point;
       AppendLogRecord(ins, &head);
     }
   }
 
-  File next_log = File::Create(LogPath(next_generation));
-  next_log.Append(head.data(), head.size());
-  next_log.Sync();
-  // One directory fsync makes the new log's (and any new segments')
-  // direntries durable BEFORE the manifest can reference them — the
-  // ordering invariant recovery's aborts rely on.
-  SyncDir(dir_);
+  File next_log;
+  {
+    util::StatusOr<File> f = File::Create(LogPath(next_generation));
+    if (!f.ok()) {
+      ++stats_.checkpoint_failures;
+      return Fail(f.status());
+    }
+    next_log = std::move(*f);
+  }
+  {
+    util::Status st = next_log.Append(head.data(), head.size());
+    if (st.ok()) st = next_log.Sync();
+    // One directory fsync makes the new log's (and any new segments')
+    // direntries durable BEFORE the manifest can reference them — the
+    // ordering invariant recovery's aborts rely on.
+    if (st.ok()) st = SyncDir(dir_);
+    if (!st.ok()) {
+      ++stats_.checkpoint_failures;
+      return Fail(std::move(st));
+    }
+  }
 
-  // 3. Atomically switch the root pointer.
+  // 3. Atomically switch the root pointer. A non-OK install is AMBIGUOUS:
+  // the rename may have happened without its directory fsync, so the new
+  // manifest could surface after a crash even though we report failure.
+  // Appending to the old log would then lose acked ops — so the old log
+  // is poisoned (manifest_dirty_) and only a fully successful re-rotation
+  // under a fresh generation heals the core. Every attempted generation's
+  // log was durable before its install attempt, so recovery is consistent
+  // whichever manifest survives.
   Manifest m;
   m.generation = next_generation;
   m.next_id = next_id;
   m.move_seq = move_seq;
   m.engine_seed = engine_options_.seed;
   m.segments = segments;
-  WriteManifest(dir_ + "/" + kManifestName, m);
+  {
+    util::Status st = WriteManifest(dir_ + "/" + kManifestName, m);
+    if (!st.ok()) {
+      manifest_dirty_ = true;
+      ++stats_.checkpoint_failures;
+      return Fail(std::move(st));
+    }
+  }
 
-  // 4. The old generation is unreachable now; reclaim it.
+  // Commit. This is also the heal path for a manifest_dirty_ episode: the
+  // newly installed manifest supersedes whatever a failed install left.
   std::string old_log = LogPath(generation_);
+  std::vector<uint64_t> dropped;
   for (const auto& [bucket, id] : tracked_) {
     if (std::find(segments.begin(), segments.end(), id) == segments.end()) {
-      RemoveFileIfExists(SegmentPath(id));
+      dropped.push_back(id);
     }
   }
   log_ = std::move(next_log);
   dirty_ = false;
   generation_ = next_generation;
   tracked_ = std::move(tracked);
-  RemoveFileIfExists(old_log);
+  seqno_ = seq;
+  log_bytes_ = healthy_bytes_ = head.size();
+  manifest_dirty_ = false;
+  if (failed_) {
+    failed_ = false;
+    last_error_ = util::Status::Ok();
+    ++stats_.heals;
+  }
   ++stats_.checkpoints;
+
+  // 4. The old generation is unreachable now; reclaim it. The ops above
+  // are acked regardless, but a failing unlink still degrades the core:
+  // EIO from the same device that holds the log is not a disk to keep
+  // acking writes on (the orphan itself is harmless — next Open reclaims
+  // it).
+  util::Status cleanup = util::Status::Ok();
+  for (uint64_t id : dropped) {
+    util::Status st = RemoveFileIfExists(SegmentPath(id));
+    if (!st.ok() && cleanup.ok()) cleanup = std::move(st);
+  }
+  {
+    util::Status st = RemoveFileIfExists(old_log);
+    if (!st.ok() && cleanup.ok()) cleanup = std::move(st);
+  }
+  if (!cleanup.ok()) return Fail(std::move(cleanup));
+  return util::Status::Ok();
+}
+
+util::Status StoreCore::Heal(const dyn::Snapshot& snap, int64_t next_id,
+                             uint64_t move_seq) {
+  if (!failed_) return util::Status::Ok();
+  if (manifest_dirty_) return Checkpoint(snap, next_id, move_seq);
+  return HealTear();
+}
+
+util::Status StoreCore::HealTear() {
+  // Truncate whatever reached the file past the acked boundary (a torn
+  // append, or synced frames of a mutation whose later group-commit step
+  // failed), reopen, and probe the device with the same fdatasync a real
+  // append needs. Only a full round trip flips the core back to healthy.
+  log_.Close();
+  util::Status st = TruncateFile(LogPath(generation_), healthy_bytes_);
+  if (!st.ok()) return Fail(std::move(st));
+  {
+    util::StatusOr<File> f = File::OpenAppend(LogPath(generation_));
+    if (!f.ok()) return Fail(f.status());
+    log_ = std::move(*f);
+  }
+  if (fsync_) {
+    st = log_.Sync();
+    if (!st.ok()) return Fail(std::move(st));
+  }
+  log_bytes_ = healthy_bytes_;
+  dirty_ = false;
+  failed_ = false;
+  last_error_ = util::Status::Ok();
+  ++stats_.heals;
+  return util::Status::Ok();
+}
+
+util::Status StoreCore::RollbackTo(uint64_t offset) {
+  PNN_CHECK_MSG(offset <= log_bytes_, "store: rollback past the log end");
+  if (offset == log_bytes_ && !failed_) return util::Status::Ok();
+  if (healthy_bytes_ > offset) healthy_bytes_ = offset;
+  if (!failed_) {
+    failed_ = true;
+    ++stats_.degraded_entries;
+    last_error_ = util::Status::Unavailable("store: cross-shard move rollback");
+  }
+  return HealTear();
 }
 
 void StoreCore::NoteRecoveredOps(uint64_t replayed, uint64_t skipped) {
@@ -388,28 +561,46 @@ void Store::RecoverLocked(StoreCore::OpenResult result) {
   core_.NoteRecoveredOps(replayed, skipped);
   next_id_ = floor;
   // Replay may have spliced buckets (a merge mid-replay); fold that into a
-  // fresh generation now so the log shrinks back to the tail.
+  // fresh generation now so the log shrinks back to the tail. A failure
+  // just opens the store degraded — the first mutation retries via Heal.
   engine_->WaitForMaintenance();
-  core_.MaybeCheckpoint(*engine_->snapshot(), next_id_, 0);
+  (void)core_.MaybeCheckpoint(*engine_->snapshot(), next_id_, 0);
 }
 
-dyn::Id Store::Insert(UncertainPoint point) {
+util::Status Store::EnsureHealthyLocked() {
+  if (core_.healthy()) return util::Status::Ok();
+  engine_->WaitForMaintenance();
+  return core_.Heal(*engine_->snapshot(), next_id_, 0);
+}
+
+util::StatusOr<dyn::Id> Store::Insert(UncertainPoint point) {
   std::lock_guard<std::mutex> lock(mu_);
+  PNN_RETURN_IF_ERROR(EnsureHealthyLocked());
   dyn::Id id = next_id_++;
   LogRecord rec;
   rec.type = LogRecordType::kInsert;
   rec.id = id;
   rec.point = point;
-  core_.Append(std::move(rec));  // Logged + synced before applied: WAL.
+  util::Status st = core_.Append(std::move(rec));  // Logged + synced before
+  if (!st.ok()) {                                  // applied: WAL.
+    --next_id_;  // Not acked; the id was never observable.
+    return st;
+  }
   engine_->InsertWithId(id, std::move(point));
-  core_.MaybeCheckpoint(*engine_->snapshot(), next_id_, 0);
+  // The op is acked whatever happens to the rotation — a failure here only
+  // degrades FUTURE mutations.
+  (void)core_.MaybeCheckpoint(*engine_->snapshot(), next_id_, 0);
   return id;
 }
 
-std::vector<dyn::Id> Store::InsertBatch(std::vector<UncertainPoint> points) {
+util::StatusOr<std::vector<dyn::Id>> Store::InsertBatch(
+    std::vector<UncertainPoint> points) {
   std::lock_guard<std::mutex> lock(mu_);
+  PNN_RETURN_IF_ERROR(EnsureHealthyLocked());
+  const dyn::Id first = next_id_;
   std::vector<dyn::Id> ids;
   ids.reserve(points.size());
+  util::Status st = util::Status::Ok();
   for (const UncertainPoint& p : points) {
     dyn::Id id = next_id_++;
     ids.push_back(id);
@@ -417,32 +608,51 @@ std::vector<dyn::Id> Store::InsertBatch(std::vector<UncertainPoint> points) {
     rec.type = LogRecordType::kInsert;
     rec.id = id;
     rec.point = p;
-    core_.Append(std::move(rec), /*sync=*/false);
+    st = core_.Append(std::move(rec), /*sync=*/false);
+    if (!st.ok()) break;
   }
-  core_.Sync();  // One group fdatasync for the whole batch.
+  if (st.ok()) st = core_.Sync();  // One group fdatasync for the whole batch.
+  if (!st.ok()) {
+    // All-or-nothing: nothing was applied, and the un-synced frames sit
+    // past the ack boundary, so the next heal truncates them.
+    next_id_ = first;
+    return st;
+  }
   for (size_t i = 0; i < points.size(); ++i) {
     engine_->InsertWithId(ids[i], std::move(points[i]));
   }
-  core_.MaybeCheckpoint(*engine_->snapshot(), next_id_, 0);
+  (void)core_.MaybeCheckpoint(*engine_->snapshot(), next_id_, 0);
   return ids;
 }
 
-bool Store::Erase(dyn::Id id) {
+util::StatusOr<bool> Store::Erase(dyn::Id id) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!engine_->IsLive(id)) return false;  // No-op erases are not logged.
+  PNN_RETURN_IF_ERROR(EnsureHealthyLocked());
   LogRecord rec;
   rec.type = LogRecordType::kErase;
   rec.id = id;
-  core_.Append(std::move(rec));
+  PNN_RETURN_IF_ERROR(core_.Append(std::move(rec)));
   PNN_CHECK(engine_->Erase(id));
-  core_.MaybeCheckpoint(*engine_->snapshot(), next_id_, 0);
+  (void)core_.MaybeCheckpoint(*engine_->snapshot(), next_id_, 0);
   return true;
 }
 
-void Store::Checkpoint() {
+util::Status Store::Checkpoint() {
   std::lock_guard<std::mutex> lock(mu_);
+  PNN_RETURN_IF_ERROR(EnsureHealthyLocked());
   engine_->WaitForMaintenance();
-  core_.Checkpoint(*engine_->snapshot(), next_id_, 0);
+  return core_.Checkpoint(*engine_->snapshot(), next_id_, 0);
+}
+
+bool Store::healthy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return core_.healthy();
+}
+
+util::Status Store::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return core_.last_error();
 }
 
 Stats Store::stats() const {

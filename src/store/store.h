@@ -1,5 +1,5 @@
 // pnn::store — durable bucket snapshots + append-only op log with crash
-// recovery.
+// recovery and degraded-mode serving.
 //
 // A Store wraps a dyn::DynamicEngine with write-ahead durability:
 //   * every acked Insert/Erase is appended to the op log (CRC-framed) and —
@@ -17,6 +17,19 @@
 //     frame is never accepted; recovered answers are bit-identical to a
 //     fresh static Engine over exactly the acked live set
 //     (tests/store_recovery_test.cc).
+//
+// Failure model (docs/persistence.md "Failure model", docs/faults.md):
+// IO failures after open do NOT abort. Any failed append, sync or
+// checkpoint step puts the store in DEGRADED READ-ONLY state: the failing
+// op is refused (never acked), every subsequent mutation returns
+// kUnavailable, and queries keep serving from the in-memory engine —
+// which holds exactly the acked history. Each refused mutation first
+// attempts a Heal: truncate the log back to the last fully-acked boundary
+// (discarding any torn or un-acked frames), reopen, and probe with an
+// fdatasync; if a checkpoint's manifest install failed ambiguously, heal
+// instead requires a full re-checkpoint under a fresh generation number
+// (failed generations are never reused — a failed install may still have
+// reached disk). Once a heal succeeds the store acks mutations again.
 //
 // Ordering invariant behind all of it: segment data and directory entries
 // are fsynced before the log that references them, and the log before the
@@ -36,6 +49,7 @@
 #include "src/store/io.h"
 #include "src/store/log.h"
 #include "src/store/manifest.h"
+#include "src/util/status.h"
 
 namespace pnn {
 namespace store {
@@ -47,6 +61,10 @@ struct Stats {
   uint64_t checkpoints = 0;
   uint64_t segments_written = 0;
   uint64_t segments_reused = 0;
+  // Degraded-mode lifecycle:
+  uint64_t degraded_entries = 0;    // Healthy -> degraded transitions.
+  uint64_t heals = 0;               // Successful degraded -> healthy probes.
+  uint64_t checkpoint_failures = 0; // Rotation attempts abandoned mid-way.
   // Recovery (set once by Open):
   uint64_t recovered_buckets = 0;
   uint64_t recovered_ops = 0;           // Log records replayed into the engine.
@@ -82,27 +100,72 @@ class StoreCore {
 
   /// Opens or initializes the directory; leaves the live log open for
   /// appends. Aborts on disk corruption (bad manifest, unloadable segment,
-  /// a checkpoint whose pre-manifest delta records are missing); tolerates
-  /// and truncates a torn log tail.
+  /// a checkpoint whose pre-manifest delta records are missing) AND on IO
+  /// failure — open-time IO failure has no acked state to protect, and a
+  /// store that cannot write its first manifest is not a store; degraded
+  /// mode starts only after a successful open. Tolerates and truncates a
+  /// torn log tail.
   OpenResult Open();
 
   /// Frames and appends one record (seqno assigned here). `sync` false
   /// defers the fdatasync for group commit — call Sync() before acking.
-  void Append(LogRecord rec, bool sync = true);
+  /// On failure the record is NOT acked, the core enters the failed state
+  /// (healthy() false, all further appends refused), and any torn bytes
+  /// are reclaimed by the next successful Heal().
+  util::Status Append(LogRecord rec, bool sync = true);
 
-  /// Flushes deferred appends (no-op when fsync is disabled).
-  void Sync();
+  /// Flushes deferred appends (no-op when fsync is disabled). A successful
+  /// return is the ack boundary: everything appended so far is durable and
+  /// will survive Heal()'s rollback.
+  util::Status Sync();
 
   /// Rotates iff `snap`'s bucket pointer set differs from the one the
   /// current log generation describes. Call after applying a mutation.
-  void MaybeCheckpoint(const dyn::Snapshot& snap, int64_t next_id,
-                       uint64_t move_seq);
+  util::Status MaybeCheckpoint(const dyn::Snapshot& snap, int64_t next_id,
+                               uint64_t move_seq);
 
   /// Unconditional rotation against `snap`: writes segments for unseen
-  /// buckets, starts generation+1 with mask/tail delta records, atomically
-  /// installs the manifest, then deletes the old generation's log and any
-  /// dropped segments.
-  void Checkpoint(const dyn::Snapshot& snap, int64_t next_id, uint64_t move_seq);
+  /// buckets, starts a fresh generation with mask/tail delta records,
+  /// atomically installs the manifest, then deletes the old generation's
+  /// log and any dropped segments. On failure NOTHING is committed — the
+  /// old generation stays live, generation numbers of failed attempts are
+  /// never reused, and abandoned files are reclaimed as orphans at the
+  /// next Open(). A failure at or after the manifest install additionally
+  /// poisons the old log (the install may have reached disk, making old-
+  /// log appends unrecoverable), so Heal() re-runs the rotation instead of
+  /// probing.
+  util::Status Checkpoint(const dyn::Snapshot& snap, int64_t next_id,
+                          uint64_t move_seq);
+
+  /// Attempts to leave the failed state. Tear repair: truncate the log to
+  /// the last acked boundary, reopen, probe with an fdatasync. Manifest
+  /// ambiguity: re-run Checkpoint(snap, ...) under a fresh generation.
+  /// No-op when healthy. On failure the core stays failed and the error
+  /// is returned.
+  util::Status Heal(const dyn::Snapshot& snap, int64_t next_id,
+                    uint64_t move_seq);
+
+  /// False once any append/sync/checkpoint step failed; mutations are
+  /// refused until a Heal() succeeds. Queries are unaffected — the owner
+  /// keeps serving its in-memory engine.
+  bool healthy() const { return !failed_; }
+
+  /// The failure that entered the current degraded episode (Ok when
+  /// healthy).
+  const util::Status& last_error() const { return last_error_; }
+
+  /// Logical end-of-log offset (bytes successfully appended). Pair with
+  /// RollbackTo to undo appends that must not survive — ShardedStore's
+  /// move rollback: if the destination logged kMoveIn but the source
+  /// failed to log kMoveOut, the dangling kMoveIn would resurrect the
+  /// point after a crash.
+  uint64_t LogOffset() const { return log_bytes_; }
+
+  /// Discards every append past `offset` (same generation as when the
+  /// offset was taken — no checkpoint may intervene): truncates, reopens
+  /// and re-probes the log. Leaves the core failed if the repair itself
+  /// fails.
+  util::Status RollbackTo(uint64_t offset);
 
   /// Marks recovery complete for bookkeeping done by the owner.
   void NoteRecoveredOps(uint64_t replayed, uint64_t skipped);
@@ -114,6 +177,8 @@ class StoreCore {
  private:
   void InitFresh();
   void CleanupOrphans(const std::vector<uint64_t>& live_segments);
+  util::Status Fail(util::Status status);   // Enter/extend the failed state.
+  util::Status HealTear();                  // Truncate + reopen + probe.
   std::string SegmentPath(uint64_t file_id) const;
   std::string LogPath(uint64_t generation) const;
 
@@ -123,9 +188,18 @@ class StoreCore {
 
   File log_;
   uint64_t generation_ = 0;
+  uint64_t next_generation_ = 1;  // Ticket counter; failed attempts burn one.
   uint64_t seqno_ = 1;
   uint64_t next_file_id_ = 1;
   bool dirty_ = false;  // Appends since the last Sync().
+  /// Degraded state. log_bytes_ is the logical log length (every byte of
+  /// every successful append); healthy_bytes_ trails it at the last ack
+  /// boundary (successful Sync) and is where Heal() truncates back to.
+  bool failed_ = false;
+  bool manifest_dirty_ = false;  // Failed install may be durable.
+  util::Status last_error_;
+  uint64_t log_bytes_ = 0;
+  uint64_t healthy_bytes_ = 0;
   /// Buckets the current generation's manifest covers, with their segment
   /// file ids. Keyed by bucket pointer identity (shared_ptrs keep the
   /// address from being recycled): buckets are immutable, so pointer
@@ -155,18 +229,30 @@ class Store {
 
   ~Store();
 
-  /// Logs, syncs, applies, acks. The returned id is durable: a crash after
-  /// return replays it.
-  dyn::Id Insert(UncertainPoint point);
+  /// Logs, syncs, applies, acks. An OK id is durable: a crash after return
+  /// replays it. A non-OK status (kUnavailable once degraded, the
+  /// underlying kIoError on the transition) means the op was NOT applied
+  /// and will not resurface after recovery; the store is degraded until a
+  /// later mutation heals it.
+  util::StatusOr<dyn::Id> Insert(UncertainPoint point);
 
   /// Group commit: one fdatasync for the whole batch, then all applies.
-  std::vector<dyn::Id> InsertBatch(std::vector<UncertainPoint> points);
+  /// All-or-nothing — on a non-OK status no point of the batch is applied
+  /// or will survive recovery.
+  util::StatusOr<std::vector<dyn::Id>> InsertBatch(
+      std::vector<UncertainPoint> points);
 
-  /// False (nothing logged) if `id` is not live.
-  bool Erase(dyn::Id id);
+  /// OK(false) if `id` is not live (nothing logged); OK(true) once the
+  /// erase is durable; non-OK and not applied when degraded.
+  util::StatusOr<bool> Erase(dyn::Id id);
 
   /// Forces a log rotation against the current snapshot.
-  void Checkpoint();
+  util::Status Checkpoint();
+
+  /// False while the store is degraded read-only: mutations return
+  /// kUnavailable, queries keep working. status() carries the cause.
+  bool healthy() const;
+  util::Status status() const;
 
   /// The live engine; all its const query methods are safe to call
   /// concurrently with mutations on this store.
@@ -178,6 +264,7 @@ class Store {
  private:
   Store(const std::string& dir, Options options);
   void RecoverLocked(StoreCore::OpenResult result);
+  util::Status EnsureHealthyLocked();
 
   Options options_;
   mutable std::mutex mu_;  // Serializes mutations and checkpoints.

@@ -1,0 +1,141 @@
+// pnn::fault — schedule semantics, registry behavior, and the zero-cost
+// disarmed fast path.
+
+#include "src/fault/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <vector>
+
+#include "src/store/io.h"
+
+namespace pnn {
+namespace fault {
+namespace {
+
+// Sites registered by this test binary (the store's IO layer registers
+// its own at static init; these are ours, so schedules can be exercised
+// without touching real IO paths).
+FailPoint g_fp_a("test.alpha");
+FailPoint g_fp_b("test.beta");
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { DisarmAll(); }
+};
+
+TEST_F(FaultTest, DisarmedNeverFires) {
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(g_fp_a.Fire(), 0);
+  EXPECT_FALSE(AnyArmed());
+}
+
+TEST_F(FaultTest, AlwaysFailFiresEveryCallUntilDisarmed) {
+  Arm("test.alpha", AlwaysFail(ENOSPC));
+  EXPECT_TRUE(AnyArmed());
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(g_fp_a.Fire(), ENOSPC);
+  Disarm("test.alpha");
+  EXPECT_FALSE(AnyArmed());
+  EXPECT_EQ(g_fp_a.Fire(), 0);
+}
+
+TEST_F(FaultTest, FireOnNthFiresExactlyOnce) {
+  Arm("test.alpha", FireOnNth(3));
+  std::vector<int> results;
+  for (int i = 0; i < 6; ++i) results.push_back(g_fp_a.Fire());
+  EXPECT_EQ(results, (std::vector<int>{0, 0, EIO, 0, 0, 0}));
+}
+
+TEST_F(FaultTest, FireTimesThenHealFiresPrefixThenHeals) {
+  Arm("test.alpha", FireTimesThenHeal(2, ENOSPC));
+  std::vector<int> results;
+  for (int i = 0; i < 5; ++i) results.push_back(g_fp_a.Fire());
+  EXPECT_EQ(results, (std::vector<int>{ENOSPC, ENOSPC, 0, 0, 0}));
+}
+
+TEST_F(FaultTest, RearmResetsTheCallCounter) {
+  Arm("test.alpha", FireOnNth(2));
+  EXPECT_EQ(g_fp_a.Fire(), 0);
+  EXPECT_EQ(g_fp_a.Fire(), EIO);
+  // Re-arming starts a fresh arm epoch: call 1 of the new schedule.
+  Arm("test.alpha", FireOnNth(2));
+  EXPECT_EQ(g_fp_a.Fire(), 0);
+  EXPECT_EQ(g_fp_a.Fire(), EIO);
+}
+
+TEST_F(FaultTest, ProbabilityStreamIsDeterministicPerSeed) {
+  auto draw = [&](uint64_t seed) {
+    Arm("test.alpha", FireWithProbability(0.5, seed));
+    std::vector<int> r;
+    for (int i = 0; i < 64; ++i) r.push_back(g_fp_a.Fire());
+    Disarm("test.alpha");
+    return r;
+  };
+  std::vector<int> first = draw(42);
+  EXPECT_EQ(first, draw(42)) << "same seed must reproduce the same faults";
+  EXPECT_NE(first, draw(43)) << "64 draws at p=0.5 colliding is 2^-64 luck";
+  size_t fired = static_cast<size_t>(
+      std::count_if(first.begin(), first.end(), [](int e) { return e != 0; }));
+  EXPECT_GT(fired, 0u);
+  EXPECT_LT(fired, 64u);
+}
+
+TEST_F(FaultTest, ProbabilityEdgeCases) {
+  Arm("test.alpha", FireWithProbability(0.0, 7));
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(g_fp_a.Fire(), 0);
+  Arm("test.alpha", FireWithProbability(1.0, 7));
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(g_fp_a.Fire(), EIO);
+}
+
+TEST_F(FaultTest, SitesAreIndependent) {
+  Arm("test.alpha", AlwaysFail());
+  EXPECT_EQ(g_fp_b.Fire(), 0) << "arming alpha must not affect beta";
+  EXPECT_EQ(g_fp_a.Fire(), EIO);
+}
+
+TEST_F(FaultTest, DisarmAllClearsEverySite) {
+  Arm("test.alpha", AlwaysFail());
+  Arm("test.beta", AlwaysFail());
+  EXPECT_TRUE(AnyArmed());
+  DisarmAll();
+  EXPECT_FALSE(AnyArmed());
+  EXPECT_EQ(g_fp_a.Fire(), 0);
+  EXPECT_EQ(g_fp_b.Fire(), 0);
+}
+
+TEST_F(FaultTest, RegistryListsTestAndStoreSites) {
+  std::vector<std::string> names = ListFailpoints();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  auto has = [&](const char* n) {
+    return std::find(names.begin(), names.end(), n) != names.end();
+  };
+  EXPECT_TRUE(has("test.alpha"));
+  EXPECT_TRUE(has("test.beta"));
+  // Reference the IO layer so the static library links its object (and
+  // with it the static site registrations).
+  ASSERT_TRUE(store::PathExists("/"));
+  EXPECT_TRUE(has("store.write"));
+  EXPECT_TRUE(has("store.fdatasync"));
+  EXPECT_TRUE(has("store.rename"));
+}
+
+TEST_F(FaultTest, StatsCountCallsAndFires) {
+  SiteStats before = StatsFor("test.beta");
+  Arm("test.beta", FireOnNth(2));
+  g_fp_b.Fire();
+  g_fp_b.Fire();
+  g_fp_b.Fire();
+  SiteStats after = StatsFor("test.beta");
+  EXPECT_EQ(after.calls - before.calls, 3u);
+  EXPECT_EQ(after.fired - before.fired, 1u);
+}
+
+TEST_F(FaultTest, CustomErrorCodePropagates) {
+  Arm("test.alpha", FireOnNth(1, ENOSPC));
+  EXPECT_EQ(g_fp_a.Fire(), ENOSPC);
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace pnn

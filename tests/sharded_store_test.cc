@@ -16,6 +16,7 @@
 #include "src/store/log.h"
 #include "src/store/manifest.h"
 #include "src/store/sharded_store.h"
+#include "src/util/check.h"
 
 namespace pnn {
 namespace store {
@@ -93,10 +94,10 @@ TEST(ShardedStore, ChurnReopenBitIdentical) {
     Rng rng(99);
     for (int op = 0; op < 250; ++op) {
       if (acked.empty() || rng.Bernoulli(0.65)) {
-        acked.push_back(store->Insert(TestPoint(&rng)));
+        acked.push_back(store->Insert(TestPoint(&rng)).value());
       } else {
         size_t pick = static_cast<size_t>(rng.UniformInt(0, acked.size() - 1));
-        EXPECT_TRUE(store->Erase(acked[pick]));
+        EXPECT_TRUE(store->Erase(acked[pick]).value());
         acked.erase(acked.begin() + static_cast<long>(pick));
       }
     }
@@ -110,7 +111,7 @@ TEST(ShardedStore, ChurnReopenBitIdentical) {
 
   // New ids continue after the recovered counter.
   Rng rng(7);
-  dyn::Id next = reopened->Insert(TestPoint(&rng));
+  dyn::Id next = reopened->Insert(TestPoint(&rng)).value();
   EXPECT_GT(next, acked.back());
 }
 
@@ -130,7 +131,7 @@ TEST(ShardedStore, RebalanceMovesAreDurable) {
     Rng rng(13);
     for (int i = 0; i < 160; ++i) {
       Point2 c{rng.Uniform(10, 60), rng.Uniform(10, 60)};
-      acked.push_back(store->Insert(UncertainPoint::Discrete({c}, {1.0})));
+      acked.push_back(store->Insert(UncertainPoint::Discrete({c}, {1.0})).value());
     }
     store->engine().RebalanceNow();
     ASSERT_GT(store->engine().rebalance_stats().points_moved, 0u);
@@ -151,8 +152,8 @@ TEST(ShardedStore, CheckpointRotatesEveryShard) {
   {
     auto store = ShardedStore::Open(dir, options);
     Rng rng(17);
-    for (int i = 0; i < 60; ++i) acked.push_back(store->Insert(TestPoint(&rng)));
-    store->Checkpoint();
+    for (int i = 0; i < 60; ++i) acked.push_back(store->Insert(TestPoint(&rng)).value());
+    PNN_CHECK_MSG(store->Checkpoint().ok(), "checkpoint failed");
     std::vector<Stats> stats = store->stats();
     for (const Stats& s : stats) EXPECT_GE(s.checkpoints, 1u);
   }
@@ -175,7 +176,7 @@ TEST(ShardedStore, TornMoveRecoversToSinglePlacement) {
     auto store = ShardedStore::Open(dir, options);
     for (int i = 0; i < kN; ++i) {
       points.push_back(TestPoint(&rng));
-      ASSERT_EQ(store->Insert(points.back()), i);
+      ASSERT_EQ(store->Insert(points.back()).value(), i);
     }
   }
 
@@ -240,7 +241,7 @@ TEST(ShardedStore, EmptyStoreReopens) {
   auto reopened = ShardedStore::Open(dir, options);
   EXPECT_EQ(reopened->engine().live_size(), 0u);
   Rng rng(1);
-  EXPECT_EQ(reopened->Insert(TestPoint(&rng)), 0);
+  EXPECT_EQ(reopened->Insert(TestPoint(&rng)).value(), 0);
 }
 
 }  // namespace

@@ -244,7 +244,7 @@ TEST(StoreRecovery, EmptyStoreRecovers) {
   EXPECT_EQ(reopened->stats().recovered_ops, 0u);
   // And it still works as a store.
   Rng rng(1);
-  dyn::Id id = reopened->Insert(SmallDiscretePoint(&rng));
+  dyn::Id id = reopened->Insert(SmallDiscretePoint(&rng)).value();
   EXPECT_EQ(id, 0);
 }
 
@@ -258,10 +258,10 @@ TEST(StoreRecovery, ChurnThenReopenIsBitIdentical) {
     Rng rng(55);
     for (int op = 0; op < 300; ++op) {
       if (acked.empty() || rng.Bernoulli(0.65)) {
-        acked.push_back(store->Insert(RichPoint(&rng)));
+        acked.push_back(store->Insert(RichPoint(&rng)).value());
       } else {
         size_t pick = static_cast<size_t>(rng.UniformInt(0, acked.size() - 1));
-        EXPECT_TRUE(store->Erase(acked[pick]));
+        EXPECT_TRUE(store->Erase(acked[pick]).value());
         acked.erase(acked.begin() + static_cast<long>(pick));
       }
     }
@@ -277,7 +277,7 @@ TEST(StoreRecovery, ChurnThenReopenIsBitIdentical) {
   // Ids keep counting from where the crashed instance stopped: a re-used
   // id would corrupt Monte-Carlo stream identity.
   Rng rng(2);
-  dyn::Id next = reopened->Insert(SmallDiscretePoint(&rng));
+  dyn::Id next = reopened->Insert(SmallDiscretePoint(&rng)).value();
   EXPECT_GT(next, acked.back());
 }
 
@@ -295,11 +295,11 @@ TEST(StoreRecovery, StoreLogTruncatedAtEveryByte) {
     for (int i = 0; i < 12; ++i) {
       if (live.size() >= 2 && rng.Bernoulli(0.3)) {
         dyn::Id victim = *live.begin();
-        ASSERT_TRUE(store->Erase(victim));
+        ASSERT_TRUE(store->Erase(victim).value());
         live.erase(victim);
         ops.emplace_back(LogRecordType::kErase, victim);
       } else {
-        dyn::Id id = store->Insert(SmallDiscretePoint(&rng));
+        dyn::Id id = store->Insert(SmallDiscretePoint(&rng)).value();
         live.insert(id);
         ops.emplace_back(LogRecordType::kInsert, id);
       }
@@ -361,7 +361,7 @@ TEST(StoreRecoveryDeathTest, CorruptCheckpointHeadAborts) {
   {
     auto store = Store::Open(dir, FastOptions());
     Rng rng(3);
-    store->Insert(SmallDiscretePoint(&rng));
+    store->Insert(SmallDiscretePoint(&rng)).value();
   }
   // Tear the log inside its checkpoint head: that region was durable
   // before the manifest was installed, so this is corruption, not a
@@ -377,9 +377,9 @@ TEST(StoreRecovery, DuplicatedTailRecordsAreIdempotent) {
   UncertainPoint p0 = SmallDiscretePoint(&rng);
   {
     auto store = Store::Open(dir, options);
-    store->Insert(p0);
-    store->Insert(SmallDiscretePoint(&rng));
-    store->Insert(SmallDiscretePoint(&rng));
+    store->Insert(p0).value();
+    store->Insert(SmallDiscretePoint(&rng)).value();
+    store->Insert(SmallDiscretePoint(&rng)).value();
   }
   // A replayed mutation re-appended with a fresh seqno (e.g. a retried
   // writer): insert of a live id and erase of a never-live id must both
@@ -432,10 +432,10 @@ TEST(StoreRecovery, RandomizedCrashPointDifferential) {
     std::vector<dyn::Id> acked;
     for (int op = 0; op < 250; ++op) {
       if (acked.empty() || rng.Bernoulli(0.6)) {
-        acked.push_back(store->Insert(RichPoint(&rng)));
+        acked.push_back(store->Insert(RichPoint(&rng)).value());
       } else {
         size_t pick = static_cast<size_t>(rng.UniformInt(0, acked.size() - 1));
-        ASSERT_TRUE(store->Erase(acked[pick]));
+        ASSERT_TRUE(store->Erase(acked[pick]).value());
         acked.erase(acked.begin() + static_cast<long>(pick));
       }
       if (op % 31 == 17) {
@@ -470,7 +470,7 @@ TEST(StoreRecovery, InsertBatchGroupCommitsAndRecovers) {
     std::vector<UncertainPoint> batch;
     for (int i = 0; i < 32; ++i) batch.push_back(RichPoint(&rng));
     uint64_t syncs_before = store->stats().log_syncs;
-    ids = store->InsertBatch(std::move(batch));
+    ids = store->InsertBatch(std::move(batch)).value();
     syncs_for_batch = store->stats().log_syncs - syncs_before;
   }
   ASSERT_EQ(ids.size(), 32u);
