@@ -79,6 +79,7 @@ EngineBuilder::EngineBuilder(UncertainSet points, Engine::Options options,
   PNN_CHECK_MSG(
       options_.mc_stream_ids.empty() || options_.mc_stream_ids.size() == points_.size(),
       "Options::mc_stream_ids must be empty or have one id per point");
+  PNN_CHECK_MSG(options_.kd_leaf_size >= 1, "Options::kd_leaf_size must be >= 1");
 }
 
 EngineBuilder::~EngineBuilder() = default;
@@ -89,7 +90,8 @@ size_t EngineBuilder::ChunkEnd() const {
 
 void EngineBuilder::Step() {
   PNN_CHECK_MSG(stage_ != Stage::kReady, "Step() after done()");
-  KdBuildOptions kd_build{options_.build_pool, options_.build_parallel_cutoff};
+  KdBuildOptions kd_build{options_.build_pool, options_.build_parallel_cutoff,
+                          options_.kd_leaf_size};
   switch (stage_) {
     case Stage::kScan: {
       for (size_t end = ChunkEnd(); cursor_ < end; ++cursor_) {
@@ -297,7 +299,8 @@ std::shared_ptr<const ExpectedNNIndex> Engine::EnsureExpectedNN() const {
   if (!cur) {
     cur = std::make_shared<const ExpectedNNIndex>(
         &points_,
-        KdBuildOptions{options_.build_pool, options_.build_parallel_cutoff});
+        KdBuildOptions{options_.build_pool, options_.build_parallel_cutoff,
+                       options_.kd_leaf_size});
     std::atomic_store_explicit(&expected_nn_, cur, std::memory_order_release);
   }
   return cur;

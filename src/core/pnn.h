@@ -69,6 +69,11 @@ class Engine {
     /// Subtree size at or below which a pooled kd build stops forking
     /// (KdBuildOptions::parallel_cutoff).
     int build_parallel_cutoff = 4096;
+    /// Leaf capacity of every kd build (KdBuildOptions::leaf_size). Wider
+    /// leaves give the SIMD leaf scans lane-filling rows at the cost of
+    /// pruning depth; the default is the bench_leaf_width sweep's winner
+    /// (docs/simd.md). Answers are identical at any width. Must be >= 1.
+    int kd_leaf_size = KdBuildOptions().leaf_size;
   };
 
   /// Construction validates Options (aborts with a message on default_eps

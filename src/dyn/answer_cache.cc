@@ -1,0 +1,115 @@
+#include "src/dyn/answer_cache.h"
+
+#include <cstring>
+
+namespace pnn {
+namespace dyn {
+
+namespace {
+
+uint64_t Bits(double v) {
+  uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+// splitmix64 finalizer — enough avalanche to spread nearby query points
+// across shards.
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// Exact key identity: the engines key determinism on the verbatim query
+// arguments, so equality is bitwise on the doubles (a NaN coordinate never
+// matches and simply always misses).
+bool SameKey(const AnswerCache::Key& a, const AnswerCache::Key& b) {
+  return a.kind == b.kind && Bits(a.q.x) == Bits(b.q.x) &&
+         Bits(a.q.y) == Bits(b.q.y) && Bits(a.eps) == Bits(b.eps);
+}
+
+}  // namespace
+
+AnswerCache::Shard& AnswerCache::ShardFor(const Key& key) {
+  uint64_t h = Mix(Bits(key.q.x) ^ (Bits(key.q.y) * 0x9e3779b97f4a7c15ULL) ^
+                   (Bits(key.eps) + static_cast<uint64_t>(key.kind)));
+  return shards_[h % kShards];
+}
+
+AnswerCache::Entry* AnswerCache::FindLocked(Shard& shard, const Key& key) {
+  for (Entry& e : shard.entries) {
+    if (SameKey(e.key, key)) return &e;
+  }
+  return nullptr;
+}
+
+AnswerCache::Entry* AnswerCache::SlotLocked(Shard& shard, const Key& key) {
+  if (Entry* e = FindLocked(shard, key)) return e;
+  if (shard.entries.size() < kEntriesPerShard) {
+    if (shard.entries.capacity() == 0) shard.entries.reserve(kEntriesPerShard);
+    shard.entries.emplace_back();
+    return &shard.entries.back();
+  }
+  Entry* victim = &shard.entries.front();
+  for (Entry& e : shard.entries) {
+    if (e.tick < victim->tick) victim = &e;
+  }
+  return victim;
+}
+
+bool AnswerCache::LookupIds(const Key& key, std::vector<Id>* out) {
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (Entry* e = FindLocked(shard, key)) {
+      e->tick = ++shard.tick;
+      out->assign(e->ids.begin(), e->ids.end());
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void AnswerCache::InsertIds(const Key& key, const std::vector<Id>& ids) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* e = SlotLocked(shard, key);
+  e->key = key;
+  e->tick = ++shard.tick;
+  e->ids.assign(ids.begin(), ids.end());
+  e->quants.clear();
+}
+
+bool AnswerCache::LookupQuants(const Key& key, std::vector<Quantification>* out) {
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (Entry* e = FindLocked(shard, key)) {
+      e->tick = ++shard.tick;
+      out->assign(e->quants.begin(), e->quants.end());
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void AnswerCache::InsertQuants(const Key& key, const std::vector<Quantification>& quants) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* e = SlotLocked(shard, key);
+  e->key = key;
+  e->tick = ++shard.tick;
+  e->quants.assign(quants.begin(), quants.end());
+  e->ids.clear();
+}
+
+}  // namespace dyn
+}  // namespace pnn

@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "src/dyn/answer_cache.h"
 #include "src/dyn/merge.h"
 #include "src/dyn/tail_cache.h"
 #include "src/util/check.h"
@@ -174,6 +175,9 @@ void DynamicEngine::PublishLocked() {
                      ? nullptr
                      : std::make_shared<const std::vector<char>>(tail_dead_mask_);
   if (tail_.size() > tail_dead_count_) s->tail_mc = std::make_shared<TailMcCache>();
+  if (options_.answer_cache && !live_.empty()) {
+    s->answers = std::make_shared<AnswerCache>();
+  }
   s->live_count = live_.size();
   s->discrete_count = discrete_count_;
   s->continuous_count = continuous_count_;
@@ -576,11 +580,13 @@ void DynamicEngine::Prewarm(std::optional<double> eps_opt) const {
 std::vector<Id> DynamicEngine::NonzeroNN(Point2 q) const {
   auto snap = Snap();
   if (snap->live_count == 0) return {};
-  return MergedNonzeroNN(*snap, q);
+  return NonzeroNN(*snap, q);
 }
 
 std::vector<Id> DynamicEngine::NonzeroNN(const Snapshot& snap, Point2 q) const {
-  return MergedNonzeroNN(snap, q);
+  std::vector<Id> out;
+  NonzeroNNInto(snap, q, &out);
+  return out;
 }
 
 void DynamicEngine::NonzeroNNInto(Point2 q, std::vector<Id>* out) const {
@@ -590,7 +596,11 @@ void DynamicEngine::NonzeroNNInto(Point2 q, std::vector<Id>* out) const {
 
 void DynamicEngine::NonzeroNNInto(const Snapshot& snap, Point2 q,
                                   std::vector<Id>* out) const {
+  AnswerCache* cache = snap.answers.get();
+  AnswerCache::Key key{AnswerCache::Kind::kNonzeroNN, q, 0.0};
+  if (cache != nullptr && cache->LookupIds(key, out)) return;
   MergedNonzeroNNInto(snap, q, out);
+  if (cache != nullptr) cache->InsertIds(key, *out);
 }
 
 std::vector<Quantification> DynamicEngine::Quantify(Point2 q,
@@ -618,12 +628,19 @@ void DynamicEngine::QuantifyInto(const Snapshot& snap, Point2 q,
   double eps = ResolveEps(eps_opt);
   out->clear();
   if (snap.live_count == 0) return;
+  // The snapshot is immutable and the evaluation below is a deterministic
+  // function of (snapshot, q, eps), so a memoized answer is exact — a hit
+  // skips plan selection, MC rounds, and the merge entirely.
+  AnswerCache* cache = snap.answers.get();
+  AnswerCache::Key key{AnswerCache::Kind::kQuantify, q, eps};
+  if (cache != nullptr && cache->LookupQuants(key, out)) return;
   if (PlanFor(snap, eps) == QuantifyPlan::kSpiral) {
     MergedSpiralQuantifyInto(snap, q, eps, out);
-    return;
+  } else {
+    MergedMonteCarloQuantifyInto(snap, q, RoundsFor(snap, eps), options_.engine.seed,
+                                 options_.pool, out);
   }
-  MergedMonteCarloQuantifyInto(snap, q, RoundsFor(snap, eps), options_.engine.seed,
-                               options_.pool, out);
+  if (cache != nullptr) cache->InsertQuants(key, *out);
 }
 
 std::vector<Quantification> DynamicEngine::QuantifyExact(Point2 q) const {
@@ -634,7 +651,15 @@ std::vector<Quantification> DynamicEngine::QuantifyExact(Point2 q) const {
 std::vector<Quantification> DynamicEngine::QuantifyExact(const Snapshot& snap,
                                                          Point2 q) const {
   if (snap.live_count == 0) return {};
-  if (snap.all_discrete()) return MergedQuantifyExact(snap, q);
+  AnswerCache* cache = snap.answers.get();
+  AnswerCache::Key key{AnswerCache::Kind::kQuantifyExact, q, 0.0};
+  std::vector<Quantification> cached;
+  if (cache != nullptr && cache->LookupQuants(key, &cached)) return cached;
+  if (snap.all_discrete()) {
+    std::vector<Quantification> out = MergedQuantifyExact(snap, q);
+    if (cache != nullptr) cache->InsertQuants(key, out);
+    return out;
+  }
   PNN_CHECK_MSG(snap.all_continuous(),
                 "QuantifyExact supports all-discrete or all-continuous inputs");
   // Gather from the snapshot, not the mutable live set: a concurrent
@@ -644,6 +669,7 @@ std::vector<Quantification> DynamicEngine::QuantifyExact(const Snapshot& snap,
   UncertainSet live = SnapshotLiveSet(snap, &ids);
   std::vector<Quantification> out = QuantifyNumericContinuous(live, q, 1e-8);
   for (auto& e : out) e.index = ids[e.index];
+  if (cache != nullptr) cache->InsertQuants(key, out);
   return out;
 }
 

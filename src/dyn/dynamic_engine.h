@@ -92,6 +92,12 @@ struct Options {
   /// pay the lazy construction inside its latency. Round construction is
   /// chunked by build_chunk like the bucket build itself.
   bool prewarm_after_build = false;
+  /// Attach an AnswerCache to every published snapshot: repeated queries
+  /// against the same snapshot return the memoized answer instead of
+  /// re-evaluating (invalidation is the publish itself — see
+  /// answer_cache.h). Answers are identical either way; off exists for
+  /// benchmarking the uncached path.
+  bool answer_cache = true;
 };
 
 struct TailEntry {
@@ -100,6 +106,7 @@ struct TailEntry {
 };
 
 class TailMcCache;  // Per-snapshot Monte-Carlo tail samples (tail_cache.h).
+class AnswerCache;  // Per-snapshot cross-query answers (answer_cache.h).
 
 /// One immutable version of the structure. Queries snapshot it with a
 /// lock-free atomic load and are unaffected by concurrent updates or
@@ -127,6 +134,11 @@ struct Snapshot {
   /// sampling). A snapshot publish starts a fresh cache: that is the
   /// invalidation on insert/erase/merge/compaction.
   std::shared_ptr<TailMcCache> tail_mc;
+  /// Cross-query answer memoization for this snapshot (null on hand-built
+  /// snapshots and when Options::answer_cache is off — queries then just
+  /// evaluate). Shares the publish-is-the-invalidation lifecycle with
+  /// tail_mc.
+  std::shared_ptr<AnswerCache> answers;
 
   // Aggregates over the live set, mirroring what a fresh static Engine
   // derives at construction (pnn.cc / spiral.cc):

@@ -3,12 +3,38 @@
 #include <algorithm>
 #include <thread>
 
+#include "src/dyn/answer_cache.h"
 #include "src/util/check.h"
 #include "src/util/stats.h"
 #include "src/util/timer.h"
 
 namespace pnn {
 namespace exec {
+
+namespace {
+
+// The answer cache a pinned query run will consult: the dynamic snapshot's
+// or the shard view's union-snapshot's (null for static backends or when
+// caching is disabled).
+const dyn::AnswerCache* PinCache(const api::EngineRef::Pin& pin) {
+  if (pin.snap != nullptr) return pin.snap->answers.get();
+  if (pin.view != nullptr) return pin.view->combined->answers.get();
+  return nullptr;
+}
+
+dyn::AnswerCache::Stats PinCacheStats(const api::EngineRef::Pin& pin) {
+  const dyn::AnswerCache* cache = PinCache(pin);
+  return cache != nullptr ? cache->stats() : dyn::AnswerCache::Stats{};
+}
+
+void AccumulateCacheDelta(const api::EngineRef::Pin& pin,
+                          const dyn::AnswerCache::Stats& before, BatchStats* stats) {
+  dyn::AnswerCache::Stats after = PinCacheStats(pin);
+  stats->answer_cache_hits += after.hits - before.hits;
+  stats->answer_cache_misses += after.misses - before.misses;
+}
+
+}  // namespace
 
 api::QueryRequest MixedOp::ToRequest(std::optional<double> eps) const {
   switch (kind) {
@@ -147,20 +173,25 @@ BatchResult<std::vector<int>> BatchEngine::NonzeroNNBatch(
   // pinned view keeps the batch consistent under concurrent maintenance
   // (which preserves answers bit-for-bit anyway).
   api::EngineRef::Pin pin = ref_.Capture();
-  return Run<std::vector<int>>(queries.size(), [&](size_t i) {
+  dyn::AnswerCache::Stats before = PinCacheStats(pin);
+  auto out = Run<std::vector<int>>(queries.size(), [&](size_t i) {
     api::QueryResponse r = ref_.Call(api::QueryRequest::NonzeroNN(queries[i]), pin);
     return std::move(r.ids);
   });
+  AccumulateCacheDelta(pin, before, &out.stats);
+  return out;
 }
 
 BatchResult<std::vector<Quantification>> BatchEngine::QuantifyBatch(
     const std::vector<Point2>& queries, std::optional<double> eps) const {
   ref_.Prewarm(eps);
   api::EngineRef::Pin pin = ref_.Capture();
+  dyn::AnswerCache::Stats before = PinCacheStats(pin);
   auto out = Run<std::vector<Quantification>>(queries.size(), [&](size_t i) {
     api::QueryResponse r = ref_.Call(api::QueryRequest::Quantify(queries[i], eps), pin);
     return std::move(r.quants);
   });
+  AccumulateCacheDelta(pin, before, &out.stats);
   CountPlans(eps, queries.size(), &out.stats);
   return out;
 }
@@ -169,11 +200,13 @@ BatchResult<std::vector<Quantification>> BatchEngine::ThresholdNNBatch(
     const std::vector<Point2>& queries, double tau, std::optional<double> eps) const {
   ref_.Prewarm(eps);
   api::EngineRef::Pin pin = ref_.Capture();
+  dyn::AnswerCache::Stats before = PinCacheStats(pin);
   auto out = Run<std::vector<Quantification>>(queries.size(), [&](size_t i) {
     api::QueryResponse r =
         ref_.Call(api::QueryRequest::ThresholdNN(queries[i], tau, eps), pin);
     return std::move(r.quants);
   });
+  AccumulateCacheDelta(pin, before, &out.stats);
   CountPlans(eps, queries.size(), &out.stats);
   return out;
 }
@@ -217,6 +250,7 @@ BatchResult<api::QueryResponse> BatchEngine::RequestBatch(
     // spiral-vs-Monte-Carlo rule mid-stream.
     FillPlanStats(requests, i, j, &out.stats);
     run_pin = ref_.Capture();
+    dyn::AnswerCache::Stats cache_before = PinCacheStats(run_pin);
     size_t run = j - i;
     size_t lat_base = query_lat.size();
     query_lat.resize(lat_base + run);
@@ -227,6 +261,7 @@ BatchResult<api::QueryResponse> BatchEngine::RequestBatch(
     } else {
       for (size_t k = 0; k < run; ++k) answer_query(i + k, &query_lat[lat_base + k]);
     }
+    AccumulateCacheDelta(run_pin, cache_before, &out.stats);
     i = j;
   }
 

@@ -69,6 +69,14 @@ struct BatchStats {
   size_t num_updates = 0;
   double update_p50_micros = 0.0;
   double update_p99_micros = 0.0;
+  /// dyn::AnswerCache traffic attributable to this batch: counter deltas
+  /// on the pinned snapshot/view's cache across each query run. Duplicate
+  /// requests within a batch dedup here — the first evaluation populates
+  /// the pinned cache and the repeats hit it. 0/0 for backends without a
+  /// cache (static Engine, caches disabled) or when another thread shares
+  /// the same snapshot concurrently the split is approximate.
+  size_t answer_cache_hits = 0;
+  size_t answer_cache_misses = 0;
 };
 
 /// A batch answer: `values[i]` answers `queries[i]`, plus the stats.

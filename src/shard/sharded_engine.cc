@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "src/dyn/answer_cache.h"
 #include "src/dyn/merge.h"
 #include "src/dyn/tail_cache.h"
 #include "src/util/arena.h"
@@ -28,7 +29,8 @@ double Coord(Point2 p, int axis) { return axis == 0 ? p.x : p.y; }
 // tail-sample cache: it lives exactly as long as the view that owns it,
 // which is the required per-publish invalidation.
 std::shared_ptr<const dyn::Snapshot> CombineSnapshots(
-    const std::vector<std::shared_ptr<const dyn::Snapshot>>& parts) {
+    const std::vector<std::shared_ptr<const dyn::Snapshot>>& parts,
+    bool answer_cache) {
   auto c = std::make_shared<dyn::Snapshot>();
   auto tail = std::make_shared<std::vector<dyn::TailEntry>>();
   for (const auto& s : parts) {
@@ -50,6 +52,12 @@ std::shared_ptr<const dyn::Snapshot> CombineSnapshots(
   }
   c->rho = c->wmax / c->wmin;
   if (!tail->empty()) c->tail_mc = std::make_shared<dyn::TailMcCache>();
+  // The union snapshot gets its own answer cache with the same lifecycle
+  // as its tail_mc: any shard's publish invalidates the view (pointer
+  // mismatch in View()), which retires this cache with it.
+  if (answer_cache && c->live_count > 0) {
+    c->answers = std::make_shared<dyn::AnswerCache>();
+  }
   c->tail = std::move(tail);
   return c;
 }
@@ -268,7 +276,7 @@ std::shared_ptr<const CombinedView> ShardedEngine::View() const {
       if (epoch_.load(std::memory_order_acquire) == before) {
         auto view = std::make_shared<CombinedView>();
         view->parts = std::move(parts);
-        view->combined = CombineSnapshots(view->parts);
+        view->combined = CombineSnapshots(view->parts, options_.shard.answer_cache);
         std::atomic_store_explicit(&view_cache_,
                                    std::shared_ptr<const CombinedView>(view),
                                    std::memory_order_release);
@@ -308,6 +316,12 @@ void ShardedEngine::NonzeroNNInto(const CombinedView& view, Point2 q,
   const dyn::Snapshot& u = *view.combined;
   out->clear();
   if (u.live_count == 0) return;
+  // Answer memoization on the view's union snapshot: a hit skips both
+  // fan-out stages and the final sort (invalidation is the view rebuild —
+  // see answer_cache.h).
+  dyn::AnswerCache* cache = u.answers.get();
+  dyn::AnswerCache::Key cache_key{dyn::AnswerCache::Kind::kNonzeroNN, q, 0.0};
+  if (cache != nullptr && cache->LookupIds(cache_key, out)) return;
 
   // Skip empty shards before scheduling pool work: an empty shard
   // contributes +inf to stage 1 and nothing to stage 2, so fanning it out
@@ -357,6 +371,7 @@ void ShardedEngine::NonzeroNNInto(const CombinedView& view, Point2 q,
     out->insert(out->end(), found[i].begin(), found[i].end());
   }
   std::sort(out->begin(), out->end());
+  if (cache != nullptr) cache->InsertIds(cache_key, *out);
 }
 
 std::vector<Quantification> ShardedEngine::Quantify(Point2 q,
@@ -383,13 +398,17 @@ void ShardedEngine::QuantifyInto(const CombinedView& view, Point2 q,
   const dyn::Snapshot& snap = *view.combined;
   out->clear();
   if (snap.live_count == 0) return;
+  dyn::AnswerCache* cache = snap.answers.get();
+  dyn::AnswerCache::Key cache_key{dyn::AnswerCache::Kind::kQuantify, q, eps};
+  if (cache != nullptr && cache->LookupQuants(cache_key, out)) return;
   if (dyn::PlanForSnapshot(snap, options_.shard.engine, eps) == QuantifyPlan::kSpiral) {
     dyn::MergedSpiralQuantifyInto(snap, q, eps, out);
-    return;
+  } else {
+    size_t rounds = dyn::McRoundsForSnapshot(snap, options_.shard.engine, eps);
+    dyn::MergedMonteCarloQuantifyInto(snap, q, rounds, options_.shard.engine.seed,
+                                      options_.pool, out);
   }
-  size_t rounds = dyn::McRoundsForSnapshot(snap, options_.shard.engine, eps);
-  dyn::MergedMonteCarloQuantifyInto(snap, q, rounds, options_.shard.engine.seed,
-                                    options_.pool, out);
+  if (cache != nullptr) cache->InsertQuants(cache_key, *out);
 }
 
 std::vector<Quantification> ShardedEngine::QuantifyExact(Point2 q) const {
@@ -400,13 +419,22 @@ std::vector<Quantification> ShardedEngine::QuantifyExact(const CombinedView& vie
                                                          Point2 q) const {
   const dyn::Snapshot& snap = *view.combined;
   if (snap.live_count == 0) return {};
-  if (snap.all_discrete()) return dyn::MergedQuantifyExact(snap, q);
-  PNN_CHECK_MSG(snap.all_continuous(),
-                "QuantifyExact supports all-discrete or all-continuous inputs");
-  std::vector<Id> ids;
-  UncertainSet live = dyn::SnapshotLiveSet(snap, &ids);
-  std::vector<Quantification> out = QuantifyNumericContinuous(live, q, 1e-8);
-  for (auto& e : out) e.index = ids[e.index];
+  dyn::AnswerCache* cache = snap.answers.get();
+  dyn::AnswerCache::Key cache_key{dyn::AnswerCache::Kind::kQuantifyExact, q, 0.0};
+  std::vector<Quantification> cached;
+  if (cache != nullptr && cache->LookupQuants(cache_key, &cached)) return cached;
+  std::vector<Quantification> out;
+  if (snap.all_discrete()) {
+    out = dyn::MergedQuantifyExact(snap, q);
+  } else {
+    PNN_CHECK_MSG(snap.all_continuous(),
+                  "QuantifyExact supports all-discrete or all-continuous inputs");
+    std::vector<Id> ids;
+    UncertainSet live = dyn::SnapshotLiveSet(snap, &ids);
+    out = QuantifyNumericContinuous(live, q, 1e-8);
+    for (auto& e : out) e.index = ids[e.index];
+  }
+  if (cache != nullptr) cache->InsertQuants(cache_key, out);
   return out;
 }
 

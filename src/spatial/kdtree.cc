@@ -11,23 +11,39 @@
 
 namespace pnn {
 
+// Tie contract (the cross-width identity rule): every query that returns a
+// single winner resolves equal-distance (equal-score) candidates to the
+// LOWEST point index — the pnn::MinIndex rule the SIMD argmin kernels
+// already pin within a leaf. Two pieces make it hold across the whole
+// tree at any leaf width:
+//   * both constructors sort each leaf's order_ range ascending, so the
+//     kernels' first-position tie IS the lowest index within a leaf, and
+//   * the traversals never prune a node whose lower bound equals the
+//     current best (strict >) and break cross-leaf ties by index.
+// With that, Nearest/NearestSquared/MinAdditivelyWeighted winners and the
+// Incremental emission order are pure functions of the point set —
+// width-8 and width-64 trees answer bit-identically
+// (tests/kd_width_test.cc).
+
 namespace {
-constexpr int kLeafSize = 8;
-// Stack-buffer chunk for leaf distance scans. Built leaves hold at most
-// kLeafSize points, but adopted layouts are only shape-checked, so the
-// scan loops chunk defensively instead of assuming a bound.
-constexpr int kScanChunk = 64;
+// Stack-buffer chunk for leaf distance scans. Leaves hold at most
+// KdBuildOptions::leaf_size points (adoption now validates the leaf
+// partition, so adopted trees honor their build's bound too), but the
+// width is a runtime option, so the scan loops chunk rather than assume a
+// compile-time bound. 128 covers every swept width in one pass.
+constexpr int kScanChunk = 128;
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 // Node count of the subtree over n points. The split point of a range
 // [begin, begin + n) is begin + n/2 regardless of begin, so the subtree
 // shape — and with it every preorder node id — is a pure function of the
-// subtree sizes. This is what lets the parallel build place each subtree's
-// nodes into a precomputed id range with no cross-task coordination.
-int SubtreeNodes(int n) {
-  if (n <= kLeafSize) return 1;
+// subtree sizes and the leaf capacity. This is what lets the parallel
+// build place each subtree's nodes into a precomputed id range with no
+// cross-task coordination.
+int SubtreeNodes(int n, int leaf_size) {
+  if (n <= leaf_size) return 1;
   int left = n / 2;
-  return 1 + SubtreeNodes(left) + SubtreeNodes(n - left);
+  return 1 + SubtreeNodes(left, leaf_size) + SubtreeNodes(n - left, leaf_size);
 }
 }  // namespace
 
@@ -68,6 +84,7 @@ KdTree::KdTree(std::vector<Point2> points, std::vector<double> weights, Metric m
     : metric_(metric), points_(std::move(points)), weights_(std::move(weights)) {
   if (weights_.empty()) weights_.assign(points_.size(), 0.0);
   PNN_CHECK(weights_.size() == points_.size());
+  PNN_CHECK_MSG(build.leaf_size >= 1, "leaf_size must be >= 1");
   order_.resize(points_.size());
   std::iota(order_.begin(), order_.end(), 0);
   if (!points_.empty()) {
@@ -75,9 +92,12 @@ KdTree::KdTree(std::vector<Point2> points, std::vector<double> weights, Metric m
     // Preallocating against the precomputed node count lets BuildRange
     // write each subtree's nodes into its own id range — no push_back, no
     // shared cursor, hence no cross-task ordering effects.
-    nodes_.resize(static_cast<size_t>(SubtreeNodes(n)));
+    nodes_.resize(static_cast<size_t>(SubtreeNodes(n, build.leaf_size)));
     root_ = 0;
     BuildRange(0, n, root_, build);
+  }
+  for (const Node& node : nodes_) {
+    if (node.left < 0) leaf_width_ = std::max(leaf_width_, node.end - node.begin);
   }
   BuildScanArrays();
 }
@@ -90,10 +110,13 @@ KdTree::KdTree(std::vector<Point2> points, std::vector<double> weights, Metric m
       order_(std::move(order)),
       nodes_(std::move(nodes)),
       root_(root) {
-  // Shape checks only: the adopted layout is covered by the store's
-  // checksum, and a fully structural validation would cost as much as the
-  // build this constructor exists to skip. What is checked here is exactly
-  // what later array accesses index with.
+  // O(n) validation: bounds checks (exactly what later array accesses
+  // index with) plus the leaf-partition invariant the scan loops rely on —
+  // leaves must tile [0, n) contiguously and order_ must be a permutation.
+  // The store's checksum covers bit-rot; this catches structurally corrupt
+  // segments (overlapping or gapped leaves) before a query walks them. A
+  // fully structural validation would cost as much as the build this
+  // constructor exists to skip.
   int n = static_cast<int>(points_.size());
   PNN_CHECK_MSG(weights_.size() == points_.size(), "weights must parallel points");
   PNN_CHECK_MSG(order_.size() == points_.size(), "order must parallel points");
@@ -103,9 +126,13 @@ KdTree::KdTree(std::vector<Point2> points, std::vector<double> weights, Metric m
   }
   int node_count = static_cast<int>(nodes_.size());
   PNN_CHECK_MSG(root_ >= 0 && root_ < node_count, "adopted root out of range");
+  std::vector<char> seen(static_cast<size_t>(n), 0);
   for (int idx : order_) {
     PNN_CHECK_MSG(idx >= 0 && idx < n, "adopted order entry out of range");
+    PNN_CHECK_MSG(!seen[idx], "adopted order is not a permutation");
+    seen[idx] = 1;
   }
+  std::vector<std::pair<int, int>> leaves;
   for (const Node& node : nodes_) {
     PNN_CHECK_MSG(node.left >= -1 && node.left < node_count &&
                       node.right >= -1 && node.right < node_count,
@@ -114,6 +141,25 @@ KdTree::KdTree(std::vector<Point2> points, std::vector<double> weights, Metric m
                   "adopted node must be leaf or have both children");
     PNN_CHECK_MSG(node.begin >= 0 && node.begin <= node.end && node.end <= n,
                   "adopted node range out of bounds");
+    if (node.left < 0) leaves.emplace_back(node.begin, node.end);
+  }
+  std::sort(leaves.begin(), leaves.end());
+  int cursor = 0;
+  for (const auto& range : leaves) {
+    PNN_CHECK_MSG(range.first == cursor, "adopted leaves must tile [0, n)");
+    PNN_CHECK_MSG(range.second > range.first, "adopted leaf must be non-empty");
+    cursor = range.second;
+    leaf_width_ = std::max(leaf_width_, range.second - range.first);
+  }
+  PNN_CHECK_MSG(cursor == n, "adopted leaves must cover all points");
+  // Tie contract: adopted leaves get the same ascending-index order the
+  // building constructor produces, so adopted and fresh trees of the same
+  // width stay structurally identical (and pre-sort segments upgrade
+  // transparently — the next checkpoint re-serializes the sorted order).
+  for (Node& node : nodes_) {
+    if (node.left < 0) {
+      std::sort(order_.begin() + node.begin, order_.begin() + node.end);
+    }
   }
   // Derived on load, not serialized: recovered segments keep their
   // pre-refactor format and still get SoA scan buffers.
@@ -134,7 +180,7 @@ void KdTree::BuildRange(int begin, int end, int id, const BuildOptions& build) {
     node.max_w = std::max(node.max_w, weights_[order_[i]]);
   }
   int n = end - begin;
-  if (n > kLeafSize) {
+  if (n > build.leaf_size) {
     bool split_x = node.box.Width() >= node.box.Height();
     int mid = (begin + end) / 2;
     // The partition runs before the children fork, on this task's own
@@ -146,7 +192,7 @@ void KdTree::BuildRange(int begin, int end, int id, const BuildOptions& build) {
                                       : points_[a].y < points_[b].y;
                      });
     node.left = id + 1;  // Preorder: left subtree follows its parent.
-    node.right = id + 1 + SubtreeNodes(mid - begin);
+    node.right = id + 1 + SubtreeNodes(mid - begin, build.leaf_size);
     nodes_[id] = node;
     if (build.pool != nullptr && n > build.parallel_cutoff) {
       int left_id = node.left, right_id = node.right;
@@ -162,6 +208,9 @@ void KdTree::BuildRange(int begin, int end, int id, const BuildOptions& build) {
       BuildRange(mid, end, node.right, build);
     }
   } else {
+    // Tie contract: leaves hold ascending point indices, so the argmin
+    // kernels' first-position tie is the lowest index within the leaf.
+    std::sort(order_.begin() + begin, order_.begin() + end);
     nodes_[id] = node;
   }
 }
@@ -212,7 +261,9 @@ int KdTree::Nearest(Point2 q, double* out_dist, const std::vector<char>* skip) c
     int id = stack.back();
     stack.pop_back();
     const Node& n = nodes_[id];
-    if (BoxDist(n.box, q) >= best) continue;
+    // Strict >: a subtree whose bound ties the current best may hold an
+    // equal-distance point with a lower index (the tie contract).
+    if (BoxDist(n.box, q) > best) continue;
     if (n.left < 0) {
       double d[kScanChunk];
       for (int i = n.begin; i < n.end; i += kScanChunk) {
@@ -220,9 +271,10 @@ int KdTree::Nearest(Point2 q, double* out_dist, const std::vector<char>* skip) c
         ScanDists(i, cnt, q, d);
         for (int k = 0; k < cnt; ++k) {
           if (skip != nullptr && (*skip)[order_[i + k]]) continue;
-          if (d[k] < best) {
+          int idx = order_[i + k];
+          if (d[k] < best || (d[k] == best && idx < best_idx)) {
             best = d[k];
-            best_idx = order_[i + k];
+            best_idx = idx;
           }
         }
       }
@@ -258,17 +310,23 @@ int KdTree::NearestSquared(Point2 q, double* out_sq,
     stack.pop_back();
     const Node& n = nodes_[id];
     // Pruning and child ordering compare squared box distances — the same
-    // predicates Nearest evaluates post-sqrt, minus the sqrt.
-    if (n.box.SquaredDistanceTo(q) >= best) continue;
+    // predicates Nearest evaluates post-sqrt, minus the sqrt. Strict >
+    // keeps tied subtrees visitable (the tie contract).
+    if (n.box.SquaredDistanceTo(q) > best) continue;
     if (n.left < 0) {
       if (skip == nullptr) {
         double leaf_min;
         ptrdiff_t rel = simd::ArgminSquaredDist(
             sx_.data() + n.begin, sy_.data() + n.begin,
             static_cast<size_t>(n.end - n.begin), q.x, q.y, &leaf_min);
-        if (rel >= 0 && leaf_min < best) {
-          best = leaf_min;
-          best_idx = order_[n.begin + static_cast<int>(rel)];
+        if (rel >= 0) {
+          // Leaves are index-sorted, so the kernel's first-position
+          // minimum is the lowest tied index within this leaf.
+          int idx = order_[n.begin + static_cast<int>(rel)];
+          if (leaf_min < best || (leaf_min == best && idx < best_idx)) {
+            best = leaf_min;
+            best_idx = idx;
+          }
         }
       } else {
         double d[kScanChunk];
@@ -278,9 +336,10 @@ int KdTree::NearestSquared(Point2 q, double* out_sq,
                                 static_cast<size_t>(cnt), q.x, q.y, d);
           for (int k = 0; k < cnt; ++k) {
             if ((*skip)[order_[i + k]]) continue;
-            if (d[k] < best) {
+            int idx = order_[i + k];
+            if (d[k] < best || (d[k] == best && idx < best_idx)) {
               best = d[k];
-              best_idx = order_[i + k];
+              best_idx = idx;
             }
           }
         }
@@ -354,9 +413,10 @@ double KdTree::MinAdditivelyWeighted(Point2 q, int* arg,
     int id = stack.back();
     stack.pop_back();
     const Node& n = nodes_[id];
-    // Lower bound on d(q, p) + w within the subtree.
+    // Lower bound on d(q, p) + w within the subtree. Strict > keeps tied
+    // subtrees visitable (the tie contract).
     double lb = BoxDist(n.box, q) + n.min_w;
-    if (lb >= best) continue;
+    if (lb > best) continue;
     if (n.left < 0) {
       double d[kScanChunk];
       for (int i = n.begin; i < n.end; i += kScanChunk) {
@@ -366,7 +426,7 @@ double KdTree::MinAdditivelyWeighted(Point2 q, int* arg,
           int idx = order_[i + k];
           if (skip != nullptr && (*skip)[idx]) continue;
           double v = d[k] + sw_[i + k];
-          if (v < best) {
+          if (v < best || (v == best && idx < best_idx)) {
             best = v;
             best_idx = idx;
           }

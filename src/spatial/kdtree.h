@@ -49,6 +49,17 @@ struct KdBuildOptions {
   /// internal node.
   exec::ThreadPool* pool = nullptr;
   int parallel_cutoff = 4096;
+  /// Leaf capacity: a range splits while it holds more than this many
+  /// points. Wider leaves lengthen the SoA leaf scans (letting the SIMD
+  /// kernels fill their lanes) at the cost of pruning depth and per-leaf
+  /// over-scan; bench_leaf_width sweeps the tradeoff and docs/simd.md
+  /// records the measurement. The sweep's best widths (16-32) only reach
+  /// ~1.2x over 8 on the reference AVX2 host — below the promotion bar —
+  /// so the default stays at the historical 8; widen per build if your
+  /// workload's sweep says otherwise. Query answers are identical at
+  /// every width — ties are pinned to the lowest point index (see the
+  /// tie contract in kdtree.cc). Must be >= 1.
+  int leaf_size = 8;
 };
 
 /// Static kd-tree over a fixed point set, with optional per-point weights.
@@ -76,8 +87,11 @@ class KdTree {
 
   /// Adopts a previously exported layout instead of building: `order`,
   /// `nodes` and `root` must come from a tree constructed over the same
-  /// points/weights/metric (the store checksums them together). Only
-  /// O(nodes) bounds checks are paid here — SameStructure against a fresh
+  /// points/weights/metric (the store checksums them together). The tree
+  /// keeps whatever leaf width it was built with. Validation is O(n):
+  /// bounds checks plus a leaf-partition check (leaves tile [0, n)
+  /// contiguously and `order` is a permutation) — still far below the
+  /// build this constructor exists to skip; SameStructure against a fresh
   /// build certifies the round trip in tests. `weights` must be explicit
   /// (one per point; the building constructor's empty-means-zeros
   /// shorthand is resolved before export).
@@ -86,6 +100,12 @@ class KdTree {
 
   size_t size() const { return points_.size(); }
   const std::vector<Point2>& points() const { return points_; }
+
+  /// Widest leaf of this tree (max over leaves of end - begin; 0 for an
+  /// empty tree). Derived from the layout in both constructors — never
+  /// serialized — so an adopted tree reports exactly the width of the
+  /// build that produced it, with no segment-format bump.
+  int leaf_width() const { return leaf_width_; }
 
   /// Layout export for serialization (parallel to the adoption
   /// constructor's parameters).
@@ -166,7 +186,16 @@ class KdTree {
       double key;     // Lower bound on distance (exact for points).
       int node;       // Internal node id, or -1 when `point` is valid.
       int point;      // Original point index if node == -1.
-      bool operator<(const Entry& o) const { return key > o.key; }  // Min-heap.
+      // Min-heap on key; equal keys expand nodes before emitting points
+      // and emit points in ascending index order. That makes the emission
+      // order of equal-distance points (key, index)-lexicographic — a pure
+      // function of the point set, independent of the tree's leaf width.
+      bool operator<(const Entry& o) const {
+        if (key != o.key) return key > o.key;
+        if ((node < 0) != (o.node < 0)) return node < 0;
+        if (node < 0) return point > o.point;
+        return node > o.node;
+      }
     };
     const KdTree& tree_;
     Point2 q_;
@@ -205,6 +234,7 @@ class KdTree {
   std::vector<double> sx_, sy_, sw_;
   std::vector<Node> nodes_;
   int root_ = -1;
+  int leaf_width_ = 0;  // Derived: max leaf extent (see leaf_width()).
 
   friend class Incremental;
 };

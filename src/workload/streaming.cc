@@ -38,6 +38,8 @@ std::vector<exec::MixedOp> GenerateStreamingChurn(const StreamingChurnOptions& o
   PNN_CHECK_MSG(!o.discrete || o.k >= 1, "discrete points need k >= 1");
   PNN_CHECK_MSG(o.hotspot_fraction >= 0 && o.hotspot_fraction <= 1,
                 "hotspot_fraction must be in [0,1]");
+  PNN_CHECK_MSG(o.repeat_fraction >= 0 && o.repeat_fraction <= 1,
+                "repeat_fraction must be in [0,1]");
 
   std::vector<exec::MixedOp> out;
   out.reserve(static_cast<size_t>(o.initial + o.ops));
@@ -49,6 +51,8 @@ std::vector<exec::MixedOp> GenerateStreamingChurn(const StreamingChurnOptions& o
   };
   std::vector<LivePoint> live;
   dyn::Id next_id = 0;
+  // Stream positions of the queries issued so far (repeat_fraction pool).
+  std::vector<size_t> issued;
 
   auto arrive = [&](Point2 center) {
     out.push_back(exec::MixedOp::Insert(ChurnPoint(o, center, rng)));
@@ -89,6 +93,16 @@ std::vector<exec::MixedOp> GenerateStreamingChurn(const StreamingChurnOptions& o
       }
       continue;
     }
+    // Verbatim repeats: with probability repeat_fraction, re-issue a
+    // uniformly chosen earlier query op unchanged — byte-identical
+    // arguments, so an answer cache keyed on them can hit.
+    if (o.repeat_fraction > 0 && !issued.empty() &&
+        rng->Bernoulli(o.repeat_fraction)) {
+      size_t pick = static_cast<size_t>(rng->UniformInt(0, issued.size() - 1));
+      out.push_back(out[issued[pick]]);
+      issued.push_back(out.size() - 1);
+      continue;
+    }
     Point2 q = random_center();
     if (rng->Bernoulli(o.quantify_fraction)) {
       out.push_back(o.tau >= 0 ? exec::MixedOp::ThresholdNN(q, o.tau)
@@ -96,6 +110,7 @@ std::vector<exec::MixedOp> GenerateStreamingChurn(const StreamingChurnOptions& o
     } else {
       out.push_back(exec::MixedOp::NonzeroNN(q));
     }
+    issued.push_back(out.size() - 1);
   }
   return out;
 }

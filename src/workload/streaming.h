@@ -42,6 +42,11 @@ struct StreamingChurnOptions {
   double hotspot_fraction = 0.0;
   double hotspot_sigma = 5.0;
   double hotspot_orbits = 1.0;
+  /// Fraction of queries re-issued VERBATIM from earlier in the stream
+  /// (same kind, same point, same tau) — the skewed-repeat distribution of
+  /// dashboard/hot-spot traffic, and what the answer-cache bench drives.
+  /// 0 keeps every query unique; the first query is always fresh.
+  double repeat_fraction = 0.0;
 };
 
 /// Generates an op stream for exec::BatchEngine::MixedBatch against a
